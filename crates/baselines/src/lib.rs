@@ -1,0 +1,544 @@
+//! # Shared work lists: the concurrent pool's competitors
+//!
+//! §4.4 of Kotz & Ellis (1989) compares pools against "the original version
+//! that used a stack with a global lock for the work list" (40% slower,
+//! speedup 10.7 vs ≈15 at 16 processors). This crate provides that
+//! baseline and friends behind one [`SharedWorkList`] abstraction so the
+//! application study can swap implementations:
+//!
+//! * [`GlobalStack`] — `Mutex<Vec<T>>`, the paper's comparator;
+//! * [`GlobalQueue`] — `Mutex<VecDeque<T>>` (FIFO variant);
+//! * [`LockFreeQueue`] — a modern lock-free MPMC queue
+//!   (`crossbeam_queue::SegQueue`): still a *centralized* structure, so it
+//!   remains a memory hot spot on a NUMA machine even without a lock;
+//! * [`PoolWorkList`] — a concurrent pool (any search policy) adapted to
+//!   the same interface.
+//!
+//! All centralized lists charge their accesses to
+//! [`Resource::Shared`]`(0)` so NUMA cost models and the virtual-time
+//! scheduler see the hot spot; termination uses the same
+//! all-processes-searching rule as the pool ([`cpool::SearchGate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam_queue::SegQueue;
+use parking_lot::Mutex;
+
+use cpool::{
+    DynPolicy, Handle, NullTiming, Pool, PoolBuilder, ProcId, RemoveError, Resource, SearchGate,
+    Timing, VecSegment,
+};
+
+/// Returned by [`WorkHandle::get`] when the computation has terminated:
+/// the list is empty and every registered worker is looking for work, so no
+/// new items can appear.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Done;
+
+impl fmt::Display for Done {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("work list drained: all workers idle")
+    }
+}
+
+impl Error for Done {}
+
+/// Per-worker handle to a shared work list.
+pub trait WorkHandle<T>: Send {
+    /// Deposits one work item.
+    fn put(&mut self, item: T);
+
+    /// Retrieves a work item, waiting (by re-probing) while other workers
+    /// are still active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Done`] when the list is empty and every registered worker
+    /// is simultaneously looking for work.
+    fn get(&mut self) -> Result<T, Done>;
+
+    /// The worker's process id (for cost accounting).
+    fn proc_id(&self) -> ProcId;
+}
+
+/// A shared list of work items, usable from many workers.
+pub trait SharedWorkList<T: Send>: Send + Sync {
+    /// The per-worker handle type.
+    type Handle: WorkHandle<T>;
+
+    /// Registers a worker. The `i`-th registration gets process id `i`.
+    fn register(&self) -> Self::Handle;
+
+    /// Deposits initial items without charging any worker (pre-run setup).
+    fn seed(&self, items: Vec<T>);
+
+    /// Number of items currently stored (snapshot).
+    fn len(&self) -> usize;
+
+    /// Whether the list is currently empty (snapshot).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Centralized lists
+// ---------------------------------------------------------------------------
+
+/// Storage discipline of a centralized list.
+pub trait CentralBuffer<T>: Send + Sync + Default {
+    /// Adds an item.
+    fn push(&self, item: T);
+    /// Removes an item (LIFO, FIFO, or unordered per implementation).
+    fn pop(&self) -> Option<T>;
+    /// Number of stored items.
+    fn len(&self) -> usize;
+}
+
+/// LIFO buffer under one global lock (the paper's work-list baseline).
+#[derive(Debug)]
+pub struct LockedStackBuffer<T>(Mutex<Vec<T>>);
+
+impl<T> Default for LockedStackBuffer<T> {
+    fn default() -> Self {
+        LockedStackBuffer(Mutex::new(Vec::new()))
+    }
+}
+
+impl<T: Send> CentralBuffer<T> for LockedStackBuffer<T> {
+    fn push(&self, item: T) {
+        self.0.lock().push(item);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.0.lock().pop()
+    }
+
+    fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+}
+
+/// FIFO buffer under one global lock.
+#[derive(Debug)]
+pub struct LockedQueueBuffer<T>(Mutex<VecDeque<T>>);
+
+impl<T> Default for LockedQueueBuffer<T> {
+    fn default() -> Self {
+        LockedQueueBuffer(Mutex::new(VecDeque::new()))
+    }
+}
+
+impl<T: Send> CentralBuffer<T> for LockedQueueBuffer<T> {
+    fn push(&self, item: T) {
+        self.0.lock().push_back(item);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.0.lock().pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+}
+
+/// Lock-free MPMC buffer (crossbeam's `SegQueue`).
+#[derive(Debug)]
+pub struct LockFreeBuffer<T>(SegQueue<T>);
+
+impl<T> Default for LockFreeBuffer<T> {
+    fn default() -> Self {
+        LockFreeBuffer(SegQueue::new())
+    }
+}
+
+impl<T: Send> CentralBuffer<T> for LockFreeBuffer<T> {
+    fn push(&self, item: T) {
+        self.0.push(item);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.0.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+struct CentralShared<T, B> {
+    buffer: B,
+    gate: SearchGate,
+    timing: Arc<dyn Timing>,
+    next_proc: AtomicUsize,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+/// A centralized work list over any [`CentralBuffer`].
+///
+/// Every access (push, pop, or empty probe) charges
+/// [`Resource::Shared`]`(0)`: the whole structure lives on one node and is
+/// a hot spot by construction.
+pub struct Central<T, B> {
+    shared: Arc<CentralShared<T, B>>,
+}
+
+impl<T, B: fmt::Debug> fmt::Debug for Central<T, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Central").field("buffer", &self.shared.buffer).finish_non_exhaustive()
+    }
+}
+
+impl<T, B> Clone for Central<T, B> {
+    fn clone(&self) -> Self {
+        Central { shared: Arc::clone(&self.shared) }
+    }
+}
+
+/// The paper's baseline: a stack protected by a global lock.
+pub type GlobalStack<T> = Central<T, LockedStackBuffer<T>>;
+/// FIFO variant of the global-lock baseline.
+pub type GlobalQueue<T> = Central<T, LockedQueueBuffer<T>>;
+/// Modern lock-free centralized queue.
+pub type LockFreeQueue<T> = Central<T, LockFreeBuffer<T>>;
+
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static> Central<T, B> {
+    /// Creates an empty list with no cost model.
+    pub fn new() -> Self {
+        Self::with_timing(Arc::new(NullTiming::new()))
+    }
+
+    /// Creates an empty list charging accesses through `timing`.
+    pub fn with_timing(timing: Arc<dyn Timing>) -> Self {
+        Central {
+            shared: Arc::new(CentralShared {
+                buffer: B::default(),
+                gate: SearchGate::new(),
+                timing,
+                next_proc: AtomicUsize::new(0),
+                _marker: std::marker::PhantomData,
+            }),
+        }
+    }
+}
+
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static> Default for Central<T, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static> SharedWorkList<T> for Central<T, B> {
+    type Handle = CentralHandle<T, B>;
+
+    fn register(&self) -> CentralHandle<T, B> {
+        let proc = ProcId::new(self.shared.next_proc.fetch_add(1, Ordering::SeqCst));
+        self.shared.gate.register();
+        CentralHandle { shared: Arc::clone(&self.shared), proc }
+    }
+
+    fn seed(&self, items: Vec<T>) {
+        for item in items {
+            self.shared.buffer.push(item);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shared.buffer.len()
+    }
+}
+
+/// Worker handle to a [`Central`] list.
+pub struct CentralHandle<T, B> {
+    shared: Arc<CentralShared<T, B>>,
+    proc: ProcId,
+}
+
+impl<T, B> fmt::Debug for CentralHandle<T, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CentralHandle").field("proc", &self.proc).finish_non_exhaustive()
+    }
+}
+
+impl<T, B> Drop for CentralHandle<T, B> {
+    fn drop(&mut self) {
+        self.shared.gate.deregister();
+    }
+}
+
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static> WorkHandle<T> for CentralHandle<T, B> {
+    fn put(&mut self, item: T) {
+        self.shared.timing.charge(self.proc, Resource::Shared(0));
+        self.shared.buffer.push(item);
+    }
+
+    fn get(&mut self) -> Result<T, Done> {
+        self.shared.timing.charge(self.proc, Resource::Shared(0));
+        if let Some(item) = self.shared.buffer.pop() {
+            return Ok(item);
+        }
+        let _guard = self.shared.gate.begin_search();
+        loop {
+            self.shared.timing.charge(self.proc, Resource::Shared(0));
+            if let Some(item) = self.shared.buffer.pop() {
+                return Ok(item);
+            }
+            if self.shared.gate.all_searching() {
+                return Err(Done);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    fn proc_id(&self) -> ProcId {
+        self.proc
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed work list
+// ---------------------------------------------------------------------------
+
+/// A concurrent pool adapted to the [`SharedWorkList`] interface.
+///
+/// `get` maps to the pool's remove-with-steal; termination piggybacks on
+/// the pool's livelock breaker: an abort means every worker was searching,
+/// at which point an empty pool is a stable "done" signal (no process can
+/// add while all are searching). A non-empty pool after an abort (the rare
+/// race the paper tolerates) simply retries.
+pub struct PoolWorkList<T: Send + 'static> {
+    pool: Pool<VecSegment<T>, DynPolicy>,
+}
+
+impl<T: Send + 'static> fmt::Debug for PoolWorkList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolWorkList").field("pool", &self.pool).finish()
+    }
+}
+
+impl<T: Send + 'static> Clone for PoolWorkList<T> {
+    fn clone(&self) -> Self {
+        PoolWorkList { pool: self.pool.clone() }
+    }
+}
+
+impl<T: Send + 'static> PoolWorkList<T> {
+    /// Creates a pool-backed work list with `segments` segments, the given
+    /// search policy, and cost model.
+    pub fn new(
+        segments: usize,
+        policy: DynPolicy,
+        timing: Arc<dyn Timing>,
+        seed: u64,
+    ) -> Self {
+        let pool = PoolBuilder::new(segments)
+            .seed(seed)
+            .timing(timing)
+            .build_with_policy(policy);
+        PoolWorkList { pool }
+    }
+
+    /// The underlying pool (for statistics).
+    pub fn pool(&self) -> &Pool<VecSegment<T>, DynPolicy> {
+        &self.pool
+    }
+}
+
+impl<T: Send + 'static> SharedWorkList<T> for PoolWorkList<T> {
+    type Handle = PoolWorkHandle<T>;
+
+    fn register(&self) -> PoolWorkHandle<T> {
+        PoolWorkHandle { inner: self.pool.register(), pool: self.pool.clone() }
+    }
+
+    fn seed(&self, items: Vec<T>) {
+        let mut items = items.into_iter();
+        self.pool.fill_evenly_with(items.len(), |_| {
+            items.next().expect("fill count matches items")
+        });
+    }
+
+    fn len(&self) -> usize {
+        self.pool.total_len()
+    }
+}
+
+/// Worker handle to a [`PoolWorkList`].
+pub struct PoolWorkHandle<T: Send + 'static> {
+    inner: Handle<VecSegment<T>, DynPolicy>,
+    pool: Pool<VecSegment<T>, DynPolicy>,
+}
+
+impl<T: Send + 'static> fmt::Debug for PoolWorkHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolWorkHandle").field("inner", &self.inner).finish()
+    }
+}
+
+impl<T: Send + 'static> WorkHandle<T> for PoolWorkHandle<T> {
+    fn put(&mut self, item: T) {
+        self.inner.add(item);
+    }
+
+    fn get(&mut self) -> Result<T, Done> {
+        loop {
+            match self.inner.try_remove() {
+                Ok(item) => return Ok(item),
+                // RemoveError is non-exhaustive; today the only variant is
+                // Aborted, and any future variant should also fall through
+                // to the emptiness re-check.
+                Err(RemoveError::Aborted) => {
+                    // All workers were searching. If the pool is also empty
+                    // the computation is over; otherwise retry (an element
+                    // slipped in just before its producer started searching).
+                    if self.pool.total_len() == 0 {
+                        return Err(Done);
+                    }
+                }
+            }
+        }
+    }
+
+    fn proc_id(&self) -> ProcId {
+        self.inner.proc_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpool::PolicyKind;
+    use std::thread;
+
+    fn drain_all<W, T>(list: &W, workers: usize, items: Vec<T>) -> usize
+    where
+        T: Send + 'static,
+        W: SharedWorkList<T>,
+    {
+        list.seed(items);
+        let handles: Vec<W::Handle> = (0..workers).map(|_| list.register()).collect();
+        let got = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for mut h in handles {
+                let got = &got;
+                s.spawn(move || {
+                    while h.get().is_ok() {
+                        got.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        got.load(Ordering::Relaxed)
+    }
+
+    #[test]
+    fn global_stack_drains_exactly_once() {
+        let list: GlobalStack<u32> = GlobalStack::new();
+        assert_eq!(drain_all(&list, 4, (0..1000).collect()), 1000);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn global_queue_is_fifo() {
+        let list: GlobalQueue<u32> = GlobalQueue::new();
+        list.seed(vec![1, 2, 3]);
+        let mut h = list.register();
+        assert_eq!(h.get(), Ok(1));
+        assert_eq!(h.get(), Ok(2));
+        assert_eq!(h.get(), Ok(3));
+        assert_eq!(h.get(), Err(Done));
+    }
+
+    #[test]
+    fn global_stack_is_lifo() {
+        let list: GlobalStack<u32> = GlobalStack::new();
+        list.seed(vec![1, 2, 3]);
+        let mut h = list.register();
+        assert_eq!(h.get(), Ok(3));
+    }
+
+    #[test]
+    fn lock_free_queue_drains() {
+        let list: LockFreeQueue<u32> = LockFreeQueue::new();
+        assert_eq!(drain_all(&list, 4, (0..1000).collect()), 1000);
+    }
+
+    #[test]
+    fn pool_work_list_drains() {
+        let list: PoolWorkList<u32> =
+            PoolWorkList::new(4, PolicyKind::Linear.build(4, Default::default()),
+                Arc::new(NullTiming::new()), 7);
+        assert_eq!(drain_all(&list, 4, (0..1000).collect()), 1000);
+        assert_eq!(list.len(), 0);
+    }
+
+    #[test]
+    fn workers_that_generate_work_are_waited_for() {
+        // One worker seeds nothing but generates items on the fly; others
+        // must not declare Done while it is still working.
+        let list: GlobalStack<u32> = GlobalStack::new();
+        list.seed(vec![0]);
+        let handles: Vec<_> = (0..3).map(|_| list.register()).collect();
+        let processed = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for mut h in handles {
+                let processed = &processed;
+                s.spawn(move || {
+                    while let Ok(item) = h.get() {
+                        processed.fetch_add(1, Ordering::Relaxed);
+                        if item < 100 {
+                            // Fan out two children per item, simulating a
+                            // game-tree expansion.
+                            h.put(item * 2 + 100);
+                            h.put(item * 2 + 101);
+                        }
+                    }
+                });
+            }
+        });
+        // Item 0 fans out to 100, 101; neither fans further (>= 100).
+        assert_eq!(processed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pool_work_list_with_generation() {
+        let list: PoolWorkList<u32> = PoolWorkList::new(
+            3,
+            PolicyKind::Tree.build(3, Default::default()),
+            Arc::new(NullTiming::new()),
+            1,
+        );
+        list.seed(vec![0]);
+        let handles: Vec<_> = (0..3).map(|_| list.register()).collect();
+        let processed = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for mut h in handles {
+                let processed = &processed;
+                s.spawn(move || {
+                    while let Ok(item) = h.get() {
+                        processed.fetch_add(1, Ordering::Relaxed);
+                        if item < 4 {
+                            h.put(item + 1);
+                            h.put(item + 1);
+                        }
+                    }
+                });
+            }
+        });
+        // Binary fan-out of depth 4 from one root: 1+2+4+8+16 = 31 items.
+        assert_eq!(processed.load(Ordering::Relaxed), 31);
+    }
+
+    #[test]
+    fn done_error_displays() {
+        assert_eq!(Done.to_string(), "work list drained: all workers idle");
+    }
+}

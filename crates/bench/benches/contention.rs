@@ -1,0 +1,67 @@
+//! Microbenchmark: whole-pool throughput under thread contention.
+//!
+//! Runs a fixed combined operation budget (the paper's trial shape) on real
+//! threads at raw machine speed and reports elapsed time per budget — i.e.
+//! contended throughput of the full add/remove/steal machinery for each
+//! search policy, plus the locked/atomic segment ablation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cpool::prelude::*;
+use cpool::segment::{AtomicCounter, LockedCounter, Segment};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use workload::OpBudget;
+
+const THREADS: usize = 4;
+const OPS: u64 = 20_000;
+
+fn run_budget<S: Segment<Item = ()>>(kind: PolicyKind) {
+    let pool: Pool<S, DynPolicy> = PoolBuilder::new(THREADS)
+        .seed(9)
+        .build_with_policy(kind.build(THREADS, NodeStoreKind::Locked));
+    pool.fill_evenly(20 * THREADS);
+    let budget = Arc::new(OpBudget::new(OPS));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let mut handle = pool.register();
+            let budget = Arc::clone(&budget);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(t as u64);
+                while budget.take() {
+                    // Sparse mix (40% adds): the steal-heavy regime where
+                    // policies differ.
+                    if rng.gen_bool(0.4) {
+                        handle.add(());
+                    } else {
+                        let _ = handle.try_remove();
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention/sparse_mix_4_threads");
+    group.throughput(Throughput::Elements(OPS));
+    group.sample_size(10);
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("locked_segments", kind.to_string()),
+            &kind,
+            |b, &kind| b.iter(|| run_budget::<LockedCounter>(kind)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("atomic_segments", kind.to_string()),
+            &kind,
+            |b, &kind| b.iter(|| run_budget::<AtomicCounter>(kind)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(contention, bench_contention);
+criterion_main!(contention);

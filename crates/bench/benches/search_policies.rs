@@ -1,0 +1,86 @@
+//! Microbenchmark: one cold search per policy on crafted occupancy.
+//!
+//! Drives each search policy through a minimal in-memory [`SearchEnv`] so
+//! nothing but the search logic itself is measured. The scenario is the
+//! paper's worst case for the linear search: the only stocked victim is
+//! ring-farthest from the searcher, so linear crawls n-1 probes, the tree
+//! jumps in O(log n), and random probes ~n times in expectation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use cpool::search::{ProbeOutcome, SearchEnv, SearchPolicy};
+use cpool::prelude::*;
+use cpool::segment::steal_count;
+
+/// A heap-allocated occupancy vector posing as a pool.
+struct CountsEnv {
+    counts: Vec<usize>,
+    me: SegIdx,
+    probes: u64,
+}
+
+impl SearchEnv for CountsEnv {
+    fn segments(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn my_segment(&self) -> SegIdx {
+        self.me
+    }
+
+    fn try_steal(&mut self, victim: SegIdx) -> ProbeOutcome {
+        self.probes += 1;
+        let n = self.counts[victim.index()];
+        let take = steal_count(n);
+        if take == 0 {
+            ProbeOutcome::Empty
+        } else {
+            self.counts[victim.index()] -= take;
+            self.counts[self.me.index()] += take - 1;
+            ProbeOutcome::Stolen { stolen: take }
+        }
+    }
+
+    fn charge_tree_node(&mut self, _node: usize) {}
+
+    fn should_abort(&mut self) -> bool {
+        false
+    }
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search/cold_far_victim");
+    for &n in &[4usize, 16, 64, 256] {
+        for kind in PolicyKind::ALL {
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), n), &n, |b, &n| {
+                let policy = kind.build(n, NodeStoreKind::Locked);
+                b.iter_batched(
+                    || {
+                        let mut counts = vec![0usize; n];
+                        counts[n - 1] = 64; // ring-farthest victim from segment 0
+                        let state = policy.init_state(SegIdx::new(0), n, 7);
+                        (state, CountsEnv { counts, me: SegIdx::new(0), probes: 0 })
+                    },
+                    |(mut state, mut env)| {
+                        let outcome = policy.search(&mut state, &mut env);
+                        std::hint::black_box((outcome, env.probes))
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = search_policies;
+    // Trimmed sampling: these are comparative microbenchmarks, not
+    // absolute-latency measurements.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_search
+}
+criterion_main!(search_policies);

@@ -1,0 +1,87 @@
+//! Ablation: locked vs. atomic round counters in the tree search.
+//!
+//! The paper locks every tree node ("the round counters ... must be
+//! accessed with locks"); `NodeStoreKind::Atomic` replaces each visit's
+//! lock round-trip with two acquire loads and one `fetch_max`. This bench
+//! quantifies the difference on the pure search path (uncontended) — the
+//! contended difference shows up in the `contention` bench.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use cpool::search::{ProbeOutcome, SearchEnv, SearchPolicy, TreeSearch};
+use cpool::prelude::*;
+use cpool::segment::steal_count;
+
+struct CountsEnv {
+    counts: Vec<usize>,
+    me: SegIdx,
+}
+
+impl SearchEnv for CountsEnv {
+    fn segments(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn my_segment(&self) -> SegIdx {
+        self.me
+    }
+
+    fn try_steal(&mut self, victim: SegIdx) -> ProbeOutcome {
+        let take = steal_count(self.counts[victim.index()]);
+        if take == 0 {
+            ProbeOutcome::Empty
+        } else {
+            self.counts[victim.index()] -= take;
+            self.counts[self.me.index()] += take - 1;
+            ProbeOutcome::Stolen { stolen: take }
+        }
+    }
+
+    fn charge_tree_node(&mut self, _node: usize) {}
+
+    fn should_abort(&mut self) -> bool {
+        false
+    }
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_store/full_search");
+    for &n in &[16usize, 64, 256] {
+        for store in [NodeStoreKind::Locked, NodeStoreKind::Atomic] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{store:?}").to_lowercase(), n),
+                &n,
+                |b, &n| {
+                    let policy = TreeSearch::with_store(n, store);
+                    b.iter_batched(
+                        || {
+                            let mut counts = vec![0usize; n];
+                            counts[n - 1] = 64;
+                            (policy.init_state(SegIdx::new(0), n, 7), CountsEnv {
+                                counts,
+                                me: SegIdx::new(0),
+                            })
+                        },
+                        |(mut state, mut env)| {
+                            std::hint::black_box(policy.search(&mut state, &mut env))
+                        },
+                        BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = tree_store;
+    // Trimmed sampling: these are comparative microbenchmarks, not
+    // absolute-latency measurements.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_stores
+}
+criterion_main!(tree_store);

@@ -1,0 +1,37 @@
+//! Regenerates the §4.3 delay sweep: operation time vs. artificial remote
+//! delay (1 µs → 10 ms by default decades; the paper went to 100 ms) for
+//! all three search algorithms, on both a sparse random mix and the
+//! balanced producer/consumer workload.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin delay_sweep
+//! cargo run --release -p bench --bin delay_sweep -- --max-delay-us 100000
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::delay::{self, SweepWorkload, PAPER_DELAYS_US};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    let max_delay_us: u64 = args.parse_or("max-delay-us", 10_000);
+    let delays: Vec<u64> =
+        PAPER_DELAYS_US.iter().copied().filter(|d| *d <= max_delay_us).collect();
+    eprintln!(
+        "delay_sweep: {} procs, {} ops, {} trials, delays {delays:?} us",
+        scale.procs, scale.total_ops, scale.trials
+    );
+
+    for (which, name) in [
+        (SweepWorkload::SparseRandom, "delay_sweep_random"),
+        (SweepWorkload::BalancedProdCons, "delay_sweep_prodcons"),
+    ] {
+        let sweep = delay::generate(&scale, which, &delays);
+        let rendered = delay::render(&sweep);
+        println!("{rendered}");
+        let (headers, rows) = delay::csv_rows(&sweep);
+        emit_csv(&format!("{name}.csv"), &headers, &rows);
+        emit_text(&format!("{name}.txt"), &rendered);
+    }
+}

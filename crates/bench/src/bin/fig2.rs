@@ -1,0 +1,25 @@
+//! Regenerates Figure 2: average operation time vs. job mix, tree search,
+//! random vs. producer/consumer models.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig2            # paper scale
+//! cargo run --release -p bench --bin fig2 -- --quick # smoke scale
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::fig2;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    eprintln!("fig2: {} procs, {} ops, {} trials", scale.procs, scale.total_ops, scale.trials);
+
+    let fig = fig2::generate(&scale);
+    let rendered = fig2::render(&fig);
+    println!("{rendered}");
+
+    let (headers, rows) = fig2::csv_rows(&fig);
+    emit_csv("fig2.csv", &headers, &rows);
+    emit_text("fig2.txt", &rendered);
+}

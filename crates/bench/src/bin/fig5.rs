@@ -1,0 +1,21 @@
+//! Regenerates Figure 5: segment sizes over time, tree search,
+//! 5 contiguous producers of 16.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig5
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::traces::{self, TraceFigure};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    let data = traces::generate(TraceFigure::Fig5, &scale);
+    let rendered = traces::render(&data);
+    println!("{rendered}");
+    let (headers, rows) = traces::csv_rows(&data);
+    emit_csv("fig5_trace.csv", &headers, &rows);
+    emit_text("fig5.txt", &rendered);
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 6: segment sizes over time, tree search,
+//! 5 balanced producers (the paper's {0, 2, 4, 8, 12} placement).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig6
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::traces::{self, TraceFigure};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    let data = traces::generate(TraceFigure::Fig6, &scale);
+    let rendered = traces::render(&data);
+    println!("{rendered}");
+    let (headers, rows) = traces::csv_rows(&data);
+    emit_csv("fig6_trace.csv", &headers, &rows);
+    emit_text("fig6.txt", &rendered);
+}

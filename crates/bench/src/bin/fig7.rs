@@ -1,0 +1,24 @@
+//! Regenerates Figure 7 (errata labels): elements stolen per steal vs.
+//! number of producers, unbalanced vs. balanced arrangements, tree search.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig7
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::fig7;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    eprintln!("fig7: {} procs, {} ops, {} trials", scale.procs, scale.total_ops, scale.trials);
+
+    let fig = fig7::generate(&scale);
+    let rendered = fig7::render(&fig);
+    println!("{rendered}");
+
+    let (headers, rows) = fig7::csv_rows(&fig);
+    emit_csv("fig7.csv", &headers, &rows);
+    emit_text("fig7.txt", &rendered);
+}

@@ -1,0 +1,29 @@
+//! Ablation of the §5 hint extension: producer/consumer sweep with the
+//! hint board enabled vs. disabled.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin hint_ablation
+//! cargo run --release -p bench --bin hint_ablation -- --policy tree
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::hint_ablation;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    let policy = args.parse_or("policy", cpool::PolicyKind::Linear);
+    eprintln!(
+        "hint_ablation: {} procs, {} ops, {} trials, {policy} search",
+        scale.procs, scale.total_ops, scale.trials
+    );
+
+    let fig = hint_ablation::generate_for_policy(&scale, policy);
+    let rendered = hint_ablation::render(&fig);
+    println!("{rendered}");
+
+    let (headers, rows) = hint_ablation::csv_rows(&fig);
+    emit_csv("hint_ablation.csv", &headers, &rows);
+    emit_text("hint_ablation.txt", &rendered);
+}

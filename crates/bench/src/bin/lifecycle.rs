@@ -1,0 +1,28 @@
+//! The §3.5 application lifecycle (fill / stable / drain) run as a single
+//! phased workload — the combined experiment the paper sketches but never
+//! executes.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin lifecycle
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::lifecycle;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    eprintln!(
+        "lifecycle: {} procs, {} ops (fill 90% / stable 50% / drain 10%)",
+        scale.procs, scale.total_ops
+    );
+
+    let data = lifecycle::generate(&scale);
+    let rendered = lifecycle::render(&data);
+    println!("{rendered}");
+
+    let (headers, rows) = lifecycle::csv_rows(&data);
+    emit_csv("lifecycle.csv", &headers, &rows);
+    emit_text("lifecycle.txt", &rendered);
+}

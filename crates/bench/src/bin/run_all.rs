@@ -1,0 +1,150 @@
+//! Regenerates every figure and table of the paper in one run, writing all
+//! artifacts (rendered text + CSV) under `target/experiments/`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin run_all            # paper scale
+//! cargo run --release -p bench --bin run_all -- --quick # smoke scale
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::delay::{self, SweepWorkload, PAPER_DELAYS_US};
+use harness::figures::scaling::{self, ScalingWorkload};
+use harness::figures::traces::{self, TraceFigure};
+use harness::figures::{compare, fig2, fig7, hint_ablation, lifecycle};
+use ttt::parallel::ExpansionConfig;
+use ttt::speedup::{run_speedup, SpeedupConfig, WorkListKind};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    let t0 = std::time::Instant::now();
+    eprintln!(
+        "run_all: {} procs, {} ops, {} trials (virtual-time engine)",
+        scale.procs, scale.total_ops, scale.trials
+    );
+
+    eprintln!("== Figure 2 ==");
+    let f2 = fig2::generate(&scale);
+    let rendered = fig2::render(&f2);
+    println!("{rendered}");
+    let (h, r) = fig2::csv_rows(&f2);
+    emit_csv("fig2.csv", &h, &r);
+    emit_text("fig2.txt", &rendered);
+
+    eprintln!("== Figures 3-6 ==");
+    let mut trace_data = Vec::new();
+    for figure in [TraceFigure::Fig3, TraceFigure::Fig4, TraceFigure::Fig5, TraceFigure::Fig6] {
+        let data = traces::generate(figure, &scale);
+        let rendered = traces::render(&data);
+        println!("{rendered}");
+        let (h, r) = traces::csv_rows(&data);
+        emit_csv(&format!("fig{}_trace.csv", figure.number()), &h, &r);
+        emit_text(&format!("fig{}.txt", figure.number()), &rendered);
+        trace_data.push(data);
+    }
+    let coverage = traces::coverage_table(&trace_data).to_string();
+    println!("{coverage}");
+    emit_text("figs3-6_coverage.txt", &coverage);
+
+    eprintln!("== Figure 7 ==");
+    let f7 = fig7::generate(&scale);
+    let rendered = fig7::render(&f7);
+    println!("{rendered}");
+    let (h, r) = fig7::csv_rows(&f7);
+    emit_csv("fig7.csv", &h, &r);
+    emit_text("fig7.txt", &rendered);
+
+    eprintln!("== Comparison table ==");
+    let cmp = compare::generate(&scale);
+    let rendered = compare::render(&cmp);
+    println!("{rendered}");
+    let (h, r) = compare::csv_rows(&cmp);
+    emit_csv("tab_compare.csv", &h, &r);
+    emit_text("tab_compare.txt", &rendered);
+
+    eprintln!("== Delay sweep ==");
+    let delays: Vec<u64> = PAPER_DELAYS_US.to_vec();
+    for (which, name) in [
+        (SweepWorkload::SparseRandom, "delay_sweep_random"),
+        (SweepWorkload::BalancedProdCons, "delay_sweep_prodcons"),
+    ] {
+        let sweep = delay::generate(&scale, which, &delays);
+        let rendered = delay::render(&sweep);
+        println!("{rendered}");
+        let (h, r) = delay::csv_rows(&sweep);
+        emit_csv(&format!("{name}.csv"), &h, &r);
+        emit_text(&format!("{name}.txt"), &rendered);
+    }
+
+    eprintln!("== Lifecycle (fill/stable/drain) ==");
+    let cycle = lifecycle::generate(&scale);
+    let rendered = lifecycle::render(&cycle);
+    println!("{rendered}");
+    let (h, r) = lifecycle::csv_rows(&cycle);
+    emit_csv("lifecycle.csv", &h, &r);
+    emit_text("lifecycle.txt", &rendered);
+
+    eprintln!("== Hint-extension ablation ==");
+    let ablation = hint_ablation::generate(&scale);
+    let rendered = hint_ablation::render(&ablation);
+    println!("{rendered}");
+    let (h, r) = hint_ablation::csv_rows(&ablation);
+    emit_csv("hint_ablation.csv", &h, &r);
+    emit_text("hint_ablation.txt", &rendered);
+
+    eprintln!("== Scaling sweep (4-64 segments) ==");
+    let sizes: Vec<usize> =
+        if args.flag("quick") { vec![4, 8, 16] } else { vec![4, 8, 16, 32, 64] };
+    for (workload, name) in [
+        (ScalingWorkload::SparseMix, "scaling_random"),
+        (ScalingWorkload::BalancedProdCons, "scaling_prodcons"),
+    ] {
+        let sweep = scaling::generate_with_sizes(&scale, workload, &sizes);
+        let rendered = scaling::render(&sweep);
+        println!("{rendered}");
+        let (h, r) = scaling::csv_rows(&sweep);
+        emit_csv(&format!("{name}.csv"), &h, &r);
+        emit_text(&format!("{name}.txt"), &rendered);
+    }
+
+    eprintln!("== Tic-tac-toe speedup ==");
+    let (depth, workers): (u8, Vec<usize>) = if args.flag("quick") {
+        (2, vec![1, 2, 4])
+    } else {
+        (3, vec![1, 2, 4, 8, 12, 16])
+    };
+    // The paper's structure: every position flows through the work list —
+    // that traffic is exactly what saturates the global-lock stack.
+    let cfg = SpeedupConfig {
+        expansion: ExpansionConfig { depth, batch_leaves: false, ..ExpansionConfig::default() },
+        ..SpeedupConfig::default()
+    };
+    let curves = run_speedup(&WorkListKind::PAPER, &workers, &cfg);
+    let mut rows = Vec::new();
+    for curve in &curves {
+        for p in &curve.points {
+            println!(
+                "{:<14} workers={:<3} makespan={:>10.1}ms speedup={:.2}",
+                curve.kind.to_string(),
+                p.workers,
+                p.makespan_ns as f64 / 1e6,
+                p.speedup
+            );
+            rows.push(vec![
+                curve.kind.to_string(),
+                p.workers.to_string(),
+                p.makespan_ns.to_string(),
+                format!("{:.4}", p.speedup),
+                p.result.leaves.to_string(),
+            ]);
+        }
+    }
+    emit_csv(
+        "ttt_speedup.csv",
+        &["work_list", "workers", "makespan_ns", "speedup", "positions"],
+        &rows,
+    );
+
+    eprintln!("run_all finished in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,35 @@
+//! The scaling experiment the paper's hardware could not run (§3.1): pools
+//! of 4–64 segments, all three search algorithms, under a steal-heavy
+//! sparse mix and the balanced producer/consumer model.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin scaling
+//! cargo run --release -p bench --bin scaling -- --quick
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::scaling::{self, ScalingWorkload};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    let sizes: Vec<usize> =
+        if args.flag("quick") { vec![4, 8, 16] } else { vec![4, 8, 16, 32, 64] };
+    eprintln!(
+        "scaling: sizes {:?}, {} ops at 16 segments (scaled per size), {} trials",
+        sizes, scale.total_ops, scale.trials
+    );
+
+    for (workload, name) in [
+        (ScalingWorkload::SparseMix, "scaling_random"),
+        (ScalingWorkload::BalancedProdCons, "scaling_prodcons"),
+    ] {
+        let sweep = scaling::generate_with_sizes(&scale, workload, &sizes);
+        let rendered = scaling::render(&sweep);
+        println!("{rendered}");
+        let (headers, rows) = scaling::csv_rows(&sweep);
+        emit_csv(&format!("{name}.csv"), &headers, &rows);
+        emit_text(&format!("{name}.txt"), &rendered);
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the §4.1/§4.3 comparison: the three search algorithms
+//! across random mixes and producer/consumer arrangements.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin tab_compare
+//! ```
+
+use bench::{emit_csv, emit_text, scale_from_args};
+use harness::cli::Args;
+use harness::figures::compare;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = scale_from_args(&args);
+    eprintln!(
+        "tab_compare: {} procs, {} ops, {} trials",
+        scale.procs, scale.total_ops, scale.trials
+    );
+
+    let cmp = compare::generate(&scale);
+    let rendered = compare::render(&cmp);
+    println!("{rendered}");
+
+    let (headers, rows) = compare::csv_rows(&cmp);
+    emit_csv("tab_compare.csv", &headers, &rows);
+    emit_text("tab_compare.txt", &rendered);
+}

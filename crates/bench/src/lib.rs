@@ -1,0 +1,91 @@
+//! # Benchmark harness
+//!
+//! One binary per figure/table of Kotz & Ellis (1989) plus criterion
+//! microbenchmarks. The binaries are thin CLI wrappers over
+//! [`harness::figures`]; shared plumbing (artifact writing, scale parsing)
+//! lives here.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig2` | Figure 2 (op time vs job mix) |
+//! | `fig3`–`fig6` | Figures 3–6 (segment-size traces) |
+//! | `fig7` | Figure 7, errata applied (elements stolen per steal) |
+//! | `tab_compare` | §4.1/§4.3 algorithm comparison table |
+//! | `delay_sweep` | §4.3 remote-delay sweep |
+//! | `ttt_speedup` | §4.4 application speedups |
+//! | `run_all` | everything above, writing `target/experiments/` |
+//!
+//! Common flags: `--procs N --ops N --trials N --seed N` (defaults are the
+//! paper's 16/5000/10), plus `--quick` for a fast smoke-scale run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+use harness::cli::Args;
+use harness::csv::{experiments_dir, write_csv};
+use harness::figures::Scale;
+
+/// Parses the common scale flags.
+pub fn scale_from_args(args: &Args) -> Scale {
+    let base = if args.flag("quick") { Scale::tiny() } else { Scale::paper() };
+    Scale {
+        procs: args.parse_or("procs", base.procs),
+        total_ops: args.parse_or("ops", base.total_ops),
+        trials: args.parse_or("trials", base.trials),
+        seed: args.parse_or("seed", base.seed),
+    }
+}
+
+/// Writes a CSV artifact under the experiments directory and reports it.
+pub fn emit_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = experiments_dir().join(name);
+    match write_csv(&path, headers, rows) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+    path
+}
+
+/// Writes a rendered text figure alongside the CSVs.
+pub fn emit_text(name: &str, content: &str) -> PathBuf {
+    let path = experiments_dir().join(name);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, content) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_paper() {
+        let scale = scale_from_args(&Args::from_iter(Vec::new()));
+        assert_eq!(scale.procs, 16);
+        assert_eq!(scale.total_ops, 5000);
+    }
+
+    #[test]
+    fn quick_flag_shrinks() {
+        let args = Args::from_iter(vec!["--quick".to_string()]);
+        let scale = scale_from_args(&args);
+        assert!(scale.total_ops < 5000);
+    }
+
+    #[test]
+    fn explicit_flags_override() {
+        let args =
+            Args::from_iter(vec!["--procs".into(), "8".into(), "--trials".into(), "3".into()]);
+        let scale = scale_from_args(&args);
+        assert_eq!(scale.procs, 8);
+        assert_eq!(scale.trials, 3);
+        assert_eq!(scale.total_ops, 5000, "unset flags keep defaults");
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for pool operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`Handle::try_remove`](crate::Handle::try_remove).
+///
+/// The concurrent pool has no blocking `remove`: a process that cannot find
+/// an element keeps searching remote segments until it either steals some or
+/// the livelock breaker fires. Following §3.2 of Kotz & Ellis (1989), a
+/// search aborts when *every* process registered with the pool is
+/// simultaneously searching — at that point no process can be adding, so the
+/// pool is (almost certainly) empty and waiting would livelock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RemoveError {
+    /// All registered processes were searching simultaneously, so the
+    /// operation was aborted to break the livelock.
+    ///
+    /// This is usually a reliable "pool empty and nobody producing" signal,
+    /// but it is conservative: an element added immediately before the
+    /// adding process itself began searching can still be present. Callers
+    /// that need a definitive answer should re-check
+    /// [`Pool::total_len`](crate::Pool::total_len) after an abort (no
+    /// process can add while all are searching, so the check is stable).
+    Aborted,
+}
+
+impl fmt::Display for RemoveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoveError::Aborted => {
+                write!(f, "remove aborted: all registered processes were searching")
+            }
+        }
+    }
+}
+
+impl Error for RemoveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msg = RemoveError::Aborted.to_string();
+        assert!(msg.starts_with("remove aborted"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RemoveError>();
+    }
+}

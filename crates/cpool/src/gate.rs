@@ -1,0 +1,188 @@
+//! Livelock detection: the shared count of searching processes.
+//!
+//! §3.2 of Kotz & Ellis (1989): if the pool is empty and every process is
+//! searching for an element, none of them will ever add one — livelock. The
+//! implementations therefore "keep a shared count of the processes looking
+//! for elements. When any process discovers that all the processes involved
+//! in the pool operations are looking (and therefore no process might be
+//! adding), it aborts its operation."
+//!
+//! [`SearchGate`] implements exactly that: processes register when they
+//! start using the pool and deregister when they stop; a searcher holds a
+//! [`SearchGuard`] while probing remote segments and polls
+//! [`SearchGate::all_searching`] between probes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Shared searching-process counter used to break empty-pool livelock.
+///
+/// ```
+/// use cpool::SearchGate;
+/// let gate = SearchGate::new();
+/// gate.register();
+/// gate.register();
+/// let g1 = gate.begin_search();
+/// assert!(!gate.all_searching()); // one of two is searching
+/// let g2 = gate.begin_search();
+/// assert!(gate.all_searching()); // both searching: abort condition
+/// drop(g1);
+/// assert!(!gate.all_searching());
+/// drop(g2);
+/// gate.deregister();
+/// gate.deregister();
+/// ```
+#[derive(Debug, Default)]
+pub struct SearchGate {
+    registered: AtomicUsize,
+    searching: AtomicUsize,
+}
+
+impl SearchGate {
+    /// Creates a gate with no registered processes.
+    pub fn new() -> Self {
+        SearchGate { registered: AtomicUsize::new(0), searching: AtomicUsize::new(0) }
+    }
+
+    /// Registers one process as a pool participant.
+    pub fn register(&self) {
+        self.registered.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Deregisters one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if no process is registered.
+    pub fn deregister(&self) {
+        let prev = self.registered.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "deregister without matching register");
+    }
+
+    /// Number of currently registered processes.
+    pub fn registered(&self) -> usize {
+        self.registered.load(Ordering::SeqCst)
+    }
+
+    /// Number of processes currently inside a search.
+    pub fn searching(&self) -> usize {
+        self.searching.load(Ordering::SeqCst)
+    }
+
+    /// Marks the calling process as searching; the returned guard unmarks it
+    /// when dropped (also on panic, so a poisoned search cannot wedge the
+    /// abort condition for everyone else).
+    pub fn begin_search(&self) -> SearchGuard<'_> {
+        self.searching.fetch_add(1, Ordering::SeqCst);
+        SearchGuard { gate: self }
+    }
+
+    /// Returns `true` when every registered process is searching — the
+    /// abort condition of §3.2.
+    ///
+    /// Reads `searching` before `registered` so that a concurrent
+    /// register+begin_search pair cannot produce a false positive; a false
+    /// *negative* only delays the abort by one probe, which is harmless.
+    pub fn all_searching(&self) -> bool {
+        let searching = self.searching.load(Ordering::SeqCst);
+        let registered = self.registered.load(Ordering::SeqCst);
+        registered > 0 && searching >= registered
+    }
+}
+
+/// RAII guard marking one process as searching. See [`SearchGate::begin_search`].
+#[derive(Debug)]
+pub struct SearchGuard<'a> {
+    gate: &'a SearchGate,
+}
+
+impl Drop for SearchGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.gate.searching.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "search guard dropped without matching begin_search");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn empty_gate_never_aborts() {
+        let gate = SearchGate::new();
+        assert!(!gate.all_searching(), "no registered processes: no abort");
+    }
+
+    #[test]
+    fn single_process_searching_aborts_immediately() {
+        let gate = SearchGate::new();
+        gate.register();
+        let _g = gate.begin_search();
+        assert!(gate.all_searching());
+    }
+
+    #[test]
+    fn guard_drop_restores_count() {
+        let gate = SearchGate::new();
+        gate.register();
+        {
+            let _g = gate.begin_search();
+            assert_eq!(gate.searching(), 1);
+        }
+        assert_eq!(gate.searching(), 0);
+    }
+
+    #[test]
+    fn nested_guards_count() {
+        // One *process* never nests searches, but the gate itself is a bare
+        // counter and must stay balanced under arbitrary nesting.
+        let gate = SearchGate::new();
+        gate.register();
+        gate.register();
+        let a = gate.begin_search();
+        let b = gate.begin_search();
+        assert_eq!(gate.searching(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(gate.searching(), 0);
+    }
+
+    #[test]
+    fn concurrent_search_storm_stays_balanced() {
+        let gate = Arc::new(SearchGate::new());
+        let threads = 8;
+        for _ in 0..threads {
+            gate.register();
+        }
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let gate = Arc::clone(&gate);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        let _g = gate.begin_search();
+                        // all_searching may or may not hold here; it must
+                        // never panic or return garbage.
+                        let _ = gate.all_searching();
+                    }
+                });
+            }
+        });
+        assert_eq!(gate.searching(), 0);
+        assert_eq!(gate.registered(), threads);
+    }
+
+    #[test]
+    fn all_searching_requires_every_process() {
+        let gate = SearchGate::new();
+        for _ in 0..4 {
+            gate.register();
+        }
+        let guards: Vec<_> = (0..3).map(|_| gate.begin_search()).collect();
+        assert!(!gate.all_searching(), "3 of 4 searching: keep going");
+        let last = gate.begin_search();
+        assert!(gate.all_searching(), "4 of 4 searching: abort");
+        drop(last);
+        drop(guards);
+    }
+}

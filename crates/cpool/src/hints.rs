@@ -1,0 +1,340 @@
+//! Search hints: directing fresh elements to searching processes.
+//!
+//! §5 of Kotz & Ellis (1989) closes with an open question: "how might
+//! concurrent pools be modified so that searching processors leave hints in
+//! the pool, and elements added by another processor can be directed to the
+//! searching process[?]". This module is our answer.
+//!
+//! A [`HintBoard`] holds one single-element *mailbox* per process plus a
+//! count of processes currently waiting. A process whose search has
+//! completed **one full lap without finding anything** *posts* itself on
+//! the board; a process performing an add first glances at the waiting
+//! count and, if anyone is waiting, *donates* the element straight into one
+//! waiter's mailbox instead of adding it to its own segment. The searcher
+//! polls its mailbox between probes (through
+//! [`SearchEnv::should_abort`](crate::search::SearchEnv::should_abort), so
+//! no policy code changes) and completes its remove with the donated
+//! element.
+//!
+//! # Why this helps — and why posting waits a lap
+//!
+//! Under sparse mixes, the expensive removes are the long-tail searches
+//! that lap the pool while nothing is available; a donation ends such a
+//! search the moment an element exists, at the cost of one remote access by
+//! the *donor* — who knows precisely where the element must go.
+//!
+//! Posting *immediately* on entering a search is measurably
+//! counterproductive: every add gets siphoned into a single-element
+//! delivery, segments never accumulate stock, and the batch steal — which
+//! transfers ⌈n/2⌉ elements and buys the thief a reserve — never engages.
+//! Probes go *up*, not down. Posting after one fruitless lap keeps batch
+//! stealing as the first-line mechanism and reserves donations for genuine
+//! starvation. The ablation bench (`hint_ablation`) quantifies both
+//! effects.
+//!
+//! # Cost model
+//!
+//! The board is one more shared structure, so a donation is charged to the
+//! donor as one access to [`Resource::Shared`]`(`[`HINT_BOARD_RESOURCE`]`)`
+//! *before* the mailbox is touched (the usual lock/charge discipline). The
+//! waiting-count glance on the add fast path and the searcher's polls of its
+//! own (local) mailbox are not charged: both are single-word reads of,
+//! respectively, a counter that is only hot when the pool is starving, and
+//! process-local memory.
+//!
+//! # Protocol invariants
+//!
+//! * A mailbox holds at most one element; `waiting` counts slots in state
+//!   `Waiting` exactly (donors move a slot `Waiting → Delivered` and
+//!   decrement; the owner moves `Waiting → Idle` on cancel).
+//! * An element in a mailbox is owned by the mailbox until the slot owner
+//!   takes it (`check`/`cancel`): donation never loses elements, even when
+//!   the searcher finds a steal victim concurrently — the leftover delivery
+//!   is re-deposited into the searcher's own segment.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::ids::ProcId;
+
+/// The [`Resource::Shared`](crate::timing::Resource::Shared) index charged
+/// for hint-board donations (index 0 is conventionally the centralized
+/// work-list baseline).
+pub const HINT_BOARD_RESOURCE: u16 = 1;
+
+#[derive(Debug)]
+enum SlotState<T> {
+    /// The owner is not searching (or opted out).
+    Idle,
+    /// The owner is searching and accepts donations.
+    Waiting,
+    /// A donor left an element; the owner has not yet collected it.
+    Delivered(T),
+}
+
+/// One process's mailbox plus the shared waiting count.
+///
+/// See the [module docs](self) for the protocol.
+#[derive(Debug)]
+pub struct HintBoard<T> {
+    waiting: AtomicUsize,
+    cursor: AtomicUsize,
+    slots: Box<[Mutex<SlotState<T>>]>,
+}
+
+impl<T> HintBoard<T> {
+    /// Creates a board with one mailbox per process for `procs` processes.
+    ///
+    /// Processes with ids beyond `procs` simply do not participate (their
+    /// posts are ignored), which keeps over-subscribed pools correct.
+    pub fn new(procs: usize) -> Self {
+        HintBoard {
+            waiting: AtomicUsize::new(0),
+            cursor: AtomicUsize::new(0),
+            slots: (0..procs).map(|_| Mutex::new(SlotState::Idle)).collect(),
+        }
+    }
+
+    /// Number of mailboxes.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of processes currently posted as waiting.
+    pub fn waiting(&self) -> usize {
+        self.waiting.load(Ordering::Acquire)
+    }
+
+    /// Cheap donor-side filter: is anyone waiting right now?
+    pub fn has_waiters(&self) -> bool {
+        self.waiting() > 0
+    }
+
+    /// Posts `proc` as waiting. Returns `false` (no-op) if the process has
+    /// no mailbox or is already posted/delivered-to.
+    pub fn post(&self, proc: ProcId) -> bool {
+        let Some(slot) = self.slots.get(proc.index()) else {
+            return false;
+        };
+        let mut state = slot.lock();
+        match *state {
+            SlotState::Idle => {
+                *state = SlotState::Waiting;
+                // Publish under the lock so `waiting` never exceeds the
+                // number of Waiting slots observed by donors.
+                self.waiting.fetch_add(1, Ordering::AcqRel);
+                true
+            }
+            SlotState::Waiting | SlotState::Delivered(_) => false,
+        }
+    }
+
+    /// Attempts to donate `item` to some waiting process.
+    ///
+    /// On success returns the receiver; on failure (nobody waiting, or every
+    /// waiter raced away) returns the item back to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when no mailbox accepted the donation.
+    pub fn try_donate(&self, item: T) -> Result<ProcId, T> {
+        if !self.has_waiters() {
+            return Err(item);
+        }
+        let n = self.slots.len();
+        // Rotate the scan start so one hungry low-id process does not starve
+        // the others of donations.
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n.max(1);
+        for off in 0..n {
+            let idx = (start + off) % n;
+            let mut state = self.slots[idx].lock();
+            if matches!(*state, SlotState::Waiting) {
+                *state = SlotState::Delivered(item);
+                self.waiting.fetch_sub(1, Ordering::AcqRel);
+                return Ok(ProcId::new(idx));
+            }
+        }
+        Err(item)
+    }
+
+    /// Non-blocking peek: has something been delivered to `proc`?
+    ///
+    /// Used between search probes; the slot is local to the polling process.
+    pub fn delivered(&self, proc: ProcId) -> bool {
+        self.slots
+            .get(proc.index())
+            .is_some_and(|slot| matches!(*slot.lock(), SlotState::Delivered(_)))
+    }
+
+    /// Takes a delivered element, leaving the slot `Waiting`-free but still
+    /// posted? No — collection ends the post: the slot returns to `Idle`.
+    ///
+    /// Returns `None` if nothing was delivered (the slot may still be
+    /// `Waiting`; use [`cancel`](Self::cancel) to withdraw it).
+    pub fn take_delivery(&self, proc: ProcId) -> Option<T> {
+        let slot = self.slots.get(proc.index())?;
+        let mut state = slot.lock();
+        if matches!(*state, SlotState::Delivered(_)) {
+            match std::mem::replace(&mut *state, SlotState::Idle) {
+                SlotState::Delivered(item) => Some(item),
+                _ => unreachable!("state checked under the lock"),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Withdraws `proc` from the board at the end of a search, returning any
+    /// element that was delivered in the meantime.
+    ///
+    /// After `cancel` the slot is `Idle` whatever it held, so a late glance
+    /// by a donor cannot deliver into a process that stopped searching.
+    pub fn cancel(&self, proc: ProcId) -> Option<T> {
+        let slot = self.slots.get(proc.index())?;
+        let mut state = slot.lock();
+        match std::mem::replace(&mut *state, SlotState::Idle) {
+            SlotState::Idle => None,
+            SlotState::Waiting => {
+                self.waiting.fetch_sub(1, Ordering::AcqRel);
+                None
+            }
+            SlotState::Delivered(item) => Some(item),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::thread;
+
+    #[test]
+    fn post_take_roundtrip() {
+        let board: HintBoard<u32> = HintBoard::new(4);
+        assert!(!board.has_waiters());
+        assert!(board.post(ProcId::new(2)));
+        assert_eq!(board.waiting(), 1);
+        assert_eq!(board.try_donate(99), Ok(ProcId::new(2)));
+        assert_eq!(board.waiting(), 0);
+        assert!(board.delivered(ProcId::new(2)));
+        assert_eq!(board.take_delivery(ProcId::new(2)), Some(99));
+        assert!(!board.delivered(ProcId::new(2)));
+    }
+
+    #[test]
+    fn donate_without_waiters_returns_item() {
+        let board: HintBoard<u32> = HintBoard::new(4);
+        assert_eq!(board.try_donate(7), Err(7));
+    }
+
+    #[test]
+    fn double_post_is_rejected() {
+        let board: HintBoard<u32> = HintBoard::new(2);
+        assert!(board.post(ProcId::new(0)));
+        assert!(!board.post(ProcId::new(0)));
+        assert_eq!(board.waiting(), 1);
+    }
+
+    #[test]
+    fn cancel_withdraws_waiting() {
+        let board: HintBoard<u32> = HintBoard::new(2);
+        board.post(ProcId::new(1));
+        assert_eq!(board.cancel(ProcId::new(1)), None);
+        assert_eq!(board.waiting(), 0);
+        assert_eq!(board.try_donate(1), Err(1), "cancelled waiter no longer receives");
+    }
+
+    #[test]
+    fn cancel_returns_raced_delivery() {
+        let board: HintBoard<u32> = HintBoard::new(2);
+        board.post(ProcId::new(0));
+        assert_eq!(board.try_donate(42), Ok(ProcId::new(0)));
+        assert_eq!(board.cancel(ProcId::new(0)), Some(42), "delivery not lost");
+        assert_eq!(board.waiting(), 0);
+    }
+
+    #[test]
+    fn out_of_range_proc_is_a_noop() {
+        let board: HintBoard<u32> = HintBoard::new(2);
+        assert!(!board.post(ProcId::new(7)));
+        assert_eq!(board.cancel(ProcId::new(7)), None);
+        assert_eq!(board.take_delivery(ProcId::new(7)), None);
+        assert!(!board.delivered(ProcId::new(7)));
+    }
+
+    #[test]
+    fn donations_rotate_among_waiters() {
+        let board: HintBoard<u32> = HintBoard::new(4);
+        for p in 0..4 {
+            board.post(ProcId::new(p));
+        }
+        let mut receivers: Vec<usize> =
+            (0..4).map(|i| board.try_donate(i).expect("waiters exist").index()).collect();
+        receivers.sort_unstable();
+        assert_eq!(receivers, vec![0, 1, 2, 3], "every waiter got one donation");
+    }
+
+    #[test]
+    fn concurrent_donors_and_waiters_conserve_items() {
+        let procs = 4;
+        let per_donor: u64 = 500;
+        let board: HintBoard<u64> = HintBoard::new(procs + 2);
+        let received = Counter::new(0);
+        let refused = Counter::new(0);
+
+        thread::scope(|s| {
+            // Waiters: post, spin for a delivery, repeat.
+            for p in 0..procs {
+                let board = &board;
+                let received = &received;
+                s.spawn(move || {
+                    let me = ProcId::new(p);
+                    loop {
+                        board.post(me);
+                        let mut spins = 0u32;
+                        loop {
+                            if let Some(_v) = board.take_delivery(me) {
+                                let total = received.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+                                if total >= 2 * per_donor {
+                                    return;
+                                }
+                                break;
+                            }
+                            spins += 1;
+                            if spins > 10_000 {
+                                // Avoid hanging if donors finished; withdraw.
+                                if board.cancel(me).is_some() {
+                                    received.fetch_add(1, Ordering::Relaxed);
+                                }
+                                return;
+                            }
+                            thread::yield_now();
+                        }
+                    }
+                });
+            }
+            // Donors.
+            for d in 0..2 {
+                let board = &board;
+                let refused = &refused;
+                s.spawn(move || {
+                    for i in 0..per_donor {
+                        if board.try_donate(d as u64 * per_donor + i).is_err() {
+                            refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                        thread::yield_now();
+                    }
+                });
+            }
+        });
+
+        let received = received.load(Ordering::Relaxed) as u64;
+        let refused = refused.load(Ordering::Relaxed) as u64;
+        // Every donated element was either refused (stays with the donor) or
+        // received exactly once; stragglers left in mailboxes were collected
+        // by the waiters' cancel path above.
+        assert_eq!(received + refused, 2 * per_donor, "no element vanished");
+    }
+}

@@ -1,0 +1,148 @@
+//! Identifier newtypes for processes and segments.
+//!
+//! The paper runs one process and one segment per processor, so the two
+//! index spaces coincide there; this crate keeps them distinct so that
+//! configurations with more processes than segments (or custom placements)
+//! stay type-checked.
+
+use std::fmt;
+
+/// Identifier of a logical process participating in pool operations.
+///
+/// Process ids are dense: a pool with `n` registered handles uses ids
+/// `0..n`. The id also selects the process's *home node* in a NUMA
+/// topology.
+///
+/// ```
+/// use cpool::ProcId;
+/// let p = ProcId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcId(usize);
+
+impl ProcId {
+    /// Creates a process id from a dense index.
+    pub fn new(index: usize) -> Self {
+        ProcId(index)
+    }
+
+    /// Returns the dense index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(index: usize) -> Self {
+        ProcId(index)
+    }
+}
+
+/// Index of a pool segment.
+///
+/// Segments are numbered `0..n`; segment `i` is *local* to the process whose
+/// home node hosts it (by default process `i`).
+///
+/// ```
+/// use cpool::SegIdx;
+/// let s = SegIdx::new(7);
+/// assert_eq!(s.index(), 7);
+/// assert_eq!(s.to_string(), "S7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SegIdx(usize);
+
+impl SegIdx {
+    /// Creates a segment index.
+    pub fn new(index: usize) -> Self {
+        SegIdx(index)
+    }
+
+    /// Returns the dense index of this segment.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The next segment in ring order among `n` segments.
+    ///
+    /// Used by the linear search algorithm, which treats the segments "as if
+    /// they were arranged in a ring".
+    ///
+    /// ```
+    /// use cpool::SegIdx;
+    /// assert_eq!(SegIdx::new(15).next_in_ring(16), SegIdx::new(0));
+    /// assert_eq!(SegIdx::new(3).next_in_ring(16), SegIdx::new(4));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_in_ring(self, n: usize) -> SegIdx {
+        assert!(n > 0, "ring of zero segments");
+        SegIdx((self.0 + 1) % n)
+    }
+}
+
+impl fmt::Display for SegIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<usize> for SegIdx {
+    fn from(index: usize) -> Self {
+        SegIdx(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_roundtrip() {
+        for i in [0usize, 1, 15, 4096] {
+            assert_eq!(ProcId::new(i).index(), i);
+            assert_eq!(ProcId::from(i), ProcId::new(i));
+        }
+    }
+
+    #[test]
+    fn seg_idx_ring_wraps() {
+        let n = 5;
+        let mut s = SegIdx::new(0);
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            seen[s.index()] = true;
+            s = s.next_in_ring(n);
+        }
+        assert!(seen.iter().all(|&v| v), "ring traversal visits every segment");
+        assert_eq!(s, SegIdx::new(0), "ring traversal returns to start");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring of zero segments")]
+    fn ring_of_zero_panics() {
+        let _ = SegIdx::new(0).next_in_ring(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcId::new(12).to_string(), "P12");
+        assert_eq!(SegIdx::new(0).to_string(), "S0");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(ProcId::new(1) < ProcId::new(2));
+        assert!(SegIdx::new(9) > SegIdx::new(8));
+    }
+}

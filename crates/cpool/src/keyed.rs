@@ -1,0 +1,615 @@
+//! Distinguishable elements: a pool keyed by element class.
+//!
+//! The second open question of §5: "How might pools be extended to handle
+//! distinguishable elements?" This module answers it with a [`KeyedPool`]:
+//! every element carries a key, and a remove may ask for *any* element or
+//! for an element of a *specific* key.
+//!
+//! # Design
+//!
+//! Each segment partitions its contents by key (a `BTreeMap` of buckets —
+//! ordered, so iteration is deterministic and virtual-time runs reproduce).
+//! The concurrent-pool locality story carries over per key:
+//!
+//! * `add(k, v)` goes to the local segment's `k` bucket;
+//! * `try_remove_key(k)` serves from the local `k` bucket, and only when
+//!   that is empty searches remote segments — stealing **⌈n/2⌉ of the
+//!   victim's `k` bucket** (the paper's rule, applied bucket-wise, so the
+//!   reserve it builds is a reserve of the key the process actually wants);
+//! * `try_remove_any` serves any local element, and when the local segment
+//!   is empty steals half of the *largest* bucket of the first non-empty
+//!   victim — taking the biggest bucket preserves the locality of the
+//!   victim's other keys while still balancing bulk.
+//!
+//! Searches use the **linear algorithm**: the paper's own conclusion is
+//! that "the linear or the random search algorithm may suffice and provide
+//! better performance" (§5), and the tree's round counters do not compose
+//! with per-key emptiness (a subtree empty *for key A* is not empty for
+//! key B, so one shared counter per node would mislead other keys'
+//! searches — one tree per key would cost `k · n` counters). Each process
+//! remembers where it last found each key, the keyed analogue of
+//! `LastFound`.
+//!
+//! Livelock on exhausted keys is broken by the same §3.2 gate as the plain
+//! pool: a keyed search aborts when every registered process is searching —
+//! whether they starve on the same key or different ones, nobody can be
+//! adding, so waiting is futile.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::RemoveError;
+use crate::gate::SearchGate;
+use crate::ids::{ProcId, SegIdx};
+use crate::segment::steal_count;
+use crate::stats::{PoolStats, ProcStats};
+use crate::timing::{NullTiming, Resource, Timing};
+
+/// Keys must be orderable (deterministic bucket iteration), cloneable
+/// (buckets store them), and sendable across worker threads.
+pub trait Key: Ord + Clone + Send + 'static {}
+impl<K: Ord + Clone + Send + 'static> Key for K {}
+
+/// One segment: per-key buckets plus a cached total for cheap emptiness
+/// probes.
+struct KeyedSegment<K, V> {
+    buckets: Mutex<BTreeMap<K, Vec<V>>>,
+    len: AtomicUsize,
+}
+
+impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
+    fn new() -> Self {
+        KeyedSegment { buckets: Mutex::new(BTreeMap::new()), len: AtomicUsize::new(0) }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    fn key_len(&self, key: &K) -> usize {
+        self.buckets.lock().get(key).map_or(0, Vec::len)
+    }
+
+    fn add(&self, key: K, value: V) {
+        let mut buckets = self.buckets.lock();
+        buckets.entry(key).or_default().push(value);
+        self.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn add_bulk(&self, key: &K, values: Vec<V>) {
+        if values.is_empty() {
+            return;
+        }
+        let mut buckets = self.buckets.lock();
+        let n = values.len();
+        buckets.entry(key.clone()).or_default().extend(values);
+        self.len.fetch_add(n, Ordering::AcqRel);
+    }
+
+    fn remove_any(&self) -> Option<(K, V)> {
+        let mut buckets = self.buckets.lock();
+        // First key in order: deterministic.
+        let key = buckets.keys().next()?.clone();
+        let bucket = buckets.get_mut(&key).expect("key just observed");
+        let value = bucket.pop().expect("buckets are never left empty");
+        if bucket.is_empty() {
+            buckets.remove(&key);
+        }
+        self.len.fetch_sub(1, Ordering::AcqRel);
+        Some((key, value))
+    }
+
+    fn remove_key(&self, key: &K) -> Option<V> {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.get_mut(key)?;
+        let value = bucket.pop().expect("buckets are never left empty");
+        if bucket.is_empty() {
+            buckets.remove(key);
+        }
+        self.len.fetch_sub(1, Ordering::AcqRel);
+        Some(value)
+    }
+
+    /// Steals ⌈b/2⌉ of the `key` bucket (`b` = its size).
+    fn steal_half_key(&self, key: &K) -> Vec<V> {
+        let mut buckets = self.buckets.lock();
+        let Some(bucket) = buckets.get_mut(key) else {
+            return Vec::new();
+        };
+        let take = steal_count(bucket.len());
+        let stolen = bucket.split_off(bucket.len() - take);
+        if bucket.is_empty() {
+            buckets.remove(key);
+        }
+        self.len.fetch_sub(stolen.len(), Ordering::AcqRel);
+        stolen
+    }
+
+    /// Steals ⌈b/2⌉ of the largest bucket (ties: smallest key), returning
+    /// the key alongside the elements.
+    fn steal_half_largest(&self) -> Option<(K, Vec<V>)> {
+        let mut buckets = self.buckets.lock();
+        let key = buckets
+            .iter()
+            .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(a.0)))?
+            .0
+            .clone();
+        let bucket = buckets.get_mut(&key).expect("key just observed");
+        let take = steal_count(bucket.len());
+        let stolen = bucket.split_off(bucket.len() - take);
+        if bucket.is_empty() {
+            buckets.remove(&key);
+        }
+        self.len.fetch_sub(stolen.len(), Ordering::AcqRel);
+        Some((key, stolen))
+    }
+}
+
+struct KeyedShared<K, V> {
+    segments: Box<[KeyedSegment<K, V>]>,
+    gate: SearchGate,
+    timing: Arc<dyn Timing>,
+    next_proc: AtomicUsize,
+    collected: Mutex<Vec<(ProcId, ProcStats)>>,
+}
+
+/// A concurrent pool of distinguishable elements.
+///
+/// See the [module docs](self) for the design. Cloning is cheap and shares
+/// the pool.
+///
+/// ```
+/// use cpool::KeyedPool;
+///
+/// let pool: KeyedPool<&'static str, u32> = KeyedPool::new(4);
+/// let mut h = pool.register();
+/// h.add("red", 1);
+/// h.add("blue", 2);
+/// assert_eq!(h.try_remove_key(&"blue"), Ok(2));
+/// assert_eq!(h.try_remove_any(), Ok(("red", 1)));
+/// ```
+pub struct KeyedPool<K, V> {
+    shared: Arc<KeyedShared<K, V>>,
+}
+
+impl<K, V> Clone for KeyedPool<K, V> {
+    fn clone(&self) -> Self {
+        KeyedPool { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<K, V> std::fmt::Debug for KeyedPool<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedPool")
+            .field("segments", &self.shared.segments.len())
+            .field("registered", &self.shared.gate.registered())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
+    /// Creates a keyed pool with `segments` segments and no cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(segments: usize) -> Self {
+        Self::with_timing(segments, Arc::new(NullTiming::new()))
+    }
+
+    /// Creates a keyed pool charging accesses through `timing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn with_timing(segments: usize, timing: Arc<dyn Timing>) -> Self {
+        assert!(segments > 0, "pool must have at least one segment");
+        KeyedPool {
+            shared: Arc::new(KeyedShared {
+                segments: (0..segments).map(|_| KeyedSegment::new()).collect(),
+                gate: SearchGate::new(),
+                timing,
+                next_proc: AtomicUsize::new(0),
+                collected: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.shared.segments.len()
+    }
+
+    /// Total elements across all segments (snapshot).
+    pub fn total_len(&self) -> usize {
+        self.shared.segments.iter().map(KeyedSegment::len).sum()
+    }
+
+    /// Elements of one key across all segments (snapshot).
+    pub fn key_len(&self, key: &K) -> usize {
+        self.shared.segments.iter().map(|s| s.key_len(key)).sum()
+    }
+
+    /// Current size of one segment (snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn segment_len(&self, seg: SegIdx) -> usize {
+        self.shared.segments[seg.index()].len()
+    }
+
+    /// Registers a process; the `i`-th registration homes at segment
+    /// `i mod segments`.
+    pub fn register(&self) -> KeyedHandle<K, V> {
+        let index = self.shared.next_proc.fetch_add(1, Ordering::SeqCst);
+        let me = ProcId::new(index);
+        let seg = SegIdx::new(index % self.segments());
+        self.shared.gate.register();
+        KeyedHandle {
+            shared: Arc::clone(&self.shared),
+            me,
+            seg,
+            last_found_any: seg,
+            last_found_key: BTreeMap::new(),
+            stats: ProcStats::default(),
+        }
+    }
+
+    /// Statistics of dropped handles, by process id.
+    pub fn stats(&self) -> PoolStats {
+        let mut collected = self.shared.collected.lock().clone();
+        collected.sort_by_key(|(proc, _)| *proc);
+        PoolStats { per_proc: collected.into_iter().map(|(_, s)| s).collect() }
+    }
+}
+
+/// Per-process handle to a [`KeyedPool`].
+///
+/// Like [`Handle`](crate::Handle): `Send` but not `Sync`; dropping it
+/// deregisters from the livelock gate and deposits statistics.
+pub struct KeyedHandle<K, V> {
+    shared: Arc<KeyedShared<K, V>>,
+    me: ProcId,
+    seg: SegIdx,
+    /// Where `try_remove_any` last found elements (the linear `LastFound`).
+    last_found_any: SegIdx,
+    /// Where each key was last found.
+    last_found_key: BTreeMap<K, SegIdx>,
+    stats: ProcStats,
+}
+
+impl<K, V> std::fmt::Debug for KeyedHandle<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedHandle")
+            .field("proc", &self.me)
+            .field("segment", &self.seg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
+    /// This process's id.
+    pub fn proc_id(&self) -> ProcId {
+        self.me
+    }
+
+    /// This process's home segment.
+    pub fn home_segment(&self) -> SegIdx {
+        self.seg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    /// Adds an element under `key` to the local segment.
+    pub fn add(&mut self, key: K, value: V) {
+        let t0 = self.shared.timing.now(self.me);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        self.shared.segments[self.seg.index()].add(key, value);
+        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
+        self.stats.adds += 1;
+        self.stats.add_ns += dt;
+        self.stats.add_hist.record(dt);
+    }
+
+    /// Removes an arbitrary element, stealing half of a remote bucket when
+    /// the local segment is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoveError::Aborted`] when every registered process was
+    /// searching simultaneously (the pool is starving).
+    pub fn try_remove_any(&mut self) -> Result<(K, V), RemoveError> {
+        let t0 = self.shared.timing.now(self.me);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        if let Some(found) = self.shared.segments[self.seg.index()].remove_any() {
+            self.finish_local_remove(t0);
+            return Ok(found);
+        }
+
+        // Linear search from where we last found anything. The guard must
+        // borrow a local clone of the shared state so `self` stays free for
+        // the stats methods below.
+        let shared = Arc::clone(&self.shared);
+        let _guard = shared.gate.begin_search();
+        let n = self.shared.segments.len();
+        let mut victim = self.last_found_any;
+        // Probes since this search began; the starvation abort is honored
+        // only after a full lap (all remote segments examined), as in the
+        // plain pool — see `pool::PoolSearchEnv::should_abort`.
+        let mut examined = 0usize;
+        loop {
+            if victim != self.seg {
+                examined += 1;
+                self.stats.segments_examined += 1;
+                self.shared.timing.charge(self.me, Resource::Segment(victim));
+                if let Some((key, mut stolen)) =
+                    self.shared.segments[victim.index()].steal_half_largest()
+                {
+                    let value = stolen.pop().expect("steals are non-empty");
+                    let stolen_total = stolen.len() + 1;
+                    if !stolen.is_empty() {
+                        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                        self.shared.segments[self.seg.index()].add_bulk(&key, stolen);
+                    }
+                    self.last_found_any = victim;
+                    self.finish_steal_remove(t0, stolen_total);
+                    return Ok((key, value));
+                }
+            }
+            // Persist the cursor before a possible abort (same reasoning as
+            // `LinearSearch`): a retrying caller must resume at the next
+            // segment or it could never reach elements parked elsewhere.
+            victim = victim.next_in_ring(n);
+            self.last_found_any = victim;
+            if examined + 1 >= n && self.shared.gate.all_searching() {
+                return self.finish_aborted(t0);
+            }
+        }
+    }
+
+    /// Removes an element with the given key, stealing half of a remote
+    /// `key` bucket when the local one is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoveError::Aborted`] when every registered process was
+    /// searching simultaneously (no element of `key` is reachable and
+    /// nobody can be adding one).
+    pub fn try_remove_key(&mut self, key: &K) -> Result<V, RemoveError> {
+        let t0 = self.shared.timing.now(self.me);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        if let Some(value) = self.shared.segments[self.seg.index()].remove_key(key) {
+            self.finish_local_remove(t0);
+            return Ok(value);
+        }
+
+        let shared = Arc::clone(&self.shared);
+        let _guard = shared.gate.begin_search();
+        let n = self.shared.segments.len();
+        let mut victim = self.last_found_key.get(key).copied().unwrap_or(self.seg);
+        let mut examined = 0usize;
+        loop {
+            if victim != self.seg {
+                examined += 1;
+                self.stats.segments_examined += 1;
+                self.shared.timing.charge(self.me, Resource::Segment(victim));
+                let mut stolen = self.shared.segments[victim.index()].steal_half_key(key);
+                if let Some(value) = stolen.pop() {
+                    let stolen_total = stolen.len() + 1;
+                    if !stolen.is_empty() {
+                        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                        self.shared.segments[self.seg.index()].add_bulk(key, stolen);
+                    }
+                    self.last_found_key.insert(key.clone(), victim);
+                    self.finish_steal_remove(t0, stolen_total);
+                    return Ok(value);
+                }
+            }
+            // Cursor persistence across aborts; see `try_remove_any`.
+            victim = victim.next_in_ring(n);
+            self.last_found_key.insert(key.clone(), victim);
+            if examined + 1 >= n && self.shared.gate.all_searching() {
+                return self.finish_aborted(t0);
+            }
+        }
+    }
+
+    fn finish_local_remove(&mut self, t0: u64) {
+        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
+        self.stats.removes += 1;
+        self.stats.remove_ns += dt;
+        self.stats.remove_hist.record(dt);
+    }
+
+    fn finish_steal_remove(&mut self, t0: u64, stolen: usize) {
+        let now = self.shared.timing.now(self.me);
+        let dt = now.saturating_sub(t0);
+        self.stats.removes += 1;
+        self.stats.steals += 1;
+        self.stats.elements_stolen += stolen as u64;
+        self.stats.remove_ns += dt;
+        self.stats.steal_ns += dt;
+        self.stats.remove_hist.record(dt);
+    }
+
+    fn finish_aborted<T>(&mut self, t0: u64) -> Result<T, RemoveError> {
+        let now = self.shared.timing.now(self.me);
+        self.stats.aborted_removes += 1;
+        self.stats.abort_ns += now.saturating_sub(t0);
+        Err(RemoveError::Aborted)
+    }
+}
+
+impl<K, V> Drop for KeyedHandle<K, V> {
+    fn drop(&mut self) {
+        self.shared.gate.deregister();
+        let stats = std::mem::take(&mut self.stats);
+        self.shared.collected.lock().push((self.me, stats));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn local_keyed_roundtrip() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(4);
+        let mut h = pool.register();
+        h.add(1, 10);
+        h.add(2, 20);
+        h.add(1, 11);
+        assert_eq!(pool.total_len(), 3);
+        assert_eq!(pool.key_len(&1), 2);
+        assert_eq!(h.try_remove_key(&2), Ok(20));
+        assert!(matches!(h.try_remove_key(&1), Ok(10 | 11)));
+        assert_eq!(pool.total_len(), 1);
+    }
+
+    #[test]
+    fn missing_key_aborts_for_lone_process() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(4);
+        let mut h = pool.register();
+        h.add(1, 10);
+        assert_eq!(h.try_remove_key(&9), Err(RemoveError::Aborted));
+        assert_eq!(h.stats().aborted_removes, 1);
+        assert_eq!(pool.total_len(), 1, "other keys untouched");
+    }
+
+    #[test]
+    fn keyed_steal_takes_half_the_bucket() {
+        let pool: KeyedPool<&'static str, u32> = KeyedPool::new(2);
+        let mut a = pool.register(); // home 0
+        let mut b = pool.register(); // home 1
+        for i in 0..10 {
+            b.add("x", i);
+            b.add("y", i + 100);
+        }
+        // a steals from b's "x" bucket only: ceil(10/2) = 5.
+        assert!(a.try_remove_key(&"x").is_ok());
+        assert_eq!(a.stats().steals, 1);
+        assert_eq!(a.stats().elements_stolen, 5);
+        assert_eq!(pool.segment_len(SegIdx::new(0)), 4, "kept 4 of the 5 stolen");
+        assert_eq!(pool.key_len(&"y"), 10, "the other bucket was not touched");
+        // Next "x" removes are local.
+        assert!(a.try_remove_key(&"x").is_ok());
+        assert_eq!(a.stats().steals, 1);
+    }
+
+    #[test]
+    fn remove_any_steals_largest_bucket() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut a = pool.register();
+        let mut b = pool.register();
+        for i in 0..3 {
+            b.add(1, i);
+        }
+        for i in 0..9 {
+            b.add(2, i);
+        }
+        let (key, _) = a.try_remove_any().expect("elements exist");
+        assert_eq!(key, 2, "the largest bucket is the steal victim");
+        assert_eq!(a.stats().elements_stolen, 5, "ceil(9/2)");
+    }
+
+    #[test]
+    fn keyed_conservation_under_concurrency() {
+        let n = 4;
+        let per = 500;
+        let pool: KeyedPool<usize, u64> = KeyedPool::new(n);
+        thread::scope(|s| {
+            for w in 0..n {
+                let mut h = pool.register();
+                s.spawn(move || {
+                    // Each worker adds under its own key then consumes its
+                    // key back — all steals are keyed.
+                    for i in 0..per {
+                        h.add(w, i as u64);
+                    }
+                    let mut got = 0;
+                    while got < per {
+                        match h.try_remove_key(&w) {
+                            Ok(_) => got += 1,
+                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.total_len(), 0);
+        let merged = pool.stats().merged();
+        assert_eq!(merged.adds, (n * per) as u64);
+        assert_eq!(merged.removes, (n * per) as u64);
+    }
+
+    #[test]
+    fn cross_key_consumers_drain_producers() {
+        // Producers add under two keys; consumers each insist on one key.
+        let pool: KeyedPool<&'static str, u64> = KeyedPool::new(4);
+        let total = 400;
+        thread::scope(|s| {
+            let mut p = pool.register();
+            s.spawn(move || {
+                for i in 0..total {
+                    p.add(if i % 2 == 0 { "even" } else { "odd" }, i);
+                }
+            });
+            for key in ["even", "odd"] {
+                let mut c = pool.register();
+                s.spawn(move || {
+                    let mut got = 0;
+                    while got < total / 2 {
+                        match c.try_remove_key(&key) {
+                            Ok(v) => {
+                                assert_eq!(v % 2 == 0, key == "even", "keys never cross");
+                                got += 1;
+                            }
+                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        }
+                    }
+                });
+            }
+            let _spare = pool.register(); // a fourth, idle-ish participant
+        });
+        assert_eq!(pool.total_len(), 0);
+    }
+
+    #[test]
+    fn remove_any_prefers_local() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut a = pool.register();
+        let mut b = pool.register();
+        a.add(7, 1);
+        b.add(8, 2);
+        let (k, _) = a.try_remove_any().unwrap();
+        assert_eq!(k, 7, "local element preferred");
+        assert_eq!(a.stats().steals, 0);
+    }
+
+    #[test]
+    fn stats_deposited_on_drop() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        {
+            let mut h = pool.register();
+            h.add(1, 1);
+            let _ = h.try_remove_any();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.per_proc.len(), 1);
+        assert_eq!(stats.merged().removes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _: KeyedPool<u8, u8> = KeyedPool::new(0);
+    }
+}

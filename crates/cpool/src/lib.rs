@@ -1,0 +1,107 @@
+//! # Concurrent pools
+//!
+//! A *pool* is an unordered collection of items: processes may [`add`] an
+//! element or [`remove`] an arbitrary element at any time. A **concurrent
+//! pool** (Manber, *SIAM J. Computing* 1986; evaluated by Kotz & Ellis,
+//! *ICDCS* 1989) partitions the elements into one *segment* per processor so
+//! that most operations complete locally, without interfering with other
+//! processes. Only when a `remove` finds the local segment empty does the
+//! process *search* remote segments, **stealing roughly half** of the first
+//! non-empty segment it finds.
+//!
+//! The crate implements the three search algorithms the paper evaluates:
+//!
+//! * [`search::TreeSearch`] — Manber's algorithm: a binary tree superimposed
+//!   on the segments carries per-subtree *round counters* that steer
+//!   searchers away from recently-empty subtrees.
+//! * [`search::LinearSearch`] — ring traversal starting from the segment
+//!   where elements were last found.
+//! * [`search::RandomSearch`] — uniformly random probing.
+//!
+//! Segments come in two families: *counting* segments ([`segment::LockedCounter`],
+//! [`segment::AtomicCounter`]) that store only a count (the paper's
+//! measurement simplification), and *element* segments
+//! ([`segment::VecSegment`], [`segment::BlockSegment`]) that store real
+//! values for applications such as task scheduling.
+//!
+//! Every shared-memory access the paper charges for (segment probes, tree
+//! node visits) is reported through the [`timing::Timing`] trait so the same
+//! algorithm code runs on raw threads, under injected NUMA delays, or inside
+//! a deterministic virtual-time scheduler (see the `numa-sim` crate).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cpool::prelude::*;
+//! use std::thread;
+//!
+//! // A pool of 4 integer segments searched linearly.
+//! let pool: Pool<VecSegment<u64>, LinearSearch> =
+//!     PoolBuilder::new(4).build_with_policy(LinearSearch::new(4));
+//!
+//! thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let mut h = pool.register();
+//!         s.spawn(move || {
+//!             for i in 0..100 {
+//!                 h.add(i);
+//!             }
+//!             let mut got = 0;
+//!             while got < 100 {
+//!                 match h.try_remove() {
+//!                     Ok(_) => got += 1,
+//!                     Err(RemoveError::Aborted) => {} // everyone searching: retry
+//!                 }
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(pool.total_len(), 0);
+//! ```
+//!
+//! [`add`]: Handle::add
+//! [`remove`]: Handle::try_remove
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod error;
+pub mod gate;
+pub mod hints;
+pub mod ids;
+pub mod keyed;
+pub mod pool;
+pub mod search;
+pub mod segment;
+pub mod stats;
+pub mod timing;
+pub mod trace;
+
+pub use error::RemoveError;
+pub use gate::SearchGate;
+pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
+pub use keyed::{KeyedHandle, KeyedPool};
+pub use ids::{ProcId, SegIdx};
+pub use pool::{Handle, Pool, PoolBuilder, PoolReport};
+pub use search::{
+    DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, SearchEnv, SearchOutcome,
+    SearchPolicy, TreeSearch,
+};
+pub use segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
+pub use stats::{Histogram, PoolStats, ProcStats};
+pub use timing::{NullTiming, Resource, Timing};
+pub use trace::{TraceEvent, TraceKind, TraceRecorder};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::error::RemoveError;
+    pub use crate::ids::{ProcId, SegIdx};
+    pub use crate::pool::{Handle, Pool, PoolBuilder};
+    pub use crate::search::{
+        DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, TreeSearch,
+    };
+    pub use crate::segment::{
+        AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment,
+    };
+    pub use crate::timing::{NullTiming, Resource, Timing};
+}

@@ -1,0 +1,798 @@
+//! The concurrent pool: segments + search policy + livelock gate.
+//!
+//! A [`Pool`] owns one segment per processor, a shared search policy, the
+//! [`SearchGate`] livelock breaker, and a [`Timing`] cost model. Processes
+//! interact with the pool through per-process [`Handle`]s, which carry the
+//! policy's per-process state (round number, ring position, RNG) and a
+//! private statistics block.
+//!
+//! # The steal protocol
+//!
+//! A `remove` first tries the local segment. If that is empty the process
+//! registers as *searching* and runs the policy, which probes victim
+//! segments through the pool's [`SearchEnv`]: a successful probe atomically
+//! takes ⌈n/2⌉ elements from the victim, keeps one to satisfy the remove,
+//! and moves the rest into the searcher's own segment ("by stealing half of
+//! the elements found at the non-empty segment rather than just enough to
+//! satisfy the immediate need, the searching process is trying to balance
+//! the available reserves and prevent its next request from also having to
+//! perform a search").
+//!
+//! The steal is two-phase — drain the victim under its own lock, then
+//! refill the local segment under its lock — so no two segment locks are
+//! ever held at once and thief/thief or thief/owner deadlock is impossible
+//! by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::RemoveError;
+use crate::gate::SearchGate;
+use crate::hints::{HintBoard, HINT_BOARD_RESOURCE};
+use crate::ids::{ProcId, SegIdx};
+use crate::search::{ProbeOutcome, SearchEnv, SearchOutcome, SearchPolicy};
+use crate::segment::Segment;
+use crate::stats::{PoolStats, ProcStats};
+use crate::timing::{NullTiming, Resource, Timing};
+use crate::trace::{TraceEvent, TraceKind, TraceRecorder};
+
+/// Configures and builds a [`Pool`].
+///
+/// ```
+/// use cpool::prelude::*;
+/// use std::sync::Arc;
+///
+/// let pool: Pool<LockedCounter, TreeSearch> = PoolBuilder::new(16)
+///     .seed(42)
+///     .timing(Arc::new(NullTiming::new()))
+///     .record_trace(true)
+///     .build_with_policy(TreeSearch::new(16));
+/// assert_eq!(pool.segments(), 16);
+/// ```
+pub struct PoolBuilder<S> {
+    segments: usize,
+    seed: u64,
+    timing: Arc<dyn Timing>,
+    record_trace: bool,
+    trace_procs: Option<usize>,
+    hints: bool,
+    hint_procs: Option<usize>,
+    add_overhead_ns: u64,
+    remove_overhead_ns: u64,
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S> std::fmt::Debug for PoolBuilder<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolBuilder")
+            .field("segments", &self.segments)
+            .field("seed", &self.seed)
+            .field("record_trace", &self.record_trace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Segment> PoolBuilder<S> {
+    /// Starts building a pool with `segments` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments > 0, "pool must have at least one segment");
+        PoolBuilder {
+            segments,
+            seed: 0,
+            timing: Arc::new(NullTiming::new()),
+            record_trace: false,
+            trace_procs: None,
+            hints: false,
+            hint_procs: None,
+            add_overhead_ns: 0,
+            remove_overhead_ns: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Sets the seed from which all per-process randomness derives.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Installs a cost model (defaults to [`NullTiming`]).
+    pub fn timing(mut self, timing: Arc<dyn Timing>) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Enables segment-size trace recording (Figures 3–6 instrumentation).
+    pub fn record_trace(mut self, enabled: bool) -> Self {
+        self.record_trace = enabled;
+        self
+    }
+
+    /// Number of processes the trace recorder should accommodate (defaults
+    /// to the segment count).
+    pub fn trace_procs(mut self, procs: usize) -> Self {
+        self.trace_procs = Some(procs);
+        self
+    }
+
+    /// Enables the search-hint extension (§5 of the paper, answered in
+    /// [`hints`](crate::hints)): adds are redirected to processes whose
+    /// removes are searching.
+    pub fn hints(mut self, enabled: bool) -> Self {
+        self.hints = enabled;
+        self
+    }
+
+    /// Number of mailboxes on the hint board (defaults to the segment
+    /// count; processes with higher ids fall back to plain searching).
+    pub fn hint_procs(mut self, procs: usize) -> Self {
+        self.hint_procs = Some(procs);
+        self
+    }
+
+    /// Fixed per-operation computation charged (through the cost model) to
+    /// every add and every remove *attempt*, on top of the shared-memory
+    /// accesses the operation performs.
+    ///
+    /// This models the base cost of the operation's own code path. Kotz &
+    /// Ellis report "typical undelayed segment operation times [of]
+    /// approximately 70 µsec for add operations and 110 µsec for remove
+    /// operations" on the Butterfly; with the default 10 µs segment access
+    /// of `numa_sim::LatencyModel::butterfly`, overheads of 60 µs / 100 µs
+    /// reproduce those totals. Defaults to zero (raw library speed).
+    pub fn op_overhead(mut self, add_ns: u64, remove_ns: u64) -> Self {
+        self.add_overhead_ns = add_ns;
+        self.remove_overhead_ns = remove_ns;
+        self
+    }
+
+    /// Builds the pool with the given search policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy was constructed for a different segment count
+    /// (checked in debug builds when the first handle searches).
+    pub fn build_with_policy<P: SearchPolicy>(self, policy: P) -> Pool<S, P> {
+        let segments: Box<[S]> = (0..self.segments).map(|_| S::new()).collect();
+        let trace = self
+            .record_trace
+            .then(|| TraceRecorder::new(self.trace_procs.unwrap_or(self.segments)));
+        let hints = self
+            .hints
+            .then(|| HintBoard::new(self.hint_procs.unwrap_or(self.segments)));
+        Pool {
+            shared: Arc::new(Shared {
+                segments,
+                policy,
+                gate: SearchGate::new(),
+                timing: self.timing,
+                seed: self.seed,
+                trace,
+                hints,
+                add_overhead_ns: self.add_overhead_ns,
+                remove_overhead_ns: self.remove_overhead_ns,
+                next_proc: AtomicUsize::new(0),
+                collected: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+}
+
+struct Shared<S: Segment, P> {
+    segments: Box<[S]>,
+    policy: P,
+    gate: SearchGate,
+    timing: Arc<dyn Timing>,
+    seed: u64,
+    trace: Option<TraceRecorder>,
+    hints: Option<HintBoard<S::Item>>,
+    add_overhead_ns: u64,
+    remove_overhead_ns: u64,
+    next_proc: AtomicUsize,
+    collected: Mutex<Vec<(ProcId, ProcStats)>>,
+}
+
+/// A concurrent pool: a distributed, unordered collection of items.
+///
+/// Cloning a `Pool` is cheap (it is an `Arc` handle to shared state); all
+/// clones refer to the same pool. See the [crate docs](crate) for an
+/// end-to-end example.
+pub struct Pool<S: Segment, P: SearchPolicy> {
+    shared: Arc<Shared<S, P>>,
+}
+
+impl<S: Segment, P: SearchPolicy> Clone for Pool<S, P> {
+    fn clone(&self) -> Self {
+        Pool { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Pool<S, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("segments", &self.shared.segments.len())
+            .field("policy", &self.shared.policy.name())
+            .field("registered", &self.shared.gate.registered())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Segment, P: SearchPolicy> Pool<S, P> {
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.shared.segments.len()
+    }
+
+    /// Name of the search policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.shared.policy.name()
+    }
+
+    /// Direct access to the policy (e.g. to inspect tree round counters).
+    pub fn policy(&self) -> &P {
+        &self.shared.policy
+    }
+
+    /// The livelock gate (mainly for diagnostics and tests).
+    pub fn gate(&self) -> &SearchGate {
+        &self.shared.gate
+    }
+
+    /// The pool's cost model.
+    pub fn timing(&self) -> &Arc<dyn Timing> {
+        &self.shared.timing
+    }
+
+    /// The trace recorder, if tracing was enabled at build time.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.shared.trace.as_ref()
+    }
+
+    /// The hint board, if the hint extension was enabled at build time.
+    pub fn hint_board(&self) -> Option<&HintBoard<S::Item>> {
+        self.shared.hints.as_ref()
+    }
+
+    /// Current size of one segment (snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn segment_len(&self, seg: SegIdx) -> usize {
+        self.shared.segments[seg.index()].len()
+    }
+
+    /// Total number of elements across all segments (snapshot; exact only
+    /// while no operations are in flight).
+    pub fn total_len(&self) -> usize {
+        self.shared.segments.iter().map(Segment::len).sum()
+    }
+
+    /// Current segment sizes (snapshot).
+    pub fn segment_sizes(&self) -> Vec<usize> {
+        self.shared.segments.iter().map(Segment::len).collect()
+    }
+
+    /// Distributes `count` items round-robin across the segments, producing
+    /// each item with `make`. Intended for pre-run initialization (the
+    /// paper's "pool initialized with only 320 elements"); accesses are not
+    /// charged to any process.
+    pub fn fill_evenly_with(&self, count: usize, mut make: impl FnMut(usize) -> S::Item) {
+        let n = self.segments();
+        for i in 0..count {
+            self.shared.segments[i % n].add(make(i));
+        }
+    }
+
+    /// Registers a new process and returns its handle.
+    ///
+    /// The `i`-th registration gets process id `i` and home segment
+    /// `i mod segments` (the paper runs exactly one process per segment;
+    /// over-subscription shares segments round-robin).
+    pub fn register(&self) -> Handle<S, P> {
+        let index = self.shared.next_proc.fetch_add(1, Ordering::SeqCst);
+        let me = ProcId::new(index);
+        let seg = SegIdx::new(index % self.segments());
+        self.shared.gate.register();
+        let state = self.shared.policy.init_state(seg, self.segments(), self.shared.seed);
+        Handle { shared: Arc::clone(&self.shared), me, seg, state, stats: ProcStats::default() }
+    }
+
+    /// Statistics gathered from handles that have been dropped so far,
+    /// ordered by process id.
+    pub fn stats(&self) -> PoolStats {
+        let mut collected = self.shared.collected.lock().clone();
+        collected.sort_by_key(|(proc, _)| *proc);
+        PoolStats { per_proc: collected.into_iter().map(|(_, s)| s).collect() }
+    }
+}
+
+impl<S: Segment, P: SearchPolicy> Pool<S, P>
+where
+    S::Item: Default,
+{
+    /// Distributes `count` default-valued items round-robin across segments.
+    pub fn fill_evenly(&self, count: usize) {
+        self.fill_evenly_with(count, |_| S::Item::default());
+    }
+}
+
+/// A per-process handle to a [`Pool`].
+///
+/// Handles are `Send` but not `Sync`: exactly one thread drives a process.
+/// Dropping the handle deregisters the process from the livelock gate and
+/// deposits its statistics with the pool.
+pub struct Handle<S: Segment, P: SearchPolicy> {
+    shared: Arc<Shared<S, P>>,
+    me: ProcId,
+    seg: SegIdx,
+    state: P::State,
+    stats: ProcStats,
+}
+
+impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Handle<S, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle")
+            .field("proc", &self.me)
+            .field("segment", &self.seg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: Segment, P: SearchPolicy> Handle<S, P> {
+    /// This process's id.
+    pub fn proc_id(&self) -> ProcId {
+        self.me
+    }
+
+    /// This process's home segment.
+    pub fn home_segment(&self) -> SegIdx {
+        self.seg
+    }
+
+    /// Statistics accumulated by this process so far.
+    pub fn stats(&self) -> &ProcStats {
+        &self.stats
+    }
+
+    /// Current time for this process, per the pool's clock.
+    pub fn now(&self) -> u64 {
+        self.shared.timing.now(self.me)
+    }
+
+    /// Charges `ns` nanoseconds of application work to this process
+    /// (meaningful under a virtual-time cost model; free otherwise).
+    pub fn charge_work(&self, ns: u64) {
+        self.shared.timing.charge_work(self.me, ns);
+    }
+
+    /// Adds an element: to the local segment, or — when the hint extension
+    /// is enabled and some process is searching — directly to that searcher
+    /// (see [`hints`](crate::hints)).
+    pub fn add(&mut self, item: S::Item) {
+        let t0 = self.shared.timing.now(self.me);
+        if self.shared.add_overhead_ns > 0 {
+            self.shared.timing.charge_work(self.me, self.shared.add_overhead_ns);
+        }
+        let mut item = item;
+        if let Some(board) = &self.shared.hints {
+            if board.has_waiters() {
+                // The board is a shared structure: charge the donation
+                // before touching the mailbox (lock/charge discipline).
+                self.shared.timing.charge(self.me, Resource::Shared(HINT_BOARD_RESOURCE));
+                match board.try_donate(item) {
+                    Ok(_receiver) => {
+                        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
+                        self.stats.adds += 1;
+                        self.stats.donated_adds += 1;
+                        self.stats.add_ns += dt;
+                        self.stats.add_hist.record(dt);
+                        return;
+                    }
+                    // Every waiter raced away; fall through to a local add.
+                    Err(back) => item = back,
+                }
+            }
+        }
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        self.shared.segments[self.seg.index()].add(item);
+        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
+        self.stats.adds += 1;
+        self.stats.add_ns += dt;
+        self.stats.add_hist.record(dt);
+        self.record_trace(self.seg, TraceKind::Add);
+    }
+
+    /// Removes an arbitrary element: locally if possible, otherwise by
+    /// stealing from a remote segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoveError::Aborted`] when the livelock breaker fired
+    /// (every registered process was searching simultaneously).
+    pub fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
+        let t0 = self.shared.timing.now(self.me);
+        if self.shared.remove_overhead_ns > 0 {
+            self.shared.timing.charge_work(self.me, self.shared.remove_overhead_ns);
+        }
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        if let Some(item) = self.shared.segments[self.seg.index()].try_remove() {
+            let dt = self.shared.timing.now(self.me).saturating_sub(t0);
+            self.stats.removes += 1;
+            self.stats.remove_ns += dt;
+            self.stats.remove_hist.record(dt);
+            self.record_trace(self.seg, TraceKind::Remove);
+            return Ok(item);
+        }
+
+        // Local segment empty: search remote segments, guarded by the gate.
+        // With hints enabled the searcher posts on the board *after one
+        // full fruitless lap* (see `PoolSearchEnv::should_abort`): batch
+        // steals remain the first-line mechanism — they balance reserves in
+        // a way single-element deliveries cannot — and donations target
+        // exactly the long-tail searches that batches cannot satisfy.
+        let search_t0 = self.shared.timing.now(self.me);
+        let mut env = PoolSearchEnv {
+            shared: &self.shared,
+            me: self.me,
+            my_seg: self.seg,
+            examined: 0,
+            nodes_visited: 0,
+            stolen: 0,
+            taken: None,
+            victim: None,
+        };
+        let outcome = {
+            let _guard = self.shared.gate.begin_search();
+            self.shared.policy.search(&mut self.state, &mut env)
+        };
+        // Withdraw from the board whatever happened; a donation that raced
+        // with the end of the search is recovered here, never lost.
+        let delivery = self.shared.hints.as_ref().and_then(|b| b.cancel(self.me));
+        let now = self.shared.timing.now(self.me);
+        self.stats.segments_examined += env.examined;
+        self.stats.tree_nodes_visited += env.nodes_visited;
+        match outcome {
+            SearchOutcome::Found => {
+                let item = env.taken.take().expect("search reported Found without an element");
+                let victim = env.victim.expect("search reported Found without a victim");
+                if let Some(extra) = delivery {
+                    // Both a steal and a donation: keep the stolen element
+                    // for the caller and bank the donation locally.
+                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                    self.shared.segments[self.seg.index()].add(extra);
+                }
+                let dt = now.saturating_sub(t0);
+                self.stats.removes += 1;
+                self.stats.steals += 1;
+                self.stats.elements_stolen += env.stolen as u64;
+                self.stats.remove_ns += dt;
+                self.stats.steal_ns += now.saturating_sub(search_t0);
+                self.stats.remove_hist.record(dt);
+                self.record_trace(victim, TraceKind::StealFrom);
+                self.record_trace(self.seg, TraceKind::StealInto);
+                Ok(item)
+            }
+            SearchOutcome::Aborted if delivery.is_some() => {
+                // The search saw the delivery (or the gate fired just as a
+                // donor came through): the donated element satisfies the
+                // remove without any steal.
+                let item = delivery.expect("guard checked");
+                let dt = now.saturating_sub(t0);
+                self.stats.removes += 1;
+                self.stats.hinted_removes += 1;
+                self.stats.remove_ns += dt;
+                self.stats.remove_hist.record(dt);
+                Ok(item)
+            }
+            SearchOutcome::Aborted => {
+                debug_assert!(env.taken.is_none());
+                self.stats.aborted_removes += 1;
+                self.stats.abort_ns += now.saturating_sub(t0);
+                Err(RemoveError::Aborted)
+            }
+        }
+    }
+
+    fn record_trace(&self, seg: SegIdx, kind: TraceKind) {
+        if let Some(trace) = &self.shared.trace {
+            trace.record(TraceEvent {
+                t_ns: self.shared.timing.now(self.me),
+                proc: self.me,
+                seg,
+                len: self.shared.segments[seg.index()].len() as u32,
+                kind,
+            });
+        }
+    }
+}
+
+impl<S: Segment, P: SearchPolicy> Drop for Handle<S, P> {
+    fn drop(&mut self) {
+        self.shared.gate.deregister();
+        let stats = std::mem::take(&mut self.stats);
+        self.shared.collected.lock().push((self.me, stats));
+    }
+}
+
+/// The pool-side implementation of [`SearchEnv`]: performs steals, charges
+/// costs, and tracks search statistics.
+struct PoolSearchEnv<'a, S: Segment, P> {
+    shared: &'a Shared<S, P>,
+    me: ProcId,
+    my_seg: SegIdx,
+    examined: u64,
+    nodes_visited: u64,
+    stolen: usize,
+    taken: Option<S::Item>,
+    victim: Option<SegIdx>,
+}
+
+impl<S: Segment, P: SearchPolicy> SearchEnv for PoolSearchEnv<'_, S, P> {
+    fn segments(&self) -> usize {
+        self.shared.segments.len()
+    }
+
+    fn my_segment(&self) -> SegIdx {
+        self.my_seg
+    }
+
+    fn try_steal(&mut self, victim: SegIdx) -> ProbeOutcome {
+        self.examined += 1;
+        self.shared.timing.charge(self.me, Resource::Segment(victim));
+        let mut batch = self.shared.segments[victim.index()].steal_half();
+        if batch.is_empty() {
+            return ProbeOutcome::Empty;
+        }
+        let stolen = batch.len();
+        let item = batch.pop().expect("batch checked non-empty");
+        if !batch.is_empty() {
+            // Refill the local segment — a separate, second-phase access.
+            self.shared.timing.charge(self.me, Resource::Segment(self.my_seg));
+            self.shared.segments[self.my_seg.index()].add_bulk(batch);
+        }
+        self.stolen = stolen;
+        self.taken = Some(item);
+        self.victim = Some(victim);
+        ProbeOutcome::Stolen { stolen }
+    }
+
+    fn charge_tree_node(&mut self, node: usize) {
+        self.nodes_visited += 1;
+        self.shared.timing.charge(self.me, Resource::TreeNode(node));
+    }
+
+    fn should_abort(&mut self) -> bool {
+        // A hint delivery ends the search through the same exit as the
+        // livelock breaker; `Handle::try_remove` then tells the two cases
+        // apart by checking the mailbox. The searcher only *posts* for
+        // donations once a full lap found nothing: earlier posting would
+        // siphon adds away from segments one element at a time and starve
+        // the batch-steal mechanism the pool's load balancing relies on
+        // (measurably worse: more probes, not fewer).
+        if let Some(board) = &self.shared.hints {
+            if board.delivered(self.me) {
+                return true;
+            }
+            if self.examined == self.shared.segments.len() as u64 {
+                board.post(self.me);
+            }
+        }
+        // §3.2's starvation rule, honored only after the search has examined
+        // at least one full lap of segments. The paper's processes "search
+        // for a long time, examining every segment possibly several times,
+        // before [finding] any elements"; aborting on the first probe the
+        // moment every process happens to be searching would instead turn
+        // transient all-searching episodes (common near-empty, where
+        // searches dominate each process's time) into mass aborts — making
+        // sparse-mix operations artificially cheap and steals artificially
+        // rare. After a full lap the abort is also a *reliable* emptiness
+        // signal: the searcher has seen every segment while no process
+        // could have been adding.
+        self.examined >= self.shared.segments.len() as u64 && self.shared.gate.all_searching()
+    }
+}
+
+/// A report combining merged and per-process statistics (convenience alias
+/// used by the experiment harness).
+pub type PoolReport = PoolStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{LinearSearch, PolicyKind, RandomSearch, TreeSearch};
+    use crate::segment::{LockedCounter, VecSegment};
+    use crate::NodeStoreKind;
+    use std::thread;
+
+    fn counting_pool<P: SearchPolicy>(n: usize, policy: P) -> Pool<LockedCounter, P> {
+        PoolBuilder::new(n).seed(1).build_with_policy(policy)
+    }
+
+    #[test]
+    fn local_add_remove_roundtrip() {
+        let pool = counting_pool(4, LinearSearch::new(4));
+        let mut h = pool.register();
+        h.add(());
+        h.add(());
+        assert_eq!(pool.segment_len(h.home_segment()), 2);
+        assert!(h.try_remove().is_ok());
+        assert!(h.try_remove().is_ok());
+        assert_eq!(pool.total_len(), 0);
+        assert_eq!(h.stats().adds, 2);
+        assert_eq!(h.stats().removes, 2);
+        assert_eq!(h.stats().steals, 0, "local removes never steal");
+    }
+
+    #[test]
+    fn remove_from_empty_single_process_aborts() {
+        let pool = counting_pool(4, LinearSearch::new(4));
+        let mut h = pool.register();
+        assert_eq!(h.try_remove(), Err(RemoveError::Aborted));
+        assert_eq!(h.stats().aborted_removes, 1);
+    }
+
+    #[test]
+    fn steal_moves_half_and_returns_one() {
+        let pool = counting_pool(2, LinearSearch::new(2));
+        let mut a = pool.register(); // home 0
+        let mut b = pool.register(); // home 1
+        for _ in 0..20 {
+            b.add(());
+        }
+        // a's segment empty: it must steal ceil(20/2)=10, keep 1, deposit 9.
+        assert!(a.try_remove().is_ok());
+        assert_eq!(a.stats().steals, 1);
+        assert_eq!(a.stats().elements_stolen, 10);
+        assert_eq!(pool.segment_len(SegIdx::new(0)), 9);
+        assert_eq!(pool.segment_len(SegIdx::new(1)), 10);
+        // Next removes are local.
+        assert!(a.try_remove().is_ok());
+        assert_eq!(a.stats().steals, 1, "reserve made the next remove local");
+    }
+
+    #[test]
+    fn conservation_under_concurrency() {
+        // N threads each add K then remove K; the pool must end empty with
+        // adds == removes globally, whatever interleaving and stealing did.
+        let n = 8;
+        let k = 500;
+        let pool: Pool<LockedCounter, RandomSearch> = counting_pool(n, RandomSearch::new(n));
+        thread::scope(|s| {
+            for _ in 0..n {
+                let mut h = pool.register();
+                s.spawn(move || {
+                    for _ in 0..k {
+                        h.add(());
+                    }
+                    let mut removed = 0;
+                    while removed < k {
+                        match h.try_remove() {
+                            Ok(()) => removed += 1,
+                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.total_len(), 0);
+        let merged = pool.stats().merged();
+        assert_eq!(merged.adds, (n * k) as u64);
+        assert_eq!(merged.removes, (n * k) as u64);
+    }
+
+    #[test]
+    fn all_policies_survive_producer_consumer() {
+        for kind in PolicyKind::ALL {
+            let policy = kind.build(4, NodeStoreKind::Locked);
+            let pool: Pool<LockedCounter, _> = PoolBuilder::new(4).build_with_policy(policy);
+            thread::scope(|s| {
+                // One producer, three consumers; 300 elements flow through.
+                let mut p = pool.register();
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        p.add(());
+                    }
+                });
+                for _ in 0..3 {
+                    let mut c = pool.register();
+                    s.spawn(move || {
+                        let mut got = 0;
+                        while got < 100 {
+                            match c.try_remove() {
+                                Ok(()) => got += 1,
+                                Err(RemoveError::Aborted) => thread::yield_now(),
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(pool.total_len(), 0, "policy {kind}");
+        }
+    }
+
+    #[test]
+    fn element_pool_preserves_values() {
+        let pool: Pool<VecSegment<u64>, TreeSearch> =
+            PoolBuilder::new(4).build_with_policy(TreeSearch::new(4));
+        pool.fill_evenly_with(100, |i| i as u64);
+        let mut seen = vec![false; 100];
+        let mut h = pool.register();
+        let mut consumers: Vec<_> = (0..3).map(|_| pool.register()).collect();
+        for _ in 0..25 {
+            let v = h.try_remove().unwrap();
+            seen[v as usize] = true;
+        }
+        for c in &mut consumers {
+            for _ in 0..25 {
+                let v = c.try_remove().unwrap();
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every value came out exactly once");
+    }
+
+    #[test]
+    fn stats_collected_on_drop() {
+        let pool = counting_pool(2, LinearSearch::new(2));
+        {
+            let mut h = pool.register();
+            h.add(());
+            let _ = h.try_remove();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.per_proc.len(), 1);
+        assert_eq!(stats.merged().adds, 1);
+        assert_eq!(stats.merged().removes, 1);
+    }
+
+    #[test]
+    fn trace_records_steal_events() {
+        let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(2)
+            .record_trace(true)
+            .build_with_policy(LinearSearch::new(2));
+        let mut a = pool.register();
+        let mut b = pool.register();
+        for _ in 0..10 {
+            b.add(());
+        }
+        let _ = a.try_remove().unwrap();
+        let trace = pool.trace().unwrap();
+        let events = trace.snapshot_sorted();
+        use crate::trace::TraceKind::*;
+        assert!(events.iter().any(|e| e.kind == StealFrom && e.seg == SegIdx::new(1)));
+        assert!(events.iter().any(|e| e.kind == StealInto && e.seg == SegIdx::new(0)));
+    }
+
+    #[test]
+    fn oversubscribed_handles_share_segments() {
+        let pool = counting_pool(2, LinearSearch::new(2));
+        let handles: Vec<_> = (0..5).map(|_| pool.register()).collect();
+        assert_eq!(handles[4].home_segment(), SegIdx::new(0));
+        assert_eq!(handles[3].home_segment(), SegIdx::new(1));
+        assert_eq!(pool.gate().registered(), 5);
+        drop(handles);
+        assert_eq!(pool.gate().registered(), 0);
+    }
+
+    #[test]
+    fn fill_evenly_distributes() {
+        let pool = counting_pool(4, LinearSearch::new(4));
+        pool.fill_evenly(10);
+        assert_eq!(pool.segment_sizes(), vec![3, 3, 2, 2]);
+        assert_eq!(pool.total_len(), 10);
+    }
+
+    #[test]
+    fn pool_debug_shows_policy() {
+        let pool = counting_pool(4, LinearSearch::new(4));
+        let dbg = format!("{pool:?}");
+        assert!(dbg.contains("linear"), "{dbg}");
+    }
+}

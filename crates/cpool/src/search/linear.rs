@@ -1,0 +1,163 @@
+//! The linear search algorithm (§2.2 of Kotz & Ellis 1989).
+//!
+//! "The linear algorithm starts looking at the segment where it last found
+//! elements, and travels from one segment to the next segment, as if they
+//! were arranged in a ring, until it finds a non-empty segment to split."
+
+use crate::ids::SegIdx;
+
+use super::{ProbeOutcome, SearchEnv, SearchOutcome, SearchPolicy};
+
+/// Ring-traversal search: resume where elements were last found.
+///
+/// The first search of a process begins at its own segment
+/// (`LinearSearch(MyLeaf)` in the paper); subsequent searches begin at the
+/// segment where elements were last stolen (`LinearSearch(LastFound)`),
+/// which the paper observes usually succeeds immediately for
+/// producer/consumer workloads.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearSearch {
+    segments: usize,
+}
+
+impl LinearSearch {
+    /// Creates a linear policy for a pool of `segments` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments > 0, "pool must have at least one segment");
+        LinearSearch { segments }
+    }
+}
+
+/// Per-process state for [`LinearSearch`]: the ring position to resume from.
+#[derive(Clone, Copy, Debug)]
+pub struct LinearState {
+    last_found: SegIdx,
+}
+
+impl LinearState {
+    /// Segment the next search will probe first.
+    pub fn last_found(&self) -> SegIdx {
+        self.last_found
+    }
+}
+
+impl SearchPolicy for LinearSearch {
+    type State = LinearState;
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn init_state(&self, me: SegIdx, segments: usize, _seed: u64) -> LinearState {
+        debug_assert_eq!(segments, self.segments);
+        LinearState { last_found: me }
+    }
+
+    fn search(&self, state: &mut LinearState, env: &mut dyn SearchEnv) -> SearchOutcome {
+        let n = env.segments();
+        debug_assert_eq!(n, self.segments);
+        let mut seg = state.last_found;
+        loop {
+            if let ProbeOutcome::Stolen { .. } = env.try_steal(seg) {
+                state.last_found = seg;
+                return SearchOutcome::Found;
+            }
+            // Persist the ring cursor before a possible abort: the gate can
+            // fire after a single probe (e.g. a lone registered process), and
+            // a caller that retries after `Aborted` must resume at the *next*
+            // segment or it would re-probe this one forever while elements
+            // sit elsewhere in the ring. Successful searches still overwrite
+            // this with the victim, so the paper's `LastFound` semantics are
+            // untouched on every path it defines.
+            seg = seg.next_in_ring(n);
+            state.last_found = seg;
+            if env.should_abort() {
+                return SearchOutcome::Aborted;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::testenv::ScriptEnv;
+
+    fn run(counts: Vec<usize>, me: usize) -> (SearchOutcome, ScriptEnv, LinearState) {
+        let policy = LinearSearch::new(counts.len());
+        let mut state = policy.init_state(SegIdx::new(me), counts.len(), 0);
+        let mut env = ScriptEnv::new(counts, me);
+        let outcome = policy.search(&mut state, &mut env);
+        (outcome, env, state)
+    }
+
+    #[test]
+    fn first_search_starts_at_own_segment() {
+        let (outcome, env, _) = run(vec![3, 0, 0, 0], 0);
+        assert_eq!(outcome, SearchOutcome::Found);
+        assert_eq!(env.probes, vec![0], "own segment probed first");
+    }
+
+    #[test]
+    fn travels_the_ring_in_order() {
+        let (outcome, env, state) = run(vec![0, 0, 0, 6], 1);
+        assert_eq!(outcome, SearchOutcome::Found);
+        assert_eq!(env.probes, vec![1, 2, 3], "ring order from own segment");
+        assert_eq!(state.last_found(), SegIdx::new(3));
+    }
+
+    #[test]
+    fn wraps_around_the_ring() {
+        let (outcome, env, _) = run(vec![5, 0, 0, 0], 2);
+        assert_eq!(outcome, SearchOutcome::Found);
+        assert_eq!(env.probes, vec![2, 3, 0]);
+    }
+
+    #[test]
+    fn resumes_from_last_found() {
+        let policy = LinearSearch::new(4);
+        let mut state = policy.init_state(SegIdx::new(0), 4, 0);
+        let mut env = ScriptEnv::new(vec![0, 0, 4, 0], 0);
+        assert_eq!(policy.search(&mut state, &mut env), SearchOutcome::Found);
+        assert_eq!(state.last_found(), SegIdx::new(2));
+
+        // Victim still has leftovers: the next search must start there and
+        // succeed immediately ("it will usually find elements very quickly").
+        let mut env2 = ScriptEnv::new(env.counts.clone(), 0);
+        assert_eq!(policy.search(&mut state, &mut env2), SearchOutcome::Found);
+        assert_eq!(env2.probes, vec![2]);
+    }
+
+    #[test]
+    fn aborts_when_gate_fires() {
+        let policy = LinearSearch::new(3);
+        let mut state = policy.init_state(SegIdx::new(0), 3, 0);
+        let mut env = ScriptEnv::new(vec![0, 0, 0], 0);
+        env.abort_after = Some(7);
+        assert_eq!(policy.search(&mut state, &mut env), SearchOutcome::Aborted);
+        assert_eq!(env.probes.len(), 7, "kept cycling until the gate fired");
+    }
+
+    #[test]
+    fn single_segment_pool() {
+        let (outcome, env, _) = run(vec![2], 0);
+        assert_eq!(outcome, SearchOutcome::Found);
+        assert_eq!(env.probes, vec![0]);
+    }
+
+    #[test]
+    fn examines_each_segment_once_per_lap() {
+        let policy = LinearSearch::new(8);
+        let mut state = policy.init_state(SegIdx::new(3), 8, 0);
+        let mut env = ScriptEnv::new(vec![0; 8], 3);
+        env.abort_after = Some(8);
+        let _ = policy.search(&mut state, &mut env);
+        let mut sorted = env.probes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "one full lap probes each segment once");
+    }
+}

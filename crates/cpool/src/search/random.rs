@@ -1,0 +1,138 @@
+//! The random search algorithm (§2.3 of Kotz & Ellis 1989).
+//!
+//! "Another simple algorithm chooses segments at random until it finds a
+//! non-empty segment to split."
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::SegIdx;
+
+use super::{ProbeOutcome, SearchEnv, SearchOutcome, SearchPolicy};
+
+/// Random-probing search.
+///
+/// Each probe targets a uniformly random segment (the process's own segment
+/// included, as in the paper). Randomness is deterministic per process: the
+/// per-process RNG is seeded from the pool seed and the process id, so
+/// experiment runs are reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomSearch {
+    segments: usize,
+}
+
+impl RandomSearch {
+    /// Creates a random policy for a pool of `segments` segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments > 0, "pool must have at least one segment");
+        RandomSearch { segments }
+    }
+}
+
+/// Per-process state for [`RandomSearch`]: the process's private RNG.
+#[derive(Clone, Debug)]
+pub struct RandomState {
+    rng: SmallRng,
+}
+
+impl SearchPolicy for RandomSearch {
+    type State = RandomState;
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn init_state(&self, me: SegIdx, segments: usize, seed: u64) -> RandomState {
+        debug_assert_eq!(segments, self.segments);
+        // Mix the process identity into the seed so processes probe
+        // different sequences even with the same pool seed.
+        let mixed = seed ^ (me.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RandomState { rng: SmallRng::seed_from_u64(mixed) }
+    }
+
+    fn search(&self, state: &mut RandomState, env: &mut dyn SearchEnv) -> SearchOutcome {
+        let n = env.segments();
+        debug_assert_eq!(n, self.segments);
+        loop {
+            let victim = SegIdx::new(state.rng.gen_range(0..n));
+            if let ProbeOutcome::Stolen { .. } = env.try_steal(victim) {
+                return SearchOutcome::Found;
+            }
+            if env.should_abort() {
+                return SearchOutcome::Aborted;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::testenv::ScriptEnv;
+
+    #[test]
+    fn finds_the_only_occupied_segment() {
+        let policy = RandomSearch::new(8);
+        let mut state = policy.init_state(SegIdx::new(0), 8, 42);
+        let mut env = ScriptEnv::new(vec![0, 0, 0, 0, 0, 10, 0, 0], 0);
+        assert_eq!(policy.search(&mut state, &mut env), SearchOutcome::Found);
+        assert_eq!(*env.probes.last().unwrap(), 5, "search ends at the occupied segment");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let policy = RandomSearch::new(8);
+        let probes = |seed: u64| {
+            let mut state = policy.init_state(SegIdx::new(2), 8, seed);
+            let mut env = ScriptEnv::new(vec![0; 8], 2);
+            env.abort_after = Some(20);
+            let _ = policy.search(&mut state, &mut env);
+            env.probes
+        };
+        assert_eq!(probes(7), probes(7), "same seed, same probe sequence");
+        assert_ne!(probes(7), probes(8), "different seed, different sequence");
+    }
+
+    #[test]
+    fn distinct_processes_probe_differently() {
+        let policy = RandomSearch::new(8);
+        let probes_for = |me: usize| {
+            let mut state = policy.init_state(SegIdx::new(me), 8, 1);
+            let mut env = ScriptEnv::new(vec![0; 8], me);
+            env.abort_after = Some(20);
+            let _ = policy.search(&mut state, &mut env);
+            env.probes
+        };
+        assert_ne!(probes_for(0), probes_for(1));
+    }
+
+    #[test]
+    fn probes_are_roughly_uniform() {
+        let policy = RandomSearch::new(4);
+        let mut state = policy.init_state(SegIdx::new(0), 4, 99);
+        let mut env = ScriptEnv::new(vec![0; 4], 0);
+        env.abort_after = Some(4000);
+        let _ = policy.search(&mut state, &mut env);
+        let mut hist = [0usize; 4];
+        for p in &env.probes {
+            hist[*p] += 1;
+        }
+        for count in hist {
+            // Each of 4 segments expects ~1000 probes of 4000; allow wide slack.
+            assert!((700..1300).contains(&count), "unexpectedly skewed: {hist:?}");
+        }
+    }
+
+    #[test]
+    fn aborts_when_gate_fires() {
+        let policy = RandomSearch::new(2);
+        let mut state = policy.init_state(SegIdx::new(0), 2, 3);
+        let mut env = ScriptEnv::new(vec![0, 0], 0);
+        env.abort_after = Some(5);
+        assert_eq!(policy.search(&mut state, &mut env), SearchOutcome::Aborted);
+    }
+}

@@ -1,0 +1,283 @@
+//! Shape arithmetic for the superimposed binary search tree.
+//!
+//! Manber's tree search superimposes a full binary tree on the segments,
+//! "with each segment occupying a leaf of the tree. For convenience, we
+//! assume that the tree is full so that the number of leaves is a power of
+//! two." This module holds the pure index arithmetic — heap layout,
+//! parents, siblings, subtree heights, and the *matching descendant* of
+//! Figure 1 — so it can be tested exhaustively in isolation.
+//!
+//! # Heap layout
+//!
+//! Nodes use 1-based heap indices: the root is `1`, node `x` has children
+//! `2x` and `2x+1`, and the `L` leaves occupy `L..2L`. Segment `i` lives at
+//! leaf `L + i`. When the segment count is not a power of two the remaining
+//! leaves are *phantoms*: permanently empty segments that searches probe
+//! (for free) and mark empty like any other.
+
+use crate::ids::SegIdx;
+
+/// Heap index of the tree root.
+pub const ROOT: usize = 1;
+
+/// Geometry of the superimposed tree for a pool with a given segment count.
+///
+/// ```
+/// use cpool::search::topology::TreeShape;
+/// use cpool::SegIdx;
+///
+/// let shape = TreeShape::new(16);
+/// assert_eq!(shape.leaves(), 16);
+/// let leaf = shape.leaf_of(SegIdx::new(5));
+/// assert_eq!(shape.seg_of(leaf), Some(SegIdx::new(5)));
+/// assert_eq!(shape.parent(leaf), leaf / 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TreeShape {
+    segments: usize,
+    leaves: usize,
+}
+
+impl TreeShape {
+    /// Creates the tree shape for `segments` segments.
+    ///
+    /// The leaf count is `segments` rounded up to a power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments > 0, "pool must have at least one segment");
+        TreeShape { segments, leaves: segments.next_power_of_two() }
+    }
+
+    /// Number of real segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Number of leaves (a power of two, ≥ `segments`).
+    pub fn leaves(&self) -> usize {
+        self.leaves
+    }
+
+    /// Total number of heap slots needed to index every node (`2·leaves`;
+    /// slot 0 is unused).
+    pub fn node_slots(&self) -> usize {
+        2 * self.leaves
+    }
+
+    /// Number of internal nodes (`leaves - 1`, heap indices `1..leaves`).
+    pub fn internal_nodes(&self) -> usize {
+        self.leaves - 1
+    }
+
+    /// Heap index of the leaf holding segment `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is out of range.
+    pub fn leaf_of(&self, seg: SegIdx) -> usize {
+        assert!(seg.index() < self.segments, "segment {seg} out of range");
+        self.leaves + seg.index()
+    }
+
+    /// The segment at leaf `leaf`, or `None` for a phantom leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not a leaf index.
+    pub fn seg_of(&self, leaf: usize) -> Option<SegIdx> {
+        assert!(self.is_leaf(leaf), "node {leaf} is not a leaf");
+        let seg = leaf - self.leaves;
+        (seg < self.segments).then(|| SegIdx::new(seg))
+    }
+
+    /// Whether heap index `node` denotes a leaf.
+    pub fn is_leaf(&self, node: usize) -> bool {
+        node >= self.leaves && node < 2 * self.leaves
+    }
+
+    /// Whether `node` is a valid heap index in this shape.
+    pub fn contains(&self, node: usize) -> bool {
+        node >= ROOT && node < 2 * self.leaves
+    }
+
+    /// Parent of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root or out of range.
+    pub fn parent(&self, node: usize) -> usize {
+        assert!(node > ROOT && self.contains(node), "node {node} has no parent");
+        node / 2
+    }
+
+    /// Sibling of `node` (the other child of its parent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root or out of range.
+    pub fn sibling(&self, node: usize) -> usize {
+        assert!(node > ROOT && self.contains(node), "node {node} has no sibling");
+        node ^ 1
+    }
+
+    /// Height of the subtree rooted at `node`: 0 for leaves,
+    /// `log2(leaves)` for the root.
+    pub fn height(&self, node: usize) -> u32 {
+        debug_assert!(self.contains(node));
+        self.leaves.ilog2() - node.ilog2()
+    }
+
+    /// Leaves covered by the subtree rooted at `node`, as a heap-index range.
+    pub fn leaves_under(&self, node: usize) -> std::ops::Range<usize> {
+        let h = self.height(node);
+        let first = node << h;
+        first..first + (1 << h)
+    }
+
+    /// The **matching descendant** (Figure 1 of the paper): given the most
+    /// recently visited leaf `last_leaf` (which lies in the subtree rooted
+    /// at `child`), returns the leaf occupying the symmetric position in the
+    /// *sibling* subtree of `child`.
+    ///
+    /// Because siblings differ exactly in their lowest heap bit, the
+    /// matching descendant is `last_leaf` with the bit at the child's height
+    /// flipped.
+    ///
+    /// ```
+    /// use cpool::search::topology::TreeShape;
+    /// let shape = TreeShape::new(16);
+    /// // Leaf of segment 5 sits in the height-2 subtree over segments 4..8;
+    /// // its match across that subtree's sibling (segments 0..4) is segment 1.
+    /// let leaf5 = shape.leaf_of(5.into());
+    /// let child = leaf5 / 4; // height-2 ancestor
+    /// assert_eq!(shape.matching_descendant(leaf5, child), shape.leaf_of(1.into()));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `last_leaf` does not lie under `child`.
+    pub fn matching_descendant(&self, last_leaf: usize, child: usize) -> usize {
+        debug_assert!(self.is_leaf(last_leaf));
+        debug_assert!(
+            self.leaves_under(child).contains(&last_leaf),
+            "last leaf {last_leaf} is not under child {child}"
+        );
+        last_leaf ^ (1usize << self.height(child))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_of_paper_pool() {
+        let shape = TreeShape::new(16);
+        assert_eq!(shape.leaves(), 16);
+        assert_eq!(shape.internal_nodes(), 15);
+        assert_eq!(shape.node_slots(), 32);
+        assert_eq!(shape.height(ROOT), 4);
+        assert_eq!(shape.height(16), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_rounds_up() {
+        let shape = TreeShape::new(12);
+        assert_eq!(shape.leaves(), 16);
+        assert_eq!(shape.seg_of(shape.leaves() + 11), Some(SegIdx::new(11)));
+        assert_eq!(shape.seg_of(shape.leaves() + 12), None, "phantom leaf");
+    }
+
+    #[test]
+    fn single_segment_tree() {
+        let shape = TreeShape::new(1);
+        assert_eq!(shape.leaves(), 1);
+        assert!(shape.is_leaf(ROOT), "with one leaf the root is the leaf");
+        assert_eq!(shape.internal_nodes(), 0);
+    }
+
+    #[test]
+    fn parent_sibling_consistency() {
+        let shape = TreeShape::new(16);
+        for node in 2..shape.node_slots() {
+            let p = shape.parent(node);
+            let s = shape.sibling(node);
+            assert_eq!(shape.parent(s), p, "siblings share a parent");
+            assert_ne!(s, node);
+            assert_eq!(shape.sibling(s), node, "sibling is an involution");
+            assert!(2 * p == node || 2 * p + 1 == node);
+        }
+    }
+
+    #[test]
+    fn leaves_under_root_is_everything() {
+        let shape = TreeShape::new(8);
+        assert_eq!(shape.leaves_under(ROOT), 8..16);
+        assert_eq!(shape.leaves_under(9), 9..10, "a leaf covers itself");
+    }
+
+    #[test]
+    fn matching_descendant_figure_1() {
+        // 16-segment pool as in Figure 1. For every leaf and every proper
+        // ancestor-child level, the match must (a) lie in the sibling
+        // subtree, (b) occupy the same relative position, (c) be an
+        // involution (matching back returns the original leaf).
+        let shape = TreeShape::new(16);
+        for seg in 0..16 {
+            let leaf = shape.leaf_of(SegIdx::new(seg));
+            let mut child = leaf;
+            while child > ROOT {
+                let m = shape.matching_descendant(leaf, child);
+                let sib = shape.sibling(child);
+                assert!(
+                    shape.leaves_under(sib).contains(&m),
+                    "match lies in the sibling subtree"
+                );
+                let pos = leaf - shape.leaves_under(child).start;
+                let mpos = m - shape.leaves_under(sib).start;
+                assert_eq!(pos, mpos, "match occupies the symmetric position");
+                assert_eq!(shape.matching_descendant(m, sib), leaf, "involution");
+                child = shape.parent(child);
+            }
+        }
+    }
+
+    #[test]
+    fn matching_descendant_concrete_values() {
+        let shape = TreeShape::new(16);
+        let leaf = |s: usize| shape.leaf_of(SegIdx::new(s));
+        // Adjacent leaves match across their shared parent.
+        assert_eq!(shape.matching_descendant(leaf(6), leaf(6)), leaf(7));
+        // Segment 5 around its height-2 ancestor: 5 ^ 4 = 1.
+        assert_eq!(shape.matching_descendant(leaf(5), leaf(5) >> 2), leaf(1));
+        // Segment 5 around the root's child: 5 ^ 8 = 13.
+        assert_eq!(shape.matching_descendant(leaf(5), leaf(5) >> 3), leaf(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _ = TreeShape::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_of_out_of_range_panics() {
+        let shape = TreeShape::new(4);
+        let _ = shape.leaf_of(SegIdx::new(4));
+    }
+
+    #[test]
+    fn height_levels() {
+        let shape = TreeShape::new(16);
+        assert_eq!(shape.height(1), 4);
+        assert_eq!(shape.height(2), 3);
+        assert_eq!(shape.height(3), 3);
+        assert_eq!(shape.height(4), 2);
+        assert_eq!(shape.height(8), 1);
+        assert_eq!(shape.height(31), 0);
+    }
+}

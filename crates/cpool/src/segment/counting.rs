@@ -1,0 +1,243 @@
+//! Counting segments: the paper's measurement simplification.
+//!
+//! "We simplified the segments, representing them as a single counter that
+//! is atomically added to, subtracted from, or split in half (since the
+//! values of the elements do not matter to the simulation, we need only
+//! store the number of elements in each segment)." — Kotz & Ellis, §3.2.
+//!
+//! Two variants are provided so the locking discipline itself can be
+//! studied (the 1989 implementation used locks; modern hardware offers
+//! compare-and-swap):
+//!
+//! * [`LockedCounter`] — a mutex-protected count, mirroring the paper.
+//! * [`AtomicCounter`] — a lock-free CAS loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use super::{steal_count, Segment};
+
+/// Mutex-protected element count (the paper's segment representation).
+///
+/// ```
+/// use cpool::segment::{LockedCounter, Segment};
+/// let seg = LockedCounter::new();
+/// seg.add(());
+/// seg.add(());
+/// seg.add(());
+/// assert_eq!(seg.steal_half().len(), 2); // ceil(3/2)
+/// assert_eq!(seg.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockedCounter {
+    count: Mutex<usize>,
+}
+
+impl Segment for LockedCounter {
+    type Item = ();
+
+    fn new() -> Self {
+        LockedCounter { count: Mutex::new(0) }
+    }
+
+    fn add(&self, _item: ()) {
+        *self.count.lock() += 1;
+    }
+
+    fn try_remove(&self) -> Option<()> {
+        let mut count = self.count.lock();
+        if *count == 0 {
+            None
+        } else {
+            *count -= 1;
+            Some(())
+        }
+    }
+
+    fn len(&self) -> usize {
+        *self.count.lock()
+    }
+
+    fn steal_half(&self) -> Vec<()> {
+        let taken = {
+            let mut count = self.count.lock();
+            let taken = steal_count(*count);
+            *count -= taken;
+            taken
+        };
+        // Vec<()> never allocates: this is just a length.
+        vec![(); taken]
+    }
+
+    fn add_bulk(&self, items: Vec<()>) {
+        *self.count.lock() += items.len();
+    }
+}
+
+/// Lock-free element count using a compare-and-swap loop.
+///
+/// Behaviourally identical to [`LockedCounter`]; used as an ablation to ask
+/// whether the paper's segment-lock overhead changes any conclusion.
+///
+/// ```
+/// use cpool::segment::{AtomicCounter, Segment};
+/// let seg = AtomicCounter::new();
+/// seg.add_bulk(vec![(); 5]);
+/// assert_eq!(seg.len(), 5);
+/// assert!(seg.try_remove().is_some());
+/// assert_eq!(seg.steal_half().len(), 2); // ceil(4/2)
+/// ```
+#[derive(Debug, Default)]
+pub struct AtomicCounter {
+    count: AtomicUsize,
+}
+
+impl Segment for AtomicCounter {
+    type Item = ();
+
+    fn new() -> Self {
+        AtomicCounter { count: AtomicUsize::new(0) }
+    }
+
+    fn add(&self, _item: ()) {
+        self.count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn try_remove(&self) -> Option<()> {
+        let mut current = self.count.load(Ordering::Acquire);
+        loop {
+            if current == 0 {
+                return None;
+            }
+            match self.count.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+
+    fn steal_half(&self) -> Vec<()> {
+        let mut current = self.count.load(Ordering::Acquire);
+        loop {
+            let taken = steal_count(current);
+            if taken == 0 {
+                return Vec::new();
+            }
+            match self.count.compare_exchange_weak(
+                current,
+                current - taken,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return vec![(); taken],
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn add_bulk(&self, items: Vec<()>) {
+        if !items.is_empty() {
+            self.count.fetch_add(items.len(), Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn hammer<S: Segment<Item = ()> + 'static>() {
+        let seg = Arc::new(S::new());
+        let threads = 4;
+        let per_thread = 2500usize;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let seg = Arc::clone(&seg);
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        seg.add(());
+                    }
+                });
+            }
+        });
+        assert_eq!(seg.len(), threads * per_thread);
+
+        // Concurrent removers + thieves must conserve the count.
+        let removed = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for t in 0..threads {
+                let seg = Arc::clone(&seg);
+                let removed = Arc::clone(&removed);
+                s.spawn(move || {
+                    if t % 2 == 0 {
+                        for _ in 0..per_thread {
+                            if seg.try_remove().is_some() {
+                                removed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        for _ in 0..32 {
+                            let batch = seg.steal_half();
+                            removed.fetch_add(batch.len(), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            removed.load(Ordering::Relaxed) + seg.len(),
+            threads * per_thread,
+            "elements are conserved under concurrent remove/steal"
+        );
+    }
+
+    #[test]
+    fn locked_counter_concurrent_conservation() {
+        hammer::<LockedCounter>();
+    }
+
+    #[test]
+    fn atomic_counter_concurrent_conservation() {
+        hammer::<AtomicCounter>();
+    }
+
+    #[test]
+    fn steal_half_sequence_drains() {
+        // Repeated halving of 20 elements: 10, 5, 3, 1, 1 (sizes after each
+        // steal: 10, 5, 2, 1, 0).
+        let seg = LockedCounter::new();
+        seg.add_bulk(vec![(); 20]);
+        let takes: Vec<usize> = std::iter::from_fn(|| {
+            let batch = seg.steal_half();
+            if batch.is_empty() {
+                None
+            } else {
+                Some(batch.len())
+            }
+        })
+        .collect();
+        assert_eq!(takes, vec![10, 5, 3, 1, 1]);
+        assert!(seg.is_empty());
+    }
+
+    #[test]
+    fn zst_batches_do_not_allocate() {
+        // Vec<()> has zero-sized elements; capacity is usize::MAX and no heap
+        // allocation happens. This is what makes the unified batch API free
+        // for counting segments.
+        let v = vec![(); 1_000_000];
+        assert_eq!(v.capacity(), usize::MAX);
+    }
+}

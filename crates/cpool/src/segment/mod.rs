@@ -1,0 +1,192 @@
+//! Pool segments: the per-processor local component of a concurrent pool.
+//!
+//! Manber's pool partitions its elements into one segment per processor;
+//! each process adds to and removes from its own segment, and *steals
+//! roughly half* of a remote segment when its own runs dry.
+//!
+//! Two families are provided:
+//!
+//! * **Counting segments** ([`LockedCounter`], [`AtomicCounter`]) store only
+//!   the number of elements. This is the simplification §3.2 of Kotz &
+//!   Ellis (1989) adopts for measurement: "we simplified the segments,
+//!   representing them as a single counter that is atomically added to,
+//!   subtracted from, or split in half", which "minimizes the time involved
+//!   in segment operations, allowing the search time to dominate".
+//! * **Element segments** ([`VecSegment`], [`BlockSegment`]) store real
+//!   values, for applications (the paper's tic-tac-toe study stores game
+//!   positions).
+//!
+//! # The steal rule
+//!
+//! [`Segment::steal_half`] implements the paper's rule: take
+//! ⌈n/2⌉ elements, which for `n == 1` degenerates to "that element is taken
+//! immediately". The victim keeps ⌊n/2⌋.
+
+mod block;
+mod counting;
+mod vec;
+
+pub use block::BlockSegment;
+pub use counting::{AtomicCounter, LockedCounter};
+pub use vec::VecSegment;
+
+/// A single pool segment.
+///
+/// All methods take `&self`: segments are internally synchronized so that a
+/// remote thief and the local owner can race safely. Implementations must
+/// never hold an internal lock while calling user code.
+///
+/// # Consistency
+///
+/// `len` is a snapshot: by the time the caller inspects the value another
+/// process may have changed the segment. The pool's algorithms only use it
+/// as a hint (probing emptiness) and for instrumentation.
+pub trait Segment: Send + Sync + 'static {
+    /// The element type stored in the segment.
+    ///
+    /// Counting segments use `()`: a zero-sized item makes `Vec<Item>`
+    /// allocation-free, so the unified batch-based steal interface costs
+    /// nothing for the counter representation.
+    type Item: Send + 'static;
+
+    /// Creates an empty segment.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Adds one element to the segment.
+    fn add(&self, item: Self::Item);
+
+    /// Removes an arbitrary element, or `None` if the segment is empty.
+    fn try_remove(&self) -> Option<Self::Item>;
+
+    /// Number of elements currently in the segment (snapshot).
+    fn len(&self) -> usize;
+
+    /// Whether the segment is currently empty (snapshot).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Atomically removes ⌈n/2⌉ of the `n` elements present and returns
+    /// them; returns an empty batch if the segment was empty.
+    ///
+    /// This is the thief side of the steal protocol. The batch is handed
+    /// back by value so the thief can move it into its own segment without
+    /// ever holding two segment locks at once (deadlock freedom by
+    /// construction).
+    fn steal_half(&self) -> Vec<Self::Item>;
+
+    /// Adds a batch of elements (the thief refilling its own segment).
+    fn add_bulk(&self, items: Vec<Self::Item>);
+}
+
+/// Number of elements a thief takes from a segment of length `n`: ⌈n/2⌉.
+///
+/// Exposed so tests and analytical models can share the exact rule.
+///
+/// ```
+/// use cpool::segment::steal_count;
+/// assert_eq!(steal_count(0), 0);
+/// assert_eq!(steal_count(1), 1); // "taken immediately"
+/// assert_eq!(steal_count(2), 1);
+/// assert_eq!(steal_count(9), 5);
+/// ```
+pub fn steal_count(n: usize) -> usize {
+    n - n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steal_count_is_ceil_half() {
+        for n in 0..1000 {
+            assert_eq!(steal_count(n), n.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn steal_count_leaves_floor_half() {
+        for n in 0..1000 {
+            assert_eq!(n - steal_count(n), n / 2);
+        }
+    }
+
+    /// Generic contract test run against every segment implementation.
+    fn check_contract<S: Segment<Item = ()>>() {
+        let seg = S::new();
+        assert!(seg.is_empty());
+        assert_eq!(seg.len(), 0);
+        assert!(seg.try_remove().is_none());
+        assert!(seg.steal_half().is_empty());
+
+        for _ in 0..10 {
+            seg.add(());
+        }
+        assert_eq!(seg.len(), 10);
+        assert!(!seg.is_empty());
+
+        let stolen = seg.steal_half();
+        assert_eq!(stolen.len(), 5);
+        assert_eq!(seg.len(), 5);
+
+        seg.add_bulk(stolen);
+        assert_eq!(seg.len(), 10);
+
+        let mut removed = 0;
+        while seg.try_remove().is_some() {
+            removed += 1;
+        }
+        assert_eq!(removed, 10);
+        assert!(seg.is_empty());
+    }
+
+    #[test]
+    fn locked_counter_contract() {
+        check_contract::<LockedCounter>();
+    }
+
+    #[test]
+    fn atomic_counter_contract() {
+        check_contract::<AtomicCounter>();
+    }
+
+    fn check_element_contract<S: Segment<Item = u32>>() {
+        let seg = S::new();
+        for i in 0..9u32 {
+            seg.add(i);
+        }
+        let stolen = seg.steal_half();
+        assert_eq!(stolen.len(), 5);
+        assert_eq!(seg.len(), 4);
+        // Between them, the stolen batch and the residue hold exactly the
+        // original elements (the pool is unordered but must conserve items).
+        let mut all: Vec<u32> = stolen;
+        while let Some(x) = seg.try_remove() {
+            all.push(x);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_segment_contract() {
+        check_element_contract::<VecSegment<u32>>();
+    }
+
+    #[test]
+    fn block_segment_contract() {
+        check_element_contract::<BlockSegment<u32>>();
+    }
+
+    #[test]
+    fn single_element_taken_immediately() {
+        let seg = VecSegment::<u32>::new();
+        seg.add(42);
+        let stolen = seg.steal_half();
+        assert_eq!(stolen, vec![42], "a lone element is taken outright");
+        assert!(seg.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the hint board: arbitrary interleavings of
+//! post/donate/take/cancel against a model, with exact conservation.
+
+use proptest::prelude::*;
+
+use cpool::{HintBoard, ProcId};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Post(u8),
+    Donate(u32),
+    Take(u8),
+    Cancel(u8),
+}
+
+fn script(procs: u8) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..procs).prop_map(Op::Post),
+            (0u32..10_000).prop_map(Op::Donate),
+            (0..procs).prop_map(Op::Take),
+            (0..procs).prop_map(Op::Cancel),
+        ],
+        0..300,
+    )
+}
+
+/// Model of one mailbox.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+enum Slot {
+    #[default]
+    Idle,
+    Waiting,
+    Delivered(u32),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The board agrees with a sequential model on every observable after
+    /// every step: waiting count, delivery visibility, and which element
+    /// each take/cancel returns. Donations and refusals conserve elements.
+    #[test]
+    fn board_matches_sequential_model(ops in script(4)) {
+        let procs = 4usize;
+        let board: HintBoard<u32> = HintBoard::new(procs);
+        let mut model = vec![Slot::Idle; procs];
+
+        let model_waiting =
+            |m: &[Slot]| m.iter().filter(|s| matches!(s, Slot::Waiting)).count();
+
+        for op in &ops {
+            match op {
+                Op::Post(p) => {
+                    let p = *p as usize;
+                    let accepted = board.post(ProcId::new(p));
+                    prop_assert_eq!(accepted, model[p] == Slot::Idle);
+                    if accepted {
+                        model[p] = Slot::Waiting;
+                    }
+                }
+                Op::Donate(v) => {
+                    match board.try_donate(*v) {
+                        Ok(receiver) => {
+                            let r = receiver.index();
+                            prop_assert_eq!(model[r], Slot::Waiting,
+                                "donations land on posted processes");
+                            model[r] = Slot::Delivered(*v);
+                        }
+                        Err(back) => {
+                            prop_assert_eq!(back, *v, "refusal returns the element");
+                            prop_assert_eq!(model_waiting(&model), 0,
+                                "refusal only when nobody waits");
+                        }
+                    }
+                }
+                Op::Take(p) => {
+                    let p = *p as usize;
+                    let got = board.take_delivery(ProcId::new(p));
+                    match model[p] {
+                        Slot::Delivered(v) => {
+                            prop_assert_eq!(got, Some(v));
+                            model[p] = Slot::Idle;
+                        }
+                        _ => prop_assert_eq!(got, None),
+                    }
+                }
+                Op::Cancel(p) => {
+                    let p = *p as usize;
+                    let got = board.cancel(ProcId::new(p));
+                    match model[p] {
+                        Slot::Delivered(v) => prop_assert_eq!(got, Some(v)),
+                        _ => prop_assert_eq!(got, None),
+                    }
+                    model[p] = Slot::Idle;
+                }
+            }
+            prop_assert_eq!(board.waiting(), model_waiting(&model));
+            for (i, slot) in model.iter().enumerate() {
+                prop_assert_eq!(
+                    board.delivered(ProcId::new(i)),
+                    matches!(slot, Slot::Delivered(_)),
+                    "slot {} visibility", i
+                );
+            }
+        }
+    }
+
+    /// Concurrent stress: every donated element is either refused or taken
+    /// exactly once; the board never fabricates or loses elements.
+    #[test]
+    fn concurrent_conservation(donors in 1usize..4, elements in 1u32..300) {
+        let procs = 3usize;
+        let board: HintBoard<u32> = HintBoard::new(procs);
+        let taken = std::sync::Mutex::new(Vec::new());
+        let refused = std::sync::Mutex::new(Vec::new());
+        let done = std::sync::atomic::AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for p in 0..procs {
+                let board = &board;
+                let taken = &taken;
+                let done = &done;
+                s.spawn(move || {
+                    let me = ProcId::new(p);
+                    while !done.load(std::sync::atomic::Ordering::Acquire) {
+                        board.post(me);
+                        if let Some(v) = board.take_delivery(me) {
+                            taken.lock().unwrap().push(v);
+                        }
+                        std::thread::yield_now();
+                    }
+                    // Drain whatever arrived before the stop signal.
+                    if let Some(v) = board.cancel(me) {
+                        taken.lock().unwrap().push(v);
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..donors)
+                .map(|d| {
+                    let board = &board;
+                    let refused = &refused;
+                    s.spawn(move || {
+                        for i in 0..elements {
+                            let v = d as u32 * 1_000_000 + i;
+                            if let Err(back) = board.try_donate(v) {
+                                refused.lock().unwrap().push(back);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("donor finished");
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        });
+
+        let mut all = taken.into_inner().unwrap();
+        all.extend(refused.into_inner().unwrap());
+        all.sort_unstable();
+        let mut expected: Vec<u32> = (0..donors as u32)
+            .flat_map(|d| (0..elements).map(move |i| d * 1_000_000 + i))
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(all, expected, "taken + refused == donated, exactly once each");
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the keyed pool (distinguishable elements):
+//! arbitrary keyed scripts against a multimap model.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cpool::{KeyedPool, RemoveError};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Add(u8, u16),
+    RemoveKey(u8),
+    RemoveAny,
+}
+
+fn script() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0u8..5), (0u16..1000)).prop_map(|(k, v)| Op::Add(k, v)),
+            (0u8..5).prop_map(Op::RemoveKey),
+            Just(Op::RemoveAny),
+        ],
+        0..250,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single process: the keyed pool behaves exactly like a multimap.
+    /// Keyed removes return values of the requested key; totals and per-key
+    /// counts track the model at every step.
+    #[test]
+    fn keyed_pool_is_a_multimap(ops in script(), segs in 1usize..7) {
+        let pool: KeyedPool<u8, u16> = KeyedPool::new(segs);
+        let mut h = pool.register();
+        let mut model: BTreeMap<u8, Vec<u16>> = BTreeMap::new();
+        let mut model_len = 0usize;
+
+        for op in &ops {
+            match op {
+                Op::Add(k, v) => {
+                    h.add(*k, *v);
+                    model.entry(*k).or_default().push(*v);
+                    model_len += 1;
+                }
+                Op::RemoveKey(k) => {
+                    let bucket_len = model.get(k).map_or(0, Vec::len);
+                    if bucket_len == 0 {
+                        // A lone process aborts once its lap finds nothing.
+                        prop_assert_eq!(h.try_remove_key(k), Err(RemoveError::Aborted));
+                    } else {
+                        let v = h.try_remove_key(k).expect("key present");
+                        let bucket = model.get_mut(k).expect("model has key");
+                        let at = bucket.iter().position(|&m| m == v)
+                            .expect("returned value belongs to the key");
+                        bucket.swap_remove(at);
+                        if bucket.is_empty() {
+                            model.remove(k);
+                        }
+                        model_len -= 1;
+                    }
+                }
+                Op::RemoveAny => {
+                    if model_len == 0 {
+                        prop_assert_eq!(h.try_remove_any(), Err(RemoveError::Aborted));
+                    } else {
+                        let (k, v) = h.try_remove_any().expect("pool non-empty");
+                        let bucket = model.get_mut(&k).expect("model has key");
+                        let at = bucket.iter().position(|&m| m == v)
+                            .expect("returned value belongs to the key");
+                        bucket.swap_remove(at);
+                        if bucket.is_empty() {
+                            model.remove(&k);
+                        }
+                        model_len -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(pool.total_len(), model_len);
+            for (k, bucket) in &model {
+                prop_assert_eq!(pool.key_len(k), bucket.len(), "key {}", k);
+            }
+        }
+    }
+
+    /// Keyed steals never cross keys: with values encoding their key, every
+    /// keyed remove returns a matching value, whatever got stolen meanwhile.
+    #[test]
+    fn keyed_steals_respect_keys(
+        adds in prop::collection::vec((0u8..3, 0u16..500), 1..150),
+        segs in 2usize..5,
+    ) {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(segs);
+        // Producer on segment 0; consumer homes elsewhere so removes steal.
+        let mut producer = pool.register();
+        let mut consumer = pool.register();
+        let mut counts: BTreeMap<u8, usize> = BTreeMap::new();
+        for (k, v) in &adds {
+            // Encode the key in the value to catch cross-key leaks.
+            producer.add(*k, u32::from(*k) << 16 | u32::from(*v));
+            *counts.entry(*k).or_default() += 1;
+        }
+        for (k, count) in counts {
+            for _ in 0..count {
+                let v = consumer.try_remove_key(&k).expect("supply matches demand");
+                prop_assert_eq!((v >> 16) as u8, k, "value belongs to its key");
+            }
+        }
+        prop_assert_eq!(pool.total_len(), 0);
+    }
+
+    /// Statistics identities hold for arbitrary keyed usage.
+    #[test]
+    fn keyed_stats_identities(ops in script()) {
+        let pool: KeyedPool<u8, u16> = KeyedPool::new(4);
+        {
+            let mut h = pool.register();
+            let mut live = 0usize;
+            for op in &ops {
+                match op {
+                    Op::Add(k, v) => {
+                        h.add(*k, *v);
+                        live += 1;
+                    }
+                    // Guard: empty-pool removes abort (lone process).
+                    Op::RemoveAny if live > 0 => {
+                        let _ = h.try_remove_any().expect("non-empty");
+                        live -= 1;
+                    }
+                    _ => {
+                        // Keyed removes may or may not find their key; both
+                        // outcomes are exercised by the multimap test above.
+                    }
+                }
+            }
+        }
+        let m = pool.stats().merged();
+        prop_assert_eq!(m.ops(), m.adds + m.removes + m.aborted_removes);
+        prop_assert!(m.elements_stolen >= m.steals);
+        prop_assert!(m.removes + pool.total_len() as u64 == m.adds,
+            "adds = removes + residue");
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the whole pool: arbitrary single- and
+//! multi-process operation scripts against a reference model.
+
+use proptest::prelude::*;
+
+use cpool::prelude::*;
+use cpool::{PolicyKind, RemoveError};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Add(u16),
+    Remove,
+}
+
+fn script() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![(0u16..500).prop_map(Op::Add), Just(Op::Remove)],
+        0..300,
+    )
+}
+
+fn policy_kind() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Linear),
+        Just(PolicyKind::Random),
+        Just(PolicyKind::Tree),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single process, multi-segment pool: behaves exactly like a multiset.
+    /// Removes succeed iff the pool is non-empty (a lone process aborts on
+    /// an empty pool rather than deadlocking).
+    #[test]
+    fn single_process_pool_is_a_multiset(kind in policy_kind(), ops in script(), segs in 1usize..9) {
+        let policy = kind.build(segs, Default::default());
+        let pool: Pool<VecSegment<u16>, DynPolicy> =
+            PoolBuilder::new(segs).seed(7).build_with_policy(policy);
+        let mut h = pool.register();
+        let mut model: Vec<u16> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Add(v) => {
+                    h.add(*v);
+                    model.push(*v);
+                }
+                Op::Remove => match h.try_remove() {
+                    Ok(v) => {
+                        let at = model.iter().position(|&m| m == v)
+                            .expect("pool returned a value the model holds");
+                        model.swap_remove(at);
+                    }
+                    Err(RemoveError::Aborted) => prop_assert!(model.is_empty()),
+                },
+            }
+            prop_assert_eq!(pool.total_len(), model.len());
+        }
+
+        // Stats identity: adds - removes == residue.
+        let stats = h.stats();
+        prop_assert_eq!(stats.adds - stats.removes, model.len() as u64);
+    }
+
+    /// Multi-process: N handles split one script round-robin; afterwards the
+    /// union of everything removed plus the residue equals everything added.
+    #[test]
+    fn multi_process_conserves(kind in policy_kind(), ops in script(), procs in 2usize..6) {
+        let policy = kind.build(procs, Default::default());
+        let pool: Pool<VecSegment<u16>, DynPolicy> =
+            PoolBuilder::new(procs).seed(13).build_with_policy(policy);
+        let mut handles: Vec<_> = (0..procs).map(|_| pool.register()).collect();
+
+        let mut added: Vec<u16> = Vec::new();
+        let mut removed: Vec<u16> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let h = &mut handles[i % procs];
+            match op {
+                Op::Add(v) => {
+                    h.add(*v);
+                    added.push(*v);
+                }
+                // Removing from an empty pool while other *idle* handles
+                // stay registered would search forever (the §3.2 gate only
+                // fires when every registered process searches, which models
+                // the paper's all-processes-active workloads). The script is
+                // single-threaded, so skip those removes.
+                Op::Remove if added.len() > removed.len() => {
+                    let v = h.try_remove().expect("non-empty pool yields");
+                    removed.push(v);
+                }
+                Op::Remove => {}
+            }
+        }
+
+        // Drop every handle but one: the survivor can then drain the pool
+        // alone. Its aborts are conservative (they can fire before the ring
+        // walk reaches a stocked segment), so retry until the pool is
+        // observed empty — the abort-path cursor persistence guarantees the
+        // retries make progress around the ring.
+        let mut drainer = handles.remove(0);
+        drop(handles);
+        let mut residue = Vec::new();
+        loop {
+            match drainer.try_remove() {
+                Ok(v) => residue.push(v),
+                Err(RemoveError::Aborted) => {
+                    if pool.total_len() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(pool.total_len(), 0);
+
+        let mut lhs = removed;
+        lhs.extend(residue);
+        lhs.sort_unstable();
+        added.sort_unstable();
+        prop_assert_eq!(lhs, added, "removed + residue == added (as multisets)");
+    }
+
+    /// The livelock gate's invariant at the pool level: a *lone* registered
+    /// process never blocks in `try_remove`, whatever the pool size.
+    #[test]
+    fn lone_process_never_blocks(kind in policy_kind(), segs in 1usize..20) {
+        let policy = kind.build(segs, Default::default());
+        let pool: Pool<LockedCounter, DynPolicy> =
+            PoolBuilder::new(segs).build_with_policy(policy);
+        let mut h = pool.register();
+        prop_assert_eq!(h.try_remove(), Err(RemoveError::Aborted));
+        h.add(());
+        prop_assert!(h.try_remove().is_ok());
+    }
+
+    /// Steal accounting: after any script, elements_stolen ≥ steals and
+    /// segments_examined ≥ steals (each steal examined at least the victim).
+    #[test]
+    fn steal_accounting_inequalities(kind in policy_kind(), ops in script()) {
+        let procs = 4;
+        let policy = kind.build(procs, Default::default());
+        let pool: Pool<VecSegment<u16>, DynPolicy> =
+            PoolBuilder::new(procs).seed(3).build_with_policy(policy);
+        let mut handles: Vec<_> = (0..procs).map(|_| pool.register()).collect();
+        let mut live = 0usize;
+        for (i, op) in ops.iter().enumerate() {
+            let h = &mut handles[i % procs];
+            match op {
+                Op::Add(v) => {
+                    h.add(*v);
+                    live += 1;
+                }
+                // See multi_process_conserves: empty-pool removes with idle
+                // registered peers would search forever in this
+                // single-threaded driver.
+                Op::Remove if live > 0 => {
+                    let _ = h.try_remove().expect("non-empty pool yields");
+                    live -= 1;
+                }
+                Op::Remove => {}
+            }
+        }
+        drop(handles);
+        let m = pool.stats().merged();
+        prop_assert!(m.elements_stolen >= m.steals);
+        prop_assert!(m.segments_examined >= m.steals);
+        prop_assert!(m.removes + m.aborted_removes + m.adds == m.ops());
+    }
+}

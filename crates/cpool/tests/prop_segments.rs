@@ -1,0 +1,182 @@
+//! Property-based tests for the segment implementations: every segment kind
+//! must behave like a simple model (a multiset / a counter) under arbitrary
+//! operation sequences, and `steal_half` must obey the paper's ⌈n/2⌉ rule.
+
+use proptest::prelude::*;
+
+use cpool::segment::steal_count;
+use cpool::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
+
+/// One step of a generated workload.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Add(u32),
+    Remove,
+    StealHalf,
+    AddBulk(u8),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..1000).prop_map(Step::Add),
+            Just(Step::Remove),
+            Just(Step::StealHalf),
+            (0u8..16).prop_map(Step::AddBulk),
+        ],
+        0..200,
+    )
+}
+
+/// Drives a counting segment and a plain integer model in lockstep.
+fn check_counting_model<S: Segment<Item = ()>>(script: &[Step]) {
+    let seg = S::new();
+    let mut model: usize = 0;
+    for step in script {
+        match step {
+            Step::Add(_) => {
+                seg.add(());
+                model += 1;
+            }
+            Step::Remove => {
+                let got = seg.try_remove().is_some();
+                assert_eq!(got, model > 0, "remove succeeds iff non-empty");
+                if got {
+                    model -= 1;
+                }
+            }
+            Step::StealHalf => {
+                let stolen = seg.steal_half();
+                assert_eq!(stolen.len(), steal_count(model), "⌈n/2⌉ rule");
+                model -= stolen.len();
+            }
+            Step::AddBulk(k) => {
+                seg.add_bulk(vec![(); *k as usize]);
+                model += *k as usize;
+            }
+        }
+        assert_eq!(seg.len(), model, "len tracks the model");
+        assert_eq!(seg.is_empty(), model == 0);
+    }
+}
+
+/// Drives an element segment and a multiset model in lockstep: elements are
+/// conserved and never invented.
+fn check_element_model<S: Segment<Item = u32>>(script: &[Step]) {
+    let seg = S::new();
+    let mut model: Vec<u32> = Vec::new();
+    let mut next_bulk = 10_000u32;
+    for step in script {
+        match step {
+            Step::Add(v) => {
+                seg.add(*v);
+                model.push(*v);
+            }
+            Step::Remove => match seg.try_remove() {
+                Some(v) => {
+                    let at = model.iter().position(|&m| m == v).expect("removed a known value");
+                    model.swap_remove(at);
+                }
+                None => assert!(model.is_empty()),
+            },
+            Step::StealHalf => {
+                let stolen = seg.steal_half();
+                assert_eq!(stolen.len(), steal_count(model.len()));
+                for v in stolen {
+                    let at = model.iter().position(|&m| m == v).expect("stole a known value");
+                    model.swap_remove(at);
+                }
+            }
+            Step::AddBulk(k) => {
+                let batch: Vec<u32> = (0..*k as u32).map(|i| next_bulk + i).collect();
+                next_bulk += u32::from(*k);
+                model.extend(&batch);
+                seg.add_bulk(batch);
+            }
+        }
+        assert_eq!(seg.len(), model.len());
+    }
+    // Drain and compare the full multiset.
+    let mut rest = Vec::new();
+    while let Some(v) = seg.try_remove() {
+        rest.push(v);
+    }
+    rest.sort_unstable();
+    model.sort_unstable();
+    assert_eq!(rest, model, "the segment holds exactly the model's elements");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn locked_counter_matches_model(script in steps()) {
+        check_counting_model::<LockedCounter>(&script);
+    }
+
+    #[test]
+    fn atomic_counter_matches_model(script in steps()) {
+        check_counting_model::<AtomicCounter>(&script);
+    }
+
+    #[test]
+    fn vec_segment_matches_model(script in steps()) {
+        check_element_model::<VecSegment<u32>>(&script);
+    }
+
+    #[test]
+    fn block_segment_matches_model(script in steps()) {
+        check_element_model::<BlockSegment<u32>>(&script);
+    }
+
+    /// The steal rule itself: thief takes ⌈n/2⌉, victim keeps ⌊n/2⌋, and a
+    /// repeated steal geometrically drains any segment in ≤ log2(n)+1 steps.
+    #[test]
+    fn steal_count_properties(n in 0usize..1_000_000) {
+        let taken = steal_count(n);
+        prop_assert_eq!(taken + n / 2, n, "takes ⌈n/2⌉, leaves ⌊n/2⌋");
+        prop_assert!(taken <= n);
+        if n > 0 {
+            prop_assert!(taken >= 1, "a non-empty segment always yields");
+        }
+        // Geometric drain bound.
+        let mut left = n;
+        let mut rounds = 0;
+        while left > 0 {
+            left -= steal_count(left);
+            rounds += 1;
+        }
+        prop_assert!(rounds <= n.max(1).ilog2() as usize + 2, "drains in O(log n) steals");
+    }
+
+    /// Concurrent thieves on one segment: nothing is lost or duplicated.
+    #[test]
+    fn concurrent_steals_conserve(initial in 1usize..400, thieves in 1usize..6) {
+        let seg = VecSegment::<u32>::new();
+        for i in 0..initial {
+            seg.add(i as u32);
+        }
+        let mut batches: Vec<Vec<u32>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..thieves)
+                .map(|_| s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let b = seg.steal_half();
+                        if b.is_empty() {
+                            break mine;
+                        }
+                        mine.extend(b);
+                    }
+                }))
+                .collect();
+            for h in handles {
+                batches.push(h.join().expect("thief panicked"));
+            }
+        });
+        let mut all: Vec<u32> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..initial as u32).collect::<Vec<_>>());
+        prop_assert_eq!(seg.len(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the statistics layer: the log₂ histogram against
+//! an exact model, and the derived-metric identities of `ProcStats`.
+
+use proptest::prelude::*;
+
+use cpool::{Histogram, ProcStats};
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..100,
+            1u64..1_000_000,
+            (0u32..63).prop_map(|b| 1u64 << b),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// count/sum/min/max/mean agree with an exact model for any sample set.
+    /// The histogram's sum saturates by design (it aggregates virtual-time
+    /// nanoseconds over arbitrarily long runs), so the model saturates too.
+    #[test]
+    fn histogram_matches_exact_model(xs in samples()) {
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        let model_sum = xs.iter().fold(0u64, |acc, &x| acc.saturating_add(x));
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.sum(), model_sum);
+        prop_assert_eq!(h.min(), xs.iter().min().copied());
+        prop_assert_eq!(h.max(), xs.iter().max().copied());
+        if let Some(mean) = h.mean() {
+            let exact = model_sum as f64 / xs.len() as f64;
+            prop_assert!((mean - exact).abs() < 1e-6 * exact.max(1.0));
+        }
+    }
+
+    /// The quantile is bucket-accurate: the reported value is ≥ the exact
+    /// quantile and within one power of two of it (the bucket's width), and
+    /// quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate(mut xs in samples()) {
+        prop_assume!(!xs.is_empty());
+        let mut h = Histogram::new();
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_unstable();
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let rank = ((q * xs.len() as f64).ceil() as usize).clamp(1, xs.len());
+            let exact = xs[rank - 1];
+            let reported = h.quantile(q).expect("non-empty");
+            prop_assert!(reported >= exact, "q={q}: {reported} >= {exact}");
+            prop_assert!(
+                reported <= exact.saturating_mul(2).max(1),
+                "q={q}: {reported} within the 2x bucket of {exact}"
+            );
+        }
+        // Monotonicity.
+        let qs: Vec<u64> = (0..=10).map(|i| h.quantile(i as f64 / 10.0).unwrap()).collect();
+        prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// merge(a, b) is exactly record(a ++ b).
+    #[test]
+    fn histogram_merge_is_concat(xs in samples(), ys in samples()) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for &x in &xs {
+            a.record(x);
+            c.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            c.record(y);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), c.count());
+        prop_assert_eq!(a.sum(), c.sum());
+        prop_assert_eq!(a.min(), c.min());
+        prop_assert_eq!(a.max(), c.max());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            prop_assert_eq!(a.quantile(q), c.quantile(q));
+        }
+    }
+
+    /// ProcStats::merge is commutative and associative on every derived
+    /// metric (so per-process order cannot change an experiment's results).
+    #[test]
+    fn proc_stats_merge_is_commutative_and_associative(
+        a in arb_stats(), b in arb_stats(), c in arb_stats()
+    ) {
+        let ab_c = {
+            let mut x = a.clone();
+            x.merge(&b);
+            x.merge(&c);
+            x
+        };
+        let a_bc = {
+            let mut y = b.clone();
+            y.merge(&c);
+            let mut x = a.clone();
+            x.merge(&y);
+            x
+        };
+        let ba_c = {
+            let mut x = b.clone();
+            x.merge(&a);
+            x.merge(&c);
+            x
+        };
+        for (lhs, rhs) in [(&ab_c, &a_bc), (&ab_c, &ba_c)] {
+            prop_assert_eq!(lhs.ops(), rhs.ops());
+            prop_assert_eq!(lhs.adds, rhs.adds);
+            prop_assert_eq!(lhs.steals, rhs.steals);
+            prop_assert_eq!(lhs.elements_stolen, rhs.elements_stolen);
+            prop_assert_eq!(lhs.add_ns, rhs.add_ns);
+            prop_assert_eq!(lhs.measured_mix(), rhs.measured_mix());
+            prop_assert_eq!(lhs.elements_per_steal(), rhs.elements_per_steal());
+        }
+    }
+
+    /// Derived-metric identities hold for arbitrary counters.
+    #[test]
+    fn derived_metric_identities(s in arb_stats()) {
+        prop_assert_eq!(s.ops(), s.adds + s.removes + s.aborted_removes);
+        if let Some(mix) = s.measured_mix() {
+            prop_assert!((0.0..=1.0).contains(&mix));
+        }
+        if let Some(f) = s.steal_fraction() {
+            prop_assert!(f >= 0.0);
+            // steals <= removes, so the fraction is <= 1 whenever removes
+            // dominate attempts; with aborted attempts it only shrinks.
+            prop_assert!(f <= 1.0);
+        }
+        if let Some(e) = s.elements_per_steal() {
+            prop_assert!(e >= 1.0, "every steal takes at least one element");
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_stats()(
+        adds in 0u64..10_000,
+        removes in 0u64..10_000,
+        aborted in 0u64..1_000,
+        steal_bound in 0u64..1_000,
+        extra_per_steal in 0u64..32,
+        add_ns in 0u64..1u64 << 40,
+        remove_ns in 0u64..1u64 << 40,
+    ) -> ProcStats {
+        // Steals satisfy removes, so steals <= removes; each steal takes at
+        // least one element.
+        let steals = steal_bound.min(removes);
+        ProcStats {
+            adds,
+            removes,
+            aborted_removes: aborted,
+            steals,
+            segments_examined: steals * 3,
+            elements_stolen: steals * (1 + extra_per_steal),
+            add_ns,
+            remove_ns,
+            ..ProcStats::default()
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the superimposed-tree geometry (`TreeShape`):
+//! the index arithmetic behind Manber's search, including Figure 1's
+//! matching descendant, checked for every pool size up to 512.
+
+use proptest::prelude::*;
+
+use cpool::search::topology::{TreeShape, ROOT};
+use cpool::SegIdx;
+
+fn shapes() -> impl Strategy<Value = TreeShape> {
+    (1usize..512).prop_map(TreeShape::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Leaves are the next power of two ≥ segments; slot count is 2·leaves.
+    #[test]
+    fn shape_basics(shape in shapes()) {
+        let leaves = shape.leaves();
+        prop_assert!(leaves.is_power_of_two());
+        prop_assert!(leaves >= shape.segments());
+        prop_assert!(leaves < 2 * shape.segments().next_power_of_two().max(2));
+        prop_assert_eq!(shape.node_slots(), 2 * leaves);
+        prop_assert_eq!(shape.internal_nodes(), leaves - 1);
+    }
+
+    /// leaf_of and seg_of are inverse bijections on the real segments.
+    #[test]
+    fn leaf_seg_roundtrip(shape in shapes()) {
+        for seg in 0..shape.segments() {
+            let leaf = shape.leaf_of(SegIdx::new(seg));
+            prop_assert!(shape.is_leaf(leaf));
+            prop_assert_eq!(shape.seg_of(leaf), Some(SegIdx::new(seg)));
+        }
+        // Phantom leaves map to None.
+        for leaf in shape.leaves() + shape.segments()..2 * shape.leaves() {
+            prop_assert_eq!(shape.seg_of(leaf), None);
+        }
+    }
+
+    /// Parent/sibling/children arithmetic is consistent across the heap.
+    #[test]
+    fn family_relations(shape in shapes()) {
+        for node in 2..shape.node_slots() {
+            let parent = shape.parent(node);
+            prop_assert!(shape.contains(parent));
+            prop_assert_eq!(shape.sibling(shape.sibling(node)), node);
+            prop_assert_eq!(shape.parent(shape.sibling(node)), parent);
+            prop_assert!(shape.height(parent) == shape.height(node) + 1);
+        }
+    }
+
+    /// `leaves_under` partitions: a node's range is the disjoint union of
+    /// its children's ranges, and the root covers every leaf.
+    #[test]
+    fn leaves_under_partitions(shape in shapes()) {
+        prop_assert_eq!(
+            shape.leaves_under(ROOT),
+            shape.leaves()..2 * shape.leaves()
+        );
+        for node in ROOT..shape.leaves() {
+            let r = shape.leaves_under(node);
+            let l = shape.leaves_under(2 * node);
+            let rr = shape.leaves_under(2 * node + 1);
+            prop_assert_eq!(r.start, l.start, "left child starts the range");
+            prop_assert_eq!(l.end, rr.start, "children abut");
+            prop_assert_eq!(rr.end, r.end, "right child ends the range");
+        }
+    }
+
+    /// The matching descendant (Figure 1): lies in the sibling subtree, at
+    /// the same relative offset, and matching back is the identity.
+    #[test]
+    fn matching_descendant_properties(shape in shapes()) {
+        for seg in 0..shape.segments() {
+            let leaf = shape.leaf_of(SegIdx::new(seg));
+            let mut child = leaf;
+            while child > ROOT {
+                let m = shape.matching_descendant(leaf, child);
+                let sib = shape.sibling(child);
+                prop_assert!(shape.is_leaf(m));
+                prop_assert!(shape.leaves_under(sib).contains(&m));
+                let offset = leaf - shape.leaves_under(child).start;
+                let m_offset = m - shape.leaves_under(sib).start;
+                prop_assert_eq!(offset, m_offset, "symmetric position");
+                prop_assert_eq!(shape.matching_descendant(m, sib), leaf, "involution");
+                child = shape.parent(child);
+            }
+        }
+    }
+
+    /// Walking matching descendants level by level from any leaf visits a
+    /// leaf of every subtree exactly once — the structural reason a round
+    /// covers all segments in log(n) jumps.
+    #[test]
+    fn matching_walk_covers_disjoint_subtrees(shape in shapes()) {
+        let leaf = shape.leaf_of(SegIdx::new(0));
+        let mut child = leaf;
+        let mut visited: Vec<usize> = vec![leaf];
+        while child > ROOT {
+            visited.push(shape.matching_descendant(leaf, child));
+            child = shape.parent(child);
+        }
+        // One leaf per level plus the original: log2(leaves) + 1 leaves,
+        // all distinct.
+        prop_assert_eq!(visited.len(), shape.leaves().ilog2() as usize + 1);
+        let mut dedup = visited.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), visited.len(), "all jump targets distinct");
+    }
+
+    /// Heights decrease along root-to-leaf paths and `leaves_under` has
+    /// exactly 2^height elements.
+    #[test]
+    fn height_and_range_agree(shape in shapes()) {
+        for node in ROOT..shape.node_slots() {
+            let h = shape.height(node);
+            prop_assert_eq!(shape.leaves_under(node).len(), 1usize << h);
+            prop_assert_eq!(shape.is_leaf(node), h == 0);
+        }
+    }
+}

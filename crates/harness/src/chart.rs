@@ -1,0 +1,257 @@
+//! ASCII line/scatter charts for terminal figure reproduction.
+//!
+//! The paper's figures are simple xy-plots; these render directly in the
+//! terminal (and in `EXPERIMENTS.md`) so the reproduction is inspectable
+//! without a plotting stack.
+
+
+
+/// One plotted series: a label, the points, and the glyph that draws them.
+#[derive(Clone, Debug)]
+pub struct Series {
+    label: String,
+    points: Vec<(f64, f64)>,
+    glyph: char,
+}
+
+/// An xy chart rendered as text.
+///
+/// ```
+/// use harness::Chart;
+/// let mut c = Chart::new("demo", 40, 10);
+/// c.series("linear", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)], '*');
+/// let text = c.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains('*'));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    x_label: String,
+    y_label: String,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty chart with a plotting area of `width`×`height`
+    /// characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plot area is smaller than 2×2.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart area too small");
+        Chart {
+            title: title.into(),
+            width,
+            height,
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis labels.
+    pub fn labels(&mut self, x: impl Into<String>, y: impl Into<String>) -> &mut Self {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Plots x on a log₁₀ scale (points with `x <= 0` are dropped).
+    pub fn log_x(&mut self) -> &mut Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Plots y on a log₁₀ scale (points with `y <= 0` are dropped).
+    pub fn log_y(&mut self) -> &mut Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(
+        &mut self,
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        glyph: char,
+    ) -> &mut Self {
+        self.series.push(Series { label: label.into(), points, glyph });
+        self
+    }
+
+    fn transformed(&self) -> Vec<(usize, Vec<(f64, f64)>)> {
+        self.series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let pts = s
+                    .points
+                    .iter()
+                    .filter(|(x, y)| {
+                        x.is_finite()
+                            && y.is_finite()
+                            && (!self.log_x || *x > 0.0)
+                            && (!self.log_y || *y > 0.0)
+                    })
+                    .map(|&(x, y)| {
+                        (
+                            if self.log_x { x.log10() } else { x },
+                            if self.log_y { y.log10() } else { y },
+                        )
+                    })
+                    .collect();
+                (i, pts)
+            })
+            .collect()
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let transformed = self.transformed();
+        let all: Vec<(f64, f64)> =
+            transformed.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = min_max(all.iter().map(|p| p.0));
+        let (mut y0, mut y1) = min_max(all.iter().map(|p| p.1));
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y0 == y1 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, pts) in &transformed {
+            let glyph = self.series[*si].glyph;
+            for &(x, y) in pts {
+                let cx = (((x - x0) / (x1 - x0)) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y0) / (y1 - y0)) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                let cell = &mut grid[row][cx.min(self.width - 1)];
+                // Overlapping series show a '+'.
+                *cell = if *cell == ' ' || *cell == glyph { glyph } else { '+' };
+            }
+        }
+
+        let y_hi = format_tick(invert(y1, self.log_y));
+        let y_lo = format_tick(invert(y0, self.log_y));
+        let gutter = y_hi.len().max(y_lo.len());
+        for (r, row) in grid.iter().enumerate() {
+            let tick = if r == 0 {
+                &y_hi
+            } else if r == self.height - 1 {
+                &y_lo
+            } else {
+                &String::new()
+            };
+            out.push_str(&format!("{tick:>gutter$} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>gutter$} +{}\n", "", "-".repeat(self.width)));
+        let x_lo = format_tick(invert(x0, self.log_x));
+        let x_hi = format_tick(invert(x1, self.log_x));
+        let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());
+        out.push_str(&format!("{:>gutter$}  {x_lo}{}{x_hi}\n", "", " ".repeat(pad)));
+        if !self.x_label.is_empty() || !self.y_label.is_empty() {
+            out.push_str(&format!(
+                "{:>gutter$}  x: {}   y: {}\n",
+                "", self.x_label, self.y_label
+            ));
+        }
+        for s in &self.series {
+            out.push_str(&format!("{:>gutter$}  {} {}\n", "", s.glyph, s.label));
+        }
+        out
+    }
+}
+
+fn invert(v: f64, log: bool) -> f64 {
+    if log {
+        10f64.powf(v)
+    } else {
+        v
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let mut c = Chart::new("t", 20, 8);
+        c.labels("x", "y");
+        c.series("a", vec![(0.0, 0.0), (10.0, 10.0)], '*');
+        c.series("b", vec![(0.0, 10.0), (10.0, 0.0)], 'o');
+        let text = c.render();
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("a"));
+        assert!(text.contains("x: x"));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let c = Chart::new("t", 10, 4);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive() {
+        let mut c = Chart::new("t", 20, 6);
+        c.log_x();
+        c.series("a", vec![(0.0, 1.0), (1.0, 2.0), (100.0, 3.0)], '*');
+        let text = c.render();
+        // The zero-x point is dropped; chart still renders.
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = Chart::new("t", 10, 4);
+        c.series("flat", vec![(1.0, 5.0), (2.0, 5.0)], '*');
+        let text = c.render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn overlap_marked_with_plus() {
+        let mut c = Chart::new("t", 10, 4);
+        c.series("a", vec![(1.0, 1.0), (2.0, 2.0)], '*');
+        c.series("b", vec![(1.0, 1.0), (2.0, 1.0)], 'o');
+        assert!(c.render().contains('+'), "overlapping glyphs collapse to +");
+    }
+}

@@ -1,0 +1,115 @@
+//! A tiny `--key value` argument parser for the benchmark binaries.
+//!
+//! Hand-rolled to keep the dependency set to the crates the experiments
+//! actually need. Supports `--key value`, `--key=value`, and bare `--flag`.
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process's arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut parsed = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue; // positional arguments are not used by the bins
+            };
+            if let Some((k, v)) = key.split_once('=') {
+                parsed.values.insert(k.to_string(), v.to_string());
+            } else if iter.peek().is_some_and(|next| !next.starts_with("--")) {
+                let value = iter.next().expect("peeked");
+                parsed.values.insert(key.to_string(), value);
+            } else {
+                parsed.flags.push(key.to_string());
+            }
+        }
+        parsed
+    }
+
+    /// The raw value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether bare `--key` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parses `--key` as `T`, with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value does not parse.
+    pub fn parse_or<T: FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => default,
+            Some(raw) => match raw.parse() {
+                Ok(v) => v,
+                Err(e) => panic!("invalid --{key} {raw:?}: {e}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = args(&["--trials", "3", "--seed=99"]);
+        assert_eq!(a.parse_or("trials", 10u32), 3);
+        assert_eq!(a.parse_or("seed", 0u64), 99);
+        assert_eq!(a.parse_or("missing", 7i32), 7);
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = args(&["--verbose", "--ops", "100"]);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.parse_or("ops", 0u64), 100);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = args(&["--fast", "--trials", "2"]);
+        assert!(a.flag("fast"));
+        assert_eq!(a.parse_or("trials", 0u32), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --trials")]
+    fn bad_value_panics() {
+        let a = args(&["--trials", "many"]);
+        let _ = a.parse_or("trials", 0u32);
+    }
+
+    #[test]
+    fn string_values() {
+        let a = args(&["--policy", "tree"]);
+        assert_eq!(a.get("policy"), Some("tree"));
+        assert_eq!(a.parse_or("policy", cpool::PolicyKind::Linear), cpool::PolicyKind::Tree);
+    }
+}

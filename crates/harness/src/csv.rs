@@ -1,0 +1,87 @@
+//! Minimal CSV emission for experiment artifacts.
+//!
+//! No external dependency: values are numbers and short labels, so quoting
+//! needs are minimal (fields containing commas, quotes, or newlines are
+//! quoted per RFC 4180).
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Quotes one CSV field if needed.
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders rows as CSV text.
+pub fn to_csv_string(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| escape_field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape_field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as a CSV file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or the write.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut file = fs::File::create(path)?;
+    file.write_all(to_csv_string(headers, rows).as_bytes())
+}
+
+/// Directory where experiment artifacts are written: `$EXPERIMENTS_DIR` or
+/// `target/experiments`.
+pub fn experiments_dir() -> PathBuf {
+    std::env::var_os("EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_untouched() {
+        assert_eq!(escape_field("abc"), "abc");
+        assert_eq!(escape_field("1.25"), "1.25");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_string_shape() {
+        let text = to_csv_string(
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(text, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn writes_file_with_parents() {
+        let dir = std::env::temp_dir().join(format!("cpool-csv-test-{}", std::process::id()));
+        let path = dir.join("nested/out.csv");
+        write_csv(&path, &["a"], &[vec!["1".into()]]).unwrap();
+        let read = fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "a\n1\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

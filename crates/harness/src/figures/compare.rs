@@ -1,0 +1,186 @@
+//! §4.1/§4.3: head-to-head comparison of the three search algorithms.
+//!
+//! Paper reading: "the tree search algorithm tends to have similar, though
+//! slightly slower, times ... It compares much less favorably under the
+//! random operations pattern when the job mix is sparse. For job mixes with
+//! more than 50% adds the three algorithms are nearly identical. ... The
+//! tree algorithm, however, examines many fewer segments in the course of a
+//! steal ... and it also tends to steal more elements."
+
+use cpool::PolicyKind;
+use workload::{Arrangement, JobMix, Workload};
+
+use crate::metrics::Summary;
+use crate::run::run_experiment;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// One cell of the comparison: a (policy, workload) pairing and its §3.4
+/// measurements.
+#[derive(Clone, Debug)]
+pub struct CompareCell {
+    /// Search algorithm.
+    pub policy: PolicyKind,
+    /// Short workload label.
+    pub workload: String,
+    /// Aggregated measurements.
+    pub summary: Summary,
+}
+
+/// The comparison grid.
+#[derive(Clone, Debug)]
+pub struct Compare {
+    /// Row-major cells: workloads × policies.
+    pub cells: Vec<CompareCell>,
+}
+
+/// The workload suite the comparison runs (random mixes spanning sparse to
+/// sufficient, plus both producer/consumer arrangements at the paper's
+/// 5-of-16 ratio).
+pub fn workload_suite(procs: usize) -> Vec<(String, Workload)> {
+    let producers = (procs * 5 / 16).max(1);
+    vec![
+        ("random 20%".into(), Workload::RandomMix { mix: JobMix::from_percent(20) }),
+        ("random 40%".into(), Workload::RandomMix { mix: JobMix::from_percent(40) }),
+        ("random 60%".into(), Workload::RandomMix { mix: JobMix::from_percent(60) }),
+        ("random 80%".into(), Workload::RandomMix { mix: JobMix::from_percent(80) }),
+        (
+            format!("prodcons {producers} contiguous"),
+            Workload::ProducerConsumer { producers, arrangement: Arrangement::Contiguous },
+        ),
+        (
+            format!("prodcons {producers} balanced"),
+            Workload::ProducerConsumer { producers, arrangement: Arrangement::Balanced },
+        ),
+    ]
+}
+
+/// Runs the full comparison grid.
+pub fn generate(scale: &Scale) -> Compare {
+    let mut cells = Vec::new();
+    for (label, workload) in workload_suite(scale.procs) {
+        for policy in PolicyKind::ALL {
+            let spec = scale.spec(policy, workload.clone());
+            let result = run_experiment(&spec);
+            cells.push(CompareCell { policy, workload: label.clone(), summary: result.summary });
+        }
+    }
+    Compare { cells }
+}
+
+/// Renders the comparison as a table.
+pub fn render(cmp: &Compare) -> String {
+    let mut table = TextTable::new(vec![
+        "workload",
+        "policy",
+        "avg op (us)",
+        "avg add (us)",
+        "avg rm (us)",
+        "steal frac",
+        "segs/steal",
+        "elems/steal",
+        "aborted",
+    ]);
+    for cell in &cmp.cells {
+        let s = &cell.summary;
+        table.row(vec![
+            cell.workload.clone(),
+            cell.policy.to_string(),
+            s.avg_op_us.display(1),
+            s.avg_add_us.display(1),
+            s.avg_remove_us.display(1),
+            s.steal_fraction.display(3),
+            s.segments_per_steal.display(2),
+            s.elements_per_steal.display(2),
+            s.aborted.display(0),
+        ]);
+    }
+    format!("Section 4.1/4.3: algorithm comparison\n{table}")
+}
+
+/// CSV export.
+pub fn csv_rows(cmp: &Compare) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "workload",
+        "policy",
+        "avg_op_us",
+        "avg_add_us",
+        "avg_remove_us",
+        "steal_fraction",
+        "segments_per_steal",
+        "elements_per_steal",
+        "aborted",
+        "tree_nodes",
+    ];
+    let rows = cmp
+        .cells
+        .iter()
+        .map(|cell| {
+            let s = &cell.summary;
+            vec![
+                cell.workload.clone(),
+                cell.policy.to_string(),
+                format!("{:.3}", s.avg_op_us.mean),
+                format!("{:.3}", s.avg_add_us.mean),
+                format!("{:.3}", s.avg_remove_us.mean),
+                format!("{:.4}", s.steal_fraction.mean),
+                format!("{:.3}", s.segments_per_steal.mean),
+                format!("{:.3}", s.elements_per_steal.mean),
+                format!("{:.1}", s.aborted.mean),
+                format!("{:.1}", s.tree_nodes.mean),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+/// Convenience accessor: the summary for a given (workload, policy) cell.
+pub fn cell<'a>(cmp: &'a Compare, workload: &str, policy: PolicyKind) -> Option<&'a Summary> {
+    cmp.cells
+        .iter()
+        .find(|c| c.workload == workload && c.policy == policy)
+        .map(|c| &c.summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_reproduces_the_papers_orderings() {
+        let scale = Scale { procs: 8, total_ops: 800, trials: 3, seed: 2 };
+        let cmp = generate(&scale);
+        assert_eq!(cmp.cells.len(), 6 * 3);
+
+        // "The tree algorithm examines many fewer segments in the course of
+        // a steal than do either the linear or random algorithms" — check on
+        // a steal-heavy workload.
+        let tree = cell(&cmp, "random 20%", PolicyKind::Tree).unwrap();
+        let linear = cell(&cmp, "random 20%", PolicyKind::Linear).unwrap();
+        let random = cell(&cmp, "random 20%", PolicyKind::Random).unwrap();
+        assert!(
+            tree.segments_per_steal.mean <= linear.segments_per_steal.mean + 0.5
+                && tree.segments_per_steal.mean <= random.segments_per_steal.mean + 0.5,
+            "tree probes fewer segments: tree={:.2} linear={:.2} random={:.2}",
+            tree.segments_per_steal.mean,
+            linear.segments_per_steal.mean,
+            random.segments_per_steal.mean
+        );
+
+        // "For job mixes with more than 50% adds the three algorithms are
+        // nearly identical": at 80% adds steals are rare, so op times agree
+        // within a factor well under the sparse-mix gaps.
+        let t80 = cell(&cmp, "random 80%", PolicyKind::Tree).unwrap().avg_op_us.mean;
+        let l80 = cell(&cmp, "random 80%", PolicyKind::Linear).unwrap().avg_op_us.mean;
+        assert!(
+            (t80 - l80).abs() / l80 < 0.25,
+            "sufficient-mix times nearly identical: tree={t80:.1} linear={l80:.1}"
+        );
+
+        let text = render(&cmp);
+        assert!(text.contains("tree"));
+        let (_, rows) = csv_rows(&cmp);
+        assert_eq!(rows.len(), 18);
+    }
+}

@@ -1,0 +1,205 @@
+//! §4.3: the remote-access delay sweep.
+//!
+//! "To simulate a higher-cost remote access architecture, delays were added
+//! to each remote operation ... We tried a variety of different delays from
+//! 1 µsec per operation to 100 msec per operation ... We found that the
+//! tree algorithm never performed better than either of the two other
+//! search algorithms; in fact, as the delay increased all three algorithms
+//! converged to very nearly identical performance graphs."
+
+use cpool::PolicyKind;
+use numa_sim::LatencyModel;
+use workload::{Arrangement, JobMix, Workload};
+
+use crate::chart::Chart;
+use crate::run::run_experiment;
+use crate::spec::Engine;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// The paper's delay ladder: 1 µs to 100 ms (plus 0 as the undelayed
+/// baseline), in decades.
+pub const PAPER_DELAYS_US: [u64; 6] = [0, 1, 10, 100, 1_000, 10_000];
+
+/// One (policy, delay) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Artificial remote delay, µs.
+    pub delay_us: u64,
+    /// Search policy.
+    pub policy: PolicyKind,
+    /// Mean time per operation, µs (modelled).
+    pub avg_op_us: f64,
+}
+
+/// The delay-sweep data for one workload.
+#[derive(Clone, Debug)]
+pub struct DelaySweep {
+    /// Short label of the workload swept.
+    pub workload: String,
+    /// All (policy × delay) measurements.
+    pub points: Vec<Point>,
+}
+
+/// Which workload to sweep (the paper reports both the random model and the
+/// balanced producer/consumer model).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SweepWorkload {
+    /// Sparse random mix (steal-heavy: where the algorithms differ most).
+    SparseRandom,
+    /// Balanced producer/consumer at the paper's 5-of-16 ratio.
+    BalancedProdCons,
+}
+
+impl SweepWorkload {
+    fn build(self, procs: usize) -> (String, Workload) {
+        match self {
+            SweepWorkload::SparseRandom => (
+                "random 30%".into(),
+                Workload::RandomMix { mix: JobMix::from_percent(30) },
+            ),
+            SweepWorkload::BalancedProdCons => {
+                let producers = (procs * 5 / 16).max(1);
+                (
+                    format!("prodcons {producers} balanced"),
+                    Workload::ProducerConsumer { producers, arrangement: Arrangement::Balanced },
+                )
+            }
+        }
+    }
+}
+
+/// Runs the sweep over [`PAPER_DELAYS_US`] with custom delays optional.
+pub fn generate(scale: &Scale, which: SweepWorkload, delays_us: &[u64]) -> DelaySweep {
+    let (label, workload) = which.build(scale.procs);
+    let mut points = Vec::new();
+    for &delay_us in delays_us {
+        for policy in PolicyKind::ALL {
+            let mut spec = scale.spec(policy, workload.clone());
+            spec.engine =
+                Engine::Sim(LatencyModel::butterfly().with_remote_delay_us(delay_us));
+            let result = run_experiment(&spec);
+            points.push(Point { delay_us, policy, avg_op_us: result.summary.avg_op_us.mean });
+        }
+    }
+    DelaySweep { workload: label, points }
+}
+
+/// Series of one policy, ordered by delay.
+pub fn series_for(sweep: &DelaySweep, policy: PolicyKind) -> Vec<(u64, f64)> {
+    sweep
+        .points
+        .iter()
+        .filter(|p| p.policy == policy)
+        .map(|p| (p.delay_us, p.avg_op_us))
+        .collect()
+}
+
+/// Renders the sweep as a log-log chart plus the data table.
+pub fn render(sweep: &DelaySweep) -> String {
+    let mut chart = Chart::new(
+        format!("Section 4.3: delay sweep ({})", sweep.workload),
+        64,
+        18,
+    );
+    chart.labels("remote delay (us)", "avg op time (us)");
+    chart.log_x();
+    chart.log_y();
+    for (policy, glyph) in
+        [(PolicyKind::Tree, 't'), (PolicyKind::Linear, 'l'), (PolicyKind::Random, 'r')]
+    {
+        chart.series(
+            policy.to_string(),
+            series_for(sweep, policy)
+                .into_iter()
+                .map(|(d, us)| (d as f64, us))
+                .collect(),
+            glyph,
+        );
+    }
+
+    let mut table =
+        TextTable::new(vec!["delay (us)", "tree (us)", "linear (us)", "random (us)", "tree/best"]);
+    let delays: Vec<u64> = {
+        let mut d: Vec<u64> = sweep.points.iter().map(|p| p.delay_us).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    for delay in delays {
+        let get = |policy| {
+            sweep
+                .points
+                .iter()
+                .find(|p| p.delay_us == delay && p.policy == policy)
+                .map_or(f64::NAN, |p| p.avg_op_us)
+        };
+        let (t, l, r) = (get(PolicyKind::Tree), get(PolicyKind::Linear), get(PolicyKind::Random));
+        table.row(vec![
+            delay.to_string(),
+            format!("{t:.1}"),
+            format!("{l:.1}"),
+            format!("{r:.1}"),
+            format!("{:.3}", t / l.min(r)),
+        ]);
+    }
+    format!("{}\n{}", chart.render(), table)
+}
+
+/// CSV export.
+pub fn csv_rows(sweep: &DelaySweep) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["workload", "delay_us", "policy", "avg_op_us"];
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                sweep.workload.clone(),
+                p.delay_us.to_string(),
+                p.policy.to_string(),
+                format!("{:.3}", p.avg_op_us),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_never_wins_and_delay_hurts() {
+        let scale = Scale { procs: 8, total_ops: 600, trials: 2, seed: 13 };
+        let sweep = generate(&scale, SweepWorkload::SparseRandom, &[0, 100, 1_000]);
+        assert_eq!(sweep.points.len(), 9);
+
+        // Larger delays make everything slower.
+        let tree = series_for(&sweep, PolicyKind::Tree);
+        assert!(tree[0].1 < tree[2].1, "delay increases op time: {tree:?}");
+
+        // "The tree algorithm never performed better than either of the two
+        // other search algorithms" (small tolerance for trial noise).
+        for &(delay, t) in &tree {
+            let l = series_for(&sweep, PolicyKind::Linear)
+                .iter()
+                .find(|(d, _)| *d == delay)
+                .unwrap()
+                .1;
+            let r = series_for(&sweep, PolicyKind::Random)
+                .iter()
+                .find(|(d, _)| *d == delay)
+                .unwrap()
+                .1;
+            assert!(
+                t >= l.min(r) * 0.95,
+                "tree ({t:.1}) beat best other ({:.1}) at delay {delay}",
+                l.min(r)
+            );
+        }
+
+        let text = render(&sweep);
+        assert!(text.contains("delay sweep"));
+    }
+}

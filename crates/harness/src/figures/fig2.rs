@@ -1,0 +1,168 @@
+//! Figure 2: average operation time vs. job mix for the tree traversal
+//! algorithm, comparing the random and producer/consumer models.
+//!
+//! Paper reading: sparse mixes are far slower than sufficient ones; curves
+//! level off above 50% adds; the producer/consumer model is similar to the
+//! random model at sufficient mixes but "generally not as good at sparse
+//! job mixes". Producer/consumer points are plotted at their *measured*
+//! mix ("the job mix was measured and the data was plotted on that scale"),
+//! which squeezes 1–4 producers into a cluster near 47% adds.
+
+use cpool::PolicyKind;
+use workload::{Arrangement, JobMix, Workload};
+
+use crate::chart::Chart;
+use crate::run::run_experiment;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// One data point of Figure 2.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Measured percentage of add operations (x-axis).
+    pub mix_pct: f64,
+    /// Mean time per operation, µs (y-axis).
+    pub avg_op_us: f64,
+    /// Cross-trial standard deviation, µs.
+    pub std_us: f64,
+    /// Number of producers (producer/consumer series only).
+    pub producers: Option<usize>,
+}
+
+/// The two series of Figure 2.
+#[derive(Clone, Debug)]
+pub struct Fig2 {
+    /// Random operations model, one point per nominal job mix (0%..100%).
+    pub random: Vec<Point>,
+    /// Producer/consumer model, one point per producer count (0..=procs).
+    pub prodcons: Vec<Point>,
+}
+
+/// Runs the Figure 2 experiments (tree search, as in the paper).
+pub fn generate(scale: &Scale) -> Fig2 {
+    generate_for_policy(scale, PolicyKind::Tree)
+}
+
+/// Runs the Figure 2 experiments for any policy (the paper's text also
+/// discusses the linear/random versions of this plot in §4.3).
+pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> Fig2 {
+    let random = JobMix::paper_sweep()
+        .into_iter()
+        .map(|mix| {
+            let spec = scale.spec(policy, Workload::RandomMix { mix });
+            let result = run_experiment(&spec);
+            Point {
+                mix_pct: result.summary.measured_mix.mean * 100.0,
+                avg_op_us: result.summary.avg_op_us.mean,
+                std_us: result.summary.avg_op_us.std,
+                producers: None,
+            }
+        })
+        .collect();
+
+    let prodcons = (0..=scale.procs)
+        .map(|producers| {
+            let spec = scale.spec(
+                policy,
+                Workload::ProducerConsumer { producers, arrangement: Arrangement::Contiguous },
+            );
+            let result = run_experiment(&spec);
+            Point {
+                mix_pct: result.summary.measured_mix.mean * 100.0,
+                avg_op_us: result.summary.avg_op_us.mean,
+                std_us: result.summary.avg_op_us.std,
+                producers: Some(producers),
+            }
+        })
+        .collect();
+
+    Fig2 { random, prodcons }
+}
+
+/// Renders the figure as an ASCII chart plus the data table.
+pub fn render(fig: &Fig2) -> String {
+    let mut chart = Chart::new(
+        "Figure 2: average operation time (tree traversal algorithm)",
+        64,
+        20,
+    );
+    chart.labels("percent of operations that were adds", "avg op time (us, modelled)");
+    chart.series(
+        "random ops model",
+        fig.random.iter().map(|p| (p.mix_pct, p.avg_op_us)).collect(),
+        '*',
+    );
+    chart.series(
+        "producer/consumer model",
+        fig.prodcons.iter().map(|p| (p.mix_pct, p.avg_op_us)).collect(),
+        'x',
+    );
+
+    let mut table = TextTable::new(vec!["series", "producers", "mix %", "avg op (us)", "std"]);
+    for p in &fig.random {
+        table.row(vec![
+            "random".into(),
+            "-".into(),
+            format!("{:.1}", p.mix_pct),
+            format!("{:.1}", p.avg_op_us),
+            format!("{:.1}", p.std_us),
+        ]);
+    }
+    for p in &fig.prodcons {
+        table.row(vec![
+            "prodcons".into(),
+            p.producers.map_or("-".into(), |n| n.to_string()),
+            format!("{:.1}", p.mix_pct),
+            format!("{:.1}", p.avg_op_us),
+            format!("{:.1}", p.std_us),
+        ]);
+    }
+    format!("{}\n{}", chart.render(), table)
+}
+
+/// CSV headers and rows for artifact export.
+pub fn csv_rows(fig: &Fig2) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["series", "producers", "mix_pct", "avg_op_us", "std_us"];
+    let mut rows = Vec::new();
+    for (name, points) in [("random", &fig.random), ("prodcons", &fig.prodcons)] {
+        for p in points {
+            rows.push(vec![
+                name.to_string(),
+                p.producers.map_or(String::new(), |n| n.to_string()),
+                format!("{:.3}", p.mix_pct),
+                format!("{:.3}", p.avg_op_us),
+                format!("{:.3}", p.std_us),
+            ]);
+        }
+    }
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig2_has_expected_shape() {
+        let scale = Scale { procs: 4, total_ops: 400, trials: 2, seed: 3 };
+        let fig = generate(&scale);
+        assert_eq!(fig.random.len(), 11);
+        assert_eq!(fig.prodcons.len(), 5);
+
+        // The paper's headline: sparse mixes are slower than sufficient ones.
+        let sparse = fig.random[2].avg_op_us; // ~20% adds
+        let sufficient = fig.random[8].avg_op_us; // ~80% adds
+        assert!(
+            sparse > sufficient,
+            "sparse ({sparse:.1}us) should exceed sufficient ({sufficient:.1}us)"
+        );
+
+        // Rendering works.
+        let text = render(&fig);
+        assert!(text.contains("Figure 2"));
+        let (headers, rows) = csv_rows(&fig);
+        assert_eq!(headers.len(), 5);
+        assert_eq!(rows.len(), 16);
+    }
+}

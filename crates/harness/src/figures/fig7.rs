@@ -1,0 +1,138 @@
+//! Figure 7 (with the errata's corrected labels): average number of
+//! elements stolen per steal vs. number of producers, tree traversal
+//! algorithm, unbalanced vs. balanced producer arrangements.
+//!
+//! Paper reading (corrected): the **balanced** arrangement steals more
+//! elements per steal — "by spreading out the producers, forcing the
+//! consumers to steal from all producers rather than one at a time, each
+//! steal is likely to find a greater number of elements."
+
+use cpool::PolicyKind;
+use workload::{Arrangement, Workload};
+
+use crate::chart::Chart;
+use crate::run::run_experiment;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// One producer-count sample of Figure 7.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Number of producers.
+    pub producers: usize,
+    /// Mean elements per steal, unbalanced (contiguous) arrangement.
+    /// NaN when no steals occurred (e.g. all processes are producers).
+    pub unbalanced: f64,
+    /// Mean elements per steal, balanced arrangement.
+    pub balanced: f64,
+}
+
+/// The Figure 7 data.
+#[derive(Clone, Debug)]
+pub struct Fig7 {
+    /// One point per producer count `0..=procs`.
+    pub points: Vec<Point>,
+}
+
+/// Runs the Figure 7 experiments.
+pub fn generate(scale: &Scale) -> Fig7 {
+    generate_for_policy(scale, PolicyKind::Tree)
+}
+
+/// Runs the Figure 7 experiments for any policy (the paper shows the tree;
+/// §4.2 notes the random algorithm shows no bunching at all).
+pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> Fig7 {
+    let run = |producers: usize, arrangement: Arrangement| -> f64 {
+        let spec =
+            scale.spec(policy, Workload::ProducerConsumer { producers, arrangement });
+        run_experiment(&spec).summary.elements_per_steal.mean
+    };
+    let points = (0..=scale.procs)
+        .map(|producers| Point {
+            producers,
+            unbalanced: run(producers, Arrangement::Contiguous),
+            balanced: run(producers, Arrangement::Balanced),
+        })
+        .collect();
+    Fig7 { points }
+}
+
+/// Renders the figure as an ASCII chart plus the data table.
+pub fn render(fig: &Fig7) -> String {
+    let mut chart = Chart::new(
+        "Figure 7 (errata): average number of elements stolen per steal (tree)",
+        64,
+        18,
+    );
+    chart.labels("number of producers", "elements stolen per steal");
+    chart.series(
+        "unbalanced (contiguous)",
+        fig.points.iter().map(|p| (p.producers as f64, p.unbalanced)).collect(),
+        'p',
+    );
+    chart.series(
+        "balanced",
+        fig.points.iter().map(|p| (p.producers as f64, p.balanced)).collect(),
+        'q',
+    );
+
+    let mut table = TextTable::new(vec!["producers", "unbalanced", "balanced"]);
+    for p in &fig.points {
+        table.row(vec![
+            p.producers.to_string(),
+            fmt_nan(p.unbalanced),
+            fmt_nan(p.balanced),
+        ]);
+    }
+    format!("{}\n{}", chart.render(), table)
+}
+
+fn fmt_nan(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// CSV export.
+pub fn csv_rows(fig: &Fig7) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["producers", "unbalanced_elements_per_steal", "balanced_elements_per_steal"];
+    let rows = fig
+        .points
+        .iter()
+        .map(|p| {
+            vec![p.producers.to_string(), format!("{:.4}", p.unbalanced), format!("{:.4}", p.balanced)]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_beats_unbalanced_at_moderate_producer_counts() {
+        let scale = Scale { procs: 8, total_ops: 800, trials: 3, seed: 11 };
+        let fig = generate(&scale);
+        assert_eq!(fig.points.len(), 9);
+
+        // The paper's corrected Figure 7: at sparse-but-nonzero producer
+        // counts, balancing increases the elements gathered per steal.
+        // Average the mid-range to be robust at tiny scale.
+        let mid = &fig.points[2..=5];
+        let unbal: f64 = mid.iter().map(|p| p.unbalanced).filter(|v| !v.is_nan()).sum::<f64>();
+        let bal: f64 = mid.iter().map(|p| p.balanced).filter(|v| !v.is_nan()).sum::<f64>();
+        assert!(
+            bal > unbal,
+            "balanced ({bal:.2}) should exceed unbalanced ({unbal:.2}) per the errata"
+        );
+
+        let text = render(&fig);
+        assert!(text.contains("Figure 7"));
+        let (_, rows) = csv_rows(&fig);
+        assert_eq!(rows.len(), 9);
+    }
+}

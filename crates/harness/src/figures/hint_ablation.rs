@@ -1,0 +1,188 @@
+//! Extension ablation: the §5 hint mechanism (`cpool::hints`) on/off.
+//!
+//! The paper closes by asking "how might concurrent pools be modified so
+//! that searching processors leave hints in the pool, and elements added by
+//! another processor can be directed to the searching process[?]". This
+//! experiment quantifies our answer across the producer/consumer sweep:
+//! hints are a large win under extreme starvation (one producer: both the
+//! probe count and the modelled completion time drop by >2×) and a
+//! structural no-op once steals succeed within a lap (≥ ~1/3 producers),
+//! because nobody ever posts on the board.
+
+use cpool::PolicyKind;
+use workload::{Arrangement, Workload};
+
+use crate::chart::Chart;
+use crate::run::run_experiment;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// Measurements for one configuration (hints off vs. on).
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Number of producers.
+    pub producers: usize,
+    /// Modelled completion time without hints, ms.
+    pub makespan_off_ms: f64,
+    /// Modelled completion time with hints, ms.
+    pub makespan_on_ms: f64,
+    /// Segments examined per trial without hints.
+    pub probes_off: f64,
+    /// Segments examined per trial with hints.
+    pub probes_on: f64,
+    /// Adds donated directly to searchers (hints on).
+    pub donated: f64,
+    /// Removes satisfied by a donation (hints on).
+    pub hinted: f64,
+}
+
+/// The ablation data.
+#[derive(Clone, Debug)]
+pub struct HintAblation {
+    /// One point per producer count `1..procs` (0 and `procs` are
+    /// degenerate: nothing flows).
+    pub points: Vec<Point>,
+    /// Search policy used.
+    pub policy: PolicyKind,
+}
+
+/// Runs the ablation under the linear policy (the paper's recommended
+/// simple algorithm).
+pub fn generate(scale: &Scale) -> HintAblation {
+    generate_for_policy(scale, PolicyKind::Linear)
+}
+
+/// Runs the ablation under any policy.
+pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> HintAblation {
+    let points = (1..scale.procs)
+        .map(|producers| {
+            let workload = Workload::ProducerConsumer {
+                producers,
+                arrangement: Arrangement::Contiguous,
+            };
+            let spec_off = scale.spec(policy, workload.clone());
+            let spec_on = spec_off.clone().with_hints();
+            let off = run_experiment(&spec_off);
+            let on = run_experiment(&spec_on);
+            let merged_on = on.trials[0].merged.clone();
+            Point {
+                producers,
+                makespan_off_ms: off.summary.makespan_ms.mean,
+                makespan_on_ms: on.summary.makespan_ms.mean,
+                probes_off: mean_probes(&off),
+                probes_on: mean_probes(&on),
+                donated: merged_on.donated_adds as f64,
+                hinted: merged_on.hinted_removes as f64,
+            }
+        })
+        .collect();
+    HintAblation { points, policy }
+}
+
+fn mean_probes(result: &crate::metrics::ExperimentResult) -> f64 {
+    let total: u64 = result.trials.iter().map(|t| t.merged.segments_examined).sum();
+    total as f64 / result.trials.len() as f64
+}
+
+/// Renders the ablation as a chart of makespans plus the full table.
+pub fn render(fig: &HintAblation) -> String {
+    let mut chart = Chart::new(
+        &format!("Hint extension ablation ({} search): modelled completion time", fig.policy),
+        64,
+        18,
+    );
+    chart.labels("number of producers", "makespan (ms, modelled)");
+    chart.series(
+        "hints off",
+        fig.points.iter().map(|p| (p.producers as f64, p.makespan_off_ms)).collect(),
+        'o',
+    );
+    chart.series(
+        "hints on",
+        fig.points.iter().map(|p| (p.producers as f64, p.makespan_on_ms)).collect(),
+        'h',
+    );
+
+    let mut table = TextTable::new(vec![
+        "producers",
+        "makespan off (ms)",
+        "makespan on (ms)",
+        "probes off",
+        "probes on",
+        "donated",
+        "hinted removes",
+    ]);
+    for p in &fig.points {
+        table.row(vec![
+            p.producers.to_string(),
+            format!("{:.2}", p.makespan_off_ms),
+            format!("{:.2}", p.makespan_on_ms),
+            format!("{:.0}", p.probes_off),
+            format!("{:.0}", p.probes_on),
+            format!("{:.0}", p.donated),
+            format!("{:.0}", p.hinted),
+        ]);
+    }
+    format!("{}\n{}", chart.render(), table)
+}
+
+/// CSV export.
+pub fn csv_rows(fig: &HintAblation) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "producers",
+        "makespan_off_ms",
+        "makespan_on_ms",
+        "probes_off",
+        "probes_on",
+        "donated_adds",
+        "hinted_removes",
+    ];
+    let rows = fig
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.producers.to_string(),
+                format!("{:.4}", p.makespan_off_ms),
+                format!("{:.4}", p.makespan_on_ms),
+                format!("{:.1}", p.probes_off),
+                format!("{:.1}", p.probes_on),
+                format!("{:.0}", p.donated),
+                format!("{:.0}", p.hinted),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_help_at_one_producer_and_vanish_when_sufficient() {
+        let scale = Scale { procs: 8, total_ops: 800, trials: 2, seed: 5 };
+        let fig = generate(&scale);
+        assert_eq!(fig.points.len(), 7);
+
+        let starving = &fig.points[0]; // 1 producer
+        assert!(
+            starving.makespan_on_ms < starving.makespan_off_ms,
+            "hints shorten the starving run: {starving:?}"
+        );
+        assert!(starving.donated > 0.0);
+
+        let comfortable = fig.points.last().unwrap(); // procs-1 producers
+        assert_eq!(comfortable.donated, 0.0, "no fruitless laps, no donations");
+        assert!(
+            (comfortable.makespan_on_ms - comfortable.makespan_off_ms).abs() < 1e-9,
+            "hinted pool degrades to the plain pool"
+        );
+
+        let text = render(&fig);
+        assert!(text.contains("Hint extension ablation"));
+        let (_, rows) = csv_rows(&fig);
+        assert_eq!(rows.len(), 7);
+    }
+}

@@ -1,0 +1,215 @@
+//! The §3.5 lifecycle, run as one experiment instead of three.
+//!
+//! "It is easy to imagine an application which has an initial phase with
+//! more than sufficient adds (as the pool is filled), a stable phase, and a
+//! more sparse termination phase (as the pool is emptied). Our experiments
+//! have essentially examined these phases separately." — this regenerator
+//! runs them *together* with a [`Workload::Phased`] stream (fill at 90%
+//! adds, stable at 50%, drain at 10%) and reads the lifecycle off the
+//! segment-size traces: the total pool size rises, plateaus, and falls,
+//! and the steal share of removes concentrates in the drain phase.
+
+use cpool::{PolicyKind, TraceEvent, TraceKind};
+use workload::{JobMix, Workload};
+
+use crate::chart::Chart;
+use crate::run::run_single_trial;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// Pool-size time series plus per-epoch steal shares for one policy.
+#[derive(Clone, Debug)]
+pub struct LifecycleRun {
+    /// Search policy.
+    pub policy: PolicyKind,
+    /// `(virtual time ns, total pool size)` samples, one per trace event.
+    pub size_series: Vec<(u64, u64)>,
+    /// Steal share of removes in each time epoch (thirds of the makespan).
+    pub steal_share: [f64; 3],
+    /// Event counts per epoch: (adds, local removes, steals).
+    pub epoch_counts: [(u64, u64, u64); 3],
+}
+
+/// The lifecycle data for all three policies.
+#[derive(Clone, Debug)]
+pub struct Lifecycle {
+    /// One run per policy, in `PolicyKind::ALL` order.
+    pub runs: Vec<LifecycleRun>,
+    /// The per-process phase schedule used, `(ops, add-percent)`.
+    pub phases: Vec<(u64, u32)>,
+}
+
+/// The default fill/stable/drain schedule for a given total budget: one
+/// quarter of each process's expected share filling at 90% adds, one
+/// quarter stable at 50%, and the remaining half draining at 10% — long
+/// enough that the drain exhausts both the initial fill and the fill
+/// phase's surplus, so the termination behaviour (steals, then aborts)
+/// actually appears.
+pub fn paper_phases(scale: &Scale) -> Vec<(u64, u32)> {
+    let per_proc = scale.total_ops / scale.procs as u64;
+    vec![(per_proc / 4, 90), (per_proc / 4, 50), (0, 10)]
+}
+
+/// Runs the lifecycle experiment (single trial per policy; the trace is the
+/// object of interest, and the virtual-time engine makes it deterministic).
+pub fn generate(scale: &Scale) -> Lifecycle {
+    let phases = paper_phases(scale);
+    let workload = Workload::Phased {
+        phases: phases.iter().map(|&(ops, pct)| (ops, JobMix::from_percent(pct))).collect(),
+    };
+    let runs = PolicyKind::ALL
+        .iter()
+        .map(|&policy| {
+            let mut spec = scale.spec(policy, workload.clone());
+            spec.trials = 1;
+            spec.record_trace = true;
+            let trial = run_single_trial(&spec, 0);
+            let events = trial.traces.expect("tracing enabled");
+            analyze(policy, &events, spec.initial_elements, spec.procs)
+        })
+        .collect();
+    Lifecycle { runs, phases }
+}
+
+/// Reconstructs the total-size series and epoch steal shares from a trace.
+fn analyze(
+    policy: PolicyKind,
+    events: &[TraceEvent],
+    initial_elements: u64,
+    procs: usize,
+) -> LifecycleRun {
+    // Total pool size = sum of last-known per-segment sizes.
+    let mut seg_size: Vec<u64> = vec![initial_elements / procs as u64; procs];
+    // Distribute the fill remainder like fill_evenly does (first segments).
+    for extra_seg in seg_size.iter_mut().take((initial_elements % procs as u64) as usize) {
+        *extra_seg += 1;
+    }
+    let mut size_series = Vec::with_capacity(events.len());
+    for e in events {
+        seg_size[e.seg.index()] = u64::from(e.len);
+        size_series.push((e.t_ns, seg_size.iter().sum()));
+    }
+
+    let end = events.last().map_or(1, |e| e.t_ns.max(1));
+    let epoch_of = |t: u64| ((t * 3 / end) as usize).min(2);
+    let mut epoch_counts = [(0u64, 0u64, 0u64); 3];
+    for e in events {
+        let slot = &mut epoch_counts[epoch_of(e.t_ns)];
+        match e.kind {
+            TraceKind::Add => slot.0 += 1,
+            TraceKind::Remove => slot.1 += 1,
+            TraceKind::StealFrom => slot.2 += 1,
+            TraceKind::StealInto => {}
+        }
+    }
+    let steal_share = epoch_counts.map(|(_, removes, steals)| {
+        let attempts = removes + steals;
+        if attempts == 0 {
+            0.0
+        } else {
+            steals as f64 / attempts as f64
+        }
+    });
+    LifecycleRun { policy, size_series, steal_share, epoch_counts }
+}
+
+/// Renders the lifecycle: pool-size curves plus the epoch table.
+pub fn render(data: &Lifecycle) -> String {
+    let mut chart = Chart::new(
+        "Lifecycle (fill 90% / stable 50% / drain 10%): total pool size over time",
+        64,
+        18,
+    );
+    chart.labels("virtual time (normalized)", "elements in pool");
+    for (run, marker) in data.runs.iter().zip(['t', 'l', 'r']) {
+        let end = run.size_series.last().map_or(1, |&(t, _)| t.max(1));
+        chart.series(
+            &run.policy.to_string(),
+            run.size_series
+                .iter()
+                .step_by((run.size_series.len() / 200).max(1))
+                .map(|&(t, s)| (t as f64 / end as f64, s as f64))
+                .collect(),
+            marker,
+        );
+    }
+
+    let mut table = TextTable::new(vec![
+        "policy",
+        "epoch",
+        "adds",
+        "local removes",
+        "steals",
+        "steal share",
+    ]);
+    for run in &data.runs {
+        for (i, name) in ["early", "middle", "late"].iter().enumerate() {
+            let (adds, removes, steals) = run.epoch_counts[i];
+            table.row(vec![
+                run.policy.to_string(),
+                (*name).to_string(),
+                adds.to_string(),
+                removes.to_string(),
+                steals.to_string(),
+                format!("{:.3}", run.steal_share[i]),
+            ]);
+        }
+    }
+    format!("{}\n{}", chart.render(), table)
+}
+
+/// CSV export (the epoch summary; the raw series goes to its own file).
+pub fn csv_rows(data: &Lifecycle) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["policy", "epoch", "adds", "local_removes", "steals", "steal_share"];
+    let mut rows = Vec::new();
+    for run in &data.runs {
+        for (i, name) in ["early", "middle", "late"].iter().enumerate() {
+            let (adds, removes, steals) = run.epoch_counts[i];
+            rows.push(vec![
+                run.policy.to_string(),
+                (*name).to_string(),
+                adds.to_string(),
+                removes.to_string(),
+                steals.to_string(),
+                format!("{:.4}", run.steal_share[i]),
+            ]);
+        }
+    }
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_rises_then_falls_and_steals_late() {
+        let scale = Scale { procs: 8, total_ops: 2_000, trials: 1, seed: 21 };
+        let data = generate(&scale);
+        assert_eq!(data.runs.len(), 3);
+
+        for run in &data.runs {
+            let sizes: Vec<u64> = run.size_series.iter().map(|&(_, s)| s).collect();
+            let peak = *sizes.iter().max().expect("events exist");
+            let first = *sizes.first().expect("events exist");
+            let last = *sizes.last().expect("events exist");
+            assert!(
+                peak > first && peak as f64 > last as f64 * 1.5,
+                "{}: pool fills then drains (first={first} peak={peak} last={last})",
+                run.policy
+            );
+            assert!(
+                run.steal_share[2] > run.steal_share[0],
+                "{}: steals concentrate in the drain phase: {:?}",
+                run.policy,
+                run.steal_share
+            );
+        }
+
+        let text = render(&data);
+        assert!(text.contains("Lifecycle"));
+        let (_, rows) = csv_rows(&data);
+        assert_eq!(rows.len(), 9);
+    }
+}

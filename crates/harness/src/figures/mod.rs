@@ -1,0 +1,109 @@
+//! Regenerators for every figure and table of Kotz & Ellis (1989).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — average operation time vs. job mix (tree search, random vs. producer/consumer models) |
+//! | [`traces`] | Figures 3–6 — segment sizes over time (linear/tree × contiguous/balanced producers) |
+//! | [`fig7`] | Figure 7 (errata applied) — elements stolen per steal vs. number of producers |
+//! | [`compare`] | §4.1/§4.3 — comparison of the three algorithms across workloads |
+//! | [`delay`] | §4.3 — remote-access delay sweep (1 µs → 100 ms) |
+//!
+//! Two extension experiments go beyond the paper:
+//!
+//! | Module | Extension |
+//! |---|---|
+//! | [`hint_ablation`] | §5 future work: the hint mechanism on/off |
+//! | [`scaling`] | §3.1's missing experiment: pools of 4–64 segments |
+//! | [`lifecycle`] | §3.5's fill/stable/drain phases, run as one workload |
+//!
+//! Every regenerator takes a [`Scale`] so the full paper-sized versions and
+//! fast test-sized versions share one code path, and returns a plain data
+//! struct with `render` (terminal figure) and `csv_rows` (artifact export)
+//! companions.
+
+pub mod compare;
+pub mod delay;
+pub mod fig2;
+pub mod fig7;
+pub mod hint_ablation;
+pub mod lifecycle;
+pub mod scaling;
+pub mod traces;
+
+use cpool::PolicyKind;
+use workload::Workload;
+
+use crate::spec::ExperimentSpec;
+
+/// Experiment scale: the knobs shared by all figures.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Number of processes (= segments).
+    pub procs: usize,
+    /// Combined operations per trial.
+    pub total_ops: u64,
+    /// Trials averaged per data point.
+    pub trials: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's scale: 16 processes, 5000 operations, 10 trials.
+    pub fn paper() -> Self {
+        Scale { procs: 16, total_ops: 5000, trials: 10, seed: 1989 }
+    }
+
+    /// A small scale for fast tests and smoke runs.
+    pub fn tiny() -> Self {
+        Scale { procs: 8, total_ops: 600, trials: 2, seed: 7 }
+    }
+
+    /// Builds the paper-baseline spec at this scale.
+    ///
+    /// The initial fill keeps the paper's 20 elements per segment.
+    pub fn spec(&self, policy: PolicyKind, workload: Workload) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::paper(policy, workload);
+        spec.procs = self.procs;
+        spec.initial_elements = 20 * self.procs as u64;
+        spec.total_ops = self.total_ops;
+        spec.trials = self.trials;
+        spec.seed = self.seed;
+        spec
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::JobMix;
+
+    #[test]
+    fn paper_scale_matches_section_3_4() {
+        let s = Scale::paper();
+        assert_eq!(s.procs, 16);
+        assert_eq!(s.total_ops, 5000);
+        assert_eq!(s.trials, 10);
+        let spec = s.spec(
+            PolicyKind::Tree,
+            Workload::RandomMix { mix: JobMix::from_percent(50) },
+        );
+        assert_eq!(spec.initial_elements, 320);
+    }
+
+    #[test]
+    fn tiny_scale_keeps_fill_ratio() {
+        let s = Scale::tiny();
+        let spec = s.spec(
+            PolicyKind::Linear,
+            Workload::RandomMix { mix: JobMix::from_percent(50) },
+        );
+        assert_eq!(spec.initial_elements, 20 * s.procs as u64);
+    }
+}

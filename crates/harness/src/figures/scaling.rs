@@ -1,0 +1,240 @@
+//! Scaling beyond the paper's hardware: pools of 4 to 64 segments.
+//!
+//! §3.1: "We have experimented with 16-processor pools on our 32-node
+//! Butterfly ... Unfortunately, since a few of the 32 nodes are devoted to
+//! system tasks, a 32-segment pool cannot be properly simulated." The
+//! virtual-time engine has no such limit, so this experiment runs the
+//! sweep the authors could not: every search algorithm at 4–64 segments,
+//! under a sparse random mix (steal-heavy, where the algorithms differ)
+//! and under the balanced producer/consumer model.
+//!
+//! The question the paper leaves open is whether the tree's O(log n)
+//! subtree-skipping starts to pay off at larger configurations, where a
+//! linear lap costs Θ(n) remote probes.
+
+use cpool::PolicyKind;
+use workload::{Arrangement, JobMix, Workload};
+
+use crate::chart::Chart;
+use crate::run::run_experiment;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// Workload class swept by the scaling experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScalingWorkload {
+    /// Random operations at a sparse 30% add mix.
+    SparseMix,
+    /// Producer/consumer, one quarter producers, balanced arrangement.
+    BalancedProdCons,
+}
+
+impl ScalingWorkload {
+    fn workload(self, procs: usize) -> Workload {
+        match self {
+            ScalingWorkload::SparseMix => {
+                Workload::RandomMix { mix: JobMix::from_percent(30) }
+            }
+            ScalingWorkload::BalancedProdCons => Workload::ProducerConsumer {
+                producers: (procs / 4).max(1),
+                arrangement: Arrangement::Balanced,
+            },
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingWorkload::SparseMix => "random 30% adds",
+            ScalingWorkload::BalancedProdCons => "prod/cons n/4 balanced",
+        }
+    }
+}
+
+/// One (segments, policy) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Pool size (segments = processes).
+    pub procs: usize,
+    /// Search policy.
+    pub policy: PolicyKind,
+    /// Mean operation time, µs.
+    pub avg_op_us: f64,
+    /// Segments examined per search.
+    pub segments_per_steal: f64,
+    /// Elements stolen per successful steal.
+    pub elements_per_steal: f64,
+    /// Modelled completion time, ms.
+    pub makespan_ms: f64,
+}
+
+/// The scaling sweep data.
+#[derive(Clone, Debug)]
+pub struct ScalingSweep {
+    /// All measurements, grouped by pool size then policy.
+    pub points: Vec<Point>,
+    /// The workload that was swept.
+    pub workload: ScalingWorkload,
+    /// The pool sizes swept.
+    pub sizes: Vec<usize>,
+}
+
+/// Runs the sweep over `sizes` (defaults in `generate`).
+pub fn generate_with_sizes(
+    scale: &Scale,
+    workload: ScalingWorkload,
+    sizes: &[usize],
+) -> ScalingSweep {
+    let mut points = Vec::new();
+    for &procs in sizes {
+        for policy in PolicyKind::ALL {
+            // Keep the paper's per-segment ratios: 20 initial elements and
+            // 312 ops per process.
+            let sub = Scale {
+                procs,
+                total_ops: scale.total_ops * procs as u64 / scale.procs.max(1) as u64,
+                trials: scale.trials,
+                seed: scale.seed,
+            };
+            let spec = sub.spec(policy, workload.workload(procs));
+            let result = run_experiment(&spec);
+            points.push(Point {
+                procs,
+                policy,
+                avg_op_us: result.summary.avg_op_us.mean,
+                segments_per_steal: result.summary.segments_per_steal.mean,
+                elements_per_steal: result.summary.elements_per_steal.mean,
+                makespan_ms: result.summary.makespan_ms.mean,
+            });
+        }
+    }
+    ScalingSweep { points, workload, sizes: sizes.to_vec() }
+}
+
+/// Runs the default sweep: 4, 8, 16, 32, 64 segments.
+pub fn generate(scale: &Scale, workload: ScalingWorkload) -> ScalingSweep {
+    generate_with_sizes(scale, workload, &[4, 8, 16, 32, 64])
+}
+
+/// Renders the sweep as a chart of op times plus the data table.
+pub fn render(sweep: &ScalingSweep) -> String {
+    let mut chart = Chart::new(
+        &format!("Scaling sweep ({}): average operation time", sweep.workload.label()),
+        64,
+        18,
+    );
+    chart.labels("segments (log scale positions)", "avg op time (us, modelled)");
+    for (policy, marker) in [
+        (PolicyKind::Tree, 't'),
+        (PolicyKind::Linear, 'l'),
+        (PolicyKind::Random, 'r'),
+    ] {
+        chart.series(
+            &policy.to_string(),
+            sweep
+                .points
+                .iter()
+                .filter(|p| p.policy == policy)
+                .map(|p| ((p.procs as f64).log2(), p.avg_op_us))
+                .collect(),
+            marker,
+        );
+    }
+
+    let mut table = TextTable::new(vec![
+        "segments",
+        "policy",
+        "avg op (us)",
+        "segs/steal",
+        "elems/steal",
+        "makespan (ms)",
+    ]);
+    for p in &sweep.points {
+        table.row(vec![
+            p.procs.to_string(),
+            p.policy.to_string(),
+            format!("{:.1}", p.avg_op_us),
+            fmt_nan(p.segments_per_steal),
+            fmt_nan(p.elements_per_steal),
+            format!("{:.2}", p.makespan_ms),
+        ]);
+    }
+    format!("{}\n{}", chart.render(), table)
+}
+
+fn fmt_nan(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// CSV export.
+pub fn csv_rows(sweep: &ScalingSweep) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec![
+        "segments",
+        "policy",
+        "avg_op_us",
+        "segments_per_steal",
+        "elements_per_steal",
+        "makespan_ms",
+    ];
+    let rows = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.procs.to_string(),
+                p.policy.to_string(),
+                format!("{:.4}", p.avg_op_us),
+                format!("{:.4}", p.segments_per_steal),
+                format!("{:.4}", p.elements_per_steal),
+                format!("{:.4}", p.makespan_ms),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_sizes_and_policies() {
+        let scale = Scale { procs: 8, total_ops: 400, trials: 1, seed: 3 };
+        let sweep = generate_with_sizes(&scale, ScalingWorkload::SparseMix, &[4, 8]);
+        assert_eq!(sweep.points.len(), 6, "2 sizes x 3 policies");
+        for p in &sweep.points {
+            assert!(p.avg_op_us > 0.0, "{p:?}");
+        }
+        let text = render(&sweep);
+        assert!(text.contains("Scaling sweep"));
+        let (_, rows) = csv_rows(&sweep);
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn tree_probes_grow_slower_than_linear() {
+        // The structural scaling claim: per steal, the tree examines fewer
+        // segments than linear search, and the gap widens with pool size.
+        let scale = Scale { procs: 8, total_ops: 800, trials: 2, seed: 9 };
+        let sweep = generate_with_sizes(&scale, ScalingWorkload::SparseMix, &[8, 32]);
+        let probe = |procs: usize, policy: PolicyKind| {
+            sweep
+                .points
+                .iter()
+                .find(|p| p.procs == procs && p.policy == policy)
+                .expect("point exists")
+                .segments_per_steal
+        };
+        for procs in [8usize, 32] {
+            assert!(
+                probe(procs, PolicyKind::Tree) <= probe(procs, PolicyKind::Linear),
+                "tree examines fewer segments at {procs} segments"
+            );
+        }
+    }
+}

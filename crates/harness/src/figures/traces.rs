@@ -1,0 +1,273 @@
+//! Figures 3–6: segment sizes over time under the producer/consumer model.
+//!
+//! * Figure 3 — linear search, 5 producers contiguous (bunching visible:
+//!   "the producers are being stolen from in the order 0 1 2 3, and
+//!   producer 4 is never stolen from").
+//! * Figure 4 — linear search, producers balanced ("the segments of all
+//!   producers ... are accessed").
+//! * Figure 5 — tree search, contiguous (bunching again).
+//! * Figure 6 — tree search, balanced.
+//!
+//! Each regeneration runs a single traced trial and reports, besides the
+//! raw series, the *steal coverage* of the producers — which producer
+//! segments ever got stolen from, in first-steal order — the property the
+//! paper reads off these figures.
+
+use cpool::{PolicyKind, SegIdx, TraceEvent, TraceKind};
+use workload::{Arrangement, Role, Workload};
+
+use crate::run::run_single_trial;
+use crate::table::TextTable;
+
+use super::Scale;
+
+/// Which of the four figures to regenerate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceFigure {
+    /// Figure 3: linear search, contiguous producers.
+    Fig3,
+    /// Figure 4: linear search, balanced producers.
+    Fig4,
+    /// Figure 5: tree search, contiguous producers.
+    Fig5,
+    /// Figure 6: tree search, balanced producers.
+    Fig6,
+}
+
+impl TraceFigure {
+    /// The policy and arrangement this figure uses.
+    pub fn config(self) -> (PolicyKind, Arrangement) {
+        match self {
+            TraceFigure::Fig3 => (PolicyKind::Linear, Arrangement::Contiguous),
+            TraceFigure::Fig4 => (PolicyKind::Linear, Arrangement::PaperBalanced),
+            TraceFigure::Fig5 => (PolicyKind::Tree, Arrangement::Contiguous),
+            TraceFigure::Fig6 => (PolicyKind::Tree, Arrangement::PaperBalanced),
+        }
+    }
+
+    /// Figure number in the paper.
+    pub fn number(self) -> u32 {
+        match self {
+            TraceFigure::Fig3 => 3,
+            TraceFigure::Fig4 => 4,
+            TraceFigure::Fig5 => 5,
+            TraceFigure::Fig6 => 6,
+        }
+    }
+}
+
+/// The regenerated data for one of Figures 3–6.
+#[derive(Clone, Debug)]
+pub struct TraceData {
+    /// Which figure this is.
+    pub figure: TraceFigure,
+    /// Number of processes/segments.
+    pub procs: usize,
+    /// Producer process ids.
+    pub producers: Vec<usize>,
+    /// Time-sorted trace events of the trial.
+    pub events: Vec<TraceEvent>,
+    /// End of the trial (virtual ns).
+    pub end_ns: u64,
+    /// Producer segments in order of their first steal (victims).
+    pub producer_first_steal_order: Vec<usize>,
+    /// Producer segments never stolen from during the trial.
+    pub producers_never_stolen: Vec<usize>,
+}
+
+/// Runs one traced trial (5 producers of 16, as in the paper's figures).
+pub fn generate(figure: TraceFigure, scale: &Scale) -> TraceData {
+    let producers_count = (scale.procs * 5 / 16).max(1);
+    let (policy, arrangement) = figure.config();
+    let workload =
+        Workload::ProducerConsumer { producers: producers_count, arrangement: arrangement.clone() };
+    let mut spec = scale.spec(policy, workload.clone());
+    spec.record_trace = true;
+    spec.trials = 1;
+    let trial = run_single_trial(&spec, 0);
+    let events = trial.traces.expect("tracing enabled");
+    let end_ns = trial.makespan_ns;
+
+    let producers: Vec<usize> = (0..scale.procs)
+        .filter(|&p| workload.role_of(p, scale.procs) == Some(Role::Producer))
+        .collect();
+
+    let mut first_steal: Vec<(u64, usize)> = producers
+        .iter()
+        .filter_map(|&p| {
+            events
+                .iter()
+                .find(|e| e.kind == TraceKind::StealFrom && e.seg == SegIdx::new(p))
+                .map(|e| (e.t_ns, p))
+        })
+        .collect();
+    first_steal.sort_unstable();
+    let producer_first_steal_order: Vec<usize> =
+        first_steal.iter().map(|&(_, p)| p).collect();
+    let producers_never_stolen: Vec<usize> = producers
+        .iter()
+        .copied()
+        .filter(|p| !producer_first_steal_order.contains(p))
+        .collect();
+
+    TraceData {
+        figure,
+        procs: scale.procs,
+        producers,
+        events,
+        end_ns,
+        producer_first_steal_order,
+        producers_never_stolen,
+    }
+}
+
+/// Resamples one segment's size into `buckets` samples over the trial.
+pub fn segment_size_series(data: &TraceData, seg: usize, buckets: usize) -> Vec<u32> {
+    let mut series = vec![0u32; buckets];
+    let mut size = 0u32;
+    let mut events = data
+        .events
+        .iter()
+        .filter(|e| e.seg == SegIdx::new(seg))
+        .peekable();
+    let end = data.end_ns.max(1);
+    for (b, slot) in series.iter_mut().enumerate() {
+        let bucket_end = (b as u64 + 1) * end / buckets as u64;
+        while let Some(e) = events.peek() {
+            if e.t_ns <= bucket_end {
+                size = e.len;
+                events.next();
+            } else {
+                break;
+            }
+        }
+        *slot = size;
+    }
+    series
+}
+
+/// Renders the figure as per-segment sparklines plus the coverage verdict.
+pub fn render(data: &TraceData) -> String {
+    const GLYPHS: &[u8] = b" .:-=+*#%@";
+    let width = 72;
+    let max_size = data.events.iter().map(|e| e.len).max().unwrap_or(1).max(1);
+
+    let (policy, arrangement) = data.figure.config();
+    let mut out = format!(
+        "Figure {}: segment sizes over time ({policy} search, {arrangement} producers)\n\
+         each row is one segment; darker = more elements (max observed {max_size})\n\n",
+        data.figure.number(),
+    );
+    for seg in 0..data.procs {
+        let role = if data.producers.contains(&seg) { "P" } else { "c" };
+        let series = segment_size_series(data, seg, width);
+        let line: String = series
+            .iter()
+            .map(|&s| {
+                let level = (s as usize * (GLYPHS.len() - 1)).div_ceil(max_size as usize);
+                GLYPHS[level.min(GLYPHS.len() - 1)] as char
+            })
+            .collect();
+        out.push_str(&format!("S{seg:02} {role} |{line}|\n"));
+    }
+    out.push_str(&format!(
+        "\nproducers: {:?}\nfirst-steal order of producers: {:?}\nproducers never stolen from: {:?}\n",
+        data.producers, data.producer_first_steal_order, data.producers_never_stolen
+    ));
+    out
+}
+
+/// Summary table across all four figures (used by the `run_all` artifact).
+pub fn coverage_table(datas: &[TraceData]) -> TextTable {
+    let mut table = TextTable::new(vec![
+        "figure",
+        "policy",
+        "arrangement",
+        "producers",
+        "stolen-from (in order)",
+        "never stolen",
+    ]);
+    for d in datas {
+        let (policy, arrangement) = d.figure.config();
+        table.row(vec![
+            format!("Fig {}", d.figure.number()),
+            policy.to_string(),
+            arrangement.to_string(),
+            format!("{:?}", d.producers),
+            format!("{:?}", d.producer_first_steal_order),
+            format!("{:?}", d.producers_never_stolen),
+        ]);
+    }
+    table
+}
+
+/// CSV export of the raw events.
+pub fn csv_rows(data: &TraceData) -> (Vec<&'static str>, Vec<Vec<String>>) {
+    let headers = vec!["t_ns", "proc", "seg", "len", "kind"];
+    let rows = data
+        .events
+        .iter()
+        .map(|e| {
+            vec![
+                e.t_ns.to_string(),
+                e.proc.index().to_string(),
+                e.seg.index().to_string(),
+                e.len.to_string(),
+                format!("{:?}", e.kind),
+            ]
+        })
+        .collect();
+    (headers, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale { procs: 8, total_ops: 600, trials: 1, seed: 5 }
+    }
+
+    #[test]
+    fn fig3_shows_contiguous_producers() {
+        let data = generate(TraceFigure::Fig3, &tiny());
+        // 8 procs -> 8*5/16 = 2 producers, contiguous at {0, 1}.
+        assert_eq!(data.producers, vec![0, 1]);
+        assert!(!data.events.is_empty());
+        let text = render(&data);
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("S00 P"));
+        assert!(text.contains("S07 c"));
+    }
+
+    #[test]
+    fn fig4_spreads_producers() {
+        let data = generate(TraceFigure::Fig4, &tiny());
+        assert_eq!(data.producers, vec![0, 4], "balanced stride for 2 of 8");
+    }
+
+    #[test]
+    fn series_resampling_is_monotone_in_time() {
+        let data = generate(TraceFigure::Fig5, &tiny());
+        for seg in 0..data.procs {
+            let series = segment_size_series(&data, seg, 24);
+            assert_eq!(series.len(), 24);
+        }
+    }
+
+    #[test]
+    fn coverage_table_renders() {
+        let d3 = generate(TraceFigure::Fig3, &tiny());
+        let d4 = generate(TraceFigure::Fig4, &tiny());
+        let table = coverage_table(&[d3, d4]);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let data = generate(TraceFigure::Fig6, &tiny());
+        let (headers, rows) = csv_rows(&data);
+        assert_eq!(headers.len(), 5);
+        assert_eq!(rows.len(), data.events.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! # Experiment harness
+//!
+//! Drives the concurrent-pool experiments of Kotz & Ellis (1989): builds a
+//! pool from an [`ExperimentSpec`], runs the workload until the combined
+//! operation budget is spent, repeats for the configured number of trials,
+//! and aggregates the paper's measurements (§3.4) into an
+//! [`ExperimentResult`].
+//!
+//! Two execution engines are provided:
+//!
+//! * [`Engine::Sim`] — deterministic virtual time on the `numa-sim`
+//!   scheduler (the default for every figure: reproducible anywhere);
+//! * [`Engine::Threaded`] — real OS threads, optionally with the paper's
+//!   spin-injected remote delays (faithful to the original method, but
+//!   dependent on host parallelism).
+//!
+//! The [`figures`] module regenerates each figure and table of the paper;
+//! the `bench` crate's binaries are thin CLI wrappers around it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod chart;
+pub mod cli;
+pub mod csv;
+pub mod figures;
+pub mod metrics;
+pub mod run;
+pub mod spec;
+pub mod table;
+
+pub use chart::Chart;
+pub use metrics::{ExperimentResult, Stat, Summary, TrialMetrics};
+pub use run::{run_experiment, run_single_trial};
+pub use spec::{Engine, ExperimentSpec, SegmentKind};
+pub use table::TextTable;

@@ -1,0 +1,204 @@
+//! Trial metrics and cross-trial aggregation.
+//!
+//! "For each workload, ten trials were performed and the measurements were
+//! averaged." — §3.4.
+
+use cpool::{ProcStats, TraceEvent};
+
+/// Mean / standard deviation over a set of trial measurements.
+///
+/// Trials where a measurement is undefined (e.g. elements-per-steal with no
+/// steals) are skipped; `n` reports how many trials contributed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stat {
+    /// Sample mean (NaN when no trial contributed).
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample; NaN when empty).
+    pub std: f64,
+    /// Number of contributing trials.
+    pub n: usize,
+}
+
+impl Stat {
+    /// Aggregates the `Some` values of an iterator.
+    pub fn of(values: impl IntoIterator<Item = Option<f64>>) -> Stat {
+        let xs: Vec<f64> = values.into_iter().flatten().collect();
+        if xs.is_empty() {
+            return Stat { mean: f64::NAN, std: f64::NAN, n: 0 };
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Stat { mean, std: var.sqrt(), n: xs.len() }
+    }
+
+    /// Whether any trial contributed a value.
+    pub fn is_defined(&self) -> bool {
+        self.n > 0
+    }
+
+    /// Formats as `mean ± std` (or `-` when undefined) with the given
+    /// precision.
+    pub fn display(&self, precision: usize) -> String {
+        if self.is_defined() {
+            format!("{:.p$} ±{:.p$}", self.mean, self.std, p = precision)
+        } else {
+            "-".to_string()
+        }
+    }
+}
+
+/// Raw measurements of one trial.
+#[derive(Clone, Debug)]
+pub struct TrialMetrics {
+    /// Statistics merged over all processes.
+    pub merged: ProcStats,
+    /// Per-process statistics (index = process id).
+    pub per_proc: Vec<ProcStats>,
+    /// Modelled (virtual-time engines) or wall-clock (threaded engines)
+    /// completion time of the whole trial, nanoseconds.
+    pub makespan_ns: u64,
+    /// Segment sizes when the trial ended.
+    pub final_sizes: Vec<usize>,
+    /// Segment-size trace, when recording was enabled.
+    pub traces: Option<Vec<TraceEvent>>,
+}
+
+/// Aggregates of the paper's §3.4 measurements across trials.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Mean time per operation (adds + removes + aborts), µs.
+    pub avg_op_us: Stat,
+    /// Mean add time, µs.
+    pub avg_add_us: Stat,
+    /// Mean (successful) remove time, µs.
+    pub avg_remove_us: Stat,
+    /// Fraction of remove attempts that stole.
+    pub steal_fraction: Stat,
+    /// Segments examined per search.
+    pub segments_per_steal: Stat,
+    /// Elements stolen per successful steal.
+    pub elements_per_steal: Stat,
+    /// Measured fraction of adds among completed operations.
+    pub measured_mix: Stat,
+    /// Successful steals per trial.
+    pub steals: Stat,
+    /// Aborted removes per trial.
+    pub aborted: Stat,
+    /// Tree nodes visited per trial (0 for linear/random).
+    pub tree_nodes: Stat,
+    /// Trial completion time, ms.
+    pub makespan_ms: Stat,
+}
+
+impl Summary {
+    /// Aggregates a set of trials.
+    pub fn of(trials: &[TrialMetrics]) -> Summary {
+        let m = |f: &dyn Fn(&TrialMetrics) -> Option<f64>| {
+            Stat::of(trials.iter().map(f))
+        };
+        Summary {
+            avg_op_us: m(&|t| t.merged.avg_op_ns().map(|ns| ns / 1_000.0)),
+            avg_add_us: m(&|t| t.merged.avg_add_ns().map(|ns| ns / 1_000.0)),
+            avg_remove_us: m(&|t| t.merged.avg_remove_ns().map(|ns| ns / 1_000.0)),
+            steal_fraction: m(&|t| t.merged.steal_fraction()),
+            segments_per_steal: m(&|t| t.merged.segments_per_steal()),
+            elements_per_steal: m(&|t| t.merged.elements_per_steal()),
+            measured_mix: m(&|t| t.merged.measured_mix()),
+            steals: m(&|t| Some(t.merged.steals as f64)),
+            aborted: m(&|t| Some(t.merged.aborted_removes as f64)),
+            tree_nodes: m(&|t| Some(t.merged.tree_nodes_visited as f64)),
+            makespan_ms: m(&|t| Some(t.makespan_ns as f64 / 1e6)),
+        }
+    }
+}
+
+/// A complete experiment outcome: the per-trial metrics and their summary.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Human-readable description of the spec that produced this.
+    pub label: String,
+    /// One entry per trial, in trial order.
+    pub trials: Vec<TrialMetrics>,
+    /// Aggregates across trials.
+    pub summary: Summary,
+}
+
+impl ExperimentResult {
+    /// Builds a result from trials.
+    pub fn new(label: String, trials: Vec<TrialMetrics>) -> Self {
+        let summary = Summary::of(&trials);
+        ExperimentResult { label, trials, summary }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_of_values() {
+        let s = Stat::of([Some(1.0), Some(2.0), Some(3.0)]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stat_skips_missing() {
+        let s = Stat::of([Some(4.0), None, Some(6.0)]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stat_of_nothing_is_undefined() {
+        let s = Stat::of([None, None]);
+        assert!(!s.is_defined());
+        assert_eq!(s.display(2), "-");
+    }
+
+    #[test]
+    fn stat_display() {
+        let s = Stat::of([Some(1.25)]);
+        assert_eq!(s.display(2), "1.25 ±0.00");
+    }
+
+    fn fake_trial(adds: u64, removes: u64, steals: u64) -> TrialMetrics {
+        let merged = ProcStats {
+            adds,
+            removes,
+            steals,
+            elements_stolen: steals * 4,
+            add_ns: adds * 1_000,
+            remove_ns: removes * 2_000,
+            ..ProcStats::default()
+        };
+        TrialMetrics {
+            merged,
+            per_proc: Vec::new(),
+            makespan_ns: 5_000_000,
+            final_sizes: vec![0; 4],
+            traces: None,
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_trials() {
+        let trials = vec![fake_trial(100, 100, 10), fake_trial(100, 100, 20)];
+        let s = Summary::of(&trials);
+        assert_eq!(s.steals.n, 2);
+        assert!((s.steals.mean - 15.0).abs() < 1e-12);
+        assert!((s.elements_per_steal.mean - 4.0).abs() < 1e-12);
+        assert!((s.makespan_ms.mean - 5.0).abs() < 1e-12);
+        assert!((s.measured_mix.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn experiment_result_carries_label() {
+        let r = ExperimentResult::new("demo".into(), vec![fake_trial(1, 1, 0)]);
+        assert_eq!(r.label, "demo");
+        assert_eq!(r.trials.len(), 1);
+        assert!(!r.summary.elements_per_steal.is_defined(), "no steals -> undefined");
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text tables for experiment reports.
+
+use std::fmt;
+
+/// A right-padded, column-aligned text table.
+///
+/// ```
+/// use harness::TextTable;
+/// let mut t = TextTable::new(vec!["algo", "ops"]);
+/// t.row(vec!["tree".into(), "5000".into()]);
+/// t.row(vec!["linear".into(), "5000".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("tree"));
+/// assert!(text.lines().count() >= 4, "header, rule, two rows");
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells; table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows as raw cells (for CSV export).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // Second column starts at the same offset in all rows.
+        let col = lines[0].find("bbbb").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find("22").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn ragged_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_and_rule() {
+        let t = TextTable::new(vec!["h1", "h2"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_string().lines().count(), 2);
+    }
+}

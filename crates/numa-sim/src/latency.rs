@@ -1,0 +1,165 @@
+//! Access-cost models.
+
+use cpool::{ProcId, Resource};
+
+use crate::topology::Topology;
+
+/// Nanosecond costs for each access class, plus the paper's adjustable
+/// artificial remote delay.
+///
+/// The [`butterfly`](LatencyModel::butterfly) preset is calibrated to the
+/// machine of the paper: remote references about 4× slower than local
+/// (Holliday's timings, the paper's §3.1), undelayed segment operations in
+/// the tens of microseconds ("typical undelayed segment operation times are
+/// approximately 70 µsec for add operations and 110 µsec for remove
+/// operations"), and tree-node overhead "comparable to the segment access
+/// time".
+///
+/// ```
+/// use numa_sim::LatencyModel;
+/// let m = LatencyModel::butterfly();
+/// assert_eq!(m.remote_segment_ns, 4 * m.local_segment_ns);
+/// let delayed = m.with_remote_delay_us(100);
+/// assert_eq!(delayed.remote_delay_ns, 100_000);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyModel {
+    /// Cost of an access to a segment on the accessor's own node.
+    pub local_segment_ns: u64,
+    /// Cost of an access to a segment on another node.
+    pub remote_segment_ns: u64,
+    /// Cost of a superimposed-tree node visit (lock + counter examine/update).
+    pub tree_node_ns: u64,
+    /// Extra artificial delay added to every *remote* access (segments and
+    /// tree nodes) — the knob of §4.3, swept from 1 µs to 100 ms.
+    pub remote_delay_ns: u64,
+}
+
+impl LatencyModel {
+    /// Butterfly-calibrated model: local segment op 10 µs, remote 40 µs
+    /// (4:1), tree node 30 µs, no artificial delay.
+    pub fn butterfly() -> Self {
+        LatencyModel {
+            local_segment_ns: 10_000,
+            remote_segment_ns: 40_000,
+            tree_node_ns: 30_000,
+            remote_delay_ns: 0,
+        }
+    }
+
+    /// A uniform-memory model (local = remote): what the pool looks like on
+    /// a small SMP.
+    pub fn uniform(access_ns: u64) -> Self {
+        LatencyModel {
+            local_segment_ns: access_ns,
+            remote_segment_ns: access_ns,
+            tree_node_ns: access_ns,
+            remote_delay_ns: 0,
+        }
+    }
+
+    /// Returns a copy with the artificial remote delay set (nanoseconds).
+    pub fn with_remote_delay(mut self, delay_ns: u64) -> Self {
+        self.remote_delay_ns = delay_ns;
+        self
+    }
+
+    /// Returns a copy with the artificial remote delay set (microseconds,
+    /// the unit the paper sweeps in).
+    pub fn with_remote_delay_us(self, delay_us: u64) -> Self {
+        self.with_remote_delay(delay_us * 1_000)
+    }
+
+    /// Cost of `proc` accessing `resource` under `topology`.
+    ///
+    /// Tree nodes cost [`tree_node_ns`](Self::tree_node_ns) plus the remote
+    /// delay when stored remotely; segments and centralized shared
+    /// structures cost local/remote plus the remote delay when remote.
+    pub fn cost(&self, proc: ProcId, resource: Resource, topology: &Topology) -> u64 {
+        let local = topology.is_local(proc, resource);
+        let base = match resource {
+            Resource::TreeNode(_) => self.tree_node_ns,
+            Resource::Segment(_) | Resource::Shared(_) => {
+                if local {
+                    self.local_segment_ns
+                } else {
+                    self.remote_segment_ns
+                }
+            }
+            _ => self.remote_segment_ns,
+        };
+        if local {
+            base
+        } else {
+            base + self.remote_delay_ns
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::butterfly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpool::SegIdx;
+
+    #[test]
+    fn butterfly_ratio_is_four() {
+        let m = LatencyModel::butterfly();
+        assert_eq!(m.remote_segment_ns / m.local_segment_ns, 4);
+    }
+
+    #[test]
+    fn local_access_costs_local() {
+        let m = LatencyModel::butterfly();
+        let topo = Topology::identity(4);
+        let c = m.cost(ProcId::new(1), Resource::Segment(SegIdx::new(1)), &topo);
+        assert_eq!(c, m.local_segment_ns);
+    }
+
+    #[test]
+    fn remote_access_costs_remote_plus_delay() {
+        let m = LatencyModel::butterfly().with_remote_delay_us(5);
+        let topo = Topology::identity(4);
+        let c = m.cost(ProcId::new(1), Resource::Segment(SegIdx::new(2)), &topo);
+        assert_eq!(c, m.remote_segment_ns + 5_000);
+    }
+
+    #[test]
+    fn local_access_never_pays_delay() {
+        let m = LatencyModel::butterfly().with_remote_delay_us(1000);
+        let topo = Topology::identity(4);
+        let c = m.cost(ProcId::new(2), Resource::Segment(SegIdx::new(2)), &topo);
+        assert_eq!(c, m.local_segment_ns);
+    }
+
+    #[test]
+    fn tree_nodes_pay_tree_cost() {
+        let m = LatencyModel::butterfly().with_remote_delay_us(1);
+        let topo = Topology::identity(4);
+        // Heap node 1 is on node 1; proc 0 accesses remotely.
+        let c = m.cost(ProcId::new(0), Resource::TreeNode(1), &topo);
+        assert_eq!(c, m.tree_node_ns + 1_000);
+        // Proc 1 accesses the same node locally: no delay.
+        let c_local = m.cost(ProcId::new(1), Resource::TreeNode(1), &topo);
+        assert_eq!(c_local, m.tree_node_ns);
+    }
+
+    #[test]
+    fn uniform_model_has_no_numa_effect() {
+        let m = LatencyModel::uniform(100);
+        let topo = Topology::identity(8);
+        for p in 0..8 {
+            for s in 0..8 {
+                assert_eq!(
+                    m.cost(ProcId::new(p), Resource::Segment(SegIdx::new(s)), &topo),
+                    100
+                );
+            }
+        }
+    }
+}

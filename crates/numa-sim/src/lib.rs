@@ -1,0 +1,49 @@
+//! # NUMA machine substrate
+//!
+//! Kotz & Ellis (1989) ran their concurrent-pool experiments on a BBN
+//! Butterfly: a NUMA multiprocessor where every memory module is local to
+//! one processor but reachable by all, with remote accesses roughly four
+//! times slower than local ones. To study more loosely-coupled machines
+//! they *added an adjustable artificial delay* to every remote segment
+//! probe and every superimposed-tree node access.
+//!
+//! This crate substitutes for that hardware:
+//!
+//! * [`LatencyModel`] — the cost of each access class, with a
+//!   [Butterfly-calibrated preset](LatencyModel::butterfly) and the paper's
+//!   adjustable [`remote_delay`](LatencyModel::with_remote_delay) knob;
+//! * [`Topology`] — which node hosts each process, segment, and tree node;
+//! * [`RealTiming`] — the paper's own method on real threads: spin-inject
+//!   the configured delay into each remote access;
+//! * [`SimScheduler`]/[`SimTiming`] — a deterministic *virtual-time*
+//!   executor: processes run as ordinary threads but are serialized in
+//!   virtual-time order, with per-resource busy-intervals modelling
+//!   contention. Experiments become exactly reproducible and independent
+//!   of the host's core count (this matters: the paper used 16 physical
+//!   processors; a laptop may have one).
+//!
+//! ## Virtual time in one paragraph
+//!
+//! Every chargeable access calls [`Timing::charge`](cpool::Timing::charge)
+//! on a [`SimTiming`]. The scheduler computes the access's start time as
+//! the maximum of the process's clock and the resource's busy-until time
+//! (queueing!), advances both by the modelled cost, and then blocks the
+//! calling thread until it holds the globally minimal clock again. Exactly
+//! one process executes between any two charges, so the interleaving — and
+//! therefore every statistic — is a deterministic function of the seed, yet
+//! the *modelled* execution is fully parallel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod latency;
+pub mod real;
+pub mod sim;
+pub mod spin;
+pub mod topology;
+
+pub use latency::LatencyModel;
+pub use real::RealTiming;
+pub use sim::{SimScheduler, SimTiming};
+pub use spin::spin_for;
+pub use topology::{NodeId, Topology, TreePlacement};

@@ -1,0 +1,47 @@
+//! Precise busy-wait delays.
+//!
+//! The paper injected artificial delays into remote operations while the
+//! process *kept its processor* (a delay loop, not a sleep): the point is to
+//! model a slow interconnect, during which the processor is stalled. A
+//! `thread::sleep` would yield the CPU and deschedule the thread for far
+//! longer than requested at microsecond scales; a spin loop gives
+//! microsecond-accurate delays.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Busy-waits for at least `delay`.
+///
+/// Returns immediately for a zero delay. Accuracy is bounded by the OS
+/// scheduler (the thread can still be preempted mid-spin), which mirrors
+/// the paper's situation faithfully: their delay loops ran on timeshared
+/// Butterfly nodes too.
+pub fn spin_for(delay: Duration) {
+    if delay.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < delay {
+        hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delay_returns_fast() {
+        let start = Instant::now();
+        spin_for(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn spin_waits_at_least_the_delay() {
+        let delay = Duration::from_micros(200);
+        let start = Instant::now();
+        spin_for(delay);
+        assert!(start.elapsed() >= delay);
+    }
+}

@@ -1,0 +1,178 @@
+//! Placement of processes, segments, and tree nodes onto machine nodes.
+
+use std::fmt;
+
+use cpool::{ProcId, Resource, SegIdx};
+
+/// Identifier of a machine node (processor + its local memory module).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id.
+    pub fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Where the superimposed tree's nodes live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TreePlacement {
+    /// Tree nodes are scattered across the machine (node `i % nodes`); an
+    /// access is remote unless it happens to land on the accessor's node.
+    /// This is the paper's assumption: the tree "is likely to be remote for
+    /// most of the processors".
+    #[default]
+    Scattered,
+    /// The whole tree lives on one node (a central hot spot).
+    Central(NodeId),
+}
+
+/// Maps pool entities to machine nodes.
+///
+/// The default (the paper's configuration) is the *identity* placement:
+/// process `i` runs on node `i` and segment `i` is stored there, so a
+/// process's own segment is its only guaranteed-local one.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: usize,
+    proc_node: Vec<NodeId>,
+    seg_node: Vec<NodeId>,
+    tree: TreePlacement,
+}
+
+impl Topology {
+    /// Identity topology over `n` nodes: process `i` and segment `i` both
+    /// live on node `i`; the tree is scattered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        let ids: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        Topology { nodes: n, proc_node: ids.clone(), seg_node: ids, tree: TreePlacement::default() }
+    }
+
+    /// Overrides the tree placement.
+    pub fn with_tree_placement(mut self, tree: TreePlacement) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Overrides a single process's home node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` or `node` is out of range.
+    pub fn place_proc(mut self, proc: ProcId, node: NodeId) -> Self {
+        assert!(node.index() < self.nodes, "node {node} out of range");
+        self.proc_node[proc.index()] = node;
+        self
+    }
+
+    /// Number of machine nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Home node of a process. Processes beyond the configured count wrap
+    /// around (matching the pool's home-segment assignment for
+    /// over-subscribed runs).
+    pub fn node_of_proc(&self, proc: ProcId) -> NodeId {
+        self.proc_node[proc.index() % self.proc_node.len()]
+    }
+
+    /// Node storing a segment.
+    pub fn node_of_seg(&self, seg: SegIdx) -> NodeId {
+        self.seg_node[seg.index() % self.seg_node.len()]
+    }
+
+    /// Node storing a tree node (by heap index).
+    pub fn node_of_tree(&self, heap_index: usize) -> NodeId {
+        match self.tree {
+            TreePlacement::Scattered => NodeId::new(heap_index % self.nodes),
+            TreePlacement::Central(node) => node,
+        }
+    }
+
+    /// Whether `proc`'s access to `resource` is local.
+    ///
+    /// Centralized shared structures ([`Resource::Shared`]) live on node 0
+    /// by convention and are local only to its resident.
+    pub fn is_local(&self, proc: ProcId, resource: Resource) -> bool {
+        let home = self.node_of_proc(proc);
+        match resource {
+            Resource::Segment(seg) => self.node_of_seg(seg) == home,
+            Resource::TreeNode(heap_index) => self.node_of_tree(heap_index) == home,
+            Resource::Shared(_) => home == NodeId::new(0),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_puts_everything_home() {
+        let topo = Topology::identity(4);
+        for i in 0..4 {
+            assert!(topo.is_local(ProcId::new(i), Resource::Segment(SegIdx::new(i))));
+            for j in 0..4 {
+                if i != j {
+                    assert!(!topo.is_local(ProcId::new(i), Resource::Segment(SegIdx::new(j))));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scattered_tree_is_mostly_remote() {
+        let topo = Topology::identity(8);
+        let local_count = (1..16)
+            .filter(|&n| topo.is_local(ProcId::new(3), Resource::TreeNode(n)))
+            .count();
+        assert!(local_count <= 2, "scattered tree rarely local: {local_count}");
+    }
+
+    #[test]
+    fn central_tree_local_only_to_host() {
+        let topo =
+            Topology::identity(4).with_tree_placement(TreePlacement::Central(NodeId::new(2)));
+        assert!(topo.is_local(ProcId::new(2), Resource::TreeNode(5)));
+        assert!(!topo.is_local(ProcId::new(0), Resource::TreeNode(5)));
+    }
+
+    #[test]
+    fn shared_resources_live_on_node_zero() {
+        let topo = Topology::identity(4);
+        assert!(topo.is_local(ProcId::new(0), Resource::Shared(0)));
+        assert!(!topo.is_local(ProcId::new(1), Resource::Shared(0)));
+    }
+
+    #[test]
+    fn oversubscribed_procs_wrap() {
+        let topo = Topology::identity(4);
+        assert_eq!(topo.node_of_proc(ProcId::new(5)), NodeId::new(1));
+    }
+
+    #[test]
+    fn place_proc_overrides() {
+        let topo = Topology::identity(4).place_proc(ProcId::new(3), NodeId::new(0));
+        assert_eq!(topo.node_of_proc(ProcId::new(3)), NodeId::new(0));
+        assert!(topo.is_local(ProcId::new(3), Resource::Segment(SegIdx::new(0))));
+    }
+}

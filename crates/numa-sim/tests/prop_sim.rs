@@ -1,0 +1,150 @@
+//! Property-based tests for the NUMA substrate: latency-model algebra and
+//! virtual-time scheduler invariants under randomized access scripts.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use cpool::{ProcId, Resource, SegIdx, Timing};
+use numa_sim::{LatencyModel, SimScheduler, Topology};
+
+fn models() -> impl Strategy<Value = LatencyModel> {
+    (1u64..100_000, 1u64..4, 1u64..100_000, 0u64..1_000_000).prop_map(
+        |(local, ratio, tree, delay)| LatencyModel {
+            local_segment_ns: local,
+            remote_segment_ns: local * ratio,
+            tree_node_ns: tree,
+            remote_delay_ns: delay,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Remote accesses never cost less than local ones, and the artificial
+    /// delay applies exactly to remote accesses.
+    #[test]
+    fn remote_dominates_local(model in models(), procs in 1usize..16) {
+        let topo = Topology::identity(procs);
+        for p in 0..procs {
+            for s in 0..procs {
+                let r = Resource::Segment(SegIdx::new(s));
+                let cost = model.cost(ProcId::new(p), r, &topo);
+                if p == s {
+                    prop_assert_eq!(cost, model.local_segment_ns, "local pays base only");
+                } else {
+                    prop_assert_eq!(cost, model.remote_segment_ns + model.remote_delay_ns);
+                    prop_assert!(cost >= model.local_segment_ns);
+                }
+            }
+        }
+    }
+
+    /// Increasing only the delay increases every remote cost by exactly the
+    /// difference and leaves local costs untouched.
+    #[test]
+    fn delay_shifts_remote_costs(model in models(), extra in 0u64..1_000_000) {
+        let slower = model.with_remote_delay(model.remote_delay_ns + extra);
+        let topo = Topology::identity(4);
+        for p in 0..4 {
+            for s in 0..4 {
+                let r = Resource::Segment(SegIdx::new(s));
+                let before = model.cost(ProcId::new(p), r, &topo);
+                let after = slower.cost(ProcId::new(p), r, &topo);
+                if p == s {
+                    prop_assert_eq!(before, after);
+                } else {
+                    prop_assert_eq!(after - before, extra);
+                }
+            }
+        }
+    }
+
+    /// Single process: the virtual clock is the exact sum of its charges
+    /// (no contention, no queueing).
+    #[test]
+    fn lone_process_clock_is_additive(
+        model in models(),
+        script in prop::collection::vec((0usize..4, prop::bool::ANY), 0..50),
+    ) {
+        let sched = SimScheduler::new(1, model, Topology::identity(1));
+        let timing = sched.timing();
+        let me = ProcId::new(0);
+        sched.start(me);
+        let mut expected = 0u64;
+        let topo = Topology::identity(1);
+        for (seg, is_tree) in script {
+            let r = if is_tree {
+                Resource::TreeNode(seg + 1)
+            } else {
+                Resource::Segment(SegIdx::new(0))
+            };
+            expected += model.cost(me, r, &topo);
+            timing.charge(me, r);
+            prop_assert_eq!(sched.clock(me), expected);
+        }
+        sched.finish(me);
+        prop_assert_eq!(sched.makespan(), expected);
+    }
+
+    /// Two processes with disjoint resources overlap perfectly; sharing one
+    /// resource serializes: the makespan is bounded between max (perfect
+    /// overlap) and sum (full serialization) of the per-process costs.
+    #[test]
+    fn makespan_is_bounded_by_overlap_extremes(
+        ops_a in 1usize..60,
+        ops_b in 1usize..60,
+        share in prop::bool::ANY,
+        cost in 1u64..10_000,
+    ) {
+        let model = LatencyModel::uniform(cost);
+        let sched = SimScheduler::new(2, model, Topology::identity(2));
+        std::thread::scope(|s| {
+            for (p, ops) in [(0usize, ops_a), (1usize, ops_b)] {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let timing = sched.timing();
+                    let me = ProcId::new(p);
+                    let seg = if share { 0 } else { p };
+                    sched.start(me);
+                    for _ in 0..ops {
+                        timing.charge(me, Resource::Segment(SegIdx::new(seg)));
+                    }
+                    sched.finish(me);
+                });
+            }
+        });
+        let a_total = ops_a as u64 * cost;
+        let b_total = ops_b as u64 * cost;
+        let makespan = sched.makespan();
+        if share {
+            prop_assert_eq!(makespan, a_total + b_total, "hot spot fully serializes");
+        } else {
+            prop_assert_eq!(makespan, a_total.max(b_total), "disjoint resources overlap");
+        }
+    }
+
+    /// Work charges (no resource) never queue: N processes doing pure local
+    /// work have makespan = max of their totals.
+    #[test]
+    fn pure_work_overlaps(
+        works in prop::collection::vec(1u64..1_000_000, 1..8),
+    ) {
+        let n = works.len();
+        let sched = SimScheduler::new(n, LatencyModel::uniform(1), Topology::identity(n));
+        std::thread::scope(|s| {
+            for (p, w) in works.iter().copied().enumerate() {
+                let sched = Arc::clone(&sched);
+                s.spawn(move || {
+                    let timing = sched.timing();
+                    let me = ProcId::new(p);
+                    sched.start(me);
+                    timing.charge_work(me, w);
+                    sched.finish(me);
+                });
+            }
+        });
+        prop_assert_eq!(sched.makespan(), works.iter().copied().max().unwrap_or(0));
+    }
+}

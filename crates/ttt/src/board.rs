@@ -1,0 +1,429 @@
+//! The 4×4×4 board.
+//!
+//! Cells are numbered `0..64`: cell `(x, y, z) = x + 4y + 16z`. Each
+//! player's stones are a 64-bit bitboard, so win detection is a mask test
+//! and move generation is bit iteration.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Board side length.
+pub const N: usize = 4;
+/// Number of cells.
+pub const CELLS: usize = N * N * N;
+/// Number of winning lines on a 4×4×4 board.
+pub const LINES: usize = 76;
+
+/// A player.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Player {
+    /// The maximizing player (moves first).
+    X,
+    /// The minimizing player.
+    O,
+}
+
+impl Player {
+    /// The opponent.
+    pub fn other(self) -> Player {
+        match self {
+            Player::X => Player::O,
+            Player::O => Player::X,
+        }
+    }
+}
+
+impl fmt::Display for Player {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Player::X => "X",
+            Player::O => "O",
+        })
+    }
+}
+
+/// Precomputed winning-line tables.
+#[derive(Debug)]
+pub struct LineTables {
+    /// One 4-cell bitmask per winning line.
+    pub masks: [u64; LINES],
+    /// For each cell, the indices of the (at most 7) lines through it.
+    pub through: [[u8; 7]; CELLS],
+    /// Number of valid entries in `through[cell]`.
+    pub through_len: [u8; CELLS],
+}
+
+fn in_bounds(v: i32) -> bool {
+    (0..N as i32).contains(&v)
+}
+
+fn build_line_tables() -> LineTables {
+    let mut masks = [0u64; LINES];
+    let mut count = 0usize;
+    // Canonical directions: first nonzero component positive.
+    let mut dirs = Vec::new();
+    for dx in -1i32..=1 {
+        for dy in -1i32..=1 {
+            for dz in -1i32..=1 {
+                if (dx, dy, dz) == (0, 0, 0) {
+                    continue;
+                }
+                if dx > 0 || (dx == 0 && dy > 0) || (dx == 0 && dy == 0 && dz > 0) {
+                    dirs.push((dx, dy, dz));
+                }
+            }
+        }
+    }
+    debug_assert_eq!(dirs.len(), 13);
+    for z in 0..N as i32 {
+        for y in 0..N as i32 {
+            for x in 0..N as i32 {
+                for &(dx, dy, dz) in &dirs {
+                    // (x,y,z) starts a line iff the previous cell is out of
+                    // bounds and the line's far end is in bounds.
+                    let prev_ok = !(in_bounds(x - dx) && in_bounds(y - dy) && in_bounds(z - dz));
+                    let end_ok = in_bounds(x + 3 * dx)
+                        && in_bounds(y + 3 * dy)
+                        && in_bounds(z + 3 * dz);
+                    if prev_ok && end_ok {
+                        let mut mask = 0u64;
+                        for step in 0..4i32 {
+                            let cell =
+                                (x + step * dx) + N as i32 * (y + step * dy)
+                                    + (N * N) as i32 * (z + step * dz);
+                            mask |= 1u64 << cell;
+                        }
+                        assert!(count < LINES, "more lines than expected");
+                        masks[count] = mask;
+                        count += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(count, LINES, "a 4x4x4 board has exactly 76 lines");
+
+    let mut through = [[0u8; 7]; CELLS];
+    let mut through_len = [0u8; CELLS];
+    for (line, mask) in masks.iter().enumerate() {
+        for cell in 0..CELLS {
+            if mask & (1u64 << cell) != 0 {
+                let len = &mut through_len[cell];
+                through[cell][*len as usize] = line as u8;
+                *len += 1;
+            }
+        }
+    }
+    LineTables { masks, through, through_len }
+}
+
+/// The shared line tables (built on first use).
+pub fn line_tables() -> &'static LineTables {
+    static TABLES: OnceLock<LineTables> = OnceLock::new();
+    TABLES.get_or_init(build_line_tables)
+}
+
+/// A 4×4×4 board position.
+///
+/// X moves first; whose turn it is follows from the stone counts, so the
+/// board is two words.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Board {
+    x: u64,
+    o: u64,
+}
+
+impl Board {
+    /// The empty board.
+    pub fn new() -> Self {
+        Board::default()
+    }
+
+    /// Builds a board from explicit bitboards.
+    ///
+    /// Stone-count legality (X moves first, so X has at most one extra
+    /// stone) is *not* enforced: synthetic positions are handy in tests and
+    /// puzzles. [`to_move`](Self::to_move) reports X whenever the counts
+    /// are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitboards overlap.
+    pub fn from_bits(x: u64, o: u64) -> Self {
+        assert_eq!(x & o, 0, "players overlap");
+        Board { x, o }
+    }
+
+    /// X's stones as a bitboard.
+    pub fn x_bits(&self) -> u64 {
+        self.x
+    }
+
+    /// O's stones as a bitboard.
+    pub fn o_bits(&self) -> u64 {
+        self.o
+    }
+
+    /// Number of stones on the board.
+    pub fn stones(&self) -> u32 {
+        (self.x | self.o).count_ones()
+    }
+
+    /// Whose turn it is.
+    pub fn to_move(&self) -> Player {
+        if self.x.count_ones() == self.o.count_ones() {
+            Player::X
+        } else {
+            Player::O
+        }
+    }
+
+    /// Whether `cell` is occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell >= 64`.
+    pub fn occupied(&self, cell: u8) -> bool {
+        assert!((cell as usize) < CELLS, "cell {cell} out of range");
+        (self.x | self.o) & (1u64 << cell) != 0
+    }
+
+    /// The board after the side to move plays `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is occupied or out of range.
+    pub fn place(&self, cell: u8) -> Board {
+        assert!(!self.occupied(cell), "cell {cell} already occupied");
+        let bit = 1u64 << cell;
+        match self.to_move() {
+            Player::X => Board { x: self.x | bit, o: self.o },
+            Player::O => Board { x: self.x, o: self.o | bit },
+        }
+    }
+
+    /// Iterates over the empty cells (legal moves).
+    pub fn moves(&self) -> Moves {
+        Moves { empty: !(self.x | self.o) }
+    }
+
+    /// The winner, if any line is fully covered by one player.
+    pub fn winner(&self) -> Option<Player> {
+        let tables = line_tables();
+        for mask in &tables.masks {
+            if self.x & mask == *mask {
+                return Some(Player::X);
+            }
+            if self.o & mask == *mask {
+                return Some(Player::O);
+            }
+        }
+        None
+    }
+
+    /// Faster winner check after a known last move: only lines through that
+    /// cell can have completed.
+    pub fn winner_after(&self, cell: u8) -> Option<Player> {
+        let tables = line_tables();
+        let bits = if self.x & (1u64 << cell) != 0 { self.x } else { self.o };
+        let player =
+            if self.x & (1u64 << cell) != 0 { Player::X } else { Player::O };
+        let count = tables.through_len[cell as usize] as usize;
+        for &line in &tables.through[cell as usize][..count] {
+            let mask = tables.masks[line as usize];
+            if bits & mask == mask {
+                return Some(player);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Board {
+    /// Renders the four z-layers side by side.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for y in 0..N {
+            for z in 0..N {
+                for x in 0..N {
+                    let cell = x + N * y + N * N * z;
+                    let ch = if self.x >> cell & 1 == 1 {
+                        'X'
+                    } else if self.o >> cell & 1 == 1 {
+                        'O'
+                    } else {
+                        '.'
+                    };
+                    write!(f, "{ch}")?;
+                }
+                if z + 1 < N {
+                    write!(f, "  ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the empty cells of a board.
+#[derive(Clone, Copy, Debug)]
+pub struct Moves {
+    empty: u64,
+}
+
+impl Iterator for Moves {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.empty == 0 {
+            None
+        } else {
+            let cell = self.empty.trailing_zeros() as u8;
+            self.empty &= self.empty - 1;
+            Some(cell)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.empty.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Moves {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_76_lines() {
+        let tables = line_tables();
+        assert_eq!(tables.masks.len(), 76);
+        // Every line has exactly 4 cells.
+        for mask in &tables.masks {
+            assert_eq!(mask.count_ones(), 4);
+        }
+        // No duplicate lines.
+        let mut sorted = tables.masks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 76);
+    }
+
+    #[test]
+    fn line_census_by_type() {
+        // 48 axis-parallel rows (16 per axis), 24 face diagonals
+        // (2 per plane x 4 planes x 3 orientations), 4 space diagonals.
+        let tables = line_tables();
+        let mut axis = 0;
+        let mut face = 0;
+        let mut space = 0;
+        for mask in &tables.masks {
+            let cells: Vec<usize> = (0..64).filter(|c| mask >> c & 1 == 1).collect();
+            let coord = |c: usize| (c % 4, c / 4 % 4, c / 16);
+            let (x0, y0, z0) = coord(cells[0]);
+            let (x1, y1, z1) = coord(cells[1]);
+            let varying = [x0 != x1, y0 != y1, z0 != z1].iter().filter(|&&b| b).count();
+            match varying {
+                1 => axis += 1,
+                2 => face += 1,
+                3 => space += 1,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!((axis, face, space), (48, 24, 4));
+    }
+
+    #[test]
+    fn corner_and_center_line_counts() {
+        let tables = line_tables();
+        // Corner (0,0,0): 3 axis + 3 face diagonals + 1 space diagonal.
+        assert_eq!(tables.through_len[0], 7);
+        // Every cell lies on at least 3 lines (its three axis rows) and at
+        // most 7.
+        for cell in 0..CELLS {
+            assert!((3..=7).contains(&tables.through_len[cell]), "cell {cell}");
+        }
+        // Total incidences: 76 lines x 4 cells.
+        let total: u32 = tables.through_len.iter().map(|&l| u32::from(l)).sum();
+        assert_eq!(total, 76 * 4);
+    }
+
+    #[test]
+    fn alternating_turns() {
+        let b = Board::new();
+        assert_eq!(b.to_move(), Player::X);
+        let b = b.place(0);
+        assert_eq!(b.to_move(), Player::O);
+        let b = b.place(63);
+        assert_eq!(b.to_move(), Player::X);
+        assert_eq!(b.stones(), 2);
+    }
+
+    #[test]
+    fn moves_iterate_empty_cells() {
+        let b = Board::new().place(0).place(5);
+        let moves: Vec<u8> = b.moves().collect();
+        assert_eq!(moves.len(), 62);
+        assert!(!moves.contains(&0));
+        assert!(!moves.contains(&5));
+        assert_eq!(b.moves().len(), 62, "exact size hint");
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_placement_panics() {
+        let _ = Board::new().place(7).place(7);
+    }
+
+    #[test]
+    fn row_win_detected() {
+        // X takes cells 0..4 (a full x-row); O stones placed elsewhere to
+        // keep the position legal.
+        let b = Board::from_bits(0b1111, 0b1111_0000_0000);
+        assert_eq!(b.winner(), Some(Player::X));
+        assert_eq!(b.winner_after(0), Some(Player::X));
+        assert_eq!(b.winner_after(3), Some(Player::X));
+    }
+
+    #[test]
+    fn space_diagonal_win_detected() {
+        // Diagonal (0,0,0),(1,1,1),(2,2,2),(3,3,3) -> cells 0, 21, 42, 63.
+        let diag = 1u64 | 1 << 21 | 1 << 42 | 1 << 63;
+        let o = 0b0110_0000_0000_0110 << 1; // 4 O stones elsewhere
+        let b = Board::from_bits(diag, o);
+        assert_eq!(b.winner(), Some(Player::X));
+    }
+
+    #[test]
+    fn no_false_wins() {
+        let b = Board::new().place(0).place(1).place(2).place(3).place(4);
+        assert_eq!(b.winner(), None, "mixed stones cannot win");
+    }
+
+    #[test]
+    fn winner_after_agrees_with_winner() {
+        // Play a fixed sequence; after each move the two checks must agree.
+        let mut b = Board::new();
+        for cell in [0u8, 16, 1, 17, 2, 18, 3] {
+            b = b.place(cell);
+            assert_eq!(b.winner_after(cell), b.winner(), "after {cell}");
+        }
+        // X completed row 0..4.
+        assert_eq!(b.winner(), Some(Player::X));
+    }
+
+    #[test]
+    #[should_panic(expected = "players overlap")]
+    fn overlapping_bits_panic() {
+        let _ = Board::from_bits(1, 1);
+    }
+
+    #[test]
+    fn display_renders_layers() {
+        let text = Board::new().place(0).to_string();
+        assert!(text.starts_with('X'));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Positional evaluation for 4×4×4 tic-tac-toe.
+//!
+//! The classic line-counting heuristic: a line still open for exactly one
+//! player contributes a weight that grows steeply with the number of stones
+//! already placed on it; contested lines (both players present) are dead
+//! and contribute nothing. Scores are from X's perspective: positive is
+//! good for X.
+
+use crate::board::{line_tables, Board};
+
+/// Value of a completed line (a win). Kept well clear of any sum of
+/// heuristic weights so that win scores dominate positional scores.
+pub const WIN: i32 = 1_000_000;
+
+/// Weight of a line with `n` stones of one player and none of the other.
+pub const LINE_WEIGHT: [i32; 5] = [0, 1, 4, 16, WIN];
+
+/// Evaluates a position from X's perspective.
+///
+/// ```
+/// use ttt::board::Board;
+/// use ttt::eval::evaluate;
+///
+/// let empty = Board::new();
+/// assert_eq!(evaluate(&empty), 0);
+/// let with_x = empty.place(21); // X takes a strong central cell
+/// assert!(evaluate(&with_x) > 0);
+/// ```
+pub fn evaluate(board: &Board) -> i32 {
+    let tables = line_tables();
+    let x = board.x_bits();
+    let o = board.o_bits();
+    let mut score = 0i32;
+    for mask in &tables.masks {
+        let xc = (x & mask).count_ones() as usize;
+        let oc = (o & mask).count_ones() as usize;
+        match (xc, oc) {
+            (0, 0) => {}
+            (_, 0) => score += LINE_WEIGHT[xc],
+            (0, _) => score -= LINE_WEIGHT[oc],
+            _ => {} // contested line: dead
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_board_is_balanced() {
+        assert_eq!(evaluate(&Board::new()), 0);
+    }
+
+    #[test]
+    fn symmetry_between_players() {
+        // Swapping the two players' stones negates the evaluation. Use a
+        // legal position pair: X at 5 & O at 40, versus X at 40 & O at 5.
+        let a = Board::from_bits(1 << 5, 1 << 40);
+        let b = Board::from_bits(1 << 40, 1 << 5);
+        assert_eq!(evaluate(&a), -evaluate(&b));
+    }
+
+    #[test]
+    fn central_cells_outvalue_edges() {
+        // Cell (1,1,1) = 21 lies on 7 lines; cell (1,0,0) = 1 on 3+1 lines.
+        let center = Board::new().place(21);
+        let edge = Board::new().place(1);
+        assert!(evaluate(&center) > evaluate(&edge));
+    }
+
+    #[test]
+    fn contested_lines_are_dead() {
+        // X on cells 0 and 1 (row 0): row counts with weight 4. O at cell 2
+        // kills that row entirely.
+        let open = Board::from_bits(0b11, 0);
+        let contested = Board::from_bits(0b11, 0b100);
+        assert!(evaluate(&contested) < evaluate(&open));
+    }
+
+    #[test]
+    fn win_dominates_everything() {
+        // X completes row 0-3; O's four stones do NOT form a line (8,9,10
+        // share a row but 20 breaks the fourth), so nothing cancels the win.
+        let b = Board::from_bits(0b1111, 0b0111_0000_0000 | 1 << 20);
+        assert!(evaluate(&b) >= WIN - 1000, "a full line scores the WIN weight");
+    }
+
+    #[test]
+    fn three_in_a_row_is_strong() {
+        // Three on an open row (weight 16) beats a lone stone, holding O's
+        // stone fixed across both positions.
+        let three = Board::from_bits(0b0111, 1 << 9);
+        let single = Board::from_bits(0b0001, 1 << 9);
+        assert!(evaluate(&three) > evaluate(&single) + 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Sequential minimax: the reference the parallel expansion must match.
+//!
+//! The paper's program "is a program using the minimax algorithm for the
+//! game tree" (citing Horowitz & Sahni). This implementation is a plain
+//! depth-limited minimax with no pruning — the parallel expansion
+//! enumerates the same tree, so node counts line up exactly
+//! (64·63·62 = 249,984 leaves for the first three moves).
+
+use crate::board::{Board, Player};
+use crate::eval::{evaluate, WIN};
+
+/// Result of a sequential search.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchResult {
+    /// The best move for the side to move (None if the position is terminal
+    /// or the depth is zero).
+    pub best_move: Option<u8>,
+    /// The minimax score from X's perspective.
+    pub score: i32,
+    /// Number of leaf positions evaluated.
+    pub leaves: u64,
+}
+
+/// Depth-limited minimax from X's perspective.
+///
+/// Terminal positions (win or full board) evaluate immediately; otherwise
+/// the side to move maximizes (X) or minimizes (O) over all legal moves.
+pub fn minimax(board: &Board, depth: u8) -> SearchResult {
+    let mut leaves = 0;
+    let (score, best_move) = search(board, depth, &mut leaves);
+    SearchResult { best_move, score, leaves }
+}
+
+fn search(board: &Board, depth: u8, leaves: &mut u64) -> (i32, Option<u8>) {
+    if depth == 0 || board.winner().is_some() || board.stones() as usize == crate::board::CELLS {
+        *leaves += 1;
+        return (terminal_score(board), None);
+    }
+    let maximizing = board.to_move() == Player::X;
+    let mut best_score = if maximizing { i32::MIN } else { i32::MAX };
+    let mut best_move = None;
+    for cell in board.moves() {
+        let child = board.place(cell);
+        let (score, _) = search(&child, depth - 1, leaves);
+        let better = if maximizing { score > best_score } else { score < best_score };
+        if better {
+            best_score = score;
+            best_move = Some(cell);
+        }
+    }
+    (best_score, best_move)
+}
+
+fn terminal_score(board: &Board) -> i32 {
+    match board.winner() {
+        Some(Player::X) => WIN,
+        Some(Player::O) => -WIN,
+        None => evaluate(board),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_zero_evaluates_in_place() {
+        let r = minimax(&Board::new(), 0);
+        assert_eq!(r.leaves, 1);
+        assert_eq!(r.best_move, None);
+        assert_eq!(r.score, 0);
+    }
+
+    #[test]
+    fn depth_one_counts_all_first_moves() {
+        let r = minimax(&Board::new(), 1);
+        assert_eq!(r.leaves, 64);
+        // Best first move is a maximal-line cell; any of the 8 "center"
+        // cells (on 7 lines) works. minimax picks the first in cell order.
+        let best = r.best_move.unwrap();
+        assert_eq!(crate::board::line_tables().through_len[best as usize], 7);
+    }
+
+    #[test]
+    fn depth_two_counts_64_by_63() {
+        let r = minimax(&Board::new(), 2);
+        assert_eq!(r.leaves, 64 * 63);
+        // With O replying optimally the score must be no better than after
+        // one X move alone.
+        let d1 = minimax(&Board::new(), 1);
+        assert!(r.score <= d1.score);
+    }
+
+    #[test]
+    fn takes_an_immediate_win() {
+        // X has 0,1,2 of row 0; O's stones are scattered and harmless.
+        let b = Board::from_bits(0b0111, 1 << 30 | 1 << 45 | 1 << 60);
+        assert_eq!(b.to_move(), Player::X);
+        let r = minimax(&b, 1);
+        assert_eq!(r.best_move, Some(3), "complete the row");
+        assert_eq!(r.score, WIN);
+    }
+
+    #[test]
+    fn win_detection_stops_search() {
+        // X already won: any-depth search evaluates the position itself.
+        let b = Board::from_bits(0b1111, 0b1111_0000_0000);
+        let r = minimax(&b, 3);
+        assert_eq!(r.leaves, 1);
+        assert_eq!(r.score, WIN);
+        assert_eq!(r.best_move, None);
+    }
+
+    #[test]
+    fn blocks_an_opponent_threat() {
+        // O threatens cells 16,17,18 (row) with 19 open; X (three scattered
+        // stones, no counter-threat) must block at depth 2 — every other
+        // move lets O complete the row.
+        let b = Board::from_bits(1 << 40 | 1 << 41 | 1 << 62, 0b0111 << 16);
+        assert_eq!(b.to_move(), Player::X);
+        let r = minimax(&b, 2);
+        assert_eq!(r.best_move, Some(19), "block O's row");
+    }
+}

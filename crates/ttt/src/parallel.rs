@@ -1,0 +1,356 @@
+//! Parallel game-tree expansion over a shared work list.
+//!
+//! "In the modified version, each position is placed in a pool when it is
+//! generated. Processors repeatedly pull a position from the pool and
+//! possibly generate new positions to put in the pool." — §4.4.
+//!
+//! The expansion enumerates the first `depth` plies from a root position.
+//! Leaf evaluations are folded into a shared max-table keyed by the first
+//! two moves; after all workers finish, the root minimax value is the
+//! max-over-first-moves of the min-over-replies — identical, move for
+//! move, to [`minimax`](crate::minimax::minimax) on the same depth (the
+//! correctness tests assert this).
+//!
+//! Leaf handling has two modes:
+//!
+//! * `batch_leaves = false` (the paper's structure): every position,
+//!   including the leaves, flows through the work list — 249,984 pool
+//!   removes for the first three moves;
+//! * `batch_leaves = true`: items at `depth - 1` evaluate their children
+//!   inline instead of re-inserting them, trading pool traffic for batch
+//!   work. The positions *examined* are identical.
+//!
+//! Work is charged through a [`Timing`] (`eval_work_ns` per leaf,
+//! `expand_work_ns` per generated child), so under the virtual-time
+//! scheduler the experiment models the Butterfly's compute/communication
+//! ratio; see [`speedup`](crate::speedup).
+
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use baselines::{SharedWorkList, WorkHandle};
+use cpool::Timing;
+use numa_sim::SimScheduler;
+
+use crate::board::{Board, CELLS};
+use crate::eval::evaluate;
+
+/// Sentinel for "move not yet made" in a [`WorkItem`].
+const NO_MOVE: u8 = u8::MAX;
+
+/// One unexpanded position in the work list.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WorkItem {
+    /// The position itself.
+    pub board: Board,
+    /// X's first move (the root move this position descends from).
+    pub first: u8,
+    /// O's reply, if the position is at least two plies deep.
+    pub second: u8,
+    /// Plies from the root.
+    pub depth: u8,
+}
+
+impl WorkItem {
+    /// The root's children: one item per legal first move.
+    pub fn roots(root: &Board) -> Vec<WorkItem> {
+        root.moves()
+            .map(|m| WorkItem { board: root.place(m), first: m, second: NO_MOVE, depth: 1 })
+            .collect()
+    }
+
+    fn child(&self, m: u8) -> WorkItem {
+        WorkItem {
+            board: self.board.place(m),
+            first: self.first,
+            second: if self.depth == 1 { m } else { self.second },
+            depth: self.depth + 1,
+        }
+    }
+
+    /// The max-table key of a leaf descending from this item via `m`.
+    fn leaf_key(&self, m: u8) -> (usize, usize) {
+        match self.depth {
+            // Depth-1 leaf batches: key (first, first) — unreachable in real
+            // play, so the diagonal is free for depth-1 values.
+            0 => unreachable!("items start at depth 1"),
+            1 => (self.first as usize, m as usize),
+            _ => (self.first as usize, self.second as usize),
+        }
+    }
+
+    /// The max-table key of this item evaluated *as* a leaf.
+    fn own_key(&self) -> (usize, usize) {
+        match self.depth {
+            1 => (self.first as usize, self.first as usize),
+            _ => (self.first as usize, self.second as usize),
+        }
+    }
+}
+
+/// Configuration for a parallel expansion.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionConfig {
+    /// Plies to enumerate (the paper examines 3).
+    pub depth: u8,
+    /// Modelled nanoseconds to evaluate one leaf.
+    pub eval_work_ns: u64,
+    /// Modelled nanoseconds to generate one child position.
+    pub expand_work_ns: u64,
+    /// Evaluate final-ply children inline instead of round-tripping them
+    /// through the work list.
+    pub batch_leaves: bool,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        // Calibrated so the §4.4 shape reproduces: per-leaf work dominates a
+        // pool access by ~20x, while a centralized list saturates around
+        // 10-11 workers (see speedup.rs).
+        ExpansionConfig {
+            depth: 3,
+            eval_work_ns: 800_000,
+            expand_work_ns: 20_000,
+            batch_leaves: false,
+        }
+    }
+}
+
+/// Result of a parallel expansion.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpansionResult {
+    /// Best first move for X.
+    pub best_move: Option<u8>,
+    /// Root minimax score (X's perspective).
+    pub score: i32,
+    /// Leaf positions evaluated (the paper's 249,984 for depth 3).
+    pub leaves: u64,
+    /// Items pulled from the work list.
+    pub items_processed: u64,
+    /// Modelled completion time (virtual-time runs only).
+    pub makespan_ns: Option<u64>,
+    /// Wall-clock duration of the run.
+    pub wall_ns: u64,
+}
+
+/// Shared max-table: `cell[m1][m2] = max over m3 of eval(leaf)`.
+struct ScoreTable {
+    cells: Vec<AtomicI32>,
+}
+
+impl ScoreTable {
+    fn new() -> Self {
+        ScoreTable { cells: (0..CELLS * CELLS).map(|_| AtomicI32::new(i32::MIN)).collect() }
+    }
+
+    fn record(&self, key: (usize, usize), value: i32) {
+        self.cells[key.0 * CELLS + key.1].fetch_max(value, Ordering::AcqRel);
+    }
+
+    /// `max over m1 of min over m2` with minimax's first-wins tie-breaking.
+    fn root_decision(&self) -> (Option<u8>, i32) {
+        let mut best: Option<(u8, i32)> = None;
+        for m1 in 0..CELLS {
+            let row_min = (0..CELLS)
+                .filter_map(|m2| {
+                    let v = self.cells[m1 * CELLS + m2].load(Ordering::Acquire);
+                    (v != i32::MIN).then_some(v)
+                })
+                .min();
+            if let Some(score) = row_min {
+                if best.is_none() || score > best.expect("checked").1 {
+                    best = Some((m1 as u8, score));
+                }
+            }
+        }
+        match best {
+            Some((m, s)) => (Some(m), s),
+            None => (None, 0),
+        }
+    }
+}
+
+/// Runs a parallel expansion of `root` on `workers` workers over `list`.
+///
+/// Under a virtual-time run, pass the scheduler: workers bracket their
+/// execution with `start`/`finish` and the result carries the modelled
+/// makespan. The `timing` must be the same cost model the work list was
+/// built with.
+///
+/// # Panics
+///
+/// Panics if `cfg.depth` is zero or if `root` is within `cfg.depth` plies
+/// of a finished game (the expansion does not handle terminal positions,
+/// which cannot occur in the paper's first-three-moves workload).
+pub fn expand_parallel<W: SharedWorkList<WorkItem>>(
+    list: &W,
+    workers: usize,
+    cfg: &ExpansionConfig,
+    timing: &Arc<dyn Timing>,
+    scheduler: Option<&Arc<SimScheduler>>,
+) -> ExpansionResult {
+    assert!(cfg.depth > 0, "expansion needs at least one ply");
+    assert!(workers > 0, "expansion needs at least one worker");
+    assert_eq!(Board::new().winner(), None);
+
+    let table = ScoreTable::new();
+    let leaves = AtomicU64::new(0);
+    let items = AtomicU64::new(0);
+
+    // Seed the root's children without charging any worker, then register
+    // every worker before any thread runs (virtual-time discipline).
+    let root = Board::new();
+    list.seed(WorkItem::roots(&root));
+    let handles: Vec<W::Handle> = (0..workers).map(|_| list.register()).collect();
+
+    let wall_start = Instant::now();
+    std::thread::scope(|scope| {
+        for mut handle in handles {
+            let table = &table;
+            let leaves = &leaves;
+            let items = &items;
+            let timing = Arc::clone(timing);
+            let scheduler = scheduler.map(Arc::clone);
+            scope.spawn(move || {
+                let me = handle.proc_id();
+                if let Some(sched) = &scheduler {
+                    sched.start(me);
+                }
+                let mut my_leaves = 0u64;
+                let mut my_items = 0u64;
+                while let Ok(item) = handle.get() {
+                    my_items += 1;
+                    debug_assert!(
+                        item.board.winner().is_none(),
+                        "terminal positions are outside this workload"
+                    );
+                    if item.depth == cfg.depth {
+                        // A full-depth leaf that travelled through the list.
+                        timing.charge_work(me, cfg.eval_work_ns);
+                        table.record(item.own_key(), evaluate(&item.board));
+                        my_leaves += 1;
+                    } else if cfg.batch_leaves && item.depth + 1 == cfg.depth {
+                        // Evaluate all children inline, one batched charge.
+                        let n = item.board.moves().len() as u64;
+                        timing.charge_work(me, cfg.eval_work_ns * n);
+                        for m in item.board.moves() {
+                            table.record(item.leaf_key(m), evaluate(&item.board.place(m)));
+                        }
+                        my_leaves += n;
+                    } else {
+                        let n = item.board.moves().len() as u64;
+                        timing.charge_work(me, cfg.expand_work_ns * n);
+                        for m in item.board.moves() {
+                            handle.put(item.child(m));
+                        }
+                    }
+                }
+                leaves.fetch_add(my_leaves, Ordering::Relaxed);
+                items.fetch_add(my_items, Ordering::Relaxed);
+                drop(handle);
+                if let Some(sched) = &scheduler {
+                    sched.finish(me);
+                }
+            });
+        }
+    });
+    let wall_ns = wall_start.elapsed().as_nanos() as u64;
+
+    let (best_move, score) = table.root_decision();
+    ExpansionResult {
+        best_move,
+        score,
+        leaves: leaves.load(Ordering::Relaxed),
+        items_processed: items.load(Ordering::Relaxed),
+        makespan_ns: scheduler.map(|s| s.makespan()),
+        wall_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimax::minimax;
+    use baselines::{GlobalStack, PoolWorkList};
+    use cpool::{NullTiming, PolicyKind};
+
+    fn null_timing() -> Arc<dyn Timing> {
+        Arc::new(NullTiming::new())
+    }
+
+    fn fast_cfg(depth: u8, batch: bool) -> ExpansionConfig {
+        ExpansionConfig { depth, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: batch }
+    }
+
+    #[test]
+    fn depth_one_matches_minimax() {
+        let list: GlobalStack<WorkItem> = GlobalStack::new();
+        let r = expand_parallel(&list, 2, &fast_cfg(1, false), &null_timing(), None);
+        let seq = minimax(&Board::new(), 1);
+        assert_eq!(r.leaves, 64);
+        assert_eq!(r.score, seq.score);
+        assert_eq!(r.best_move, seq.best_move);
+    }
+
+    #[test]
+    fn depth_two_matches_minimax_unbatched() {
+        let list: GlobalStack<WorkItem> = GlobalStack::new();
+        let r = expand_parallel(&list, 3, &fast_cfg(2, false), &null_timing(), None);
+        let seq = minimax(&Board::new(), 2);
+        assert_eq!(r.leaves, 64 * 63);
+        assert_eq!(r.items_processed, 64 + 64 * 63, "every position flowed through the list");
+        assert_eq!(r.score, seq.score);
+        assert_eq!(r.best_move, seq.best_move);
+    }
+
+    #[test]
+    fn depth_two_matches_minimax_batched() {
+        let list: GlobalStack<WorkItem> = GlobalStack::new();
+        let r = expand_parallel(&list, 3, &fast_cfg(2, true), &null_timing(), None);
+        let seq = minimax(&Board::new(), 2);
+        assert_eq!(r.leaves, 64 * 63, "batching changes traffic, not coverage");
+        assert_eq!(r.items_processed, 64, "only depth-1 items travelled");
+        assert_eq!(r.score, seq.score);
+        assert_eq!(r.best_move, seq.best_move);
+    }
+
+    #[test]
+    fn pool_list_matches_central_list() {
+        let central: GlobalStack<WorkItem> = GlobalStack::new();
+        let a = expand_parallel(&central, 4, &fast_cfg(2, true), &null_timing(), None);
+        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+            4,
+            PolicyKind::Tree.build(4, Default::default()),
+            null_timing(),
+            99,
+        );
+        let b = expand_parallel(&pool, 4, &fast_cfg(2, true), &null_timing(), None);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.best_move, b.best_move);
+        assert_eq!(a.leaves, b.leaves);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let list: GlobalStack<WorkItem> = GlobalStack::new();
+        let r = expand_parallel(&list, 1, &fast_cfg(1, false), &null_timing(), None);
+        assert_eq!(r.leaves, 64);
+    }
+
+    #[test]
+    #[ignore = "expensive: full 249,984-position expansion (run with --ignored)"]
+    fn depth_three_paper_position_count() {
+        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+            8,
+            PolicyKind::Linear.build(8, Default::default()),
+            null_timing(),
+            1,
+        );
+        let r = expand_parallel(&pool, 8, &fast_cfg(3, true), &null_timing(), None);
+        assert_eq!(r.leaves, crate::PAPER_POSITIONS);
+        let seq = minimax(&Board::new(), 3);
+        assert_eq!(r.score, seq.score);
+        assert_eq!(r.best_move, seq.best_move);
+    }
+}

@@ -1,0 +1,293 @@
+//! The §4.4 speedup experiment.
+//!
+//! "Speedups for the application were nearly linear (14.6–15.4 with 16
+//! processors) ... The original version that used a stack with a global
+//! lock for the work list was 40% slower and had worse speedup (only 10.7
+//! for 16 processors)."
+//!
+//! The experiment runs the parallel expansion under the virtual-time
+//! scheduler with the Butterfly latency model: every work-list access pays
+//! its modelled (possibly queued) cost and every position charges modelled
+//! compute time, so the speedup curve is a deterministic function of the
+//! configuration — and exhibits exactly the paper's mechanism, a
+//! centralized list saturating while the pool's distributed segments keep
+//! scaling.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use baselines::{GlobalQueue, GlobalStack, LockFreeQueue, PoolWorkList};
+use cpool::{PolicyKind, Timing};
+use numa_sim::{LatencyModel, SimScheduler, Topology};
+
+use crate::parallel::{expand_parallel, ExpansionConfig, ExpansionResult, WorkItem};
+
+/// The work-list implementations the experiment compares.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WorkListKind {
+    /// Concurrent pool, linear search.
+    PoolLinear,
+    /// Concurrent pool, random search.
+    PoolRandom,
+    /// Concurrent pool, tree search.
+    PoolTree,
+    /// The paper's baseline: global-lock stack.
+    GlobalStack,
+    /// Global-lock FIFO queue.
+    GlobalQueue,
+    /// Lock-free centralized queue (still a hot spot).
+    LockFreeQueue,
+}
+
+impl WorkListKind {
+    /// The kinds the paper compares (three pool policies + the stack).
+    pub const PAPER: [WorkListKind; 4] = [
+        WorkListKind::PoolLinear,
+        WorkListKind::PoolRandom,
+        WorkListKind::PoolTree,
+        WorkListKind::GlobalStack,
+    ];
+
+    /// Whether this is a pool-backed list.
+    pub fn is_pool(self) -> bool {
+        matches!(
+            self,
+            WorkListKind::PoolLinear | WorkListKind::PoolRandom | WorkListKind::PoolTree
+        )
+    }
+}
+
+impl fmt::Display for WorkListKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WorkListKind::PoolLinear => "pool-linear",
+            WorkListKind::PoolRandom => "pool-random",
+            WorkListKind::PoolTree => "pool-tree",
+            WorkListKind::GlobalStack => "global-stack",
+            WorkListKind::GlobalQueue => "global-queue",
+            WorkListKind::LockFreeQueue => "lockfree-queue",
+        })
+    }
+}
+
+impl FromStr for WorkListKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "pool-linear" => Ok(WorkListKind::PoolLinear),
+            "pool-random" => Ok(WorkListKind::PoolRandom),
+            "pool-tree" => Ok(WorkListKind::PoolTree),
+            "global-stack" => Ok(WorkListKind::GlobalStack),
+            "global-queue" => Ok(WorkListKind::GlobalQueue),
+            "lockfree-queue" => Ok(WorkListKind::LockFreeQueue),
+            other => Err(format!("unknown work list {other:?}")),
+        }
+    }
+}
+
+/// Configuration of the speedup experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedupConfig {
+    /// Expansion parameters (depth, work costs, batching).
+    pub expansion: ExpansionConfig,
+    /// NUMA cost model.
+    pub model: LatencyModel,
+    /// Pool seed (steal randomization).
+    pub seed: u64,
+}
+
+impl Default for SpeedupConfig {
+    fn default() -> Self {
+        SpeedupConfig {
+            expansion: ExpansionConfig::default(),
+            model: LatencyModel::butterfly(),
+            seed: 1989,
+        }
+    }
+}
+
+/// One point of a speedup curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedupPoint {
+    /// Worker count.
+    pub workers: usize,
+    /// Modelled completion time, ns.
+    pub makespan_ns: u64,
+    /// `makespan(1 worker) / makespan(workers)`.
+    pub speedup: f64,
+    /// The expansion result (for verifying move/score agreement).
+    pub result: ExpansionResult,
+}
+
+/// A speedup curve for one work-list kind.
+#[derive(Clone, Debug)]
+pub struct SpeedupCurve {
+    /// The work list measured.
+    pub kind: WorkListKind,
+    /// One point per requested worker count, in order.
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupCurve {
+    /// The speedup at the largest measured worker count.
+    pub fn final_speedup(&self) -> f64 {
+        self.points.last().map_or(f64::NAN, |p| p.speedup)
+    }
+}
+
+/// Runs one virtual-time expansion on `workers` workers.
+pub fn run_one(kind: WorkListKind, workers: usize, cfg: &SpeedupConfig) -> ExpansionResult {
+    let scheduler = SimScheduler::new(workers, cfg.model, Topology::identity(workers));
+    let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
+    match kind {
+        WorkListKind::PoolLinear | WorkListKind::PoolRandom | WorkListKind::PoolTree => {
+            let policy = match kind {
+                WorkListKind::PoolLinear => PolicyKind::Linear,
+                WorkListKind::PoolRandom => PolicyKind::Random,
+                _ => PolicyKind::Tree,
+            };
+            let list: PoolWorkList<WorkItem> = PoolWorkList::new(
+                workers,
+                policy.build(workers, Default::default()),
+                Arc::clone(&timing),
+                cfg.seed,
+            );
+            expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
+        }
+        WorkListKind::GlobalStack => {
+            let list: GlobalStack<WorkItem> = GlobalStack::with_timing(Arc::clone(&timing));
+            expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
+        }
+        WorkListKind::GlobalQueue => {
+            let list: GlobalQueue<WorkItem> = GlobalQueue::with_timing(Arc::clone(&timing));
+            expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
+        }
+        WorkListKind::LockFreeQueue => {
+            let list: LockFreeQueue<WorkItem> = LockFreeQueue::with_timing(Arc::clone(&timing));
+            expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
+        }
+    }
+}
+
+/// Runs speedup curves for the given kinds and worker counts.
+///
+/// # Panics
+///
+/// Panics if `worker_counts` is empty or does not start at 1 (the speedup
+/// baseline).
+pub fn run_speedup(
+    kinds: &[WorkListKind],
+    worker_counts: &[usize],
+    cfg: &SpeedupConfig,
+) -> Vec<SpeedupCurve> {
+    assert!(
+        worker_counts.first() == Some(&1),
+        "worker counts must start at 1 for the speedup baseline"
+    );
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut base_ns = 0u64;
+            let points = worker_counts
+                .iter()
+                .map(|&workers| {
+                    let result = run_one(kind, workers, cfg);
+                    let makespan_ns =
+                        result.makespan_ns.expect("virtual-time run has a makespan");
+                    if workers == 1 {
+                        base_ns = makespan_ns;
+                    }
+                    SpeedupPoint {
+                        workers,
+                        makespan_ns,
+                        speedup: base_ns as f64 / makespan_ns as f64,
+                        result,
+                    }
+                })
+                .collect();
+            SpeedupCurve { kind, points }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SpeedupConfig {
+        SpeedupConfig {
+            expansion: ExpansionConfig {
+                depth: 2,
+                eval_work_ns: 800_000,
+                expand_work_ns: 20_000,
+                batch_leaves: true,
+            },
+            model: LatencyModel::butterfly(),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn pools_scale_better_than_the_global_stack() {
+        let curves = run_speedup(
+            &[WorkListKind::PoolLinear, WorkListKind::GlobalStack],
+            &[1, 4],
+            &tiny_cfg(),
+        );
+        let pool = &curves[0];
+        let stack = &curves[1];
+        assert!(pool.final_speedup() > 2.0, "pool speedup {:.2}", pool.final_speedup());
+        assert!(
+            pool.final_speedup() >= stack.final_speedup() * 0.95,
+            "pool ({:.2}) should scale at least as well as the stack ({:.2})",
+            pool.final_speedup(),
+            stack.final_speedup()
+        );
+    }
+
+    #[test]
+    fn all_lists_agree_on_the_answer() {
+        let cfg = tiny_cfg();
+        let results: Vec<ExpansionResult> = WorkListKind::PAPER
+            .iter()
+            .map(|&k| run_one(k, 3, &cfg))
+            .collect();
+        for r in &results {
+            assert_eq!(r.best_move, results[0].best_move);
+            assert_eq!(r.score, results[0].score);
+            assert_eq!(r.leaves, 64 * 63);
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let cfg = tiny_cfg();
+        let a = run_one(WorkListKind::PoolTree, 4, &cfg);
+        let b = run_one(WorkListKind::PoolTree, 4, &cfg);
+        assert_eq!(a.makespan_ns, b.makespan_ns);
+        assert_eq!(a.items_processed, b.items_processed);
+    }
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for kind in [
+            WorkListKind::PoolLinear,
+            WorkListKind::PoolRandom,
+            WorkListKind::PoolTree,
+            WorkListKind::GlobalStack,
+            WorkListKind::GlobalQueue,
+            WorkListKind::LockFreeQueue,
+        ] {
+            assert_eq!(kind.to_string().parse::<WorkListKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<WorkListKind>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at 1")]
+    fn speedup_requires_baseline() {
+        let _ = run_speedup(&[WorkListKind::PoolLinear], &[2, 4], &tiny_cfg());
+    }
+}

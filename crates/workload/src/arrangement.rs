@@ -1,0 +1,191 @@
+//! Producer arrangements: §4.2's key experimental variable.
+//!
+//! "If the producers are assigned to a contiguous portion of this cycle,
+//! then all consumers will encounter the same producer first ... the
+//! consumers will remain in a tight bunch as they use the elements being
+//! produced ... To correct this, the producers could be arranged in a
+//! balanced manner ... spread out as much as possible."
+//!
+//! The paper's Figure 4/6 balanced placement of 5 producers among 16
+//! processes is `{0, 2, 4, 8, 12}`; [`Arrangement::PaperBalanced`]
+//! reproduces it exactly, while [`Arrangement::Balanced`] uses the even
+//! stride `floor(i·n/k)` (for 5 of 16: `{0, 3, 6, 9, 12}`). Both satisfy
+//! the property that matters: no two producers adjacent (for k ≤ n/2), with
+//! consumers interleaved between producers.
+
+use std::fmt;
+
+/// A process's fixed role in the producer/consumer model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Role {
+    /// Only performs add operations.
+    Producer,
+    /// Only performs remove operations.
+    Consumer,
+}
+
+/// How producers are placed among the process ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Arrangement {
+    /// Producers occupy ids `0..k` — the paper's *unbalanced* case that
+    /// causes consumer bunching.
+    Contiguous,
+    /// Producers spread at even stride: producer `i` at `floor(i·n/k)`.
+    Balanced,
+    /// The exact placement used in the paper's Figures 4 and 6 for 5 of 16
+    /// (`{0, 2, 4, 8, 12}`); falls back to [`Balanced`](Self::Balanced) for
+    /// other shapes.
+    PaperBalanced,
+    /// Explicit producer positions.
+    Custom(Vec<usize>),
+}
+
+impl Arrangement {
+    /// Computes the role of every process for `producers` producers among
+    /// `procs` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `producers > procs`, or if a custom placement is out of
+    /// range or has the wrong cardinality.
+    pub fn roles(&self, procs: usize, producers: usize) -> Vec<Role> {
+        assert!(
+            producers <= procs,
+            "{producers} producers cannot fit among {procs} processes"
+        );
+        let mut roles = vec![Role::Consumer; procs];
+        match self {
+            Arrangement::Contiguous => {
+                for role in roles.iter_mut().take(producers) {
+                    *role = Role::Producer;
+                }
+            }
+            Arrangement::Balanced => {
+                for i in 0..producers {
+                    roles[i * procs / producers] = Role::Producer;
+                }
+            }
+            Arrangement::PaperBalanced => {
+                if procs == 16 && producers == 5 {
+                    for &p in &[0usize, 2, 4, 8, 12] {
+                        roles[p] = Role::Producer;
+                    }
+                } else {
+                    return Arrangement::Balanced.roles(procs, producers);
+                }
+            }
+            Arrangement::Custom(positions) => {
+                assert_eq!(
+                    positions.len(),
+                    producers,
+                    "custom arrangement must list exactly {producers} positions"
+                );
+                for &p in positions {
+                    assert!(p < procs, "producer position {p} out of range");
+                    assert_eq!(roles[p], Role::Consumer, "duplicate producer position {p}");
+                    roles[p] = Role::Producer;
+                }
+            }
+        }
+        debug_assert_eq!(roles.iter().filter(|r| **r == Role::Producer).count(), producers);
+        roles
+    }
+
+    /// Positions of the producers under this arrangement.
+    pub fn producer_positions(&self, procs: usize, producers: usize) -> Vec<usize> {
+        self.roles(procs, producers)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| (*r == Role::Producer).then_some(i))
+            .collect()
+    }
+}
+
+impl fmt::Display for Arrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arrangement::Contiguous => f.write_str("contiguous"),
+            Arrangement::Balanced => f.write_str("balanced"),
+            Arrangement::PaperBalanced => f.write_str("paper-balanced"),
+            Arrangement::Custom(positions) => write!(f, "custom{positions:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(a: &Arrangement, procs: usize, producers: usize) -> Vec<usize> {
+        a.producer_positions(procs, producers)
+    }
+
+    #[test]
+    fn contiguous_is_a_prefix() {
+        assert_eq!(positions(&Arrangement::Contiguous, 16, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn balanced_is_evenly_strided() {
+        assert_eq!(positions(&Arrangement::Balanced, 16, 5), vec![0, 3, 6, 9, 12]);
+        assert_eq!(positions(&Arrangement::Balanced, 16, 8), vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(positions(&Arrangement::Balanced, 16, 16), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_balanced_matches_figures_4_and_6() {
+        assert_eq!(positions(&Arrangement::PaperBalanced, 16, 5), vec![0, 2, 4, 8, 12]);
+        // Other shapes fall back to the even stride.
+        assert_eq!(
+            positions(&Arrangement::PaperBalanced, 8, 2),
+            positions(&Arrangement::Balanced, 8, 2)
+        );
+    }
+
+    #[test]
+    fn balanced_8_of_16_alternates() {
+        // "eight producers and eight consumers would be arranged in an
+        // alternating fashion."
+        let roles = Arrangement::Balanced.roles(16, 8);
+        for pair in roles.chunks(2) {
+            assert_eq!(pair[0], Role::Producer);
+            assert_eq!(pair[1], Role::Consumer);
+        }
+    }
+
+    #[test]
+    fn balanced_never_adjacent_when_half_or_fewer() {
+        for procs in [8usize, 16, 32] {
+            for producers in 1..=procs / 2 {
+                let pos = positions(&Arrangement::Balanced, procs, producers);
+                for w in pos.windows(2) {
+                    assert!(w[1] - w[0] >= 2, "{producers}/{procs}: adjacent at {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_all_producers() {
+        assert!(positions(&Arrangement::Balanced, 16, 0).is_empty());
+        assert_eq!(positions(&Arrangement::Contiguous, 16, 16).len(), 16);
+    }
+
+    #[test]
+    fn custom_placement_respected() {
+        let a = Arrangement::Custom(vec![1, 5, 7]);
+        assert_eq!(positions(&a, 8, 3), vec![1, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate producer position")]
+    fn duplicate_custom_position_panics() {
+        let _ = Arrangement::Custom(vec![1, 1]).roles(8, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn too_many_producers_panics() {
+        let _ = Arrangement::Contiguous.roles(4, 5);
+    }
+}

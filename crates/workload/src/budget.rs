@@ -1,0 +1,108 @@
+//! The global operation budget.
+//!
+//! "Rather than executing a fixed number of operations in each process, the
+//! processes performed operations until the combined total number of
+//! operations reached the desired amount." (§3.4 — 5000 operations on a
+//! pool initialized with 320 elements.)
+//!
+//! This rule is what lets the *measured* job mix drift from the nominal
+//! process roles: fast processes (producers doing cheap local adds) claim
+//! more of the budget than slow ones (consumers stuck in searches), which
+//! is exactly how the paper's 1–4 producer runs all land near 47% adds.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A shared countdown of operations remaining in a trial.
+///
+/// ```
+/// use workload::OpBudget;
+/// let budget = OpBudget::new(2);
+/// assert!(budget.take());
+/// assert!(budget.take());
+/// assert!(!budget.take(), "budget exhausted");
+/// assert_eq!(budget.remaining(), 0);
+/// ```
+#[derive(Debug)]
+pub struct OpBudget {
+    remaining: AtomicI64,
+}
+
+impl OpBudget {
+    /// Creates a budget of `total` operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` exceeds `i64::MAX`.
+    pub fn new(total: u64) -> Self {
+        OpBudget {
+            remaining: AtomicI64::new(i64::try_from(total).expect("budget too large")),
+        }
+    }
+
+    /// Claims one operation; returns `false` once the budget is exhausted.
+    pub fn take(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) > 0
+    }
+
+    /// Operations still unclaimed (clamped at zero).
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Acquire).max(0) as u64
+    }
+
+    /// Whether the budget has run out.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    #[test]
+    fn exactly_total_takes_succeed() {
+        let budget = OpBudget::new(100);
+        let mut granted = 0;
+        for _ in 0..200 {
+            if budget.take() {
+                granted += 1;
+            }
+        }
+        assert_eq!(granted, 100);
+        assert!(budget.is_exhausted());
+    }
+
+    #[test]
+    fn concurrent_takes_grant_exactly_total() {
+        let budget = OpBudget::new(10_000);
+        let granted = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    while budget.take() {
+                        granted.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(granted.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn zero_budget_grants_nothing() {
+        let budget = OpBudget::new(0);
+        assert!(!budget.take());
+        assert_eq!(budget.remaining(), 0);
+    }
+
+    #[test]
+    fn remaining_never_underflows() {
+        let budget = OpBudget::new(1);
+        assert!(budget.take());
+        assert!(!budget.take());
+        assert!(!budget.take());
+        assert_eq!(budget.remaining(), 0);
+    }
+}

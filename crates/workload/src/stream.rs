@@ -1,0 +1,135 @@
+//! Per-process operation streams.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrangement::Role;
+use crate::mix::JobMix;
+
+/// One pool operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Add an element to the pool.
+    Add,
+    /// Remove an element from the pool.
+    Remove,
+}
+
+/// An endless, per-process source of operations.
+///
+/// Streams are infinite; the experiment's *global* [`OpBudget`]
+/// (crate::OpBudget) decides when to stop, per the paper's combined-total
+/// termination rule.
+pub trait OpStream: Send {
+    /// The next operation this process should perform.
+    fn next_op(&mut self) -> Op;
+}
+
+/// The random operations model: "each process chooses its next operation
+/// randomly to fit a predetermined overall job mix".
+#[derive(Clone, Debug)]
+pub struct RandomMixStream {
+    mix: JobMix,
+    rng: SmallRng,
+}
+
+impl RandomMixStream {
+    /// Creates a stream drawing adds with probability `mix`.
+    pub fn new(mix: JobMix, seed: u64) -> Self {
+        RandomMixStream { mix, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The configured mix.
+    pub fn mix(&self) -> JobMix {
+        self.mix
+    }
+}
+
+impl OpStream for RandomMixStream {
+    fn next_op(&mut self) -> Op {
+        if self.rng.gen_bool(self.mix.fraction()) {
+            Op::Add
+        } else {
+            Op::Remove
+        }
+    }
+}
+
+/// The producer/consumer model: a process's role is fixed for the whole
+/// trial ("this fixed assignment of each process's role as either producer
+/// or consumer throughout an experiment is a simplifying assumption").
+#[derive(Clone, Copy, Debug)]
+pub struct RoleStream {
+    role: Role,
+}
+
+impl RoleStream {
+    /// Creates a stream for the given fixed role.
+    pub fn new(role: Role) -> Self {
+        RoleStream { role }
+    }
+
+    /// The fixed role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+}
+
+impl OpStream for RoleStream {
+    fn next_op(&mut self) -> Op {
+        match self.role {
+            Role::Producer => Op::Add,
+            Role::Consumer => Op::Remove,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_mix_tracks_target_fraction() {
+        for percent in [0u32, 20, 50, 80, 100] {
+            let mut s = RandomMixStream::new(JobMix::from_percent(percent), 11);
+            let n = 20_000;
+            let adds = (0..n).filter(|_| s.next_op() == Op::Add).count();
+            let measured = adds as f64 / n as f64;
+            let target = f64::from(percent) / 100.0;
+            assert!(
+                (measured - target).abs() < 0.02,
+                "target {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_mixes_are_exact() {
+        let mut all_adds = RandomMixStream::new(JobMix::from_percent(100), 3);
+        let mut all_removes = RandomMixStream::new(JobMix::from_percent(0), 3);
+        for _ in 0..100 {
+            assert_eq!(all_adds.next_op(), Op::Add);
+            assert_eq!(all_removes.next_op(), Op::Remove);
+        }
+    }
+
+    #[test]
+    fn random_mix_is_deterministic() {
+        let collect = |seed| {
+            let mut s = RandomMixStream::new(JobMix::from_percent(50), seed);
+            (0..64).map(|_| s.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn role_streams_never_waver() {
+        let mut p = RoleStream::new(Role::Producer);
+        let mut c = RoleStream::new(Role::Consumer);
+        for _ in 0..50 {
+            assert_eq!(p.next_op(), Op::Add);
+            assert_eq!(c.next_op(), Op::Remove);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the workload generators: arrangements place the
+//! right number of producers with the right spacing, streams hit their mix,
+//! and the shared budget grants exactly its total under contention.
+
+use proptest::prelude::*;
+
+use workload::{per_proc_seed, Arrangement, JobMix, Op, OpBudget, Role, Workload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every arrangement places exactly `producers` producers.
+    #[test]
+    fn arrangements_have_exact_cardinality(
+        procs in 1usize..64,
+        frac in 0.0f64..=1.0,
+    ) {
+        let producers = (frac * procs as f64) as usize;
+        for arrangement in [
+            Arrangement::Contiguous,
+            Arrangement::Balanced,
+            Arrangement::PaperBalanced,
+        ] {
+            let roles = arrangement.roles(procs, producers);
+            prop_assert_eq!(roles.len(), procs);
+            prop_assert_eq!(
+                roles.iter().filter(|r| **r == Role::Producer).count(),
+                producers,
+                "{} {}/{}", arrangement, producers, procs
+            );
+        }
+    }
+
+    /// Balanced spreading: ring gaps between consecutive producers differ by
+    /// at most... the stride rounding, i.e. every gap is ⌊n/k⌋ or ⌈n/k⌉.
+    #[test]
+    fn balanced_gaps_are_even(procs in 2usize..64, k in 1usize..32) {
+        prop_assume!(k <= procs);
+        let pos = Arrangement::Balanced.producer_positions(procs, k);
+        let mut gaps = Vec::new();
+        for i in 0..pos.len() {
+            let next = pos[(i + 1) % pos.len()];
+            let gap = (next + procs - pos[i]) % procs;
+            gaps.push(if gap == 0 { procs } else { gap });
+        }
+        let lo = procs / k;
+        let hi = procs.div_ceil(k);
+        for gap in gaps {
+            prop_assert!(
+                (lo..=hi.max(lo + 1)).contains(&gap),
+                "gap {gap} outside [{lo}, {hi}] for {k}/{procs}: {pos:?}"
+            );
+        }
+    }
+
+    /// Contiguous producers are exactly the prefix.
+    #[test]
+    fn contiguous_is_prefix(procs in 1usize..64, frac in 0.0f64..=1.0) {
+        let k = (frac * procs as f64) as usize;
+        let pos = Arrangement::Contiguous.producer_positions(procs, k);
+        prop_assert_eq!(pos, (0..k).collect::<Vec<_>>());
+    }
+
+    /// Role streams are constant; random-mix streams are deterministic per
+    /// (seed, proc) and in the long run match the mix within sampling noise.
+    #[test]
+    fn random_mix_streams_hit_their_mix(percent in 0u32..=100, seed in any::<u64>()) {
+        let mix = JobMix::from_percent(percent);
+        let w = Workload::RandomMix { mix };
+        let n = 4_000;
+        let mut s = w.stream_for(0, 4, seed);
+        let adds = (0..n).filter(|_| s.next_op() == Op::Add).count();
+        let observed = adds as f64 / n as f64;
+        let expected = mix.fraction();
+        // 4000 Bernoulli draws: tolerance of 4 sigma.
+        let sigma = (expected * (1.0 - expected) / n as f64).sqrt();
+        prop_assert!(
+            (observed - expected).abs() <= 4.0 * sigma + 1e-9,
+            "observed {observed:.4} vs expected {expected:.4} (±{:.4})",
+            4.0 * sigma
+        );
+    }
+
+    /// Degenerate mixes are exact, not just statistical.
+    #[test]
+    fn extreme_mixes_are_pure(seed in any::<u64>()) {
+        let mut all_adds = Workload::RandomMix { mix: JobMix::from_percent(100) }
+            .stream_for(0, 1, seed);
+        let mut all_removes = Workload::RandomMix { mix: JobMix::from_percent(0) }
+            .stream_for(0, 1, seed);
+        for _ in 0..500 {
+            prop_assert_eq!(all_adds.next_op(), Op::Add);
+            prop_assert_eq!(all_removes.next_op(), Op::Remove);
+        }
+    }
+
+    /// Producer/consumer streams never deviate from their role.
+    #[test]
+    fn role_streams_are_constant(
+        procs in 1usize..32,
+        frac in 0.0f64..=1.0,
+        seed in any::<u64>(),
+    ) {
+        let producers = (frac * procs as f64) as usize;
+        let w = Workload::ProducerConsumer {
+            producers,
+            arrangement: Arrangement::Balanced,
+        };
+        for proc in 0..procs {
+            let role = w.role_of(proc, procs).expect("producer/consumer");
+            let mut s = w.stream_for(proc, procs, seed);
+            let expected = match role {
+                Role::Producer => Op::Add,
+                Role::Consumer => Op::Remove,
+            };
+            for _ in 0..16 {
+                prop_assert_eq!(s.next_op(), expected);
+            }
+        }
+    }
+
+    /// The budget grants exactly `total` takes under arbitrary contention.
+    #[test]
+    fn budget_grants_exactly_total(total in 0u64..20_000, threads in 1usize..8) {
+        let budget = OpBudget::new(total);
+        let granted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    while budget.take() {
+                        granted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(granted.load(std::sync::atomic::Ordering::Relaxed), total);
+        prop_assert!(budget.is_exhausted());
+    }
+
+    /// Per-process seeds: deterministic, and distinct across processes for
+    /// any master seed (no accidental stream correlation).
+    #[test]
+    fn per_proc_seeds_are_distinct(seed in any::<u64>()) {
+        let seeds: Vec<u64> = (0..128).map(|p| per_proc_seed(seed, p)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), seeds.len());
+        prop_assert_eq!(per_proc_seed(seed, 7), per_proc_seed(seed, 7));
+    }
+
+    /// JobMix percent/fraction round-trips and classification is a partition.
+    #[test]
+    fn job_mix_properties(percent in 0u32..=100) {
+        let mix = JobMix::from_percent(percent);
+        prop_assert_eq!(mix.percent(), percent);
+        prop_assert!((mix.fraction() - f64::from(percent) / 100.0).abs() < 1e-12);
+        prop_assert_ne!(mix.is_sparse(), mix.is_sufficient());
+        prop_assert_eq!(mix.is_sparse(), percent < 50);
+    }
+}

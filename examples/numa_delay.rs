@@ -1,0 +1,41 @@
+//! What happens to the three search algorithms as remote memory gets
+//! slower? (§4.3's delay experiment, in miniature.)
+//!
+//! Sweeps the artificial remote-access delay under the deterministic
+//! virtual-time engine and prints the resulting operation times. The
+//! paper's finding reproduces: the tree search never beats the simple
+//! algorithms, even when remote accesses are very expensive. Run with:
+//!
+//! ```sh
+//! cargo run --release --example numa_delay
+//! ```
+
+use concurrent_pools::harness::figures::delay::{self, SweepWorkload};
+use concurrent_pools::harness::figures::Scale;
+
+fn main() {
+    let scale = Scale { procs: 16, total_ops: 2000, trials: 3, seed: 1989 };
+    let delays_us = [0u64, 10, 100, 1_000];
+
+    println!("sweeping remote delay over {delays_us:?} us (virtual time)...\n");
+    let sweep = delay::generate(&scale, SweepWorkload::SparseRandom, &delays_us);
+    println!("{}", delay::render(&sweep));
+
+    // The paper's conclusion, checked programmatically:
+    let tree = delay::series_for(&sweep, cpool::PolicyKind::Tree);
+    let linear = delay::series_for(&sweep, cpool::PolicyKind::Linear);
+    let random = delay::series_for(&sweep, cpool::PolicyKind::Random);
+    let mut tree_ever_best = false;
+    for ((d, t), ((_, l), (_, r))) in tree.iter().zip(linear.iter().zip(random.iter())) {
+        if *t < l.min(*r) * 0.98 {
+            tree_ever_best = true;
+            println!("tree won at delay {d} us!? ({t:.1} vs {:.1})", l.min(*r));
+        }
+    }
+    if !tree_ever_best {
+        println!(
+            "as in the paper: the tree search never performed better than\n\
+             either of the two other search algorithms, at any delay."
+        );
+    }
+}

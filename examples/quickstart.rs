@@ -1,0 +1,65 @@
+//! Quickstart: a concurrent pool shared by four worker threads.
+//!
+//! Each worker adds work to its local segment and removes from it; when a
+//! worker's segment runs dry it steals half of someone else's. Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::thread;
+
+use concurrent_pools::prelude::*;
+
+fn main() {
+    const WORKERS: usize = 4;
+    const ITEMS_PER_WORKER: usize = 10_000;
+
+    // A pool of u64 payloads, one segment per worker, searched linearly.
+    let pool: Pool<VecSegment<u64>, LinearSearch> =
+        PoolBuilder::new(WORKERS).seed(42).build_with_policy(LinearSearch::new(WORKERS));
+
+    // An intentionally unbalanced start: worker 0's segment gets everything.
+    pool.fill_evenly_with(0, |_| 0); // (no-op, shown for API discoverability)
+
+    thread::scope(|s| {
+        for w in 0..WORKERS {
+            let mut handle = pool.register();
+            s.spawn(move || {
+                // Only worker 0 produces; the others must steal to eat.
+                if w == 0 {
+                    for i in 0..(WORKERS * ITEMS_PER_WORKER) as u64 {
+                        handle.add(i);
+                    }
+                }
+                let mut sum = 0u64;
+                let mut got = 0usize;
+                while got < ITEMS_PER_WORKER {
+                    match handle.try_remove() {
+                        Ok(v) => {
+                            sum = sum.wrapping_add(v);
+                            got += 1;
+                        }
+                        Err(RemoveError::Aborted) => thread::yield_now(),
+                    }
+                }
+                println!(
+                    "worker {w}: consumed {got} items (sum {sum}), \
+                     {} steals, {} segments examined",
+                    handle.stats().steals,
+                    handle.stats().segments_examined
+                );
+            });
+        }
+    });
+
+    assert_eq!(pool.total_len(), 0);
+    let merged = pool.stats().merged();
+    println!(
+        "\ntotal: {} adds, {} removes, {} steals, {:.1} elements/steal",
+        merged.adds,
+        merged.removes,
+        merged.steals,
+        merged.elements_per_steal().unwrap_or(0.0),
+    );
+}

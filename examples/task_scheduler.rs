@@ -1,0 +1,85 @@
+//! Dynamic task scheduling over a concurrent pool — the pool's primary
+//! application ("the scheduling of dynamically-created tasks", §4.4).
+//!
+//! A recursive partition job: each task either splits into two subtasks or
+//! does leaf work. Workers pull tasks from the pool, generating new tasks
+//! as they go; locality keeps most traffic in each worker's own segment,
+//! and the all-searching abort doubles as distributed termination
+//! detection. Run with:
+//!
+//! ```sh
+//! cargo run --example task_scheduler
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use concurrent_pools::baselines::{PoolWorkList, SharedWorkList, WorkHandle};
+use cpool::{NullTiming, PolicyKind, Timing};
+
+/// A slice of work: sum the integers in `lo..hi`.
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    lo: u64,
+    hi: u64,
+}
+
+const LEAF_SIZE: u64 = 1_000;
+
+fn main() {
+    const WORKERS: usize = 8;
+    const TOTAL: u64 = 10_000_000;
+
+    let timing: Arc<dyn Timing> = Arc::new(NullTiming::new());
+    let list: PoolWorkList<Task> = PoolWorkList::new(
+        WORKERS,
+        PolicyKind::Tree.build(WORKERS, Default::default()),
+        timing,
+        7,
+    );
+    list.seed(vec![Task { lo: 0, hi: TOTAL }]);
+
+    let sum = AtomicU64::new(0);
+    let tasks_run = AtomicU64::new(0);
+
+    let handles: Vec<_> = (0..WORKERS).map(|_| list.register()).collect();
+    std::thread::scope(|s| {
+        for mut handle in handles {
+            let sum = &sum;
+            let tasks_run = &tasks_run;
+            s.spawn(move || {
+                while let Ok(task) = handle.get() {
+                    tasks_run.fetch_add(1, Ordering::Relaxed);
+                    if task.hi - task.lo <= LEAF_SIZE {
+                        let partial: u64 = (task.lo..task.hi).sum();
+                        sum.fetch_add(partial, Ordering::Relaxed);
+                    } else {
+                        let mid = task.lo + (task.hi - task.lo) / 2;
+                        handle.put(Task { lo: task.lo, hi: mid });
+                        handle.put(Task { lo: mid, hi: task.hi });
+                    }
+                }
+                // `get` returned Done: every worker was searching and the
+                // pool is empty -- the computation has terminated.
+            });
+        }
+    });
+
+    let expected = TOTAL * (TOTAL - 1) / 2;
+    let computed = sum.load(Ordering::Relaxed);
+    println!(
+        "sum(0..{TOTAL}) = {computed} ({} tasks across {WORKERS} workers)",
+        tasks_run.load(Ordering::Relaxed)
+    );
+    assert_eq!(computed, expected);
+    println!("matches closed form: OK");
+
+    let stats = list.pool().stats().merged();
+    println!(
+        "pool traffic: {} adds, {} removes, {} steals ({:.2}% of removes)",
+        stats.adds,
+        stats.removes,
+        stats.steals,
+        100.0 * stats.steal_fraction().unwrap_or(0.0),
+    );
+}

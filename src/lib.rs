@@ -1,0 +1,32 @@
+//! # concurrent-pools
+//!
+//! Umbrella crate for the reproduction of Kotz & Ellis, *Evaluation of
+//! Concurrent Pools* (ICDCS 1989): re-exports the workspace crates and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! * [`cpool`] — the concurrent pool data structure (segments, steal
+//!   protocol, tree/linear/random search, livelock gate, statistics).
+//! * [`numa_sim`] — the machine substrate (latency models, delay injection,
+//!   deterministic virtual-time scheduler).
+//! * [`workload`] — random-mix and producer/consumer workload generators.
+//! * [`harness`] — experiment runner, metrics, tables, charts, and the
+//!   per-figure regenerators.
+//! * [`baselines`] — shared work-list baselines (global-lock stack et al.).
+//! * [`ttt`] — the 4×4×4 tic-tac-toe application study.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+pub use baselines;
+pub use cpool;
+pub use harness;
+pub use numa_sim;
+pub use ttt;
+pub use workload;
+
+/// Commonly used items across the workspace.
+pub mod prelude {
+    pub use cpool::prelude::*;
+    pub use numa_sim::{LatencyModel, RealTiming, SimScheduler, SimTiming, Topology};
+    pub use workload::{Arrangement, JobMix, Op, OpBudget, OpStream, Role};
+}

@@ -1,0 +1,159 @@
+//! Application-level integration: the §4.4 tic-tac-toe study wired through
+//! pools, baselines, and the virtual-time scheduler.
+
+use std::sync::Arc;
+
+use baselines::{GlobalQueue, GlobalStack, LockFreeQueue, PoolWorkList};
+use cpool::{NullTiming, PolicyKind, Timing};
+use numa_sim::{LatencyModel, SimScheduler, Topology};
+use ttt::board::Board;
+use ttt::minimax::minimax;
+use ttt::parallel::{expand_parallel, ExpansionConfig, WorkItem};
+
+fn fast_cfg(depth: u8) -> ExpansionConfig {
+    ExpansionConfig { depth, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: true }
+}
+
+fn null_timing() -> Arc<dyn Timing> {
+    Arc::new(NullTiming::new())
+}
+
+/// Every work-list implementation yields the same decision as sequential
+/// minimax: the parallel decomposition is list-agnostic.
+#[test]
+fn every_work_list_matches_sequential_minimax() {
+    let seq = minimax(&Board::new(), 2);
+
+    let stack: GlobalStack<WorkItem> = GlobalStack::new();
+    let queue: GlobalQueue<WorkItem> = GlobalQueue::new();
+    let lockfree: LockFreeQueue<WorkItem> = LockFreeQueue::new();
+
+    for (name, result) in [
+        ("stack", expand_parallel(&stack, 4, &fast_cfg(2), &null_timing(), None)),
+        ("queue", expand_parallel(&queue, 4, &fast_cfg(2), &null_timing(), None)),
+        ("lockfree", expand_parallel(&lockfree, 4, &fast_cfg(2), &null_timing(), None)),
+    ] {
+        assert_eq!(result.score, seq.score, "{name}");
+        assert_eq!(result.best_move, seq.best_move, "{name}");
+        assert_eq!(result.leaves, 64 * 63, "{name}");
+    }
+
+    for policy in PolicyKind::ALL {
+        let pool: PoolWorkList<WorkItem> =
+            PoolWorkList::new(4, policy.build(4, Default::default()), null_timing(), 5);
+        let result = expand_parallel(&pool, 4, &fast_cfg(2), &null_timing(), None);
+        assert_eq!(result.score, seq.score, "pool/{policy}");
+        assert_eq!(result.best_move, seq.best_move, "pool/{policy}");
+    }
+}
+
+/// Worker count does not change the answer, only the schedule.
+#[test]
+fn worker_count_is_transparent() {
+    let baseline = {
+        let list: GlobalStack<WorkItem> = GlobalStack::new();
+        expand_parallel(&list, 1, &fast_cfg(2), &null_timing(), None)
+    };
+    for workers in [2, 3, 8] {
+        let list: GlobalStack<WorkItem> = GlobalStack::new();
+        let r = expand_parallel(&list, workers, &fast_cfg(2), &null_timing(), None);
+        assert_eq!(r.score, baseline.score, "{workers} workers");
+        assert_eq!(r.best_move, baseline.best_move, "{workers} workers");
+        assert_eq!(r.leaves, baseline.leaves, "{workers} workers");
+    }
+}
+
+/// Under the virtual-time scheduler the expansion yields a makespan, and
+/// more workers yield a shorter one (the speedup the paper measures).
+#[test]
+fn virtual_time_expansion_speeds_up() {
+    let cfg = ExpansionConfig {
+        depth: 2,
+        eval_work_ns: 100_000,
+        expand_work_ns: 10_000,
+        batch_leaves: true,
+    };
+    let mut makespans = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let scheduler = SimScheduler::new(
+            workers,
+            LatencyModel::butterfly(),
+            Topology::identity(workers),
+        );
+        let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
+        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+            workers,
+            PolicyKind::Linear.build(workers, Default::default()),
+            Arc::clone(&timing),
+            3,
+        );
+        let r = expand_parallel(&pool, workers, &cfg, &timing, Some(&scheduler));
+        let makespan = r.makespan_ns.expect("virtual-time run has a makespan");
+        makespans.push((workers, makespan));
+    }
+    let t1 = makespans[0].1 as f64;
+    for &(workers, t) in &makespans[1..] {
+        let speedup = t1 / t as f64;
+        assert!(
+            speedup > workers as f64 * 0.5,
+            "{workers} workers speedup {speedup:.2} too low (makespans {makespans:?})"
+        );
+    }
+}
+
+/// Virtual-time expansion is deterministic: same makespan twice.
+#[test]
+fn virtual_time_expansion_is_deterministic() {
+    let run = || {
+        let workers = 3;
+        let scheduler = SimScheduler::new(
+            workers,
+            LatencyModel::butterfly(),
+            Topology::identity(workers),
+        );
+        let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
+        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+            workers,
+            PolicyKind::Tree.build(workers, Default::default()),
+            Arc::clone(&timing),
+            42,
+        );
+        let cfg = ExpansionConfig {
+            depth: 2,
+            eval_work_ns: 50_000,
+            expand_work_ns: 5_000,
+            batch_leaves: true,
+        };
+        let r = expand_parallel(&pool, workers, &cfg, &timing, Some(&scheduler));
+        (r.makespan_ns, r.score, r.best_move, r.leaves)
+    };
+    assert_eq!(run(), run());
+}
+
+/// The pool keeps most work local: when every pulled item generates children
+/// into the worker's own segment (the paper's game-tree pattern, "there is
+/// no reason to share nodes with another process until the local collection
+/// has been depleted"), steals are a small fraction of removes.
+#[test]
+fn pool_work_list_stays_local() {
+    let workers = 4;
+    let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+        workers,
+        PolicyKind::Linear.build(workers, Default::default()),
+        null_timing(),
+        17,
+    );
+    // Unbatched: all 64 + 64*63 positions flow through the pool, and each
+    // depth-1 item deposits its 63 children locally.
+    let cfg = ExpansionConfig { depth: 2, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: false };
+    let r = expand_parallel(&pool, workers, &cfg, &null_timing(), None);
+    assert_eq!(r.leaves, 64 * 63);
+    let stats = pool.pool().stats().merged();
+    assert_eq!(stats.removes, 64 + 64 * 63);
+    assert!(
+        stats.steals * 5 < stats.removes,
+        "work generation keeps segments warm: {} steals vs {} removes",
+        stats.steals,
+        stats.removes
+    );
+}

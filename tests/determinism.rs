@@ -1,0 +1,125 @@
+//! Virtual-time determinism: the whole experiment pipeline — pool, search
+//! policies, workloads, scheduler — must be a pure function of the spec.
+//! This is the property that lets the repo reproduce the paper bit-for-bit
+//! on any host.
+
+use cpool::PolicyKind;
+use harness::run::{run_experiment, run_single_trial};
+use harness::spec::{Engine, ExperimentSpec, SegmentKind};
+use numa_sim::LatencyModel;
+use workload::{Arrangement, JobMix, Workload};
+
+fn base(policy: PolicyKind, workload: Workload) -> ExperimentSpec {
+    ExperimentSpec::paper(policy, workload).scaled(8, 1_000, 2)
+}
+
+/// Two identical runs produce identical metrics, for every policy × workload
+/// class.
+#[test]
+fn identical_specs_reproduce_bit_for_bit() {
+    let workloads = [
+        Workload::RandomMix { mix: JobMix::from_percent(30) },
+        Workload::RandomMix { mix: JobMix::from_percent(70) },
+        Workload::ProducerConsumer { producers: 3, arrangement: Arrangement::Contiguous },
+        Workload::ProducerConsumer { producers: 3, arrangement: Arrangement::Balanced },
+    ];
+    for policy in PolicyKind::ALL {
+        for workload in &workloads {
+            let spec = base(policy, workload.clone());
+            let a = run_single_trial(&spec, 0);
+            let b = run_single_trial(&spec, 0);
+            assert_eq!(a.merged.adds, b.merged.adds, "{policy}/{workload}");
+            assert_eq!(a.merged.removes, b.merged.removes, "{policy}/{workload}");
+            assert_eq!(a.merged.steals, b.merged.steals, "{policy}/{workload}");
+            assert_eq!(
+                a.merged.segments_examined, b.merged.segments_examined,
+                "{policy}/{workload}"
+            );
+            assert_eq!(a.merged.elements_stolen, b.merged.elements_stolen, "{policy}/{workload}");
+            assert_eq!(a.makespan_ns, b.makespan_ns, "{policy}/{workload}");
+            assert_eq!(a.final_sizes, b.final_sizes, "{policy}/{workload}");
+        }
+    }
+}
+
+/// Per-process statistics (not just the merge) reproduce exactly.
+#[test]
+fn per_process_stats_reproduce() {
+    let spec = base(
+        PolicyKind::Tree,
+        Workload::ProducerConsumer { producers: 2, arrangement: Arrangement::Balanced },
+    );
+    let a = run_single_trial(&spec, 1);
+    let b = run_single_trial(&spec, 1);
+    assert_eq!(a.per_proc.len(), b.per_proc.len());
+    for (pa, pb) in a.per_proc.iter().zip(&b.per_proc) {
+        assert_eq!(pa.adds, pb.adds);
+        assert_eq!(pa.removes, pb.removes);
+        assert_eq!(pa.steals, pb.steals);
+        assert_eq!(pa.add_ns, pb.add_ns);
+        assert_eq!(pa.remove_ns, pb.remove_ns);
+    }
+}
+
+/// Changing the master seed changes the interleaving (the RNG flows through).
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut a_spec = base(PolicyKind::Random, Workload::RandomMix { mix: JobMix::from_percent(40) });
+    let mut b_spec = a_spec.clone();
+    a_spec.seed = 7;
+    b_spec.seed = 8;
+    let a = run_single_trial(&a_spec, 0);
+    let b = run_single_trial(&b_spec, 0);
+    assert!(
+        a.merged.adds != b.merged.adds
+            || a.makespan_ns != b.makespan_ns
+            || a.merged.segments_examined != b.merged.segments_examined,
+        "seeds must matter"
+    );
+}
+
+/// The latency model scales the virtual makespan but not the op counts.
+#[test]
+fn latency_model_scales_time_not_counts() {
+    let spec_fast = base(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(20) });
+    let mut spec_slow = spec_fast.clone();
+    spec_slow.engine = Engine::Sim(LatencyModel::butterfly().with_remote_delay_us(100));
+
+    let fast = run_single_trial(&spec_fast, 0);
+    let slow = run_single_trial(&spec_slow, 0);
+
+    assert_eq!(fast.merged.ops(), slow.merged.ops());
+    assert!(
+        slow.makespan_ns > fast.makespan_ns,
+        "added remote delay must lengthen virtual time: {} vs {}",
+        slow.makespan_ns,
+        fast.makespan_ns
+    );
+}
+
+/// Averaged experiment results are deterministic end to end.
+#[test]
+fn run_experiment_reproduces() {
+    let spec = base(
+        PolicyKind::Tree,
+        Workload::ProducerConsumer { producers: 4, arrangement: Arrangement::Contiguous },
+    );
+    let a = run_experiment(&spec);
+    let b = run_experiment(&spec);
+    assert_eq!(a.summary.steal_fraction.mean, b.summary.steal_fraction.mean);
+    assert_eq!(a.summary.avg_op_us.mean, b.summary.avg_op_us.mean);
+    assert_eq!(a.summary.makespan_ms.mean, b.summary.makespan_ms.mean);
+}
+
+/// Both counting-segment kinds run the full pipeline deterministically.
+#[test]
+fn atomic_and_locked_segments_both_deterministic() {
+    for segment in [SegmentKind::LockedCounter, SegmentKind::AtomicCounter] {
+        let mut spec = base(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(30) });
+        spec.segment = segment;
+        let a = run_single_trial(&spec, 0);
+        let b = run_single_trial(&spec, 0);
+        assert_eq!(a.makespan_ns, b.makespan_ns, "{segment}");
+        assert_eq!(a.merged.steals, b.merged.steals, "{segment}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Failure injection and edge-of-contract tests: panicking workers,
+//! oversubscription, degenerate pool shapes, and trait-bound guarantees.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+use concurrent_pools::prelude::*;
+use cpool::{PolicyKind, SearchGate};
+
+/// A worker that panics mid-run must not wedge the rest of the pool: its
+/// handle unwinds, deregisters from the gate, and the survivors still
+/// terminate (either by consuming everything or by clean aborts).
+#[test]
+fn panicking_worker_does_not_wedge_the_gate() {
+    for kind in PolicyKind::ALL {
+        let n = 4;
+        let policy = kind.build(n, Default::default());
+        let pool: Pool<LockedCounter, DynPolicy> =
+            PoolBuilder::new(n).seed(3).build_with_policy(policy);
+        pool.fill_evenly(100);
+
+        thread::scope(|s| {
+            // The saboteur: removes a few elements, then panics while its
+            // handle is live. catch_unwind keeps the scope alive.
+            let mut saboteur = pool.register();
+            s.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(move || {
+                    let _ = saboteur.try_remove();
+                    panic!("injected failure");
+                }));
+                assert!(result.is_err(), "the panic fired");
+            });
+
+            // Honest workers drain the rest.
+            for _ in 0..n - 1 {
+                let mut h = pool.register();
+                s.spawn(move || loop {
+                    match h.try_remove() {
+                        Ok(()) => {}
+                        Err(RemoveError::Aborted) => break,
+                    }
+                });
+            }
+        });
+
+        assert_eq!(pool.total_len(), 0, "{kind}: survivors drained the pool");
+        assert_eq!(pool.gate().registered(), 0, "{kind}: gate fully released");
+    }
+}
+
+/// A panic while *searching* (inside the gate guard) releases the
+/// searching count, so other processes' abort conditions stay accurate.
+#[test]
+fn panic_inside_search_releases_searching_count() {
+    let gate = SearchGate::new();
+    gate.register();
+    gate.register();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = gate.begin_search();
+        assert_eq!(gate.searching(), 1);
+        panic!("injected");
+    }));
+    assert!(result.is_err());
+    assert_eq!(gate.searching(), 0, "guard dropped during unwind");
+    assert!(!gate.all_searching());
+}
+
+/// More processes than segments: handles share home segments round-robin
+/// and the pool still balances.
+#[test]
+fn oversubscribed_pool_works() {
+    let segments = 3;
+    let workers = 10;
+    let per = 500u64;
+    let pool: Pool<VecSegment<u64>, LinearSearch> =
+        PoolBuilder::new(segments).build_with_policy(LinearSearch::new(segments));
+
+    thread::scope(|s| {
+        for w in 0..workers as u64 {
+            let mut h = pool.register();
+            s.spawn(move || {
+                for i in 0..per {
+                    h.add(w * per + i);
+                }
+                let mut got = 0;
+                while got < per {
+                    match h.try_remove() {
+                        Ok(_) => got += 1,
+                        Err(RemoveError::Aborted) => thread::yield_now(),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(pool.total_len(), 0);
+    let merged = pool.stats().merged();
+    assert_eq!(merged.adds, workers as u64 * per);
+    assert_eq!(merged.removes, workers as u64 * per);
+}
+
+/// A single-segment pool degenerates to a mutex-guarded bag but keeps the
+/// full API contract.
+#[test]
+fn single_segment_pool_contract() {
+    for kind in PolicyKind::ALL {
+        let policy = kind.build(1, Default::default());
+        let pool: Pool<VecSegment<u32>, DynPolicy> =
+            PoolBuilder::new(1).build_with_policy(policy);
+        let mut a = pool.register();
+        let mut b = pool.register();
+        a.add(1);
+        b.add(2);
+        let mut seen = vec![a.try_remove().unwrap(), b.try_remove().unwrap()];
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2], "{kind}");
+    }
+}
+
+/// Handles are Send (thread-movable); pools are Send + Sync + Clone.
+#[test]
+fn concurrency_trait_bounds() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Handle<VecSegment<u64>, LinearSearch>>();
+    assert_send::<Pool<VecSegment<u64>, TreeSearch>>();
+    assert_sync::<Pool<VecSegment<u64>, TreeSearch>>();
+    assert_send::<Pool<LockedCounter, RandomSearch>>();
+    assert_sync::<Pool<LockedCounter, RandomSearch>>();
+    assert_send::<cpool::KeyedPool<u32, String>>();
+    assert_sync::<cpool::KeyedPool<u32, String>>();
+    assert_send::<cpool::KeyedHandle<u32, String>>();
+    assert_send::<RemoveError>();
+    assert_sync::<RemoveError>();
+}
+
+/// Handles can migrate between threads mid-lifetime (Send, not pinned).
+#[test]
+fn handle_migrates_across_threads() {
+    let pool: Pool<LockedCounter, LinearSearch> =
+        PoolBuilder::new(2).build_with_policy(LinearSearch::new(2));
+    let mut h = pool.register();
+    h.add(());
+    let h = thread::spawn(move || {
+        h.add(());
+        h
+    })
+    .join()
+    .expect("no panic");
+    drop(h);
+    assert_eq!(pool.total_len(), 2);
+    assert_eq!(pool.stats().merged().adds, 2, "stats follow the handle");
+}
+
+/// Zero-capacity builders panic loudly rather than misbehaving.
+#[test]
+fn zero_segment_builder_panics() {
+    let result = catch_unwind(|| {
+        let _: PoolBuilder<LockedCounter> = PoolBuilder::new(0);
+    });
+    assert!(result.is_err());
+}
+
+/// The pool survives an interleaving where every element is stolen multiple
+/// times (relay race: each worker steals from the previous one's segment).
+#[test]
+fn elements_survive_steal_chains() {
+    let n = 6;
+    let pool: Pool<VecSegment<u32>, LinearSearch> =
+        PoolBuilder::new(n).build_with_policy(LinearSearch::new(n));
+
+    // Worker 0 owns everything initially.
+    {
+        let mut seeder = pool.register();
+        for v in 0..600 {
+            seeder.add(v);
+        }
+    }
+
+    // Each worker steals, banks, and re-adds locally — forcing elements to
+    // hop segment to segment.
+    let mut all = Vec::new();
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let mut h = pool.register();
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    while mine.len() < 100 {
+                        match h.try_remove() {
+                            Ok(v) => mine.push(v),
+                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            all.extend(handle.join().expect("worker finished"));
+        }
+    });
+
+    all.sort_unstable();
+    assert_eq!(all, (0..600).collect::<Vec<_>>(), "every element exactly once");
+}

@@ -1,0 +1,147 @@
+//! Trace-pipeline integration: the segment-size traces behind Figures 3–6,
+//! including a qualitative check of the paper's *bunching* phenomenon.
+
+use cpool::{PolicyKind, SegIdx, TraceKind};
+use harness::run::run_single_trial;
+use harness::spec::ExperimentSpec;
+use workload::{Arrangement, Role, Workload};
+
+fn traced_spec(policy: PolicyKind, producers: usize, arrangement: Arrangement) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::paper(
+        policy,
+        Workload::ProducerConsumer { producers, arrangement },
+    );
+    spec.total_ops = 3_000;
+    spec.trials = 1;
+    spec.record_trace = true;
+    spec
+}
+
+/// Trace events are time-ordered and every steal pairs a `StealFrom` with a
+/// `StealInto` at the same virtual timestamp.
+#[test]
+fn steals_appear_as_paired_events() {
+    let spec = traced_spec(PolicyKind::Linear, 5, Arrangement::Contiguous);
+    let trial = run_single_trial(&spec, 0);
+    let events = trial.traces.expect("tracing enabled");
+    assert!(!events.is_empty());
+    assert!(events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns), "time-ordered");
+
+    let froms: Vec<_> = events.iter().filter(|e| e.kind == TraceKind::StealFrom).collect();
+    let intos: Vec<_> = events.iter().filter(|e| e.kind == TraceKind::StealInto).collect();
+    assert_eq!(froms.len(), intos.len(), "steals record both sides");
+    assert_eq!(froms.len() as u64, trial.merged.steals, "trace agrees with stats");
+    for (f, i) in froms.iter().zip(&intos) {
+        assert_eq!(f.t_ns, i.t_ns, "the two sides share one timestamp");
+        assert_eq!(f.proc, i.proc, "and one thief");
+        assert_ne!(f.seg, i.seg, "thief and victim differ");
+    }
+}
+
+/// Consumers' home segments stay near-empty; producers' segments hold the
+/// inventory. (The visual signature of Figures 3 and 5.)
+#[test]
+fn producers_hold_the_inventory() {
+    let spec = traced_spec(PolicyKind::Linear, 5, Arrangement::Contiguous);
+    let workload = spec.workload.clone();
+    let trial = run_single_trial(&spec, 0);
+    let events = trial.traces.expect("tracing enabled");
+
+    let roles: Vec<Role> = (0..16)
+        .map(|p| workload.role_of(p, 16).expect("producer/consumer workload"))
+        .collect();
+
+    // Average recorded size per segment.
+    let mut sums = vec![0u64; 16];
+    let mut counts = vec![0u64; 16];
+    for e in &events {
+        sums[e.seg.index()] += u64::from(e.len);
+        counts[e.seg.index()] += 1;
+    }
+    let avg = |s: usize| sums[s] as f64 / counts[s].max(1) as f64;
+    let producer_avg: f64 = (0..16).filter(|&s| roles[s] == Role::Producer).map(avg).sum::<f64>()
+        / roles.iter().filter(|r| **r == Role::Producer).count() as f64;
+    let consumer_avg: f64 = (0..16).filter(|&s| roles[s] == Role::Consumer).map(avg).sum::<f64>()
+        / roles.iter().filter(|r| **r == Role::Consumer).count() as f64;
+
+    assert!(
+        producer_avg > consumer_avg,
+        "producers accumulate, consumers drain: producer_avg={producer_avg:.1} \
+         consumer_avg={consumer_avg:.1}"
+    );
+}
+
+/// §4.2, the bunching effect: with *contiguous* producers under linear
+/// search, steals concentrate on the first producers in ring order, and the
+/// last producer is stolen from rarely (the paper: "producer 4 is never
+/// stolen from"). Balancing spreads the steals out.
+#[test]
+fn contiguous_producers_bunch_linear_consumers() {
+    let producers = 5;
+
+    let steals_per_producer = |arrangement: Arrangement| -> Vec<u64> {
+        let spec = traced_spec(PolicyKind::Linear, producers, arrangement);
+        let workload = spec.workload.clone();
+        let trial = run_single_trial(&spec, 0);
+        let events = trial.traces.expect("tracing enabled");
+        let producer_segs: Vec<usize> = (0..16)
+            .filter(|&p| workload.role_of(p, 16) == Some(Role::Producer))
+            .collect();
+        producer_segs
+            .iter()
+            .map(|&seg| {
+                events
+                    .iter()
+                    .filter(|e| e.kind == TraceKind::StealFrom && e.seg == SegIdx::new(seg))
+                    .count() as u64
+            })
+            .collect()
+    };
+
+    let contiguous = steals_per_producer(Arrangement::Contiguous);
+    let balanced = steals_per_producer(Arrangement::Balanced);
+
+    // Bunching: the most-hit producer absorbs a large share under the
+    // contiguous arrangement, and the last producer sees the least traffic.
+    let total_c: u64 = contiguous.iter().sum();
+    let last = *contiguous.last().expect("five producers");
+    let max_c = *contiguous.iter().max().expect("five producers");
+    assert!(total_c > 0, "contiguous producers are stolen from");
+    assert!(
+        last * 2 <= max_c.max(1),
+        "ring order shields the last producer: per-producer steals {contiguous:?}"
+    );
+
+    // Balanced arrangement: every producer participates.
+    assert!(
+        balanced.iter().all(|&s| s > 0),
+        "balanced producers all get stolen from: {balanced:?}"
+    );
+}
+
+/// The trace captures exactly one event per local op and two per steal:
+/// `events == adds + local removes + 2·steals == adds + removes + steals`.
+#[test]
+fn trace_event_count_matches_stats() {
+    let spec = traced_spec(PolicyKind::Tree, 5, Arrangement::Balanced);
+    let trial = run_single_trial(&spec, 0);
+    let events = trial.traces.expect("tracing enabled");
+    let m = &trial.merged;
+    assert_eq!(
+        events.len() as u64,
+        m.adds + m.removes + m.steals,
+        "every operation leaves its trace"
+    );
+    // An Add event reports the size right after the insert: at least 1.
+    assert!(
+        events.iter().filter(|e| e.kind == TraceKind::Add).all(|e| e.len >= 1),
+        "post-add sizes are positive"
+    );
+    // Each segment's series is non-empty for a 16-proc producer/consumer run.
+    for seg in 0..16 {
+        assert!(
+            events.iter().any(|e| e.seg == SegIdx::new(seg)),
+            "segment {seg} appears in the trace"
+        );
+    }
+}
