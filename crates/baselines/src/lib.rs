@@ -100,6 +100,10 @@ pub trait CentralBuffer<T>: Send + Sync + Default {
     fn pop(&self) -> Option<T>;
     /// Number of stored items.
     fn len(&self) -> usize;
+    /// Whether the buffer is currently empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// LIFO buffer under one global lock (the paper's work-list baseline).
@@ -333,16 +337,8 @@ impl<T: Send + 'static> Clone for PoolWorkList<T> {
 impl<T: Send + 'static> PoolWorkList<T> {
     /// Creates a pool-backed work list with `segments` segments, the given
     /// search policy, and cost model.
-    pub fn new(
-        segments: usize,
-        policy: DynPolicy,
-        timing: Arc<dyn Timing>,
-        seed: u64,
-    ) -> Self {
-        let pool = PoolBuilder::new(segments)
-            .seed(seed)
-            .timing(timing)
-            .build_with_policy(policy);
+    pub fn new(segments: usize, policy: DynPolicy, timing: Arc<dyn Timing>, seed: u64) -> Self {
+        let pool = PoolBuilder::new(segments).seed(seed).timing(timing).build_with_policy(policy);
         PoolWorkList { pool }
     }
 
@@ -361,9 +357,8 @@ impl<T: Send + 'static> SharedWorkList<T> for PoolWorkList<T> {
 
     fn seed(&self, items: Vec<T>) {
         let mut items = items.into_iter();
-        self.pool.fill_evenly_with(items.len(), |_| {
-            items.next().expect("fill count matches items")
-        });
+        self.pool
+            .fill_evenly_with(items.len(), |_| items.next().expect("fill count matches items"));
     }
 
     fn len(&self) -> usize {
@@ -473,9 +468,12 @@ mod tests {
 
     #[test]
     fn pool_work_list_drains() {
-        let list: PoolWorkList<u32> =
-            PoolWorkList::new(4, PolicyKind::Linear.build(4, Default::default()),
-                Arc::new(NullTiming::new()), 7);
+        let list: PoolWorkList<u32> = PoolWorkList::new(
+            4,
+            PolicyKind::Linear.build(4, Default::default()),
+            Arc::new(NullTiming::new()),
+            7,
+        );
         assert_eq!(drain_all(&list, 4, (0..1000).collect()), 1000);
         assert_eq!(list.len(), 0);
     }

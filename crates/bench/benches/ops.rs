@@ -57,7 +57,7 @@ fn benches(c: &mut Criterion) {
     bench_element::<BlockSegment<u64>>(c, "block_segment");
 }
 
-criterion_group!{
+criterion_group! {
     name = ops;
     // Trimmed sampling: these are comparative microbenchmarks, not
     // absolute-latency measurements.

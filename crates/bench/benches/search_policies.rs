@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use cpool::search::{ProbeOutcome, SearchEnv, SearchPolicy};
 use cpool::prelude::*;
+use cpool::search::{ProbeOutcome, SearchEnv, SearchPolicy};
 use cpool::segment::steal_count;
 
 /// A heap-allocated occupancy vector posing as a pool.
@@ -73,7 +73,7 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = search_policies;
     // Trimmed sampling: these are comparative microbenchmarks, not
     // absolute-latency measurements.

@@ -43,7 +43,7 @@ fn bench_steals(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = steal;
     // Trimmed sampling: these are comparative microbenchmarks, not
     // absolute-latency measurements.

@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-use cpool::search::{ProbeOutcome, SearchEnv, SearchPolicy, TreeSearch};
 use cpool::prelude::*;
+use cpool::search::{ProbeOutcome, SearchEnv, SearchPolicy, TreeSearch};
 use cpool::segment::steal_count;
 
 struct CountsEnv {
@@ -57,10 +57,10 @@ fn bench_stores(c: &mut Criterion) {
                         || {
                             let mut counts = vec![0usize; n];
                             counts[n - 1] = 64;
-                            (policy.init_state(SegIdx::new(0), n, 7), CountsEnv {
-                                counts,
-                                me: SegIdx::new(0),
-                            })
+                            (
+                                policy.init_state(SegIdx::new(0), n, 7),
+                                CountsEnv { counts, me: SegIdx::new(0) },
+                            )
                         },
                         |(mut state, mut env)| {
                             std::hint::black_box(policy.search(&mut state, &mut env))
@@ -74,7 +74,7 @@ fn bench_stores(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = tree_store;
     // Trimmed sampling: these are comparative microbenchmarks, not
     // absolute-latency measurements.

@@ -16,8 +16,7 @@ fn main() {
     let args = Args::from_env();
     let scale = scale_from_args(&args);
     let max_delay_us: u64 = args.parse_or("max-delay-us", 10_000);
-    let delays: Vec<u64> =
-        PAPER_DELAYS_US.iter().copied().filter(|d| *d <= max_delay_us).collect();
+    let delays: Vec<u64> = PAPER_DELAYS_US.iter().copied().filter(|d| *d <= max_delay_us).collect();
     eprintln!(
         "delay_sweep: {} procs, {} ops, {} trials, delays {delays:?} us",
         scale.procs, scale.total_ops, scale.trials

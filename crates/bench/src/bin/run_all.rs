@@ -109,11 +109,8 @@ fn main() {
     }
 
     eprintln!("== Tic-tac-toe speedup ==");
-    let (depth, workers): (u8, Vec<usize>) = if args.flag("quick") {
-        (2, vec![1, 2, 4])
-    } else {
-        (3, vec![1, 2, 4, 8, 12, 16])
-    };
+    let (depth, workers): (u8, Vec<usize>) =
+        if args.flag("quick") { (2, vec![1, 2, 4]) } else { (3, vec![1, 2, 4, 8, 12, 16]) };
     // The paper's structure: every position flows through the work list —
     // that traffic is exactly what saturates the global-lock stack.
     let cfg = SpeedupConfig {

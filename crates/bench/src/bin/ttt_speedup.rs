@@ -32,11 +32,7 @@ fn main() {
         .collect();
 
     let cfg = SpeedupConfig {
-        expansion: ExpansionConfig {
-            depth,
-            batch_leaves: batch,
-            ..ExpansionConfig::default()
-        },
+        expansion: ExpansionConfig { depth, batch_leaves: batch, ..ExpansionConfig::default() },
         ..SpeedupConfig::default()
     };
     eprintln!(
@@ -55,13 +51,8 @@ fn main() {
         );
     }
 
-    let mut table = TextTable::new(vec![
-        "work list",
-        "workers",
-        "makespan (ms)",
-        "speedup",
-        "positions",
-    ]);
+    let mut table =
+        TextTable::new(vec!["work list", "workers", "makespan (ms)", "speedup", "positions"]);
     let mut rows = Vec::new();
     for curve in &curves {
         for p in &curve.points {

@@ -67,14 +67,14 @@ mod tests {
 
     #[test]
     fn scale_defaults_to_paper() {
-        let scale = scale_from_args(&Args::from_iter(Vec::new()));
+        let scale = scale_from_args(&Args::parse_args(Vec::new()));
         assert_eq!(scale.procs, 16);
         assert_eq!(scale.total_ops, 5000);
     }
 
     #[test]
     fn quick_flag_shrinks() {
-        let args = Args::from_iter(vec!["--quick".to_string()]);
+        let args = Args::parse_args(vec!["--quick".to_string()]);
         let scale = scale_from_args(&args);
         assert!(scale.total_ops < 5000);
     }
@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn explicit_flags_override() {
         let args =
-            Args::from_iter(vec!["--procs".into(), "8".into(), "--trials".into(), "3".into()]);
+            Args::parse_args(vec!["--procs".into(), "8".into(), "--trials".into(), "3".into()]);
         let scale = scale_from_args(&args);
         assert_eq!(scale.procs, 8);
         assert_eq!(scale.trials, 3);

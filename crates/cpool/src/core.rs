@@ -1,0 +1,410 @@
+//! The shared steal-engine: the concurrency protocol common to every pool
+//! frontend.
+//!
+//! [`Pool`](crate::Pool) and [`KeyedPool`](crate::KeyedPool) expose
+//! different element models (anonymous vs keyed) and different search
+//! drivers (pluggable [`SearchPolicy`](crate::search::SearchPolicy) vs a
+//! built-in per-key linear walk), but underneath they run the *same*
+//! protocol from Kotz & Ellis (1989):
+//!
+//! 1. **Registration** — processes register with the pool and get a dense
+//!    [`ProcId`] plus a home segment (`id mod segments`); deregistration
+//!    deposits the process's statistics with the pool ([`Registry`]).
+//! 2. **Gate-abort** — a searcher counts probed victims and aborts only
+//!    once a *full lap* has been examined while every registered process is
+//!    searching ([`SearchSession::should_abort`]).
+//! 3. **Two-phase steal-half** — drain ⌈n/2⌉ of the victim under its own
+//!    lock, keep one element for the pending remove, then refill the local
+//!    segment under *its* lock ([`SearchSession::probe`]). No two segment
+//!    locks are ever held at once, so thief/thief or thief/owner deadlock
+//!    is impossible by construction.
+//! 4. **Timing charges** — every shared-memory access is charged through
+//!    the pool's [`Timing`] *before* the access is performed (the
+//!    lock/charge discipline of [`timing`](crate::timing)).
+//! 5. **Per-process statistics** — operation outcomes and latencies are
+//!    recorded into a private [`ProcStats`] block ([`OpTimer`]).
+//!
+//! Keeping all five in one module means later optimisation passes
+//! (lock-narrowing, sharding, async frontends, blocking removes) have
+//! exactly one hot path to change.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::gate::{SearchGate, SearchGuard};
+use crate::ids::{ProcId, SegIdx};
+use crate::stats::{PoolStats, ProcStats};
+use crate::timing::{Resource, Timing};
+
+/// Process registration and statistics collection, shared by all pool
+/// frontends.
+///
+/// Owns the [`SearchGate`] because the gate's notion of "every registered
+/// process" must match the registry's exactly: a handle registers with both
+/// atomically (from the caller's perspective) and retires from both in
+/// [`retire`](Self::retire).
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    gate: SearchGate,
+    next_proc: AtomicUsize,
+    collected: Mutex<Vec<(ProcId, ProcStats)>>,
+}
+
+impl Registry {
+    /// Creates a registry with no registered processes.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The livelock gate.
+    pub fn gate(&self) -> &SearchGate {
+        &self.gate
+    }
+
+    /// Registers a new process: the `i`-th registration gets process id `i`
+    /// and home segment `i mod segments` (the paper runs exactly one
+    /// process per segment; over-subscription shares segments round-robin).
+    pub fn register(&self, segments: usize) -> (ProcId, SegIdx) {
+        let index = self.next_proc.fetch_add(1, Ordering::SeqCst);
+        self.gate.register();
+        (ProcId::new(index), SegIdx::new(index % segments))
+    }
+
+    /// Deregisters a process and deposits its statistics (handle drop).
+    pub fn retire(&self, proc: ProcId, stats: ProcStats) {
+        self.gate.deregister();
+        self.collected.lock().push((proc, stats));
+    }
+
+    /// Statistics of retired processes, ordered by process id.
+    pub fn stats(&self) -> PoolStats {
+        let mut collected = self.collected.lock().clone();
+        collected.sort_by_key(|(proc, _)| *proc);
+        PoolStats { per_proc: collected.into_iter().map(|(_, s)| s).collect() }
+    }
+}
+
+/// Times one pool operation and records its outcome into [`ProcStats`].
+///
+/// Created at the top of `add` / `try_remove`; exactly one `finish_*`
+/// method is called on every exit path, so the stats identities
+/// (`ops == adds + removes + aborted_removes`, histogram counts, ...)
+/// hold by construction.
+pub(crate) struct OpTimer<'a> {
+    timing: &'a dyn Timing,
+    me: ProcId,
+    t0: u64,
+}
+
+impl<'a> OpTimer<'a> {
+    /// Starts timing an operation, charging `overhead_ns` of fixed
+    /// per-operation computation first (see `PoolBuilder::op_overhead`).
+    pub fn start(timing: &'a dyn Timing, me: ProcId, overhead_ns: u64) -> Self {
+        let t0 = timing.now(me);
+        if overhead_ns > 0 {
+            timing.charge_work(me, overhead_ns);
+        }
+        OpTimer { timing, me, t0 }
+    }
+
+    /// The operation's start time (for frontends that account the whole
+    /// remove as search time).
+    pub fn t0(&self) -> u64 {
+        self.t0
+    }
+
+    fn elapsed(&self) -> u64 {
+        self.timing.now(self.me).saturating_sub(self.t0)
+    }
+
+    /// Completes an add (`donated`: the element went to a searching
+    /// process's mailbox instead of the local segment).
+    pub fn finish_add(self, stats: &mut ProcStats, donated: bool) {
+        let dt = self.elapsed();
+        stats.adds += 1;
+        if donated {
+            stats.donated_adds += 1;
+        }
+        stats.add_ns += dt;
+        stats.add_hist.record(dt);
+    }
+
+    /// Completes a remove served from the local segment.
+    pub fn finish_local_remove(self, stats: &mut ProcStats) {
+        let dt = self.elapsed();
+        stats.removes += 1;
+        stats.remove_ns += dt;
+        stats.remove_hist.record(dt);
+    }
+
+    /// Completes a remove satisfied by stealing `stolen` elements; search
+    /// time from `search_t0` onwards is charged as steal time.
+    pub fn finish_steal_remove(self, stats: &mut ProcStats, stolen: usize, search_t0: u64) {
+        let now = self.timing.now(self.me);
+        let dt = now.saturating_sub(self.t0);
+        stats.removes += 1;
+        stats.steals += 1;
+        stats.elements_stolen += stolen as u64;
+        stats.remove_ns += dt;
+        stats.steal_ns += now.saturating_sub(search_t0);
+        stats.remove_hist.record(dt);
+    }
+
+    /// Completes a remove satisfied by a hint delivery (no steal).
+    pub fn finish_hinted_remove(self, stats: &mut ProcStats) {
+        let dt = self.elapsed();
+        stats.removes += 1;
+        stats.hinted_removes += 1;
+        stats.remove_ns += dt;
+        stats.remove_hist.record(dt);
+    }
+
+    /// Completes a remove aborted by the livelock breaker.
+    pub fn finish_aborted(self, stats: &mut ProcStats) {
+        stats.aborted_removes += 1;
+        stats.abort_ns += self.elapsed();
+    }
+}
+
+/// One search for elements to steal: probe counting, the full-lap abort
+/// rule, and the two-phase steal-half transfer.
+///
+/// Holding a session marks the process as searching on the [`SearchGate`]
+/// (dropped on every exit path, panic included, via the embedded guard).
+pub(crate) struct SearchSession<'a> {
+    timing: &'a dyn Timing,
+    gate: &'a SearchGate,
+    me: ProcId,
+    home: SegIdx,
+    /// Number of probes that constitute one full lap over the victims this
+    /// frontend's search visits (all segments for policy searches, all
+    /// *remote* segments for the keyed ring walk).
+    lap: u64,
+    examined: u64,
+    nodes_visited: u64,
+    started_ns: u64,
+    _guard: SearchGuard<'a>,
+}
+
+impl<'a> SearchSession<'a> {
+    /// Begins a search: records the start time and marks the process as
+    /// searching.
+    pub fn begin(
+        timing: &'a dyn Timing,
+        gate: &'a SearchGate,
+        me: ProcId,
+        home: SegIdx,
+        lap: u64,
+    ) -> Self {
+        let started_ns = timing.now(me);
+        SearchSession {
+            timing,
+            gate,
+            me,
+            home,
+            lap,
+            examined: 0,
+            nodes_visited: 0,
+            started_ns,
+            _guard: gate.begin_search(),
+        }
+    }
+
+    /// The searching process.
+    pub fn proc(&self) -> ProcId {
+        self.me
+    }
+
+    /// The searcher's home segment.
+    pub fn home(&self) -> SegIdx {
+        self.home
+    }
+
+    /// When the search began (per the pool's clock).
+    pub fn started_ns(&self) -> u64 {
+        self.started_ns
+    }
+
+    /// Victim segments probed so far.
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    /// Superimposed-tree nodes visited so far.
+    pub fn nodes_visited(&self) -> u64 {
+        self.nodes_visited
+    }
+
+    /// Probes that constitute one full lap (see [`begin`](Self::begin)).
+    pub fn lap(&self) -> u64 {
+        self.lap
+    }
+
+    /// Whether at least one full lap of victims has been examined.
+    pub fn full_lap_done(&self) -> bool {
+        self.examined >= self.lap
+    }
+
+    /// §3.2's starvation rule, honored only after the search has examined
+    /// at least one full lap of victim segments.
+    ///
+    /// The paper's processes "search for a long time, examining every
+    /// segment possibly several times, before [finding] any elements";
+    /// aborting on the first probe the moment every process happens to be
+    /// searching would instead turn transient all-searching episodes
+    /// (common near-empty, where searches dominate each process's time)
+    /// into mass aborts — making sparse-mix operations artificially cheap
+    /// and steals artificially rare. After a full lap the abort is also a
+    /// *reliable* emptiness signal: the searcher has seen every segment
+    /// while no process could have been adding.
+    pub fn should_abort(&self) -> bool {
+        self.full_lap_done() && self.gate.all_searching()
+    }
+
+    /// Charges one access to superimposed-tree node `node`.
+    pub fn charge_tree_node(&mut self, node: usize) {
+        self.nodes_visited += 1;
+        self.timing.charge(self.me, Resource::TreeNode(node));
+    }
+
+    /// Probes `victim` with the two-phase steal-half transfer.
+    ///
+    /// Phase one charges and drains the victim through `drain` (which must
+    /// take ⌈n/2⌉ of the victim's `n` elements under the victim's own
+    /// lock); one drained element is kept to satisfy the pending remove.
+    /// Phase two — only if more than one element was taken — charges the
+    /// searcher's home segment and deposits the remainder through `refill`
+    /// ("by stealing half of the elements found at the non-empty segment
+    /// rather than just enough to satisfy the immediate need, the
+    /// searching process is trying to balance the available reserves and
+    /// prevent its next request from also having to perform a search").
+    /// Because the phases run strictly in sequence, no two segment locks
+    /// are ever held at once.
+    ///
+    /// Returns the kept element and the total number stolen, or `None` if
+    /// the victim was empty.
+    pub fn probe<T>(
+        &mut self,
+        victim: SegIdx,
+        drain: impl FnOnce() -> Vec<T>,
+        refill: impl FnOnce(Vec<T>),
+    ) -> Option<(T, usize)> {
+        self.examined += 1;
+        self.timing.charge(self.me, Resource::Segment(victim));
+        let mut batch = drain();
+        let item = batch.pop()?;
+        let stolen = batch.len() + 1;
+        if !batch.is_empty() {
+            self.timing.charge(self.me, Resource::Segment(self.home));
+            refill(batch);
+        }
+        Some((item, stolen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::NullTiming;
+
+    #[test]
+    fn registry_assigns_dense_ids_round_robin() {
+        let registry = Registry::new();
+        let (p0, s0) = registry.register(2);
+        let (p1, s1) = registry.register(2);
+        let (p2, s2) = registry.register(2);
+        assert_eq!((p0.index(), s0.index()), (0, 0));
+        assert_eq!((p1.index(), s1.index()), (1, 1));
+        assert_eq!((p2.index(), s2.index()), (2, 0));
+        assert_eq!(registry.gate().registered(), 3);
+    }
+
+    #[test]
+    fn registry_stats_sorted_by_proc_id() {
+        let registry = Registry::new();
+        let (p0, _) = registry.register(4);
+        let (p1, _) = registry.register(4);
+        // Retire out of order; stats() must come back in id order.
+        registry.retire(p1, ProcStats { adds: 1, ..ProcStats::default() });
+        registry.retire(p0, ProcStats { adds: 2, ..ProcStats::default() });
+        let stats = registry.stats();
+        assert_eq!(stats.per_proc[0].adds, 2);
+        assert_eq!(stats.per_proc[1].adds, 1);
+        assert_eq!(registry.gate().registered(), 0);
+    }
+
+    #[test]
+    fn op_timer_exit_paths_keep_stats_identities() {
+        let timing = NullTiming::new();
+        let me = ProcId::new(0);
+        let mut stats = ProcStats::default();
+        OpTimer::start(&timing, me, 0).finish_add(&mut stats, false);
+        OpTimer::start(&timing, me, 0).finish_add(&mut stats, true);
+        OpTimer::start(&timing, me, 0).finish_local_remove(&mut stats);
+        let t = OpTimer::start(&timing, me, 0);
+        let search_t0 = t.t0();
+        t.finish_steal_remove(&mut stats, 5, search_t0);
+        OpTimer::start(&timing, me, 0).finish_hinted_remove(&mut stats);
+        OpTimer::start(&timing, me, 0).finish_aborted(&mut stats);
+        assert_eq!(stats.ops(), stats.adds + stats.removes + stats.aborted_removes);
+        assert_eq!(stats.adds, 2);
+        assert_eq!(stats.donated_adds, 1);
+        assert_eq!(stats.removes, 3);
+        assert_eq!(stats.hinted_removes, 1);
+        assert_eq!(stats.steals, 1);
+        assert_eq!(stats.elements_stolen, 5);
+        assert_eq!(stats.aborted_removes, 1);
+        assert_eq!(stats.add_hist.count(), 2);
+        assert_eq!(stats.remove_hist.count(), 3);
+    }
+
+    #[test]
+    fn session_aborts_only_after_a_full_lap() {
+        let timing = NullTiming::new();
+        let gate = SearchGate::new();
+        gate.register();
+        let mut session = SearchSession::begin(&timing, &gate, ProcId::new(0), SegIdx::new(0), 2);
+        assert!(gate.all_searching(), "the lone process is searching");
+        assert!(!session.should_abort(), "no probes yet: keep searching");
+        let _ = session.probe(SegIdx::new(1), Vec::new, |_: Vec<()>| {});
+        assert!(!session.should_abort(), "half a lap: keep searching");
+        let _ = session.probe(SegIdx::new(1), Vec::new, |_: Vec<()>| {});
+        assert!(session.should_abort(), "full fruitless lap with all searching");
+        drop(session);
+        assert_eq!(gate.searching(), 0, "guard released on drop");
+        gate.deregister();
+    }
+
+    #[test]
+    fn probe_keeps_one_and_refills_the_rest() {
+        let timing = NullTiming::new();
+        let gate = SearchGate::new();
+        gate.register();
+        let mut session = SearchSession::begin(&timing, &gate, ProcId::new(0), SegIdx::new(0), 4);
+        let refilled = std::cell::RefCell::new(Vec::new());
+        let out = session.probe(
+            SegIdx::new(2),
+            || vec![10, 11, 12],
+            |rest| refilled.borrow_mut().extend(rest),
+        );
+        assert_eq!(out, Some((12, 3)), "last drained element satisfies the remove");
+        assert_eq!(*refilled.borrow(), vec![10, 11], "remainder refills the home segment");
+        assert_eq!(session.examined(), 1);
+        drop(session);
+        gate.deregister();
+    }
+
+    #[test]
+    fn probe_single_element_skips_refill_phase() {
+        let timing = NullTiming::new();
+        let gate = SearchGate::new();
+        gate.register();
+        let mut session = SearchSession::begin(&timing, &gate, ProcId::new(0), SegIdx::new(0), 4);
+        let out =
+            session.probe(SegIdx::new(1), || vec![7], |_| panic!("no refill for a lone element"));
+        assert_eq!(out, Some((7, 1)));
+        drop(session);
+        gate.deregister();
+    }
+}

@@ -33,7 +33,11 @@
 //! Livelock on exhausted keys is broken by the same §3.2 gate as the plain
 //! pool: a keyed search aborts when every registered process is searching —
 //! whether they starve on the same key or different ones, nobody can be
-//! adding, so waiting is futile.
+//! adding, so waiting is futile. Registration, the lap-counted gate-abort,
+//! the two-phase steal-half transfer, and stats plumbing are all delegated
+//! to the shared [`core`](crate::core) engine — the same hot path the plain
+//! [`Pool`](crate::Pool) runs — so this module only supplies the keyed
+//! element model and the per-key search cursors.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -41,8 +45,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::core::{OpTimer, Registry, SearchSession};
 use crate::error::RemoveError;
-use crate::gate::SearchGate;
 use crate::ids::{ProcId, SegIdx};
 use crate::segment::steal_count;
 use crate::stats::{PoolStats, ProcStats};
@@ -132,11 +136,8 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
     /// the key alongside the elements.
     fn steal_half_largest(&self) -> Option<(K, Vec<V>)> {
         let mut buckets = self.buckets.lock();
-        let key = buckets
-            .iter()
-            .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(a.0)))?
-            .0
-            .clone();
+        let key =
+            buckets.iter().max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(a.0)))?.0.clone();
         let bucket = buckets.get_mut(&key).expect("key just observed");
         let take = steal_count(bucket.len());
         let stolen = bucket.split_off(bucket.len() - take);
@@ -150,10 +151,8 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
 
 struct KeyedShared<K, V> {
     segments: Box<[KeyedSegment<K, V>]>,
-    gate: SearchGate,
+    registry: Registry,
     timing: Arc<dyn Timing>,
-    next_proc: AtomicUsize,
-    collected: Mutex<Vec<(ProcId, ProcStats)>>,
 }
 
 /// A concurrent pool of distinguishable elements.
@@ -185,7 +184,7 @@ impl<K, V> std::fmt::Debug for KeyedPool<K, V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KeyedPool")
             .field("segments", &self.shared.segments.len())
-            .field("registered", &self.shared.gate.registered())
+            .field("registered", &self.shared.registry.gate().registered())
             .finish_non_exhaustive()
     }
 }
@@ -210,10 +209,8 @@ impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
         KeyedPool {
             shared: Arc::new(KeyedShared {
                 segments: (0..segments).map(|_| KeyedSegment::new()).collect(),
-                gate: SearchGate::new(),
+                registry: Registry::new(),
                 timing,
-                next_proc: AtomicUsize::new(0),
-                collected: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -245,10 +242,7 @@ impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
     /// Registers a process; the `i`-th registration homes at segment
     /// `i mod segments`.
     pub fn register(&self) -> KeyedHandle<K, V> {
-        let index = self.shared.next_proc.fetch_add(1, Ordering::SeqCst);
-        let me = ProcId::new(index);
-        let seg = SegIdx::new(index % self.segments());
-        self.shared.gate.register();
+        let (me, seg) = self.shared.registry.register(self.segments());
         KeyedHandle {
             shared: Arc::clone(&self.shared),
             me,
@@ -261,9 +255,7 @@ impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
 
     /// Statistics of dropped handles, by process id.
     pub fn stats(&self) -> PoolStats {
-        let mut collected = self.shared.collected.lock().clone();
-        collected.sort_by_key(|(proc, _)| *proc);
-        PoolStats { per_proc: collected.into_iter().map(|(_, s)| s).collect() }
+        self.shared.registry.stats()
     }
 }
 
@@ -309,13 +301,10 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
 
     /// Adds an element under `key` to the local segment.
     pub fn add(&mut self, key: K, value: V) {
-        let t0 = self.shared.timing.now(self.me);
+        let timer = OpTimer::start(&*self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.shared.segments[self.seg.index()].add(key, value);
-        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
-        self.stats.adds += 1;
-        self.stats.add_ns += dt;
-        self.stats.add_hist.record(dt);
+        timer.finish_add(&mut self.stats, false);
     }
 
     /// Removes an arbitrary element, stealing half of a remote bucket when
@@ -326,50 +315,62 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
     /// Returns [`RemoveError::Aborted`] when every registered process was
     /// searching simultaneously (the pool is starving).
     pub fn try_remove_any(&mut self) -> Result<(K, V), RemoveError> {
-        let t0 = self.shared.timing.now(self.me);
+        let timer = OpTimer::start(&*self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(found) = self.shared.segments[self.seg.index()].remove_any() {
-            self.finish_local_remove(t0);
+            timer.finish_local_remove(&mut self.stats);
             return Ok(found);
         }
 
-        // Linear search from where we last found anything. The guard must
+        // Linear search from where we last found anything. The session must
         // borrow a local clone of the shared state so `self` stays free for
-        // the stats methods below.
+        // the stats plumbing below.
         let shared = Arc::clone(&self.shared);
-        let _guard = shared.gate.begin_search();
-        let n = self.shared.segments.len();
-        let mut victim = self.last_found_any;
-        // Probes since this search began; the starvation abort is honored
-        // only after a full lap (all remote segments examined), as in the
-        // plain pool — see `pool::PoolSearchEnv::should_abort`.
-        let mut examined = 0usize;
-        loop {
-            if victim != self.seg {
-                examined += 1;
-                self.stats.segments_examined += 1;
-                self.shared.timing.charge(self.me, Resource::Segment(victim));
-                if let Some((key, mut stolen)) =
-                    self.shared.segments[victim.index()].steal_half_largest()
-                {
-                    let value = stolen.pop().expect("steals are non-empty");
-                    let stolen_total = stolen.len() + 1;
-                    if !stolen.is_empty() {
-                        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-                        self.shared.segments[self.seg.index()].add_bulk(&key, stolen);
-                    }
-                    self.last_found_any = victim;
-                    self.finish_steal_remove(t0, stolen_total);
-                    return Ok((key, value));
-                }
+        let mut session = begin_keyed_search(&shared, self.me, self.seg);
+        let segments = &shared.segments;
+        let home = self.seg;
+        let last_found_any = &mut self.last_found_any;
+        // The engine's probe moves an anonymous batch; the victim's bucket
+        // key travels beside it in this slot (set by the drain closure, read
+        // by the refill closure and the success path) so elements need not
+        // carry per-element key clones.
+        let stolen_key: std::cell::RefCell<Option<K>> = std::cell::RefCell::new(None);
+        let result = ring_search(
+            &mut session,
+            segments.len(),
+            *last_found_any,
+            |session, victim| {
+                session.probe(
+                    victim,
+                    || match segments[victim.index()].steal_half_largest() {
+                        Some((key, values)) => {
+                            *stolen_key.borrow_mut() = Some(key);
+                            values
+                        }
+                        None => Vec::new(),
+                    },
+                    |rest| {
+                        let key = stolen_key.borrow();
+                        let key = key.as_ref().expect("refill follows a successful drain");
+                        segments[home.index()].add_bulk(key, rest);
+                    },
+                )
+            },
+            |cursor| *last_found_any = cursor,
+        );
+        self.stats.segments_examined += session.examined();
+        drop(session);
+        match result {
+            Some((value, stolen, victim)) => {
+                self.last_found_any = victim;
+                let key = stolen_key.into_inner().expect("steal recorded its key");
+                let search_t0 = timer.t0();
+                timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
+                Ok((key, value))
             }
-            // Persist the cursor before a possible abort (same reasoning as
-            // `LinearSearch`): a retrying caller must resume at the next
-            // segment or it could never reach elements parked elsewhere.
-            victim = victim.next_in_ring(n);
-            self.last_found_any = victim;
-            if examined + 1 >= n && self.shared.gate.all_searching() {
-                return self.finish_aborted(t0);
+            None => {
+                timer.finish_aborted(&mut self.stats);
+                Err(RemoveError::Aborted)
             }
         }
     }
@@ -383,75 +384,94 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
     /// searching simultaneously (no element of `key` is reachable and
     /// nobody can be adding one).
     pub fn try_remove_key(&mut self, key: &K) -> Result<V, RemoveError> {
-        let t0 = self.shared.timing.now(self.me);
+        let timer = OpTimer::start(&*self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(value) = self.shared.segments[self.seg.index()].remove_key(key) {
-            self.finish_local_remove(t0);
+            timer.finish_local_remove(&mut self.stats);
             return Ok(value);
         }
 
         let shared = Arc::clone(&self.shared);
-        let _guard = shared.gate.begin_search();
-        let n = self.shared.segments.len();
-        let mut victim = self.last_found_key.get(key).copied().unwrap_or(self.seg);
-        let mut examined = 0usize;
-        loop {
-            if victim != self.seg {
-                examined += 1;
-                self.stats.segments_examined += 1;
-                self.shared.timing.charge(self.me, Resource::Segment(victim));
-                let mut stolen = self.shared.segments[victim.index()].steal_half_key(key);
-                if let Some(value) = stolen.pop() {
-                    let stolen_total = stolen.len() + 1;
-                    if !stolen.is_empty() {
-                        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-                        self.shared.segments[self.seg.index()].add_bulk(key, stolen);
-                    }
-                    self.last_found_key.insert(key.clone(), victim);
-                    self.finish_steal_remove(t0, stolen_total);
-                    return Ok(value);
-                }
+        let mut session = begin_keyed_search(&shared, self.me, self.seg);
+        let segments = &shared.segments;
+        let home = self.seg;
+        let last_found_key = &mut self.last_found_key;
+        let start = last_found_key.get(key).copied().unwrap_or(self.seg);
+        let result = ring_search(
+            &mut session,
+            segments.len(),
+            start,
+            |session, victim| {
+                session.probe(
+                    victim,
+                    || segments[victim.index()].steal_half_key(key),
+                    |rest| segments[home.index()].add_bulk(key, rest),
+                )
+            },
+            |cursor| {
+                last_found_key.insert(key.clone(), cursor);
+            },
+        );
+        self.stats.segments_examined += session.examined();
+        drop(session);
+        match result {
+            Some((value, stolen, victim)) => {
+                self.last_found_key.insert(key.clone(), victim);
+                let search_t0 = timer.t0();
+                timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
+                Ok(value)
             }
-            // Cursor persistence across aborts; see `try_remove_any`.
-            victim = victim.next_in_ring(n);
-            self.last_found_key.insert(key.clone(), victim);
-            if examined + 1 >= n && self.shared.gate.all_searching() {
-                return self.finish_aborted(t0);
+            None => {
+                timer.finish_aborted(&mut self.stats);
+                Err(RemoveError::Aborted)
             }
         }
     }
+}
 
-    fn finish_local_remove(&mut self, t0: u64) {
-        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
-        self.stats.removes += 1;
-        self.stats.remove_ns += dt;
-        self.stats.remove_hist.record(dt);
-    }
+/// Opens a [`SearchSession`] for a keyed ring walk: the walk skips the home
+/// segment, so one full lap — the point after which the engine's §3.2 abort
+/// rule may fire — is `segments - 1` probes.
+fn begin_keyed_search<'a, K: Key, V: Send + 'static>(
+    shared: &'a KeyedShared<K, V>,
+    me: ProcId,
+    home: SegIdx,
+) -> SearchSession<'a> {
+    let lap = shared.segments.len().saturating_sub(1) as u64;
+    SearchSession::begin(&*shared.timing, shared.registry.gate(), me, home, lap)
+}
 
-    fn finish_steal_remove(&mut self, t0: u64, stolen: usize) {
-        let now = self.shared.timing.now(self.me);
-        let dt = now.saturating_sub(t0);
-        self.stats.removes += 1;
-        self.stats.steals += 1;
-        self.stats.elements_stolen += stolen as u64;
-        self.stats.remove_ns += dt;
-        self.stats.steal_ns += dt;
-        self.stats.remove_hist.record(dt);
-    }
-
-    fn finish_aborted<T>(&mut self, t0: u64) -> Result<T, RemoveError> {
-        let now = self.shared.timing.now(self.me);
-        self.stats.aborted_removes += 1;
-        self.stats.abort_ns += now.saturating_sub(t0);
-        Err(RemoveError::Aborted)
+/// Walks the ring from `cursor`, skipping the searcher's home segment and
+/// probing every other segment through `probe`, until a steal succeeds or
+/// the engine's full-lap abort rule fires.
+///
+/// The cursor is persisted through `save_cursor` *before* every abort check
+/// (same reasoning as `LinearSearch`): a retrying caller must resume at the
+/// next segment or it could never reach elements parked elsewhere.
+fn ring_search<T>(
+    session: &mut SearchSession<'_>,
+    n: usize,
+    mut victim: SegIdx,
+    mut probe: impl FnMut(&mut SearchSession<'_>, SegIdx) -> Option<(T, usize)>,
+    mut save_cursor: impl FnMut(SegIdx),
+) -> Option<(T, usize, SegIdx)> {
+    loop {
+        if victim != session.home() {
+            if let Some((item, stolen)) = probe(session, victim) {
+                return Some((item, stolen, victim));
+            }
+        }
+        victim = victim.next_in_ring(n);
+        save_cursor(victim);
+        if session.should_abort() {
+            return None;
+        }
     }
 }
 
 impl<K, V> Drop for KeyedHandle<K, V> {
     fn drop(&mut self) {
-        self.shared.gate.deregister();
-        let stats = std::mem::take(&mut self.stats);
-        self.shared.collected.lock().push((self.me, stats));
+        self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
 }
 

@@ -65,6 +65,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod core;
+
 pub mod error;
 pub mod gate;
 pub mod hints;
@@ -80,8 +82,8 @@ pub mod trace;
 pub use error::RemoveError;
 pub use gate::SearchGate;
 pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
-pub use keyed::{KeyedHandle, KeyedPool};
 pub use ids::{ProcId, SegIdx};
+pub use keyed::{KeyedHandle, KeyedPool};
 pub use pool::{Handle, Pool, PoolBuilder, PoolReport};
 pub use search::{
     DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, SearchEnv, SearchOutcome,
@@ -100,8 +102,6 @@ pub mod prelude {
     pub use crate::search::{
         DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, TreeSearch,
     };
-    pub use crate::segment::{
-        AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment,
-    };
+    pub use crate::segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
     pub use crate::timing::{NullTiming, Resource, Timing};
 }

@@ -21,13 +21,14 @@
 //! The steal is two-phase — drain the victim under its own lock, then
 //! refill the local segment under its lock — so no two segment locks are
 //! ever held at once and thief/thief or thief/owner deadlock is impossible
-//! by construction.
+//! by construction. The protocol itself (registration, lap-counted
+//! gate-abort, the two-phase transfer, stats plumbing) lives in the shared
+//! [`core`](crate::core) engine; this module supplies the element model
+//! (a [`Segment`] per processor) and the pluggable [`SearchPolicy`] driver.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+use crate::core::{OpTimer, Registry, SearchSession};
 use crate::error::RemoveError;
 use crate::gate::SearchGate;
 use crate::hints::{HintBoard, HINT_BOARD_RESOURCE};
@@ -163,22 +164,18 @@ impl<S: Segment> PoolBuilder<S> {
         let trace = self
             .record_trace
             .then(|| TraceRecorder::new(self.trace_procs.unwrap_or(self.segments)));
-        let hints = self
-            .hints
-            .then(|| HintBoard::new(self.hint_procs.unwrap_or(self.segments)));
+        let hints = self.hints.then(|| HintBoard::new(self.hint_procs.unwrap_or(self.segments)));
         Pool {
             shared: Arc::new(Shared {
                 segments,
                 policy,
-                gate: SearchGate::new(),
+                registry: Registry::new(),
                 timing: self.timing,
                 seed: self.seed,
                 trace,
                 hints,
                 add_overhead_ns: self.add_overhead_ns,
                 remove_overhead_ns: self.remove_overhead_ns,
-                next_proc: AtomicUsize::new(0),
-                collected: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -187,15 +184,13 @@ impl<S: Segment> PoolBuilder<S> {
 struct Shared<S: Segment, P> {
     segments: Box<[S]>,
     policy: P,
-    gate: SearchGate,
+    registry: Registry,
     timing: Arc<dyn Timing>,
     seed: u64,
     trace: Option<TraceRecorder>,
     hints: Option<HintBoard<S::Item>>,
     add_overhead_ns: u64,
     remove_overhead_ns: u64,
-    next_proc: AtomicUsize,
-    collected: Mutex<Vec<(ProcId, ProcStats)>>,
 }
 
 /// A concurrent pool: a distributed, unordered collection of items.
@@ -218,7 +213,7 @@ impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Pool<S, P> {
         f.debug_struct("Pool")
             .field("segments", &self.shared.segments.len())
             .field("policy", &self.shared.policy.name())
-            .field("registered", &self.shared.gate.registered())
+            .field("registered", &self.shared.registry.gate().registered())
             .finish_non_exhaustive()
     }
 }
@@ -241,7 +236,7 @@ impl<S: Segment, P: SearchPolicy> Pool<S, P> {
 
     /// The livelock gate (mainly for diagnostics and tests).
     pub fn gate(&self) -> &SearchGate {
-        &self.shared.gate
+        self.shared.registry.gate()
     }
 
     /// The pool's cost model.
@@ -296,10 +291,7 @@ impl<S: Segment, P: SearchPolicy> Pool<S, P> {
     /// `i mod segments` (the paper runs exactly one process per segment;
     /// over-subscription shares segments round-robin).
     pub fn register(&self) -> Handle<S, P> {
-        let index = self.shared.next_proc.fetch_add(1, Ordering::SeqCst);
-        let me = ProcId::new(index);
-        let seg = SegIdx::new(index % self.segments());
-        self.shared.gate.register();
+        let (me, seg) = self.shared.registry.register(self.segments());
         let state = self.shared.policy.init_state(seg, self.segments(), self.shared.seed);
         Handle { shared: Arc::clone(&self.shared), me, seg, state, stats: ProcStats::default() }
     }
@@ -307,9 +299,7 @@ impl<S: Segment, P: SearchPolicy> Pool<S, P> {
     /// Statistics gathered from handles that have been dropped so far,
     /// ordered by process id.
     pub fn stats(&self) -> PoolStats {
-        let mut collected = self.shared.collected.lock().clone();
-        collected.sort_by_key(|(proc, _)| *proc);
-        PoolStats { per_proc: collected.into_iter().map(|(_, s)| s).collect() }
+        self.shared.registry.stats()
     }
 }
 
@@ -376,10 +366,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
     /// is enabled and some process is searching — directly to that searcher
     /// (see [`hints`](crate::hints)).
     pub fn add(&mut self, item: S::Item) {
-        let t0 = self.shared.timing.now(self.me);
-        if self.shared.add_overhead_ns > 0 {
-            self.shared.timing.charge_work(self.me, self.shared.add_overhead_ns);
-        }
+        let timer = OpTimer::start(&*self.shared.timing, self.me, self.shared.add_overhead_ns);
         let mut item = item;
         if let Some(board) = &self.shared.hints {
             if board.has_waiters() {
@@ -388,11 +375,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
                 self.shared.timing.charge(self.me, Resource::Shared(HINT_BOARD_RESOURCE));
                 match board.try_donate(item) {
                     Ok(_receiver) => {
-                        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
-                        self.stats.adds += 1;
-                        self.stats.donated_adds += 1;
-                        self.stats.add_ns += dt;
-                        self.stats.add_hist.record(dt);
+                        timer.finish_add(&mut self.stats, true);
                         return;
                     }
                     // Every waiter raced away; fall through to a local add.
@@ -402,10 +385,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
         }
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.shared.segments[self.seg.index()].add(item);
-        let dt = self.shared.timing.now(self.me).saturating_sub(t0);
-        self.stats.adds += 1;
-        self.stats.add_ns += dt;
-        self.stats.add_hist.record(dt);
+        timer.finish_add(&mut self.stats, false);
         self.record_trace(self.seg, TraceKind::Add);
     }
 
@@ -417,16 +397,10 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
     /// Returns [`RemoveError::Aborted`] when the livelock breaker fired
     /// (every registered process was searching simultaneously).
     pub fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
-        let t0 = self.shared.timing.now(self.me);
-        if self.shared.remove_overhead_ns > 0 {
-            self.shared.timing.charge_work(self.me, self.shared.remove_overhead_ns);
-        }
+        let timer = OpTimer::start(&*self.shared.timing, self.me, self.shared.remove_overhead_ns);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(item) = self.shared.segments[self.seg.index()].try_remove() {
-            let dt = self.shared.timing.now(self.me).saturating_sub(t0);
-            self.stats.removes += 1;
-            self.stats.remove_ns += dt;
-            self.stats.remove_hist.record(dt);
+            timer.finish_local_remove(&mut self.stats);
             self.record_trace(self.seg, TraceKind::Remove);
             return Ok(item);
         }
@@ -437,44 +411,41 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
         // steals remain the first-line mechanism — they balance reserves in
         // a way single-element deliveries cannot — and donations target
         // exactly the long-tail searches that batches cannot satisfy.
-        let search_t0 = self.shared.timing.now(self.me);
         let mut env = PoolSearchEnv {
             shared: &self.shared,
-            me: self.me,
-            my_seg: self.seg,
-            examined: 0,
-            nodes_visited: 0,
+            session: SearchSession::begin(
+                &*self.shared.timing,
+                self.shared.registry.gate(),
+                self.me,
+                self.seg,
+                self.shared.segments.len() as u64,
+            ),
             stolen: 0,
             taken: None,
             victim: None,
         };
-        let outcome = {
-            let _guard = self.shared.gate.begin_search();
-            self.shared.policy.search(&mut self.state, &mut env)
-        };
-        // Withdraw from the board whatever happened; a donation that raced
-        // with the end of the search is recovered here, never lost.
+        let outcome = self.shared.policy.search(&mut self.state, &mut env);
+        let PoolSearchEnv { session, stolen, mut taken, victim, .. } = env;
+        let search_t0 = session.started_ns();
+        self.stats.segments_examined += session.examined();
+        self.stats.tree_nodes_visited += session.nodes_visited();
+        // End the search (releasing the gate) before touching the board so
+        // a donor's glance cannot deliver into a finished search; then
+        // withdraw whatever happened — a donation that raced with the end
+        // of the search is recovered here, never lost.
+        drop(session);
         let delivery = self.shared.hints.as_ref().and_then(|b| b.cancel(self.me));
-        let now = self.shared.timing.now(self.me);
-        self.stats.segments_examined += env.examined;
-        self.stats.tree_nodes_visited += env.nodes_visited;
         match outcome {
             SearchOutcome::Found => {
-                let item = env.taken.take().expect("search reported Found without an element");
-                let victim = env.victim.expect("search reported Found without a victim");
+                let item = taken.take().expect("search reported Found without an element");
+                let victim = victim.expect("search reported Found without a victim");
                 if let Some(extra) = delivery {
                     // Both a steal and a donation: keep the stolen element
                     // for the caller and bank the donation locally.
                     self.shared.timing.charge(self.me, Resource::Segment(self.seg));
                     self.shared.segments[self.seg.index()].add(extra);
                 }
-                let dt = now.saturating_sub(t0);
-                self.stats.removes += 1;
-                self.stats.steals += 1;
-                self.stats.elements_stolen += env.stolen as u64;
-                self.stats.remove_ns += dt;
-                self.stats.steal_ns += now.saturating_sub(search_t0);
-                self.stats.remove_hist.record(dt);
+                timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
                 self.record_trace(victim, TraceKind::StealFrom);
                 self.record_trace(self.seg, TraceKind::StealInto);
                 Ok(item)
@@ -484,17 +455,12 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
                 // donor came through): the donated element satisfies the
                 // remove without any steal.
                 let item = delivery.expect("guard checked");
-                let dt = now.saturating_sub(t0);
-                self.stats.removes += 1;
-                self.stats.hinted_removes += 1;
-                self.stats.remove_ns += dt;
-                self.stats.remove_hist.record(dt);
+                timer.finish_hinted_remove(&mut self.stats);
                 Ok(item)
             }
             SearchOutcome::Aborted => {
-                debug_assert!(env.taken.is_none());
-                self.stats.aborted_removes += 1;
-                self.stats.abort_ns += now.saturating_sub(t0);
+                debug_assert!(taken.is_none());
+                timer.finish_aborted(&mut self.stats);
                 Err(RemoveError::Aborted)
             }
         }
@@ -515,20 +481,17 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
 
 impl<S: Segment, P: SearchPolicy> Drop for Handle<S, P> {
     fn drop(&mut self) {
-        self.shared.gate.deregister();
-        let stats = std::mem::take(&mut self.stats);
-        self.shared.collected.lock().push((self.me, stats));
+        self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
 }
 
-/// The pool-side implementation of [`SearchEnv`]: performs steals, charges
-/// costs, and tracks search statistics.
+/// The pool-side implementation of [`SearchEnv`]: adapts the policy's probe
+/// requests to the shared engine's [`SearchSession`] (which performs the
+/// two-phase steal, charges costs, and tracks search statistics) and layers
+/// the hint-board interplay on top of the engine's abort rule.
 struct PoolSearchEnv<'a, S: Segment, P> {
     shared: &'a Shared<S, P>,
-    me: ProcId,
-    my_seg: SegIdx,
-    examined: u64,
-    nodes_visited: u64,
+    session: SearchSession<'a>,
     stolen: usize,
     taken: Option<S::Item>,
     victim: Option<SegIdx>,
@@ -540,32 +503,29 @@ impl<S: Segment, P: SearchPolicy> SearchEnv for PoolSearchEnv<'_, S, P> {
     }
 
     fn my_segment(&self) -> SegIdx {
-        self.my_seg
+        self.session.home()
     }
 
     fn try_steal(&mut self, victim: SegIdx) -> ProbeOutcome {
-        self.examined += 1;
-        self.shared.timing.charge(self.me, Resource::Segment(victim));
-        let mut batch = self.shared.segments[victim.index()].steal_half();
-        if batch.is_empty() {
-            return ProbeOutcome::Empty;
+        let segments = &self.shared.segments;
+        let home = self.session.home();
+        match self.session.probe(
+            victim,
+            || segments[victim.index()].steal_half(),
+            |rest| segments[home.index()].add_bulk(rest),
+        ) {
+            Some((item, stolen)) => {
+                self.stolen = stolen;
+                self.taken = Some(item);
+                self.victim = Some(victim);
+                ProbeOutcome::Stolen { stolen }
+            }
+            None => ProbeOutcome::Empty,
         }
-        let stolen = batch.len();
-        let item = batch.pop().expect("batch checked non-empty");
-        if !batch.is_empty() {
-            // Refill the local segment — a separate, second-phase access.
-            self.shared.timing.charge(self.me, Resource::Segment(self.my_seg));
-            self.shared.segments[self.my_seg.index()].add_bulk(batch);
-        }
-        self.stolen = stolen;
-        self.taken = Some(item);
-        self.victim = Some(victim);
-        ProbeOutcome::Stolen { stolen }
     }
 
     fn charge_tree_node(&mut self, node: usize) {
-        self.nodes_visited += 1;
-        self.shared.timing.charge(self.me, Resource::TreeNode(node));
+        self.session.charge_tree_node(node);
     }
 
     fn should_abort(&mut self) -> bool {
@@ -577,25 +537,16 @@ impl<S: Segment, P: SearchPolicy> SearchEnv for PoolSearchEnv<'_, S, P> {
         // the batch-steal mechanism the pool's load balancing relies on
         // (measurably worse: more probes, not fewer).
         if let Some(board) = &self.shared.hints {
-            if board.delivered(self.me) {
+            if board.delivered(self.session.proc()) {
                 return true;
             }
-            if self.examined == self.shared.segments.len() as u64 {
-                board.post(self.me);
+            if self.session.examined() == self.session.lap() {
+                board.post(self.session.proc());
             }
         }
-        // §3.2's starvation rule, honored only after the search has examined
-        // at least one full lap of segments. The paper's processes "search
-        // for a long time, examining every segment possibly several times,
-        // before [finding] any elements"; aborting on the first probe the
-        // moment every process happens to be searching would instead turn
-        // transient all-searching episodes (common near-empty, where
-        // searches dominate each process's time) into mass aborts — making
-        // sparse-mix operations artificially cheap and steals artificially
-        // rare. After a full lap the abort is also a *reliable* emptiness
-        // signal: the searcher has seen every segment while no process
-        // could have been adding.
-        self.examined >= self.shared.segments.len() as u64 && self.shared.gate.all_searching()
+        // The engine's full-lap starvation rule (§3.2); see
+        // [`SearchSession::should_abort`].
+        self.session.should_abort()
     }
 }
 
@@ -722,7 +673,7 @@ mod tests {
         let pool: Pool<VecSegment<u64>, TreeSearch> =
             PoolBuilder::new(4).build_with_policy(TreeSearch::new(4));
         pool.fill_evenly_with(100, |i| i as u64);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         let mut h = pool.register();
         let mut consumers: Vec<_> = (0..3).map(|_| pool.register()).collect();
         for _ in 0..25 {
@@ -754,15 +705,14 @@ mod tests {
 
     #[test]
     fn trace_records_steal_events() {
-        let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(2)
-            .record_trace(true)
-            .build_with_policy(LinearSearch::new(2));
+        let pool: Pool<LockedCounter, LinearSearch> =
+            PoolBuilder::new(2).record_trace(true).build_with_policy(LinearSearch::new(2));
         let mut a = pool.register();
         let mut b = pool.register();
         for _ in 0..10 {
             b.add(());
         }
-        let _ = a.try_remove().unwrap();
+        a.try_remove().unwrap();
         let trace = pool.trace().unwrap();
         let events = trace.snapshot_sorted();
         use crate::trace::TraceKind::*;

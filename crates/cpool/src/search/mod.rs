@@ -199,11 +199,8 @@ impl DynPolicy {
 trait ErasedPolicy: Send + Sync {
     fn name(&self) -> &'static str;
     fn init_state_erased(&self, me: SegIdx, segments: usize, seed: u64) -> Box<dyn Any + Send>;
-    fn search_erased(
-        &self,
-        state: &mut (dyn Any + Send),
-        env: &mut dyn SearchEnv,
-    ) -> SearchOutcome;
+    fn search_erased(&self, state: &mut (dyn Any + Send), env: &mut dyn SearchEnv)
+        -> SearchOutcome;
 }
 
 impl<P: SearchPolicy> ErasedPolicy for P {
@@ -220,9 +217,8 @@ impl<P: SearchPolicy> ErasedPolicy for P {
         state: &mut (dyn Any + Send),
         env: &mut dyn SearchEnv,
     ) -> SearchOutcome {
-        let state = state
-            .downcast_mut::<P::State>()
-            .expect("DynPolicy state used with a different policy");
+        let state =
+            state.downcast_mut::<P::State>().expect("DynPolicy state used with a different policy");
         self.search(state, env)
     }
 }

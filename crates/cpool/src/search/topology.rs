@@ -232,10 +232,7 @@ mod tests {
             while child > ROOT {
                 let m = shape.matching_descendant(leaf, child);
                 let sib = shape.sibling(child);
-                assert!(
-                    shape.leaves_under(sib).contains(&m),
-                    "match lies in the sibling subtree"
-                );
+                assert!(shape.leaves_under(sib).contains(&m), "match lies in the sibling subtree");
                 let pos = leaf - shape.leaves_under(child).start;
                 let mpos = m - shape.leaves_under(sib).start;
                 assert_eq!(pos, mpos, "match occupies the symmetric position");

@@ -381,10 +381,7 @@ mod tests {
         assert!(st.my_round() >= 2, "a full empty traversal starts a new round");
         // After a complete round every non-root node was marked with round 1.
         for node in 2..8 {
-            assert!(
-                p.round_counter(node) >= 1,
-                "node {node} unmarked after a full round"
-            );
+            assert!(p.round_counter(node) >= 1, "node {node} unmarked after a full round");
         }
     }
 
@@ -455,8 +452,7 @@ mod tests {
         assert_eq!(outcome, SearchOutcome::Found);
 
         let linear = crate::search::LinearSearch::new(n);
-        let mut linear_state =
-            SearchPolicy::init_state(&linear, SegIdx::new(0), n, 0);
+        let mut linear_state = SearchPolicy::init_state(&linear, SegIdx::new(0), n, 0);
         let mut linear_env = ScriptEnv::new(far, 0);
         assert_eq!(
             SearchPolicy::search(&linear, &mut linear_state, &mut linear_env),
@@ -472,11 +468,17 @@ mod tests {
 
         // And once the round counters are warm, a repeat search with the
         // same occupancy resumes at the stocked leaf immediately.
-        let (outcome2, env2) = run(&tree, &mut tree_state, {
-            let mut c = vec![0; n];
-            c[n - 1] = 50;
-            c
-        }, 0, None);
+        let (outcome2, env2) = run(
+            &tree,
+            &mut tree_state,
+            {
+                let mut c = vec![0; n];
+                c[n - 1] = 50;
+                c
+            },
+            0,
+            None,
+        );
         assert_eq!(outcome2, SearchOutcome::Found);
         assert_eq!(env2.probes, vec![n - 1], "steering goes straight back");
     }

@@ -65,9 +65,7 @@ impl<T> BlockSegment<T> {
     /// Panics if `block_size` is zero.
     pub fn with_block_size(block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        BlockSegment {
-            inner: Mutex::new(Blocks { blocks: VecDeque::new(), len: 0, block_size }),
-        }
+        BlockSegment { inner: Mutex::new(Blocks { blocks: VecDeque::new(), len: 0, block_size }) }
     }
 
     /// The configured block size.

@@ -83,11 +83,7 @@ impl TraceRecorder {
     /// Merges all buffers into one sequence sorted by time (ties broken by
     /// process id for determinism).
     pub fn snapshot_sorted(&self) -> Vec<TraceEvent> {
-        let mut all: Vec<TraceEvent> = self
-            .buffers
-            .iter()
-            .flat_map(|b| b.lock().clone())
-            .collect();
+        let mut all: Vec<TraceEvent> = self.buffers.iter().flat_map(|b| b.lock().clone()).collect();
         all.sort_by_key(|e| (e.t_ns, e.proc, e.seg));
         all
     }

@@ -13,18 +13,11 @@ enum Op {
 }
 
 fn script() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![(0u16..500).prop_map(Op::Add), Just(Op::Remove)],
-        0..300,
-    )
+    prop::collection::vec(prop_oneof![(0u16..500).prop_map(Op::Add), Just(Op::Remove)], 0..300)
 }
 
 fn policy_kind() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Linear),
-        Just(PolicyKind::Random),
-        Just(PolicyKind::Tree),
-    ]
+    prop_oneof![Just(PolicyKind::Linear), Just(PolicyKind::Random), Just(PolicyKind::Tree),]
 }
 
 proptest! {

@@ -7,12 +7,7 @@ use cpool::{Histogram, ProcStats};
 
 fn samples() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(
-        prop_oneof![
-            Just(0u64),
-            1u64..100,
-            1u64..1_000_000,
-            (0u32..63).prop_map(|b| 1u64 << b),
-        ],
+        prop_oneof![Just(0u64), 1u64..100, 1u64..1_000_000, (0u32..63).prop_map(|b| 1u64 << b),],
         0..200,
     )
 }

@@ -4,8 +4,6 @@
 //! terminal (and in `EXPERIMENTS.md`) so the reproduction is inspectable
 //! without a plotting stack.
 
-
-
 /// One plotted series: a label, the points, and the glyph that draws them.
 #[derive(Clone, Debug)]
 pub struct Series {
@@ -170,10 +168,7 @@ impl Chart {
         let pad = self.width.saturating_sub(x_lo.len() + x_hi.len());
         out.push_str(&format!("{:>gutter$}  {x_lo}{}{x_hi}\n", "", " ".repeat(pad)));
         if !self.x_label.is_empty() || !self.y_label.is_empty() {
-            out.push_str(&format!(
-                "{:>gutter$}  x: {}   y: {}\n",
-                "", self.x_label, self.y_label
-            ));
+            out.push_str(&format!("{:>gutter$}  x: {}   y: {}\n", "", self.x_label, self.y_label));
         }
         for s in &self.series {
             out.push_str(&format!("{:>gutter$}  {} {}\n", "", s.glyph, s.label));

@@ -16,11 +16,11 @@ pub struct Args {
 impl Args {
     /// Parses the process's arguments (skipping `argv[0]`).
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_args(std::env::args().skip(1))
     }
 
     /// Parses an explicit argument list.
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut parsed = Args::default();
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
@@ -73,7 +73,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Args {
-        Args::from_iter(list.iter().map(|s| s.to_string()))
+        Args::parse_args(list.iter().map(|s| s.to_string()))
     }
 
     #[test]

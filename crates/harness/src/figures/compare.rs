@@ -137,10 +137,7 @@ pub fn csv_rows(cmp: &Compare) -> (Vec<&'static str>, Vec<Vec<String>>) {
 
 /// Convenience accessor: the summary for a given (workload, policy) cell.
 pub fn cell<'a>(cmp: &'a Compare, workload: &str, policy: PolicyKind) -> Option<&'a Summary> {
-    cmp.cells
-        .iter()
-        .find(|c| c.workload == workload && c.policy == policy)
-        .map(|c| &c.summary)
+    cmp.cells.iter().find(|c| c.workload == workload && c.policy == policy).map(|c| &c.summary)
 }
 
 #[cfg(test)]

@@ -55,10 +55,9 @@ pub enum SweepWorkload {
 impl SweepWorkload {
     fn build(self, procs: usize) -> (String, Workload) {
         match self {
-            SweepWorkload::SparseRandom => (
-                "random 30%".into(),
-                Workload::RandomMix { mix: JobMix::from_percent(30) },
-            ),
+            SweepWorkload::SparseRandom => {
+                ("random 30%".into(), Workload::RandomMix { mix: JobMix::from_percent(30) })
+            }
             SweepWorkload::BalancedProdCons => {
                 let producers = (procs * 5 / 16).max(1);
                 (
@@ -77,8 +76,7 @@ pub fn generate(scale: &Scale, which: SweepWorkload, delays_us: &[u64]) -> Delay
     for &delay_us in delays_us {
         for policy in PolicyKind::ALL {
             let mut spec = scale.spec(policy, workload.clone());
-            spec.engine =
-                Engine::Sim(LatencyModel::butterfly().with_remote_delay_us(delay_us));
+            spec.engine = Engine::Sim(LatencyModel::butterfly().with_remote_delay_us(delay_us));
             let result = run_experiment(&spec);
             points.push(Point { delay_us, policy, avg_op_us: result.summary.avg_op_us.mean });
         }
@@ -88,21 +86,12 @@ pub fn generate(scale: &Scale, which: SweepWorkload, delays_us: &[u64]) -> Delay
 
 /// Series of one policy, ordered by delay.
 pub fn series_for(sweep: &DelaySweep, policy: PolicyKind) -> Vec<(u64, f64)> {
-    sweep
-        .points
-        .iter()
-        .filter(|p| p.policy == policy)
-        .map(|p| (p.delay_us, p.avg_op_us))
-        .collect()
+    sweep.points.iter().filter(|p| p.policy == policy).map(|p| (p.delay_us, p.avg_op_us)).collect()
 }
 
 /// Renders the sweep as a log-log chart plus the data table.
 pub fn render(sweep: &DelaySweep) -> String {
-    let mut chart = Chart::new(
-        format!("Section 4.3: delay sweep ({})", sweep.workload),
-        64,
-        18,
-    );
+    let mut chart = Chart::new(format!("Section 4.3: delay sweep ({})", sweep.workload), 64, 18);
     chart.labels("remote delay (us)", "avg op time (us)");
     chart.log_x();
     chart.log_y();
@@ -111,10 +100,7 @@ pub fn render(sweep: &DelaySweep) -> String {
     {
         chart.series(
             policy.to_string(),
-            series_for(sweep, policy)
-                .into_iter()
-                .map(|(d, us)| (d as f64, us))
-                .collect(),
+            series_for(sweep, policy).into_iter().map(|(d, us)| (d as f64, us)).collect(),
             glyph,
         );
     }
@@ -182,16 +168,10 @@ mod tests {
         // "The tree algorithm never performed better than either of the two
         // other search algorithms" (small tolerance for trial noise).
         for &(delay, t) in &tree {
-            let l = series_for(&sweep, PolicyKind::Linear)
-                .iter()
-                .find(|(d, _)| *d == delay)
-                .unwrap()
-                .1;
-            let r = series_for(&sweep, PolicyKind::Random)
-                .iter()
-                .find(|(d, _)| *d == delay)
-                .unwrap()
-                .1;
+            let l =
+                series_for(&sweep, PolicyKind::Linear).iter().find(|(d, _)| *d == delay).unwrap().1;
+            let r =
+                series_for(&sweep, PolicyKind::Random).iter().find(|(d, _)| *d == delay).unwrap().1;
             assert!(
                 t >= l.min(r) * 0.95,
                 "tree ({t:.1}) beat best other ({:.1}) at delay {delay}",

@@ -82,11 +82,8 @@ pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> Fig2 {
 
 /// Renders the figure as an ASCII chart plus the data table.
 pub fn render(fig: &Fig2) -> String {
-    let mut chart = Chart::new(
-        "Figure 2: average operation time (tree traversal algorithm)",
-        64,
-        20,
-    );
+    let mut chart =
+        Chart::new("Figure 2: average operation time (tree traversal algorithm)", 64, 20);
     chart.labels("percent of operations that were adds", "avg op time (us, modelled)");
     chart.series(
         "random ops model",

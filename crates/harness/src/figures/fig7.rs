@@ -44,8 +44,7 @@ pub fn generate(scale: &Scale) -> Fig7 {
 /// §4.2 notes the random algorithm shows no bunching at all).
 pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> Fig7 {
     let run = |producers: usize, arrangement: Arrangement| -> f64 {
-        let spec =
-            scale.spec(policy, Workload::ProducerConsumer { producers, arrangement });
+        let spec = scale.spec(policy, Workload::ProducerConsumer { producers, arrangement });
         run_experiment(&spec).summary.elements_per_steal.mean
     };
     let points = (0..=scale.procs)
@@ -60,11 +59,8 @@ pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> Fig7 {
 
 /// Renders the figure as an ASCII chart plus the data table.
 pub fn render(fig: &Fig7) -> String {
-    let mut chart = Chart::new(
-        "Figure 7 (errata): average number of elements stolen per steal (tree)",
-        64,
-        18,
-    );
+    let mut chart =
+        Chart::new("Figure 7 (errata): average number of elements stolen per steal (tree)", 64, 18);
     chart.labels("number of producers", "elements stolen per steal");
     chart.series(
         "unbalanced (contiguous)",
@@ -79,11 +75,7 @@ pub fn render(fig: &Fig7) -> String {
 
     let mut table = TextTable::new(vec!["producers", "unbalanced", "balanced"]);
     for p in &fig.points {
-        table.row(vec![
-            p.producers.to_string(),
-            fmt_nan(p.unbalanced),
-            fmt_nan(p.balanced),
-        ]);
+        table.row(vec![p.producers.to_string(), fmt_nan(p.unbalanced), fmt_nan(p.balanced)]);
     }
     format!("{}\n{}", chart.render(), table)
 }
@@ -103,7 +95,11 @@ pub fn csv_rows(fig: &Fig7) -> (Vec<&'static str>, Vec<Vec<String>>) {
         .points
         .iter()
         .map(|p| {
-            vec![p.producers.to_string(), format!("{:.4}", p.unbalanced), format!("{:.4}", p.balanced)]
+            vec![
+                p.producers.to_string(),
+                format!("{:.4}", p.unbalanced),
+                format!("{:.4}", p.balanced),
+            ]
         })
         .collect();
     (headers, rows)

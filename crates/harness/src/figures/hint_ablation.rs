@@ -57,10 +57,8 @@ pub fn generate(scale: &Scale) -> HintAblation {
 pub fn generate_for_policy(scale: &Scale, policy: PolicyKind) -> HintAblation {
     let points = (1..scale.procs)
         .map(|producers| {
-            let workload = Workload::ProducerConsumer {
-                producers,
-                arrangement: Arrangement::Contiguous,
-            };
+            let workload =
+                Workload::ProducerConsumer { producers, arrangement: Arrangement::Contiguous };
             let spec_off = scale.spec(policy, workload.clone());
             let spec_on = spec_off.clone().with_hints();
             let off = run_experiment(&spec_off);
@@ -88,7 +86,7 @@ fn mean_probes(result: &crate::metrics::ExperimentResult) -> f64 {
 /// Renders the ablation as a chart of makespans plus the full table.
 pub fn render(fig: &HintAblation) -> String {
     let mut chart = Chart::new(
-        &format!("Hint extension ablation ({} search): modelled completion time", fig.policy),
+        format!("Hint extension ablation ({} search): modelled completion time", fig.policy),
         64,
         18,
     );

@@ -125,7 +125,7 @@ pub fn render(data: &Lifecycle) -> String {
     for (run, marker) in data.runs.iter().zip(['t', 'l', 'r']) {
         let end = run.size_series.last().map_or(1, |&(t, _)| t.max(1));
         chart.series(
-            &run.policy.to_string(),
+            run.policy.to_string(),
             run.size_series
                 .iter()
                 .step_by((run.size_series.len() / 200).max(1))
@@ -135,14 +135,8 @@ pub fn render(data: &Lifecycle) -> String {
         );
     }
 
-    let mut table = TextTable::new(vec![
-        "policy",
-        "epoch",
-        "adds",
-        "local removes",
-        "steals",
-        "steal share",
-    ]);
+    let mut table =
+        TextTable::new(vec!["policy", "epoch", "adds", "local removes", "steals", "steal share"]);
     for run in &data.runs {
         for (i, name) in ["early", "middle", "late"].iter().enumerate() {
             let (adds, removes, steals) = run.epoch_counts[i];

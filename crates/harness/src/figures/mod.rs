@@ -90,20 +90,15 @@ mod tests {
         assert_eq!(s.procs, 16);
         assert_eq!(s.total_ops, 5000);
         assert_eq!(s.trials, 10);
-        let spec = s.spec(
-            PolicyKind::Tree,
-            Workload::RandomMix { mix: JobMix::from_percent(50) },
-        );
+        let spec = s.spec(PolicyKind::Tree, Workload::RandomMix { mix: JobMix::from_percent(50) });
         assert_eq!(spec.initial_elements, 320);
     }
 
     #[test]
     fn tiny_scale_keeps_fill_ratio() {
         let s = Scale::tiny();
-        let spec = s.spec(
-            PolicyKind::Linear,
-            Workload::RandomMix { mix: JobMix::from_percent(50) },
-        );
+        let spec =
+            s.spec(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(50) });
         assert_eq!(spec.initial_elements, 20 * s.procs as u64);
     }
 }

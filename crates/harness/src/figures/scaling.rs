@@ -33,9 +33,7 @@ pub enum ScalingWorkload {
 impl ScalingWorkload {
     fn workload(self, procs: usize) -> Workload {
         match self {
-            ScalingWorkload::SparseMix => {
-                Workload::RandomMix { mix: JobMix::from_percent(30) }
-            }
+            ScalingWorkload::SparseMix => Workload::RandomMix { mix: JobMix::from_percent(30) },
             ScalingWorkload::BalancedProdCons => Workload::ProducerConsumer {
                 producers: (procs / 4).max(1),
                 arrangement: Arrangement::Balanced,
@@ -120,18 +118,16 @@ pub fn generate(scale: &Scale, workload: ScalingWorkload) -> ScalingSweep {
 /// Renders the sweep as a chart of op times plus the data table.
 pub fn render(sweep: &ScalingSweep) -> String {
     let mut chart = Chart::new(
-        &format!("Scaling sweep ({}): average operation time", sweep.workload.label()),
+        format!("Scaling sweep ({}): average operation time", sweep.workload.label()),
         64,
         18,
     );
     chart.labels("segments (log scale positions)", "avg op time (us, modelled)");
-    for (policy, marker) in [
-        (PolicyKind::Tree, 't'),
-        (PolicyKind::Linear, 'l'),
-        (PolicyKind::Random, 'r'),
-    ] {
+    for (policy, marker) in
+        [(PolicyKind::Tree, 't'), (PolicyKind::Linear, 'l'), (PolicyKind::Random, 'r')]
+    {
         chart.series(
-            &policy.to_string(),
+            policy.to_string(),
             sweep
                 .points
                 .iter()

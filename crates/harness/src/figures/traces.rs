@@ -102,13 +102,9 @@ pub fn generate(figure: TraceFigure, scale: &Scale) -> TraceData {
         })
         .collect();
     first_steal.sort_unstable();
-    let producer_first_steal_order: Vec<usize> =
-        first_steal.iter().map(|&(_, p)| p).collect();
-    let producers_never_stolen: Vec<usize> = producers
-        .iter()
-        .copied()
-        .filter(|p| !producer_first_steal_order.contains(p))
-        .collect();
+    let producer_first_steal_order: Vec<usize> = first_steal.iter().map(|&(_, p)| p).collect();
+    let producers_never_stolen: Vec<usize> =
+        producers.iter().copied().filter(|p| !producer_first_steal_order.contains(p)).collect();
 
     TraceData {
         figure,
@@ -125,11 +121,7 @@ pub fn generate(figure: TraceFigure, scale: &Scale) -> TraceData {
 pub fn segment_size_series(data: &TraceData, seg: usize, buckets: usize) -> Vec<u32> {
     let mut series = vec![0u32; buckets];
     let mut size = 0u32;
-    let mut events = data
-        .events
-        .iter()
-        .filter(|e| e.seg == SegIdx::new(seg))
-        .peekable();
+    let mut events = data.events.iter().filter(|e| e.seg == SegIdx::new(seg)).peekable();
     let end = data.end_ns.max(1);
     for (b, slot) in series.iter_mut().enumerate() {
         let bucket_end = (b as u64 + 1) * end / buckets as u64;

@@ -94,9 +94,7 @@ pub struct Summary {
 impl Summary {
     /// Aggregates a set of trials.
     pub fn of(trials: &[TrialMetrics]) -> Summary {
-        let m = |f: &dyn Fn(&TrialMetrics) -> Option<f64>| {
-            Stat::of(trials.iter().map(f))
-        };
+        let m = |f: &dyn Fn(&TrialMetrics) -> Option<f64>| Stat::of(trials.iter().map(f));
         Summary {
             avg_op_us: m(&|t| t.merged.avg_op_ns().map(|ns| ns / 1_000.0)),
             avg_add_us: m(&|t| t.merged.avg_add_ns().map(|ns| ns / 1_000.0)),

@@ -19,8 +19,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use cpool::{DynPolicy, Pool, PoolBuilder, Segment, Timing};
 use cpool::segment::{AtomicCounter, LockedCounter};
+use cpool::{DynPolicy, Pool, PoolBuilder, Segment, Timing};
 use numa_sim::{RealTiming, SimScheduler, Topology};
 use workload::{Op, OpBudget};
 
@@ -29,8 +29,7 @@ use crate::spec::{Engine, ExperimentSpec, SegmentKind};
 
 /// Runs all trials of an experiment and aggregates them.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResult {
-    let trials: Vec<TrialMetrics> =
-        (0..spec.trials).map(|t| run_single_trial(spec, t)).collect();
+    let trials: Vec<TrialMetrics> = (0..spec.trials).map(|t| run_single_trial(spec, t)).collect();
     ExperimentResult::new(spec.to_string(), trials)
 }
 
@@ -118,11 +117,7 @@ fn run_trial_on<S: Segment<Item = ()>>(spec: &ExperimentSpec, trial: u32) -> Tri
 
     let stats = pool.stats();
     let merged = stats.merged();
-    debug_assert_eq!(
-        merged.ops(),
-        spec.total_ops,
-        "every budgeted operation is accounted for"
-    );
+    debug_assert_eq!(merged.ops(), spec.total_ops, "every budgeted operation is accounted for");
     TrialMetrics {
         merged,
         per_proc: stats.per_proc,
@@ -144,10 +139,8 @@ mod tests {
 
     #[test]
     fn sim_trial_accounts_for_every_operation() {
-        let spec = quick_spec(
-            PolicyKind::Linear,
-            Workload::RandomMix { mix: JobMix::from_percent(50) },
-        );
+        let spec =
+            quick_spec(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(50) });
         let t = run_single_trial(&spec, 0);
         assert_eq!(t.merged.ops(), 400);
         assert_eq!(t.per_proc.len(), 4);
@@ -157,10 +150,7 @@ mod tests {
     #[test]
     fn sim_trials_are_deterministic() {
         for policy in PolicyKind::ALL {
-            let spec = quick_spec(
-                policy,
-                Workload::RandomMix { mix: JobMix::from_percent(30) },
-            );
+            let spec = quick_spec(policy, Workload::RandomMix { mix: JobMix::from_percent(30) });
             let a = run_single_trial(&spec, 0);
             let b = run_single_trial(&spec, 0);
             assert_eq!(a.merged.adds, b.merged.adds, "{policy}");
@@ -173,10 +163,8 @@ mod tests {
 
     #[test]
     fn different_trials_differ() {
-        let spec = quick_spec(
-            PolicyKind::Random,
-            Workload::RandomMix { mix: JobMix::from_percent(40) },
-        );
+        let spec =
+            quick_spec(PolicyKind::Random, Workload::RandomMix { mix: JobMix::from_percent(40) });
         let a = run_single_trial(&spec, 0);
         let b = run_single_trial(&spec, 1);
         // Streams are reseeded per trial; op mixes drift slightly.
@@ -188,10 +176,8 @@ mod tests {
 
     #[test]
     fn sufficient_mix_rarely_steals() {
-        let spec = quick_spec(
-            PolicyKind::Tree,
-            Workload::RandomMix { mix: JobMix::from_percent(80) },
-        );
+        let spec =
+            quick_spec(PolicyKind::Tree, Workload::RandomMix { mix: JobMix::from_percent(80) });
         let t = run_single_trial(&spec, 0);
         let steal_frac = t.merged.steal_fraction().unwrap_or(0.0);
         assert!(steal_frac < 0.05, "80% adds should almost never steal: {steal_frac}");
@@ -212,10 +198,8 @@ mod tests {
 
     #[test]
     fn threaded_engine_also_works() {
-        let mut spec = quick_spec(
-            PolicyKind::Random,
-            Workload::RandomMix { mix: JobMix::from_percent(60) },
-        );
+        let mut spec =
+            quick_spec(PolicyKind::Random, Workload::RandomMix { mix: JobMix::from_percent(60) });
         spec.engine = Engine::Threaded(None);
         let t = run_single_trial(&spec, 0);
         assert_eq!(t.merged.ops(), 400);
@@ -235,10 +219,8 @@ mod tests {
 
     #[test]
     fn atomic_segments_give_same_shape() {
-        let mut spec = quick_spec(
-            PolicyKind::Linear,
-            Workload::RandomMix { mix: JobMix::from_percent(30) },
-        );
+        let mut spec =
+            quick_spec(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(30) });
         spec.segment = SegmentKind::AtomicCounter;
         let t = run_single_trial(&spec, 0);
         assert_eq!(t.merged.ops(), 400);

@@ -155,10 +155,7 @@ mod tests {
         let topo = Topology::identity(8);
         for p in 0..8 {
             for s in 0..8 {
-                assert_eq!(
-                    m.cost(ProcId::new(p), Resource::Segment(SegIdx::new(s)), &topo),
-                    100
-                );
+                assert_eq!(m.cost(ProcId::new(p), Resource::Segment(SegIdx::new(s)), &topo), 100);
             }
         }
     }

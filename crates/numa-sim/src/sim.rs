@@ -155,11 +155,7 @@ impl SimScheduler {
     fn charge_internal(&self, proc: ProcId, resource: Option<Resource>, cost: u64) {
         let p = proc.index();
         let mut inner = self.inner.lock();
-        debug_assert_eq!(
-            inner.phase[p],
-            ProcPhase::Running,
-            "{proc} charged without start()"
-        );
+        debug_assert_eq!(inner.phase[p], ProcPhase::Running, "{proc} charged without start()");
         let start = match resource {
             Some(r) => {
                 let busy = inner.busy.get(&r).copied().unwrap_or(0);
@@ -360,8 +356,7 @@ mod tests {
 
     #[test]
     fn numa_costs_flow_through() {
-        let sched =
-            SimScheduler::new(2, LatencyModel::butterfly(), Topology::identity(2));
+        let sched = SimScheduler::new(2, LatencyModel::butterfly(), Topology::identity(2));
         let timing = sched.timing();
         let p = ProcId::new(0);
         thread::scope(|s| {

@@ -142,9 +142,8 @@ mod tests {
     #[test]
     fn scattered_tree_is_mostly_remote() {
         let topo = Topology::identity(8);
-        let local_count = (1..16)
-            .filter(|&n| topo.is_local(ProcId::new(3), Resource::TreeNode(n)))
-            .count();
+        let local_count =
+            (1..16).filter(|&n| topo.is_local(ProcId::new(3), Resource::TreeNode(n))).count();
         assert!(local_count <= 2, "scattered tree rarely local: {local_count}");
     }
 

@@ -82,15 +82,14 @@ fn build_line_tables() -> LineTables {
                     // (x,y,z) starts a line iff the previous cell is out of
                     // bounds and the line's far end is in bounds.
                     let prev_ok = !(in_bounds(x - dx) && in_bounds(y - dy) && in_bounds(z - dz));
-                    let end_ok = in_bounds(x + 3 * dx)
-                        && in_bounds(y + 3 * dy)
-                        && in_bounds(z + 3 * dz);
+                    let end_ok =
+                        in_bounds(x + 3 * dx) && in_bounds(y + 3 * dy) && in_bounds(z + 3 * dz);
                     if prev_ok && end_ok {
                         let mut mask = 0u64;
                         for step in 0..4i32 {
-                            let cell =
-                                (x + step * dx) + N as i32 * (y + step * dy)
-                                    + (N * N) as i32 * (z + step * dz);
+                            let cell = (x + step * dx)
+                                + N as i32 * (y + step * dy)
+                                + (N * N) as i32 * (z + step * dz);
                             mask |= 1u64 << cell;
                         }
                         assert!(count < LINES, "more lines than expected");
@@ -226,8 +225,7 @@ impl Board {
     pub fn winner_after(&self, cell: u8) -> Option<Player> {
         let tables = line_tables();
         let bits = if self.x & (1u64 << cell) != 0 { self.x } else { self.o };
-        let player =
-            if self.x & (1u64 << cell) != 0 { Player::X } else { Player::O };
+        let player = if self.x & (1u64 << cell) != 0 { Player::X } else { Player::O };
         let count = tables.through_len[cell as usize] as usize;
         for &line in &tables.through[cell as usize][..count] {
             let mask = tables.masks[line as usize];

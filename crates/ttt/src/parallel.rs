@@ -319,12 +319,8 @@ mod tests {
     fn pool_list_matches_central_list() {
         let central: GlobalStack<WorkItem> = GlobalStack::new();
         let a = expand_parallel(&central, 4, &fast_cfg(2, true), &null_timing(), None);
-        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
-            4,
-            PolicyKind::Tree.build(4, Default::default()),
-            null_timing(),
-            99,
-        );
+        let pool: PoolWorkList<WorkItem> =
+            PoolWorkList::new(4, PolicyKind::Tree.build(4, Default::default()), null_timing(), 99);
         let b = expand_parallel(&pool, 4, &fast_cfg(2, true), &null_timing(), None);
         assert_eq!(a.score, b.score);
         assert_eq!(a.best_move, b.best_move);
@@ -341,12 +337,8 @@ mod tests {
     #[test]
     #[ignore = "expensive: full 249,984-position expansion (run with --ignored)"]
     fn depth_three_paper_position_count() {
-        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
-            8,
-            PolicyKind::Linear.build(8, Default::default()),
-            null_timing(),
-            1,
-        );
+        let pool: PoolWorkList<WorkItem> =
+            PoolWorkList::new(8, PolicyKind::Linear.build(8, Default::default()), null_timing(), 1);
         let r = expand_parallel(&pool, 8, &fast_cfg(3, true), &null_timing(), None);
         assert_eq!(r.leaves, crate::PAPER_POSITIONS);
         let seq = minimax(&Board::new(), 3);

@@ -51,10 +51,7 @@ impl WorkListKind {
 
     /// Whether this is a pool-backed list.
     pub fn is_pool(self) -> bool {
-        matches!(
-            self,
-            WorkListKind::PoolLinear | WorkListKind::PoolRandom | WorkListKind::PoolTree
-        )
+        matches!(self, WorkListKind::PoolLinear | WorkListKind::PoolRandom | WorkListKind::PoolTree)
     }
 }
 
@@ -194,8 +191,7 @@ pub fn run_speedup(
                 .iter()
                 .map(|&workers| {
                     let result = run_one(kind, workers, cfg);
-                    let makespan_ns =
-                        result.makespan_ns.expect("virtual-time run has a makespan");
+                    let makespan_ns = result.makespan_ns.expect("virtual-time run has a makespan");
                     if workers == 1 {
                         base_ns = makespan_ns;
                     }
@@ -250,10 +246,8 @@ mod tests {
     #[test]
     fn all_lists_agree_on_the_answer() {
         let cfg = tiny_cfg();
-        let results: Vec<ExpansionResult> = WorkListKind::PAPER
-            .iter()
-            .map(|&k| run_one(k, 3, &cfg))
-            .collect();
+        let results: Vec<ExpansionResult> =
+            WorkListKind::PAPER.iter().map(|&k| run_one(k, 3, &cfg)).collect();
         for r in &results {
             assert_eq!(r.best_move, results[0].best_move);
             assert_eq!(r.score, results[0].score);

@@ -49,10 +49,7 @@ impl Arrangement {
     /// Panics if `producers > procs`, or if a custom placement is out of
     /// range or has the wrong cardinality.
     pub fn roles(&self, procs: usize, producers: usize) -> Vec<Role> {
-        assert!(
-            producers <= procs,
-            "{producers} producers cannot fit among {procs} processes"
-        );
+        assert!(producers <= procs, "{producers} producers cannot fit among {procs} processes");
         let mut roles = vec![Role::Consumer; procs];
         match self {
             Arrangement::Contiguous => {

@@ -34,9 +34,7 @@ impl OpBudget {
     ///
     /// Panics if `total` exceeds `i64::MAX`.
     pub fn new(total: u64) -> Self {
-        OpBudget {
-            remaining: AtomicI64::new(i64::try_from(total).expect("budget too large")),
-        }
+        OpBudget { remaining: AtomicI64::new(i64::try_from(total).expect("budget too large")) }
     }
 
     /// Claims one operation; returns `false` once the budget is exhausted.

@@ -186,10 +186,7 @@ mod tests {
     #[test]
     fn phased_workload_switches_mixes() {
         let w = Workload::Phased {
-            phases: vec![
-                (8, JobMix::from_percent(100)),
-                (0, JobMix::from_percent(0)),
-            ],
+            phases: vec![(8, JobMix::from_percent(100)), (0, JobMix::from_percent(0))],
         };
         let mut s = w.stream_for(0, 4, 42);
         for _ in 0..8 {

@@ -96,10 +96,7 @@ mod tests {
             let adds = (0..n).filter(|_| s.next_op() == Op::Add).count();
             let measured = adds as f64 / n as f64;
             let target = f64::from(percent) / 100.0;
-            assert!(
-                (measured - target).abs() < 0.02,
-                "target {target}, measured {measured}"
-            );
+            assert!((measured - target).abs() < 0.02, "target {target}, measured {measured}");
         }
     }
 

@@ -32,12 +32,7 @@ fn main() {
         Arc::clone(&timing),
         1,
     );
-    let cfg = ExpansionConfig {
-        depth,
-        eval_work_ns: 0,
-        expand_work_ns: 0,
-        batch_leaves: true,
-    };
+    let cfg = ExpansionConfig { depth, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: true };
     let parallel = expand_parallel(&list, workers, &cfg, &timing, None);
 
     println!(

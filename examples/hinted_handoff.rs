@@ -23,10 +23,8 @@ fn main() {
     // producer and fifteen consumers (everything every consumer eats must
     // cross the machine).
     let scale = Scale { procs: 16, total_ops: 5000, trials: 5, seed: 2024 };
-    let workload = Workload::ProducerConsumer {
-        producers: 1,
-        arrangement: Arrangement::Contiguous,
-    };
+    let workload =
+        Workload::ProducerConsumer { producers: 1, arrangement: Arrangement::Contiguous };
 
     let mut table = TextTable::new(vec![
         "hints",

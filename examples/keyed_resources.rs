@@ -86,8 +86,11 @@ fn main() {
     println!("jobs completed:     {}", completed.load(Ordering::Relaxed));
     println!("jobs starved:       {}", starved.load(Ordering::Relaxed));
     println!("allocations:        {}", stats.removes);
-    println!("steals:             {} ({:.1}% of allocations)", stats.steals,
-        100.0 * stats.steals as f64 / stats.removes.max(1) as f64);
+    println!(
+        "steals:             {} ({:.1}% of allocations)",
+        stats.steals,
+        100.0 * stats.steals as f64 / stats.removes.max(1) as f64
+    );
     println!("elements per steal: {:.2}", stats.elements_per_steal().unwrap_or(0.0));
     println!(
         "inventory intact:   {} cpu / {} gpu / {} licenses",

@@ -31,12 +31,8 @@ fn main() {
     const TOTAL: u64 = 10_000_000;
 
     let timing: Arc<dyn Timing> = Arc::new(NullTiming::new());
-    let list: PoolWorkList<Task> = PoolWorkList::new(
-        WORKERS,
-        PolicyKind::Tree.build(WORKERS, Default::default()),
-        timing,
-        7,
-    );
+    let list: PoolWorkList<Task> =
+        PoolWorkList::new(WORKERS, PolicyKind::Tree.build(WORKERS, Default::default()), timing, 7);
     list.seed(vec![Task { lo: 0, hi: TOTAL }]);
 
     let sum = AtomicU64::new(0);

@@ -75,11 +75,8 @@ fn virtual_time_expansion_speeds_up() {
     };
     let mut makespans = Vec::new();
     for workers in [1usize, 2, 4] {
-        let scheduler = SimScheduler::new(
-            workers,
-            LatencyModel::butterfly(),
-            Topology::identity(workers),
-        );
+        let scheduler =
+            SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
         let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
         let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
             workers,
@@ -106,11 +103,8 @@ fn virtual_time_expansion_speeds_up() {
 fn virtual_time_expansion_is_deterministic() {
     let run = || {
         let workers = 3;
-        let scheduler = SimScheduler::new(
-            workers,
-            LatencyModel::butterfly(),
-            Topology::identity(workers),
-        );
+        let scheduler =
+            SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
         let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
         let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
             workers,

@@ -64,7 +64,8 @@ fn per_process_stats_reproduce() {
 /// Changing the master seed changes the interleaving (the RNG flows through).
 #[test]
 fn different_seeds_give_different_runs() {
-    let mut a_spec = base(PolicyKind::Random, Workload::RandomMix { mix: JobMix::from_percent(40) });
+    let mut a_spec =
+        base(PolicyKind::Random, Workload::RandomMix { mix: JobMix::from_percent(40) });
     let mut b_spec = a_spec.clone();
     a_spec.seed = 7;
     b_spec.seed = 8;
@@ -115,7 +116,8 @@ fn run_experiment_reproduces() {
 #[test]
 fn atomic_and_locked_segments_both_deterministic() {
     for segment in [SegmentKind::LockedCounter, SegmentKind::AtomicCounter] {
-        let mut spec = base(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(30) });
+        let mut spec =
+            base(PolicyKind::Linear, Workload::RandomMix { mix: JobMix::from_percent(30) });
         spec.segment = segment;
         let a = run_single_trial(&spec, 0);
         let b = run_single_trial(&spec, 0);

@@ -1,0 +1,63 @@
+//! Smoke test: every example must build *and run to completion* so the
+//! `examples/` directory cannot silently rot.
+//!
+//! `cargo test` always compiles the package's examples; this test finds the
+//! built binaries next to the test executable and runs each one. The
+//! example list is discovered from `examples/*.rs`, so a newly added
+//! example is covered automatically.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+/// `target/<profile>/examples`, located relative to this test binary
+/// (`target/<profile>/deps/<test>-<hash>`).
+fn built_examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary has a path");
+    dir.pop(); // the test binary itself
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+/// Example names, from the `examples/*.rs` sources.
+fn example_names() -> Vec<String> {
+    let sources = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(sources)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.expect("readable directory entry").path();
+            (path.extension().is_some_and(|ext| ext == "rs"))
+                .then(|| path.file_stem().expect("stem").to_string_lossy().into_owned())
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    let dir = built_examples_dir();
+    let names = example_names();
+    assert!(!names.is_empty(), "no examples found — directory moved?");
+    for name in &names {
+        let bin = dir.join(name);
+        let bin = if bin.exists() { bin } else { dir.join(format!("{name}.exe")) };
+        assert!(
+            bin.exists(),
+            "example `{name}` was not built at {} — run a plain `cargo test` \
+             (which always builds examples) rather than a filtered target selection",
+            bin.display(),
+        );
+        let start = Instant::now();
+        let output = Command::new(&bin).output().expect("example binary is executable");
+        assert!(
+            output.status.success(),
+            "example `{name}` exited with {:?}:\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        eprintln!("example `{name}` ok in {:?}", start.elapsed());
+    }
+}

@@ -16,9 +16,8 @@ use workload::{Arrangement, Workload};
 /// count, so every element is offered while the consumer is starving.
 #[test]
 fn donation_satisfies_a_searcher() {
-    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2)
-        .hints(true)
-        .build_with_policy(LinearSearch::new(2));
+    let pool: Pool<VecSegment<u64>, LinearSearch> =
+        PoolBuilder::new(2).hints(true).build_with_policy(LinearSearch::new(2));
 
     let consumed = AtomicU64::new(0);
     thread::scope(|s| {
@@ -120,10 +119,8 @@ fn hinted_pool_conserves_unique_values() {
 #[test]
 fn raced_deliveries_are_banked() {
     // Tight loop maximizing search/add races.
-    let pool: Pool<LockedCounter, RandomSearch> = PoolBuilder::new(3)
-        .seed(13)
-        .hints(true)
-        .build_with_policy(RandomSearch::new(3));
+    let pool: Pool<LockedCounter, RandomSearch> =
+        PoolBuilder::new(3).seed(13).hints(true).build_with_policy(RandomSearch::new(3));
     let removed = AtomicU64::new(0);
     let added = AtomicU64::new(0);
     thread::scope(|s| {
@@ -194,8 +191,7 @@ fn hints_improve_sparse_producer_consumer() {
     let with = run_experiment(&easy.clone().with_hints());
     assert_eq!(with.trials[0].merged.donated_adds, 0, "no fruitless laps, no donations");
     assert_eq!(
-        with.trials[0].merged.segments_examined,
-        without.trials[0].merged.segments_examined,
+        with.trials[0].merged.segments_examined, without.trials[0].merged.segments_examined,
         "hints are a structural no-op when steals succeed"
     );
     assert_eq!(with.trials[0].makespan_ns, without.trials[0].makespan_ns);

@@ -14,8 +14,7 @@ fn empty_pool_consumers_all_abort() {
     for kind in PolicyKind::ALL {
         let n = 8;
         let policy = kind.build(n, NodeStoreKind::Locked);
-        let pool: Pool<LockedCounter, DynPolicy> =
-            PoolBuilder::new(n).build_with_policy(policy);
+        let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(n).build_with_policy(policy);
         let aborted = AtomicU64::new(0);
         thread::scope(|s| {
             for _ in 0..n {
@@ -112,7 +111,7 @@ fn search_gate_stress_terminates() {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     i += 1;
-                    if (i + w as u64) % 3 != 0 {
+                    if !(i + w as u64).is_multiple_of(3) {
                         h.add(());
                         produced.fetch_add(1, Ordering::Relaxed);
                     } else if h.try_remove().is_ok() {

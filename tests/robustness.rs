@@ -34,12 +34,7 @@ fn panicking_worker_does_not_wedge_the_gate() {
             // Honest workers drain the rest.
             for _ in 0..n - 1 {
                 let mut h = pool.register();
-                s.spawn(move || loop {
-                    match h.try_remove() {
-                        Ok(()) => {}
-                        Err(RemoveError::Aborted) => break,
-                    }
-                });
+                s.spawn(move || while h.try_remove() != Err(RemoveError::Aborted) {});
             }
         });
 
@@ -104,8 +99,7 @@ fn oversubscribed_pool_works() {
 fn single_segment_pool_contract() {
     for kind in PolicyKind::ALL {
         let policy = kind.build(1, Default::default());
-        let pool: Pool<VecSegment<u32>, DynPolicy> =
-            PoolBuilder::new(1).build_with_policy(policy);
+        let pool: Pool<VecSegment<u32>, DynPolicy> = PoolBuilder::new(1).build_with_policy(policy);
         let mut a = pool.register();
         let mut b = pool.register();
         a.add(1);

@@ -7,10 +7,8 @@ use harness::spec::ExperimentSpec;
 use workload::{Arrangement, Role, Workload};
 
 fn traced_spec(policy: PolicyKind, producers: usize, arrangement: Arrangement) -> ExperimentSpec {
-    let mut spec = ExperimentSpec::paper(
-        policy,
-        Workload::ProducerConsumer { producers, arrangement },
-    );
+    let mut spec =
+        ExperimentSpec::paper(policy, Workload::ProducerConsumer { producers, arrangement });
     spec.total_ops = 3_000;
     spec.trials = 1;
     spec.record_trace = true;
@@ -47,13 +45,12 @@ fn producers_hold_the_inventory() {
     let trial = run_single_trial(&spec, 0);
     let events = trial.traces.expect("tracing enabled");
 
-    let roles: Vec<Role> = (0..16)
-        .map(|p| workload.role_of(p, 16).expect("producer/consumer workload"))
-        .collect();
+    let roles: Vec<Role> =
+        (0..16).map(|p| workload.role_of(p, 16).expect("producer/consumer workload")).collect();
 
     // Average recorded size per segment.
-    let mut sums = vec![0u64; 16];
-    let mut counts = vec![0u64; 16];
+    let mut sums = [0u64; 16];
+    let mut counts = [0u64; 16];
     for e in &events {
         sums[e.seg.index()] += u64::from(e.len);
         counts[e.seg.index()] += 1;
@@ -84,9 +81,8 @@ fn contiguous_producers_bunch_linear_consumers() {
         let workload = spec.workload.clone();
         let trial = run_single_trial(&spec, 0);
         let events = trial.traces.expect("tracing enabled");
-        let producer_segs: Vec<usize> = (0..16)
-            .filter(|&p| workload.role_of(p, 16) == Some(Role::Producer))
-            .collect();
+        let producer_segs: Vec<usize> =
+            (0..16).filter(|&p| workload.role_of(p, 16) == Some(Role::Producer)).collect();
         producer_segs
             .iter()
             .map(|&seg| {

@@ -1,0 +1,328 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Keeps the workspace's benches compiling and runnable without a registry.
+//! Measurement is deliberately simple — per benchmark it runs a short
+//! warm-up, then `sample_size` timed samples, and prints the median
+//! nanoseconds per iteration — no outlier analysis, no HTML reports, no
+//! statistical comparison against saved baselines. Swap the path dependency
+//! for the real crate before quoting numbers anywhere.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim only distinguishes
+/// batch sizes coarsely; all variants are accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many iterations per batch.
+    SmallInput,
+    /// Large input: few iterations per batch.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark (recorded, printed with results).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything usable as a benchmark id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Measurement settings plus the entry point benches receive.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.clone();
+        run_benchmark(&settings, &id.into_benchmark_id(), None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Overrides the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings();
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&settings, &id, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn settings(&self) -> Criterion {
+        let mut settings = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            settings.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            settings.measurement_time = d;
+        }
+        settings
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples.capacity() {
+            let inputs: Vec<I> = (0..self.iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(
+    settings: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: find how many iterations fit one sample's share of
+    // the measurement budget.
+    let mut calibrate = Bencher { iters_per_sample: 1, samples: Vec::with_capacity(1) };
+    f(&mut calibrate);
+    let per_iter = calibrate.samples.first().copied().unwrap_or(Duration::from_nanos(1));
+    let budget = settings.measurement_time.as_nanos().max(1) / settings.sample_size as u128;
+    let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    // Warm-up.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < settings.warm_up_time {
+        let mut warm =
+            Bencher { iters_per_sample: iters.min(1000), samples: Vec::with_capacity(1) };
+        f(&mut warm);
+    }
+
+    // Measurement.
+    let mut bencher =
+        Bencher { iters_per_sample: iters, samples: Vec::with_capacity(settings.sample_size) };
+    f(&mut bencher);
+    let mut per_iter_ns: Vec<f64> =
+        bencher.samples.iter().map(|d| d.as_nanos() as f64 / iters as f64).collect();
+    per_iter_ns.sort_by(f64::total_cmp);
+    let median = per_iter_ns.get(per_iter_ns.len() / 2).copied().unwrap_or(f64::NAN);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            println!("{id}: {median:.1} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (median * 1e-9);
+            println!("{id}: {median:.1} ns/iter ({rate:.0} B/s)");
+        }
+        None => println!("{id}: {median:.1} ns/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,172 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! subset of `parking_lot` the workspace actually uses is re-implemented
+//! here on top of `std::sync`. Semantics match `parking_lot` where they
+//! matter to callers:
+//!
+//! * `Mutex::lock` returns the guard directly (no `Result`); a poisoned
+//!   mutex is recovered rather than propagated, matching `parking_lot`'s
+//!   absence of poisoning.
+//! * `Condvar::wait` takes `&mut MutexGuard` instead of consuming it.
+//!
+//! Swap this path dependency for the real crate when a registry is
+//! available; no call site needs to change.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-safe (non-poisoning)
+/// `lock` signature.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { inner: Some(p.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Wraps the std guard in an `Option` so [`Condvar::wait`] can temporarily
+/// take it (std's `wait` consumes and returns the guard).
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard always holds the lock outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard always holds the lock outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A condition variable compatible with [`MutexGuard`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Wakes one thread blocked in [`wait`](Self::wait).
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all threads blocked in [`wait`](Self::wait).
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Atomically releases the lock and blocks until notified, reacquiring
+    /// the lock before returning (the guard is valid throughout from the
+    /// caller's perspective).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard holds the lock on entry");
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cvar) = &*p2;
+            let mut started = lock.lock();
+            while !*started {
+                cvar.wait(&mut started);
+            }
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_one();
+        }
+        t.join().unwrap();
+    }
+}
