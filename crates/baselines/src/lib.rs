@@ -18,6 +18,10 @@
 //! [`Resource::Shared`]`(0)` so NUMA cost models and the virtual-time
 //! scheduler see the hot spot; termination uses the same
 //! all-processes-searching rule as the pool ([`cpool::SearchGate`]).
+//!
+//! Like the pools they compete with, every work list is generic over its
+//! [`Timing`] cost model (default [`cpool::NullTiming`], statically
+//! dispatched); pass a [`cpool::DynTiming`] to select the model at runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -178,10 +182,10 @@ impl<T: Send> CentralBuffer<T> for LockFreeBuffer<T> {
     }
 }
 
-struct CentralShared<T, B> {
+struct CentralShared<T, B, Ti> {
     buffer: B,
     gate: SearchGate,
-    timing: Arc<dyn Timing>,
+    timing: Ti,
     next_proc: AtomicUsize,
     _marker: std::marker::PhantomData<fn(T)>,
 }
@@ -190,38 +194,42 @@ struct CentralShared<T, B> {
 ///
 /// Every access (push, pop, or empty probe) charges
 /// [`Resource::Shared`]`(0)`: the whole structure lives on one node and is
-/// a hot spot by construction.
-pub struct Central<T, B> {
-    shared: Arc<CentralShared<T, B>>,
+/// a hot spot by construction. The cost model is statically dispatched
+/// (`Ti: Timing`, default [`NullTiming`]), mirroring the pool.
+pub struct Central<T, B, Ti: Timing = NullTiming> {
+    shared: Arc<CentralShared<T, B, Ti>>,
 }
 
-impl<T, B: fmt::Debug> fmt::Debug for Central<T, B> {
+impl<T, B: fmt::Debug, Ti: Timing> fmt::Debug for Central<T, B, Ti> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Central").field("buffer", &self.shared.buffer).finish_non_exhaustive()
     }
 }
 
-impl<T, B> Clone for Central<T, B> {
+impl<T, B, Ti: Timing> Clone for Central<T, B, Ti> {
     fn clone(&self) -> Self {
         Central { shared: Arc::clone(&self.shared) }
     }
 }
 
 /// The paper's baseline: a stack protected by a global lock.
-pub type GlobalStack<T> = Central<T, LockedStackBuffer<T>>;
+pub type GlobalStack<T, Ti = NullTiming> = Central<T, LockedStackBuffer<T>, Ti>;
 /// FIFO variant of the global-lock baseline.
-pub type GlobalQueue<T> = Central<T, LockedQueueBuffer<T>>;
+pub type GlobalQueue<T, Ti = NullTiming> = Central<T, LockedQueueBuffer<T>, Ti>;
 /// Modern lock-free centralized queue.
-pub type LockFreeQueue<T> = Central<T, LockFreeBuffer<T>>;
+pub type LockFreeQueue<T, Ti = NullTiming> = Central<T, LockFreeBuffer<T>, Ti>;
 
 impl<T: Send + 'static, B: CentralBuffer<T> + 'static> Central<T, B> {
     /// Creates an empty list with no cost model.
     pub fn new() -> Self {
-        Self::with_timing(Arc::new(NullTiming::new()))
+        Self::with_timing(NullTiming::new())
     }
+}
 
-    /// Creates an empty list charging accesses through `timing`.
-    pub fn with_timing(timing: Arc<dyn Timing>) -> Self {
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> Central<T, B, Ti> {
+    /// Creates an empty list charging accesses through `timing` (statically
+    /// dispatched; pass a [`cpool::DynTiming`] for runtime selection).
+    pub fn with_timing(timing: Ti) -> Self {
         Central {
             shared: Arc::new(CentralShared {
                 buffer: B::default(),
@@ -240,11 +248,15 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static> Default for Central<T, B>
     }
 }
 
-impl<T: Send + 'static, B: CentralBuffer<T> + 'static> SharedWorkList<T> for Central<T, B> {
-    type Handle = CentralHandle<T, B>;
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> SharedWorkList<T>
+    for Central<T, B, Ti>
+{
+    type Handle = CentralHandle<T, B, Ti>;
 
-    fn register(&self) -> CentralHandle<T, B> {
-        let proc = ProcId::new(self.shared.next_proc.fetch_add(1, Ordering::SeqCst));
+    fn register(&self) -> CentralHandle<T, B, Ti> {
+        // Relaxed for the same reason as `Registry::register`: the counter
+        // only mints unique ids and publishes nothing.
+        let proc = ProcId::new(self.shared.next_proc.fetch_add(1, Ordering::Relaxed));
         self.shared.gate.register();
         CentralHandle { shared: Arc::clone(&self.shared), proc }
     }
@@ -261,24 +273,26 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static> SharedWorkList<T> for Cen
 }
 
 /// Worker handle to a [`Central`] list.
-pub struct CentralHandle<T, B> {
-    shared: Arc<CentralShared<T, B>>,
+pub struct CentralHandle<T, B, Ti: Timing = NullTiming> {
+    shared: Arc<CentralShared<T, B, Ti>>,
     proc: ProcId,
 }
 
-impl<T, B> fmt::Debug for CentralHandle<T, B> {
+impl<T, B, Ti: Timing> fmt::Debug for CentralHandle<T, B, Ti> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CentralHandle").field("proc", &self.proc).finish_non_exhaustive()
     }
 }
 
-impl<T, B> Drop for CentralHandle<T, B> {
+impl<T, B, Ti: Timing> Drop for CentralHandle<T, B, Ti> {
     fn drop(&mut self) {
         self.shared.gate.deregister();
     }
 }
 
-impl<T: Send + 'static, B: CentralBuffer<T> + 'static> WorkHandle<T> for CentralHandle<T, B> {
+impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> WorkHandle<T>
+    for CentralHandle<T, B, Ti>
+{
     fn put(&mut self, item: T) {
         self.shared.timing.charge(self.proc, Resource::Shared(0));
         self.shared.buffer.push(item);
@@ -318,40 +332,41 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static> WorkHandle<T> for Central
 /// at which point an empty pool is a stable "done" signal (no process can
 /// add while all are searching). A non-empty pool after an abort (the rare
 /// race the paper tolerates) simply retries.
-pub struct PoolWorkList<T: Send + 'static> {
-    pool: Pool<VecSegment<T>, DynPolicy>,
+pub struct PoolWorkList<T: Send + 'static, Ti: Timing = NullTiming> {
+    pool: Pool<VecSegment<T>, DynPolicy, Ti>,
 }
 
-impl<T: Send + 'static> fmt::Debug for PoolWorkList<T> {
+impl<T: Send + 'static, Ti: Timing> fmt::Debug for PoolWorkList<T, Ti> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PoolWorkList").field("pool", &self.pool).finish()
     }
 }
 
-impl<T: Send + 'static> Clone for PoolWorkList<T> {
+impl<T: Send + 'static, Ti: Timing> Clone for PoolWorkList<T, Ti> {
     fn clone(&self) -> Self {
         PoolWorkList { pool: self.pool.clone() }
     }
 }
 
-impl<T: Send + 'static> PoolWorkList<T> {
+impl<T: Send + 'static, Ti: Timing> PoolWorkList<T, Ti> {
     /// Creates a pool-backed work list with `segments` segments, the given
-    /// search policy, and cost model.
-    pub fn new(segments: usize, policy: DynPolicy, timing: Arc<dyn Timing>, seed: u64) -> Self {
+    /// search policy, and cost model (statically dispatched; pass a
+    /// [`cpool::DynTiming`] for runtime selection).
+    pub fn new(segments: usize, policy: DynPolicy, timing: Ti, seed: u64) -> Self {
         let pool = PoolBuilder::new(segments).seed(seed).timing(timing).build_with_policy(policy);
         PoolWorkList { pool }
     }
 
     /// The underlying pool (for statistics).
-    pub fn pool(&self) -> &Pool<VecSegment<T>, DynPolicy> {
+    pub fn pool(&self) -> &Pool<VecSegment<T>, DynPolicy, Ti> {
         &self.pool
     }
 }
 
-impl<T: Send + 'static> SharedWorkList<T> for PoolWorkList<T> {
-    type Handle = PoolWorkHandle<T>;
+impl<T: Send + 'static, Ti: Timing> SharedWorkList<T> for PoolWorkList<T, Ti> {
+    type Handle = PoolWorkHandle<T, Ti>;
 
-    fn register(&self) -> PoolWorkHandle<T> {
+    fn register(&self) -> PoolWorkHandle<T, Ti> {
         PoolWorkHandle { inner: self.pool.register(), pool: self.pool.clone() }
     }
 
@@ -367,18 +382,18 @@ impl<T: Send + 'static> SharedWorkList<T> for PoolWorkList<T> {
 }
 
 /// Worker handle to a [`PoolWorkList`].
-pub struct PoolWorkHandle<T: Send + 'static> {
-    inner: Handle<VecSegment<T>, DynPolicy>,
-    pool: Pool<VecSegment<T>, DynPolicy>,
+pub struct PoolWorkHandle<T: Send + 'static, Ti: Timing = NullTiming> {
+    inner: Handle<VecSegment<T>, DynPolicy, Ti>,
+    pool: Pool<VecSegment<T>, DynPolicy, Ti>,
 }
 
-impl<T: Send + 'static> fmt::Debug for PoolWorkHandle<T> {
+impl<T: Send + 'static, Ti: Timing> fmt::Debug for PoolWorkHandle<T, Ti> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PoolWorkHandle").field("inner", &self.inner).finish()
     }
 }
 
-impl<T: Send + 'static> WorkHandle<T> for PoolWorkHandle<T> {
+impl<T: Send + 'static, Ti: Timing> WorkHandle<T> for PoolWorkHandle<T, Ti> {
     fn put(&mut self, item: T) {
         self.inner.add(item);
     }
@@ -471,7 +486,7 @@ mod tests {
         let list: PoolWorkList<u32> = PoolWorkList::new(
             4,
             PolicyKind::Linear.build(4, Default::default()),
-            Arc::new(NullTiming::new()),
+            NullTiming::new(),
             7,
         );
         assert_eq!(drain_all(&list, 4, (0..1000).collect()), 1000);
@@ -511,7 +526,7 @@ mod tests {
         let list: PoolWorkList<u32> = PoolWorkList::new(
             3,
             PolicyKind::Tree.build(3, Default::default()),
-            Arc::new(NullTiming::new()),
+            NullTiming::new(),
             1,
         );
         list.seed(vec![0]);

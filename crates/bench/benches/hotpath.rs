@@ -1,0 +1,47 @@
+//! Hot-path dispatch cost: generic `NullTiming` vs the `Arc<dyn Timing>`
+//! adapter.
+//!
+//! The pool is generic over its cost model, so the uninstrumented
+//! configuration monomorphizes to bare lock/steal code; the same code built
+//! over [`DynTiming`](cpool::DynTiming) pays an Arc deref plus a virtual
+//! call per charge. This bench measures both on the two paths that matter:
+//! the uncontended local add/remove pair and the single-element steal.
+//! `BENCH_hotpath.json` (repo root) pins the same comparison from the
+//! `hotpath` bench binary; the measured loops are shared through
+//! [`bench::hotpath`] so the two stay in sync.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use bench::hotpath::{add_remove_op, pool_with, steal_op};
+use cpool::{DynTiming, NullTiming};
+
+fn benches(c: &mut Criterion) {
+    let pool = pool_with(1, NullTiming::new());
+    let mut op = add_remove_op(&pool);
+    c.bench_function("hotpath/add_remove/generic", |b| b.iter(&mut op));
+
+    let adapter: DynTiming = Arc::new(NullTiming::new());
+    let pool = pool_with(1, adapter);
+    let mut op = add_remove_op(&pool);
+    c.bench_function("hotpath/add_remove/dyn", |b| b.iter(&mut op));
+
+    let pool = pool_with(2, NullTiming::new());
+    let mut op = steal_op(&pool);
+    c.bench_function("hotpath/steal/generic", |b| b.iter(&mut op));
+
+    let adapter: DynTiming = Arc::new(NullTiming::new());
+    let pool = pool_with(2, adapter);
+    let mut op = steal_op(&pool);
+    c.bench_function("hotpath/steal/dyn", |b| b.iter(&mut op));
+}
+
+criterion_group! {
+    name = hotpath;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = benches
+}
+criterion_main!(hotpath);

@@ -1,0 +1,97 @@
+//! Hot-path dispatch baseline: generic `NullTiming` vs the `Arc<dyn Timing>`
+//! adapter, as a plain timed loop that emits machine-readable JSON.
+//!
+//! The criterion twin (`benches/hotpath.rs`) gives statistically careful
+//! numbers; this binary exists so the comparison can be pinned in version
+//! control (`BENCH_hotpath.json` at the repo root) and smoke-run by CI.
+//! Both measure the same loops, shared through [`bench::hotpath`].
+//!
+//! ```sh
+//! cargo run --release -p bench --bin hotpath                       # print JSON
+//! cargo run --release -p bench --bin hotpath -- --out BENCH_hotpath.json
+//! cargo run --release -p bench --bin hotpath -- --quick            # CI smoke
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::hotpath::{add_remove_op, pool_with, steal_op};
+use cpool::{DynTiming, NullTiming};
+use harness::cli::Args;
+
+/// Times `iters` runs of `op` after `iters / 10` warmup runs; returns the
+/// best-of-five nanoseconds per operation (the minimum filters scheduler
+/// and frequency noise out of a single-threaded throughput loop).
+fn measure(iters: u64, mut op: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 {
+        op();
+    }
+    (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let iters: u64 = args.parse_or("iters", if args.flag("quick") { 20_000 } else { 2_000_000 });
+
+    let generic_add = {
+        let pool = pool_with(1, NullTiming::new());
+        measure(iters, add_remove_op(&pool))
+    };
+    let dyn_add = {
+        let adapter: DynTiming = Arc::new(NullTiming::new());
+        let pool = pool_with(1, adapter);
+        measure(iters, add_remove_op(&pool))
+    };
+    let generic_steal = {
+        let pool = pool_with(2, NullTiming::new());
+        measure(iters, steal_op(&pool))
+    };
+    let dyn_steal = {
+        let adapter: DynTiming = Arc::new(NullTiming::new());
+        let pool = pool_with(2, adapter);
+        measure(iters, steal_op(&pool))
+    };
+
+    let results = [
+        ("add_remove/generic", generic_add),
+        ("add_remove/dyn", dyn_add),
+        ("steal/generic", generic_steal),
+        ("steal/dyn", dyn_steal),
+    ];
+    for (name, ns) in results {
+        eprintln!("{name:>20}: {ns:8.1} ns/op");
+    }
+    eprintln!(
+        "dyn/generic ratio: add_remove {:.3}, steal {:.3}",
+        dyn_add / generic_add,
+        dyn_steal / generic_steal
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str("  \"unit\": \"ns_per_op\",\n");
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str("  \"pool\": \"Pool<VecSegment<u64>, LinearSearch, T>\",\n");
+    json.push_str("  \"results\": {\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.1}{comma}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write JSON output");
+            println!("[wrote {path}]");
+        }
+        None => print!("{json}"),
+    }
+}

@@ -27,6 +27,49 @@ use harness::cli::Args;
 use harness::csv::{experiments_dir, write_csv};
 use harness::figures::Scale;
 
+/// Shared measurement kernels for the hot-path dispatch comparison.
+///
+/// The criterion bench (`benches/hotpath.rs`) and the JSON-emitting binary
+/// (`src/bin/hotpath.rs`) must measure literally the same code, or the
+/// committed `BENCH_hotpath.json` baseline and the criterion numbers drift
+/// apart — so both build their loops from these functions.
+pub mod hotpath {
+    use cpool::{LinearSearch, Pool, PoolBuilder, Timing, VecSegment};
+
+    /// The pool configuration both hot-path benchmarks measure.
+    pub type HotPool<T> = Pool<VecSegment<u64>, LinearSearch, T>;
+
+    /// Builds the measured pool over the given cost model.
+    pub fn pool_with<T: Timing>(segments: usize, timing: T) -> HotPool<T> {
+        PoolBuilder::new(segments)
+            .seed(1)
+            .timing(timing)
+            .build_with_policy(LinearSearch::new(segments))
+    }
+
+    /// One uncontended local add immediately removed: the fast path.
+    /// Build the pool with 1 segment.
+    pub fn add_remove_op<T: Timing>(pool: &HotPool<T>) -> impl FnMut() + '_ {
+        let mut handle = pool.register();
+        move || {
+            handle.add(7);
+            std::hint::black_box(handle.try_remove().expect("just added"));
+        }
+    }
+
+    /// A remove that must steal: the victim holds exactly one element, so
+    /// every iteration runs the full search + two-phase transfer with no
+    /// refill. Build the pool with 2 segments.
+    pub fn steal_op<T: Timing>(pool: &HotPool<T>) -> impl FnMut() + '_ {
+        let mut thief = pool.register(); // home segment 0
+        let mut victim = pool.register(); // home segment 1
+        move || {
+            victim.add(7);
+            std::hint::black_box(thief.try_remove().expect("victim has an element"));
+        }
+    }
+}
+
 /// Parses the common scale flags.
 pub fn scale_from_args(args: &Args) -> Scale {
     let base = if args.flag("quick") { Scale::tiny() } else { Scale::paper() };

@@ -20,7 +20,12 @@
 //!    is impossible by construction.
 //! 4. **Timing charges** — every shared-memory access is charged through
 //!    the pool's [`Timing`] *before* the access is performed (the
-//!    lock/charge discipline of [`timing`](crate::timing)).
+//!    lock/charge discipline of [`timing`](crate::timing)). The engine is
+//!    *generic* over the cost model (`&T` where `T: Timing`, never a trait
+//!    object), so an uninstrumented pool ([`NullTiming`](crate::NullTiming))
+//!    monomorphizes to bare lock/steal code with every charge inlined away,
+//!    while runtime-selected models ride the
+//!    [`DynTiming`](crate::timing::DynTiming) adapter through the same code.
 //! 5. **Per-process statistics** — operation outcomes and latencies are
 //!    recorded into a private [`ProcStats`] block ([`OpTimer`]).
 //!
@@ -66,7 +71,11 @@ impl Registry {
     /// and home segment `i mod segments` (the paper runs exactly one
     /// process per segment; over-subscription shares segments round-robin).
     pub fn register(&self, segments: usize) -> (ProcId, SegIdx) {
-        let index = self.next_proc.fetch_add(1, Ordering::SeqCst);
+        // Relaxed is enough: the counter only hands out unique indices, and
+        // nothing is published through it — the handle's other state is
+        // transferred to the owning thread by whatever mechanism moves the
+        // handle there, and the gate has its own synchronization.
+        let index = self.next_proc.fetch_add(1, Ordering::Relaxed);
         self.gate.register();
         (ProcId::new(index), SegIdx::new(index % segments))
     }
@@ -79,9 +88,12 @@ impl Registry {
 
     /// Statistics of retired processes, ordered by process id.
     pub fn stats(&self) -> PoolStats {
-        let mut collected = self.collected.lock().clone();
+        // Sort the deposits in place (idempotent across calls) and clone
+        // only the per-process payloads into the report, instead of cloning
+        // the whole collected vec just to sort the copy.
+        let mut collected = self.collected.lock();
         collected.sort_by_key(|(proc, _)| *proc);
-        PoolStats { per_proc: collected.into_iter().map(|(_, s)| s).collect() }
+        PoolStats { per_proc: collected.iter().map(|(_, s)| s.clone()).collect() }
     }
 }
 
@@ -91,16 +103,16 @@ impl Registry {
 /// method is called on every exit path, so the stats identities
 /// (`ops == adds + removes + aborted_removes`, histogram counts, ...)
 /// hold by construction.
-pub(crate) struct OpTimer<'a> {
-    timing: &'a dyn Timing,
+pub(crate) struct OpTimer<'a, T: Timing> {
+    timing: &'a T,
     me: ProcId,
     t0: u64,
 }
 
-impl<'a> OpTimer<'a> {
+impl<'a, T: Timing> OpTimer<'a, T> {
     /// Starts timing an operation, charging `overhead_ns` of fixed
     /// per-operation computation first (see `PoolBuilder::op_overhead`).
-    pub fn start(timing: &'a dyn Timing, me: ProcId, overhead_ns: u64) -> Self {
+    pub fn start(timing: &'a T, me: ProcId, overhead_ns: u64) -> Self {
         let t0 = timing.now(me);
         if overhead_ns > 0 {
             timing.charge_work(me, overhead_ns);
@@ -172,8 +184,8 @@ impl<'a> OpTimer<'a> {
 ///
 /// Holding a session marks the process as searching on the [`SearchGate`]
 /// (dropped on every exit path, panic included, via the embedded guard).
-pub(crate) struct SearchSession<'a> {
-    timing: &'a dyn Timing,
+pub(crate) struct SearchSession<'a, T: Timing> {
+    timing: &'a T,
     gate: &'a SearchGate,
     me: ProcId,
     home: SegIdx,
@@ -187,16 +199,10 @@ pub(crate) struct SearchSession<'a> {
     _guard: SearchGuard<'a>,
 }
 
-impl<'a> SearchSession<'a> {
+impl<'a, T: Timing> SearchSession<'a, T> {
     /// Begins a search: records the start time and marks the process as
     /// searching.
-    pub fn begin(
-        timing: &'a dyn Timing,
-        gate: &'a SearchGate,
-        me: ProcId,
-        home: SegIdx,
-        lap: u64,
-    ) -> Self {
+    pub fn begin(timing: &'a T, gate: &'a SearchGate, me: ProcId, home: SegIdx, lap: u64) -> Self {
         let started_ns = timing.now(me);
         SearchSession {
             timing,
@@ -284,12 +290,12 @@ impl<'a> SearchSession<'a> {
     ///
     /// Returns the kept element and the total number stolen, or `None` if
     /// the victim was empty.
-    pub fn probe<T>(
+    pub fn probe<I>(
         &mut self,
         victim: SegIdx,
-        drain: impl FnOnce() -> Vec<T>,
-        refill: impl FnOnce(Vec<T>),
-    ) -> Option<(T, usize)> {
+        drain: impl FnOnce() -> Vec<I>,
+        refill: impl FnOnce(Vec<I>),
+    ) -> Option<(I, usize)> {
         self.examined += 1;
         self.timing.charge(self.me, Resource::Segment(victim));
         let mut batch = drain();

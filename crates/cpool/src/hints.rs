@@ -35,7 +35,8 @@
 //! # Cost model
 //!
 //! The board is one more shared structure, so a donation is charged to the
-//! donor as one access to [`Resource::Shared`]`(`[`HINT_BOARD_RESOURCE`]`)`
+//! donor as one access to
+//! [`Resource::Shared`](crate::timing::Resource::Shared)`(`[`HINT_BOARD_RESOURCE`]`)`
 //! *before* the mailbox is touched (the usual lock/charge discipline). The
 //! waiting-count glance on the add fast path and the searcher's polls of its
 //! own (local) mailbox are not charged: both are single-word reads of,

@@ -35,7 +35,7 @@
 //! whether they starve on the same key or different ones, nobody can be
 //! adding, so waiting is futile. Registration, the lap-counted gate-abort,
 //! the two-phase steal-half transfer, and stats plumbing are all delegated
-//! to the shared [`core`](crate::core) engine — the same hot path the plain
+//! to the shared `core` engine — the same hot path the plain
 //! [`Pool`](crate::Pool) runs — so this module only supplies the keyed
 //! element model and the per-key search cursors.
 
@@ -149,16 +149,19 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
     }
 }
 
-struct KeyedShared<K, V> {
+struct KeyedShared<K, V, T> {
     segments: Box<[KeyedSegment<K, V>]>,
     registry: Registry,
-    timing: Arc<dyn Timing>,
+    timing: T,
 }
 
 /// A concurrent pool of distinguishable elements.
 ///
-/// See the [module docs](self) for the design. Cloning is cheap and shares
-/// the pool.
+/// The third type parameter is the statically-dispatched cost model
+/// (default: the free [`NullTiming`]); use
+/// [`DynTiming`](crate::timing::DynTiming) for runtime selection. See the
+/// [module docs](self) for the design. Cloning is cheap and shares the
+/// pool.
 ///
 /// ```
 /// use cpool::KeyedPool;
@@ -170,17 +173,17 @@ struct KeyedShared<K, V> {
 /// assert_eq!(h.try_remove_key(&"blue"), Ok(2));
 /// assert_eq!(h.try_remove_any(), Ok(("red", 1)));
 /// ```
-pub struct KeyedPool<K, V> {
-    shared: Arc<KeyedShared<K, V>>,
+pub struct KeyedPool<K, V, T: Timing = NullTiming> {
+    shared: Arc<KeyedShared<K, V, T>>,
 }
 
-impl<K, V> Clone for KeyedPool<K, V> {
+impl<K, V, T: Timing> Clone for KeyedPool<K, V, T> {
     fn clone(&self) -> Self {
         KeyedPool { shared: Arc::clone(&self.shared) }
     }
 }
 
-impl<K, V> std::fmt::Debug for KeyedPool<K, V> {
+impl<K, V, T: Timing> std::fmt::Debug for KeyedPool<K, V, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KeyedPool")
             .field("segments", &self.shared.segments.len())
@@ -196,15 +199,20 @@ impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
     ///
     /// Panics if `segments` is zero.
     pub fn new(segments: usize) -> Self {
-        Self::with_timing(segments, Arc::new(NullTiming::new()))
+        Self::with_timing(segments, NullTiming::new())
     }
+}
 
+impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
     /// Creates a keyed pool charging accesses through `timing`.
+    ///
+    /// The cost model is statically dispatched; pass a
+    /// [`DynTiming`](crate::timing::DynTiming) to select it at runtime.
     ///
     /// # Panics
     ///
     /// Panics if `segments` is zero.
-    pub fn with_timing(segments: usize, timing: Arc<dyn Timing>) -> Self {
+    pub fn with_timing(segments: usize, timing: T) -> Self {
         assert!(segments > 0, "pool must have at least one segment");
         KeyedPool {
             shared: Arc::new(KeyedShared {
@@ -241,7 +249,7 @@ impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
 
     /// Registers a process; the `i`-th registration homes at segment
     /// `i mod segments`.
-    pub fn register(&self) -> KeyedHandle<K, V> {
+    pub fn register(&self) -> KeyedHandle<K, V, T> {
         let (me, seg) = self.shared.registry.register(self.segments());
         KeyedHandle {
             shared: Arc::clone(&self.shared),
@@ -263,8 +271,8 @@ impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
 ///
 /// Like [`Handle`](crate::Handle): `Send` but not `Sync`; dropping it
 /// deregisters from the livelock gate and deposits statistics.
-pub struct KeyedHandle<K, V> {
-    shared: Arc<KeyedShared<K, V>>,
+pub struct KeyedHandle<K, V, T: Timing = NullTiming> {
+    shared: Arc<KeyedShared<K, V, T>>,
     me: ProcId,
     seg: SegIdx,
     /// Where `try_remove_any` last found elements (the linear `LastFound`).
@@ -274,7 +282,7 @@ pub struct KeyedHandle<K, V> {
     stats: ProcStats,
 }
 
-impl<K, V> std::fmt::Debug for KeyedHandle<K, V> {
+impl<K, V, T: Timing> std::fmt::Debug for KeyedHandle<K, V, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KeyedHandle")
             .field("proc", &self.me)
@@ -283,7 +291,7 @@ impl<K, V> std::fmt::Debug for KeyedHandle<K, V> {
     }
 }
 
-impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
+impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
     /// This process's id.
     pub fn proc_id(&self) -> ProcId {
         self.me
@@ -301,7 +309,7 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
 
     /// Adds an element under `key` to the local segment.
     pub fn add(&mut self, key: K, value: V) {
-        let timer = OpTimer::start(&*self.shared.timing, self.me, 0);
+        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.shared.segments[self.seg.index()].add(key, value);
         timer.finish_add(&mut self.stats, false);
@@ -315,7 +323,7 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
     /// Returns [`RemoveError::Aborted`] when every registered process was
     /// searching simultaneously (the pool is starving).
     pub fn try_remove_any(&mut self) -> Result<(K, V), RemoveError> {
-        let timer = OpTimer::start(&*self.shared.timing, self.me, 0);
+        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(found) = self.shared.segments[self.seg.index()].remove_any() {
             timer.finish_local_remove(&mut self.stats);
@@ -384,7 +392,7 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
     /// searching simultaneously (no element of `key` is reachable and
     /// nobody can be adding one).
     pub fn try_remove_key(&mut self, key: &K) -> Result<V, RemoveError> {
-        let timer = OpTimer::start(&*self.shared.timing, self.me, 0);
+        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(value) = self.shared.segments[self.seg.index()].remove_key(key) {
             timer.finish_local_remove(&mut self.stats);
@@ -432,13 +440,13 @@ impl<K: Key, V: Send + 'static> KeyedHandle<K, V> {
 /// Opens a [`SearchSession`] for a keyed ring walk: the walk skips the home
 /// segment, so one full lap — the point after which the engine's §3.2 abort
 /// rule may fire — is `segments - 1` probes.
-fn begin_keyed_search<'a, K: Key, V: Send + 'static>(
-    shared: &'a KeyedShared<K, V>,
+fn begin_keyed_search<'a, K: Key, V: Send + 'static, T: Timing>(
+    shared: &'a KeyedShared<K, V, T>,
     me: ProcId,
     home: SegIdx,
-) -> SearchSession<'a> {
+) -> SearchSession<'a, T> {
     let lap = shared.segments.len().saturating_sub(1) as u64;
-    SearchSession::begin(&*shared.timing, shared.registry.gate(), me, home, lap)
+    SearchSession::begin(&shared.timing, shared.registry.gate(), me, home, lap)
 }
 
 /// Walks the ring from `cursor`, skipping the searcher's home segment and
@@ -448,13 +456,13 @@ fn begin_keyed_search<'a, K: Key, V: Send + 'static>(
 /// The cursor is persisted through `save_cursor` *before* every abort check
 /// (same reasoning as `LinearSearch`): a retrying caller must resume at the
 /// next segment or it could never reach elements parked elsewhere.
-fn ring_search<T>(
-    session: &mut SearchSession<'_>,
+fn ring_search<I, T: Timing>(
+    session: &mut SearchSession<'_, T>,
     n: usize,
     mut victim: SegIdx,
-    mut probe: impl FnMut(&mut SearchSession<'_>, SegIdx) -> Option<(T, usize)>,
+    mut probe: impl FnMut(&mut SearchSession<'_, T>, SegIdx) -> Option<(I, usize)>,
     mut save_cursor: impl FnMut(SegIdx),
-) -> Option<(T, usize, SegIdx)> {
+) -> Option<(I, usize, SegIdx)> {
     loop {
         if victim != session.home() {
             if let Some((item, stolen)) = probe(session, victim) {
@@ -469,7 +477,7 @@ fn ring_search<T>(
     }
 }
 
-impl<K, V> Drop for KeyedHandle<K, V> {
+impl<K, V, T: Timing> Drop for KeyedHandle<K, V, T> {
     fn drop(&mut self) {
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }

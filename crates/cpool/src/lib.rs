@@ -27,7 +27,12 @@
 //! Every shared-memory access the paper charges for (segment probes, tree
 //! node visits) is reported through the [`timing::Timing`] trait so the same
 //! algorithm code runs on raw threads, under injected NUMA delays, or inside
-//! a deterministic virtual-time scheduler (see the `numa-sim` crate).
+//! a deterministic virtual-time scheduler (see the `numa-sim` crate). The
+//! cost model is a *type parameter* of every pool (`Pool<S, P, T: Timing>`,
+//! default [`NullTiming`]): an uninstrumented pool compiles to bare
+//! lock/steal code, while runtime-selected models use the
+//! [`timing::DynTiming`] (`Arc<dyn Timing>`) adapter — see
+//! [`timing`] for how to choose.
 //!
 //! ## Quickstart
 //!
@@ -91,7 +96,7 @@ pub use search::{
 };
 pub use segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
 pub use stats::{Histogram, PoolStats, ProcStats};
-pub use timing::{NullTiming, Resource, Timing};
+pub use timing::{DynTiming, NullTiming, Resource, Timing};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
 
 /// Commonly used items, re-exported for glob import.
@@ -103,5 +108,5 @@ pub mod prelude {
         DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, TreeSearch,
     };
     pub use crate::segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
-    pub use crate::timing::{NullTiming, Resource, Timing};
+    pub use crate::timing::{DynTiming, NullTiming, Resource, Timing};
 }

@@ -6,6 +6,12 @@
 //! policy's per-process state (round number, ring position, RNG) and a
 //! private statistics block.
 //!
+//! The cost model is a type parameter (`Pool<S, P, T: Timing>`, defaulting
+//! to [`NullTiming`]): the uninstrumented pool monomorphizes to bare
+//! lock/steal code, and runtime-selected models use the
+//! [`DynTiming`](crate::timing::DynTiming) adapter — see
+//! [`timing`](crate::timing) for choosing between them.
+//!
 //! # The steal protocol
 //!
 //! A `remove` first tries the local segment. If that is empty the process
@@ -23,7 +29,7 @@
 //! ever held at once and thief/thief or thief/owner deadlock is impossible
 //! by construction. The protocol itself (registration, lap-counted
 //! gate-abort, the two-phase transfer, stats plumbing) lives in the shared
-//! [`core`](crate::core) engine; this module supplies the element model
+//! `core` engine; this module supplies the element model
 //! (a [`Segment`] per processor) and the pluggable [`SearchPolicy`] driver.
 
 use std::sync::Arc;
@@ -41,21 +47,38 @@ use crate::trace::{TraceEvent, TraceKind, TraceRecorder};
 
 /// Configures and builds a [`Pool`].
 ///
+/// The cost model is a *type parameter* (defaulting to the free
+/// [`NullTiming`]): [`timing`](Self::timing) rebinds it, so the model you
+/// install is statically dispatched on the pool's hot path. Pass a
+/// [`DynTiming`](crate::timing::DynTiming) (`Arc<dyn Timing>`) to select
+/// the model at runtime instead.
+///
 /// ```
 /// use cpool::prelude::*;
-/// use std::sync::Arc;
 ///
 /// let pool: Pool<LockedCounter, TreeSearch> = PoolBuilder::new(16)
 ///     .seed(42)
-///     .timing(Arc::new(NullTiming::new()))
 ///     .record_trace(true)
 ///     .build_with_policy(TreeSearch::new(16));
 /// assert_eq!(pool.segments(), 16);
 /// ```
-pub struct PoolBuilder<S> {
+///
+/// Runtime-selected model through the adapter:
+///
+/// ```
+/// use cpool::prelude::*;
+/// use cpool::DynTiming;
+/// use std::sync::Arc;
+///
+/// let model: DynTiming = Arc::new(NullTiming::new());
+/// let pool: Pool<LockedCounter, LinearSearch, DynTiming> =
+///     PoolBuilder::new(4).timing(model).build_with_policy(LinearSearch::new(4));
+/// assert_eq!(pool.segments(), 4);
+/// ```
+pub struct PoolBuilder<S, T: Timing = NullTiming> {
     segments: usize,
     seed: u64,
-    timing: Arc<dyn Timing>,
+    timing: T,
     record_trace: bool,
     trace_procs: Option<usize>,
     hints: bool,
@@ -65,7 +88,7 @@ pub struct PoolBuilder<S> {
     _marker: std::marker::PhantomData<fn() -> S>,
 }
 
-impl<S> std::fmt::Debug for PoolBuilder<S> {
+impl<S, T: Timing> std::fmt::Debug for PoolBuilder<S, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PoolBuilder")
             .field("segments", &self.segments)
@@ -76,7 +99,8 @@ impl<S> std::fmt::Debug for PoolBuilder<S> {
 }
 
 impl<S: Segment> PoolBuilder<S> {
-    /// Starts building a pool with `segments` segments.
+    /// Starts building a pool with `segments` segments and the free
+    /// [`NullTiming`] cost model.
     ///
     /// # Panics
     ///
@@ -86,7 +110,7 @@ impl<S: Segment> PoolBuilder<S> {
         PoolBuilder {
             segments,
             seed: 0,
-            timing: Arc::new(NullTiming::new()),
+            timing: NullTiming::new(),
             record_trace: false,
             trace_procs: None,
             hints: false,
@@ -96,17 +120,34 @@ impl<S: Segment> PoolBuilder<S> {
             _marker: std::marker::PhantomData,
         }
     }
+}
 
+impl<S: Segment, T: Timing> PoolBuilder<S, T> {
     /// Sets the seed from which all per-process randomness derives.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
-    /// Installs a cost model (defaults to [`NullTiming`]).
-    pub fn timing(mut self, timing: Arc<dyn Timing>) -> Self {
-        self.timing = timing;
-        self
+    /// Installs a cost model (defaults to [`NullTiming`]), rebinding the
+    /// builder's timing type parameter.
+    ///
+    /// The model is statically dispatched: pass a concrete type to compile
+    /// the charges into the pool, or a [`DynTiming`](crate::timing::DynTiming)
+    /// to choose one at runtime.
+    pub fn timing<T2: Timing>(self, timing: T2) -> PoolBuilder<S, T2> {
+        PoolBuilder {
+            segments: self.segments,
+            seed: self.seed,
+            timing,
+            record_trace: self.record_trace,
+            trace_procs: self.trace_procs,
+            hints: self.hints,
+            hint_procs: self.hint_procs,
+            add_overhead_ns: self.add_overhead_ns,
+            remove_overhead_ns: self.remove_overhead_ns,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Enables segment-size trace recording (Figures 3–6 instrumentation).
@@ -142,7 +183,7 @@ impl<S: Segment> PoolBuilder<S> {
     /// accesses the operation performs.
     ///
     /// This models the base cost of the operation's own code path. Kotz &
-    /// Ellis report "typical undelayed segment operation times [of]
+    /// Ellis report "typical undelayed segment operation times \[of\]
     /// approximately 70 µsec for add operations and 110 µsec for remove
     /// operations" on the Butterfly; with the default 10 µs segment access
     /// of `numa_sim::LatencyModel::butterfly`, overheads of 60 µs / 100 µs
@@ -159,7 +200,7 @@ impl<S: Segment> PoolBuilder<S> {
     ///
     /// Panics if the policy was constructed for a different segment count
     /// (checked in debug builds when the first handle searches).
-    pub fn build_with_policy<P: SearchPolicy>(self, policy: P) -> Pool<S, P> {
+    pub fn build_with_policy<P: SearchPolicy>(self, policy: P) -> Pool<S, P, T> {
         let segments: Box<[S]> = (0..self.segments).map(|_| S::new()).collect();
         let trace = self
             .record_trace
@@ -181,11 +222,11 @@ impl<S: Segment> PoolBuilder<S> {
     }
 }
 
-struct Shared<S: Segment, P> {
+struct Shared<S: Segment, P, T> {
     segments: Box<[S]>,
     policy: P,
     registry: Registry,
-    timing: Arc<dyn Timing>,
+    timing: T,
     seed: u64,
     trace: Option<TraceRecorder>,
     hints: Option<HintBoard<S::Item>>,
@@ -195,20 +236,22 @@ struct Shared<S: Segment, P> {
 
 /// A concurrent pool: a distributed, unordered collection of items.
 ///
-/// Cloning a `Pool` is cheap (it is an `Arc` handle to shared state); all
-/// clones refer to the same pool. See the [crate docs](crate) for an
-/// end-to-end example.
-pub struct Pool<S: Segment, P: SearchPolicy> {
-    shared: Arc<Shared<S, P>>,
+/// The third type parameter is the statically-dispatched cost model; the
+/// default [`NullTiming`] compiles every charge away (see
+/// [`timing`](crate::timing)). Cloning a `Pool` is cheap (it is an `Arc`
+/// handle to shared state); all clones refer to the same pool. See the
+/// [crate docs](crate) for an end-to-end example.
+pub struct Pool<S: Segment, P: SearchPolicy, T: Timing = NullTiming> {
+    shared: Arc<Shared<S, P, T>>,
 }
 
-impl<S: Segment, P: SearchPolicy> Clone for Pool<S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> Clone for Pool<S, P, T> {
     fn clone(&self) -> Self {
         Pool { shared: Arc::clone(&self.shared) }
     }
 }
 
-impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Pool<S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> std::fmt::Debug for Pool<S, P, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pool")
             .field("segments", &self.shared.segments.len())
@@ -218,7 +261,7 @@ impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Pool<S, P> {
     }
 }
 
-impl<S: Segment, P: SearchPolicy> Pool<S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T> {
     /// Number of segments.
     pub fn segments(&self) -> usize {
         self.shared.segments.len()
@@ -240,7 +283,7 @@ impl<S: Segment, P: SearchPolicy> Pool<S, P> {
     }
 
     /// The pool's cost model.
-    pub fn timing(&self) -> &Arc<dyn Timing> {
+    pub fn timing(&self) -> &T {
         &self.shared.timing
     }
 
@@ -290,7 +333,7 @@ impl<S: Segment, P: SearchPolicy> Pool<S, P> {
     /// The `i`-th registration gets process id `i` and home segment
     /// `i mod segments` (the paper runs exactly one process per segment;
     /// over-subscription shares segments round-robin).
-    pub fn register(&self) -> Handle<S, P> {
+    pub fn register(&self) -> Handle<S, P, T> {
         let (me, seg) = self.shared.registry.register(self.segments());
         let state = self.shared.policy.init_state(seg, self.segments(), self.shared.seed);
         Handle { shared: Arc::clone(&self.shared), me, seg, state, stats: ProcStats::default() }
@@ -303,7 +346,7 @@ impl<S: Segment, P: SearchPolicy> Pool<S, P> {
     }
 }
 
-impl<S: Segment, P: SearchPolicy> Pool<S, P>
+impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T>
 where
     S::Item: Default,
 {
@@ -318,15 +361,15 @@ where
 /// Handles are `Send` but not `Sync`: exactly one thread drives a process.
 /// Dropping the handle deregisters the process from the livelock gate and
 /// deposits its statistics with the pool.
-pub struct Handle<S: Segment, P: SearchPolicy> {
-    shared: Arc<Shared<S, P>>,
+pub struct Handle<S: Segment, P: SearchPolicy, T: Timing = NullTiming> {
+    shared: Arc<Shared<S, P, T>>,
     me: ProcId,
     seg: SegIdx,
     state: P::State,
     stats: ProcStats,
 }
 
-impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Handle<S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> std::fmt::Debug for Handle<S, P, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Handle")
             .field("proc", &self.me)
@@ -335,7 +378,7 @@ impl<S: Segment, P: SearchPolicy> std::fmt::Debug for Handle<S, P> {
     }
 }
 
-impl<S: Segment, P: SearchPolicy> Handle<S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
     /// This process's id.
     pub fn proc_id(&self) -> ProcId {
         self.me
@@ -366,7 +409,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
     /// is enabled and some process is searching — directly to that searcher
     /// (see [`hints`](crate::hints)).
     pub fn add(&mut self, item: S::Item) {
-        let timer = OpTimer::start(&*self.shared.timing, self.me, self.shared.add_overhead_ns);
+        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.add_overhead_ns);
         let mut item = item;
         if let Some(board) = &self.shared.hints {
             if board.has_waiters() {
@@ -397,7 +440,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
     /// Returns [`RemoveError::Aborted`] when the livelock breaker fired
     /// (every registered process was searching simultaneously).
     pub fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
-        let timer = OpTimer::start(&*self.shared.timing, self.me, self.shared.remove_overhead_ns);
+        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(item) = self.shared.segments[self.seg.index()].try_remove() {
             timer.finish_local_remove(&mut self.stats);
@@ -414,7 +457,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
         let mut env = PoolSearchEnv {
             shared: &self.shared,
             session: SearchSession::begin(
-                &*self.shared.timing,
+                &self.shared.timing,
                 self.shared.registry.gate(),
                 self.me,
                 self.seg,
@@ -479,7 +522,7 @@ impl<S: Segment, P: SearchPolicy> Handle<S, P> {
     }
 }
 
-impl<S: Segment, P: SearchPolicy> Drop for Handle<S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> Drop for Handle<S, P, T> {
     fn drop(&mut self) {
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
@@ -489,15 +532,15 @@ impl<S: Segment, P: SearchPolicy> Drop for Handle<S, P> {
 /// requests to the shared engine's [`SearchSession`] (which performs the
 /// two-phase steal, charges costs, and tracks search statistics) and layers
 /// the hint-board interplay on top of the engine's abort rule.
-struct PoolSearchEnv<'a, S: Segment, P> {
-    shared: &'a Shared<S, P>,
-    session: SearchSession<'a>,
+struct PoolSearchEnv<'a, S: Segment, P, T: Timing> {
+    shared: &'a Shared<S, P, T>,
+    session: SearchSession<'a, T>,
     stolen: usize,
     taken: Option<S::Item>,
     victim: Option<SegIdx>,
 }
 
-impl<S: Segment, P: SearchPolicy> SearchEnv for PoolSearchEnv<'_, S, P> {
+impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, S, P, T> {
     fn segments(&self) -> usize {
         self.shared.segments.len()
     }

@@ -4,7 +4,7 @@
 //! operations, the following measurements were taken from the simulation:
 //! the number of segments examined per steal, the number of elements stolen
 //! per steal, the percentage of remove operations that required a steal,
-//! [and] the frequency of steal operations."
+//! \[and\] the frequency of steal operations."
 //!
 //! Each process accumulates a private [`ProcStats`] (no cross-process
 //! contention on the measurement path); the pool merges them into a

@@ -12,6 +12,18 @@
 //! ([`NullTiming`]), a real spin delay (`numa_sim::RealTiming`), or an
 //! advance of a deterministic virtual clock (`numa_sim::SimTiming`).
 //!
+//! # Static vs dynamic dispatch
+//!
+//! The pool frontends are *generic* over their cost model
+//! (`Pool<S, P, T: Timing>`), so the model is chosen at the type level:
+//! a `Pool<_, _, NullTiming>` monomorphizes to bare lock/steal code with
+//! every `charge` call inlined away, paying nothing for the instrumentation
+//! machinery. When the model must be picked at *runtime* (an experiment
+//! harness switching engines from a spec), use the [`DynTiming`] adapter:
+//! smart pointers to a `Timing` — including `Arc<dyn Timing>` — implement
+//! `Timing` themselves, so a dyn-dispatched model threads through the same
+//! generic hot path at the cost of one pointer indirection per charge.
+//!
 //! # Lock/charge discipline
 //!
 //! Implementations may block the calling thread (the virtual-time scheduler
@@ -82,6 +94,66 @@ pub trait Timing: Send + Sync {
     fn now(&self, proc: ProcId) -> u64;
 }
 
+/// A runtime-selected cost model: the dyn-dispatch adapter.
+///
+/// The pool's hot path charges through a generic `T: Timing`; this alias is
+/// the `T` to pick when the concrete model is only known at runtime. The
+/// smart-pointer blanket impls below make `Arc<dyn Timing>` itself a
+/// `Timing`, so a `Pool<S, P, DynTiming>` works exactly like any other
+/// pool — every charge just pays one virtual call.
+///
+/// ```
+/// use cpool::{DynTiming, NullTiming, Timing, ProcId, Resource, SegIdx};
+/// use std::sync::Arc;
+/// let t: DynTiming = Arc::new(NullTiming::new());
+/// t.charge(ProcId::new(0), Resource::Segment(SegIdx::new(0)));
+/// ```
+pub type DynTiming = std::sync::Arc<dyn Timing>;
+
+// Smart-pointer adapters: let `Arc<dyn Timing>` (and friends) flow through
+// the generic hot path when the cost model is selected at runtime.
+impl<T: Timing + ?Sized> Timing for std::sync::Arc<T> {
+    fn charge(&self, proc: ProcId, resource: Resource) {
+        (**self).charge(proc, resource);
+    }
+
+    fn charge_work(&self, proc: ProcId, ns: u64) {
+        (**self).charge_work(proc, ns);
+    }
+
+    fn now(&self, proc: ProcId) -> u64 {
+        (**self).now(proc)
+    }
+}
+
+impl<T: Timing + ?Sized> Timing for Box<T> {
+    fn charge(&self, proc: ProcId, resource: Resource) {
+        (**self).charge(proc, resource);
+    }
+
+    fn charge_work(&self, proc: ProcId, ns: u64) {
+        (**self).charge_work(proc, ns);
+    }
+
+    fn now(&self, proc: ProcId) -> u64 {
+        (**self).now(proc)
+    }
+}
+
+impl<T: Timing + ?Sized> Timing for &T {
+    fn charge(&self, proc: ProcId, resource: Resource) {
+        (**self).charge(proc, resource);
+    }
+
+    fn charge_work(&self, proc: ProcId, ns: u64) {
+        (**self).charge_work(proc, ns);
+    }
+
+    fn now(&self, proc: ProcId) -> u64 {
+        (**self).now(proc)
+    }
+}
+
 /// A [`Timing`] that charges nothing: raw machine speed.
 ///
 /// `now` still reports real elapsed nanoseconds since the value was created
@@ -95,7 +167,7 @@ pub trait Timing: Send + Sync {
 /// let b = t.now(ProcId::new(0));
 /// assert!(b >= a);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NullTiming {
     origin: Instant,
 }
@@ -150,5 +222,24 @@ mod tests {
         t.charge(ProcId::new(1), Resource::TreeNode(2));
         t.charge_work(ProcId::new(1), 50);
         let _ = t.now(ProcId::new(1));
+    }
+
+    /// A generic charge site accepts both concrete models and the
+    /// [`DynTiming`] adapter.
+    #[test]
+    fn adapters_thread_through_generic_sites() {
+        fn charge_one<T: Timing>(t: &T) -> u64 {
+            t.charge(ProcId::new(0), Resource::Segment(SegIdx::new(0)));
+            t.charge_work(ProcId::new(0), 10);
+            t.now(ProcId::new(0))
+        }
+        let concrete = NullTiming::new();
+        let _ = charge_one(&concrete);
+        let arced: DynTiming = std::sync::Arc::new(NullTiming::new());
+        let _ = charge_one(&arced);
+        let boxed: Box<dyn Timing> = Box::new(NullTiming::new());
+        let _ = charge_one(&boxed);
+        let borrowed: &dyn Timing = &concrete;
+        let _ = charge_one(&borrowed);
     }
 }

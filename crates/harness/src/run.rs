@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cpool::segment::{AtomicCounter, LockedCounter};
-use cpool::{DynPolicy, Pool, PoolBuilder, Segment, Timing};
+use cpool::{DynPolicy, DynTiming, Pool, PoolBuilder, Segment};
 use numa_sim::{RealTiming, SimScheduler, Topology};
 use workload::{Op, OpBudget};
 
@@ -48,7 +48,9 @@ fn run_trial_on<S: Segment<Item = ()>>(spec: &ExperimentSpec, trial: u32) -> Tri
     let seed = spec.trial_seed(trial);
     let topology = Topology::identity(spec.procs);
 
-    let (timing, scheduler): (Arc<dyn Timing>, Option<Arc<SimScheduler>>) = match spec.engine {
+    // The engine is chosen from the spec at runtime, so the pool runs on
+    // the `DynTiming` adapter rather than a concrete (monomorphized) model.
+    let (timing, scheduler): (DynTiming, Option<Arc<SimScheduler>>) = match spec.engine {
         Engine::Sim(model) => {
             let scheduler = SimScheduler::new(spec.procs, model, topology);
             (Arc::new(scheduler.timing()), Some(scheduler))
@@ -58,7 +60,7 @@ fn run_trial_on<S: Segment<Item = ()>>(spec: &ExperimentSpec, trial: u32) -> Tri
     };
 
     let policy: DynPolicy = spec.policy.build(spec.procs, spec.node_store);
-    let pool: Pool<S, DynPolicy> = PoolBuilder::new(spec.procs)
+    let pool: Pool<S, DynPolicy, DynTiming> = PoolBuilder::new(spec.procs)
         .seed(seed)
         .timing(Arc::clone(&timing))
         .record_trace(spec.record_trace)

@@ -11,7 +11,7 @@
 //!
 //! * [`board`] — the 4×4×4 board, its 76 winning lines, move generation;
 //! * [`eval`] — the positional heuristic for leaf evaluation;
-//! * [`minimax`] — the sequential reference search;
+//! * [`mod@minimax`] — the sequential reference search;
 //! * [`parallel`] — the pool-driven parallel expansion (work items flow
 //!   through any [`baselines::SharedWorkList`]);
 //! * [`speedup`] — the §4.4 experiment: speedup curves for pools vs. the

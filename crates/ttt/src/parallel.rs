@@ -176,18 +176,19 @@ impl ScoreTable {
 /// Under a virtual-time run, pass the scheduler: workers bracket their
 /// execution with `start`/`finish` and the result carries the modelled
 /// makespan. The `timing` must be the same cost model the work list was
-/// built with.
+/// built with; it is statically dispatched (use a [`cpool::DynTiming`] for
+/// runtime selection).
 ///
 /// # Panics
 ///
 /// Panics if `cfg.depth` is zero or if `root` is within `cfg.depth` plies
 /// of a finished game (the expansion does not handle terminal positions,
 /// which cannot occur in the paper's first-three-moves workload).
-pub fn expand_parallel<W: SharedWorkList<WorkItem>>(
+pub fn expand_parallel<W: SharedWorkList<WorkItem>, T: Timing>(
     list: &W,
     workers: usize,
     cfg: &ExpansionConfig,
-    timing: &Arc<dyn Timing>,
+    timing: &T,
     scheduler: Option<&Arc<SimScheduler>>,
 ) -> ExpansionResult {
     assert!(cfg.depth > 0, "expansion needs at least one ply");
@@ -210,7 +211,6 @@ pub fn expand_parallel<W: SharedWorkList<WorkItem>>(
             let table = &table;
             let leaves = &leaves;
             let items = &items;
-            let timing = Arc::clone(timing);
             let scheduler = scheduler.map(Arc::clone);
             scope.spawn(move || {
                 let me = handle.proc_id();
@@ -275,8 +275,8 @@ mod tests {
     use baselines::{GlobalStack, PoolWorkList};
     use cpool::{NullTiming, PolicyKind};
 
-    fn null_timing() -> Arc<dyn Timing> {
-        Arc::new(NullTiming::new())
+    fn null_timing() -> NullTiming {
+        NullTiming::new()
     }
 
     fn fast_cfg(depth: u8, batch: bool) -> ExpansionConfig {

@@ -15,11 +15,10 @@
 
 use std::fmt;
 use std::str::FromStr;
-use std::sync::Arc;
 
 use baselines::{GlobalQueue, GlobalStack, LockFreeQueue, PoolWorkList};
-use cpool::{PolicyKind, Timing};
-use numa_sim::{LatencyModel, SimScheduler, Topology};
+use cpool::PolicyKind;
+use numa_sim::{LatencyModel, SimScheduler, SimTiming, Topology};
 
 use crate::parallel::{expand_parallel, ExpansionConfig, ExpansionResult, WorkItem};
 
@@ -137,7 +136,10 @@ impl SpeedupCurve {
 /// Runs one virtual-time expansion on `workers` workers.
 pub fn run_one(kind: WorkListKind, workers: usize, cfg: &SpeedupConfig) -> ExpansionResult {
     let scheduler = SimScheduler::new(workers, cfg.model, Topology::identity(workers));
-    let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
+    // The cost model is always the virtual-time clock here, so the lists are
+    // built over the concrete `SimTiming` — statically dispatched, no
+    // trait-object adapter in the measured path.
+    let timing: SimTiming = scheduler.timing();
     match kind {
         WorkListKind::PoolLinear | WorkListKind::PoolRandom | WorkListKind::PoolTree => {
             let policy = match kind {
@@ -145,24 +147,25 @@ pub fn run_one(kind: WorkListKind, workers: usize, cfg: &SpeedupConfig) -> Expan
                 WorkListKind::PoolRandom => PolicyKind::Random,
                 _ => PolicyKind::Tree,
             };
-            let list: PoolWorkList<WorkItem> = PoolWorkList::new(
+            let list: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::new(
                 workers,
                 policy.build(workers, Default::default()),
-                Arc::clone(&timing),
+                timing.clone(),
                 cfg.seed,
             );
             expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
         }
         WorkListKind::GlobalStack => {
-            let list: GlobalStack<WorkItem> = GlobalStack::with_timing(Arc::clone(&timing));
+            let list: GlobalStack<WorkItem, SimTiming> = GlobalStack::with_timing(timing.clone());
             expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
         }
         WorkListKind::GlobalQueue => {
-            let list: GlobalQueue<WorkItem> = GlobalQueue::with_timing(Arc::clone(&timing));
+            let list: GlobalQueue<WorkItem, SimTiming> = GlobalQueue::with_timing(timing.clone());
             expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
         }
         WorkListKind::LockFreeQueue => {
-            let list: LockFreeQueue<WorkItem> = LockFreeQueue::with_timing(Arc::clone(&timing));
+            let list: LockFreeQueue<WorkItem, SimTiming> =
+                LockFreeQueue::with_timing(timing.clone());
             expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
         }
     }

@@ -17,9 +17,9 @@ pub enum Op {
 
 /// An endless, per-process source of operations.
 ///
-/// Streams are infinite; the experiment's *global* [`OpBudget`]
-/// (crate::OpBudget) decides when to stop, per the paper's combined-total
-/// termination rule.
+/// Streams are infinite; the experiment's *global*
+/// [`OpBudget`](crate::OpBudget) decides when to stop, per the paper's
+/// combined-total termination rule.
 pub trait OpStream: Send {
     /// The next operation this process should perform.
     fn next_op(&mut self) -> Op;

@@ -9,14 +9,12 @@
 //! cargo run --release --example game_tree -- --depth 3   # the paper's 249,984 positions
 //! ```
 
-use std::sync::Arc;
-
 use concurrent_pools::baselines::PoolWorkList;
 use concurrent_pools::harness::cli::Args;
 use concurrent_pools::ttt::board::Board;
 use concurrent_pools::ttt::minimax::minimax;
 use concurrent_pools::ttt::parallel::{expand_parallel, ExpansionConfig, WorkItem};
-use cpool::{NullTiming, PolicyKind, Timing};
+use cpool::{NullTiming, PolicyKind};
 
 fn main() {
     let args = Args::from_env();
@@ -25,11 +23,15 @@ fn main() {
 
     println!("expanding the first {depth} moves of 4x4x4 tic-tac-toe on {workers} workers...");
 
-    let timing: Arc<dyn Timing> = Arc::new(NullTiming::new());
+    // Statically dispatched: the NullTiming model is a type parameter, so
+    // the expansion runs on the bare pool with no cost-model indirection.
+    // The expansion must charge through the same model the list was built
+    // with, hence the clone of one instance.
+    let timing = NullTiming::new();
     let list: PoolWorkList<WorkItem> = PoolWorkList::new(
         workers,
         PolicyKind::Linear.build(workers, Default::default()),
-        Arc::clone(&timing),
+        timing.clone(),
         1,
     );
     let cfg = ExpansionConfig { depth, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: true };

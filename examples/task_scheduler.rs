@@ -12,10 +12,9 @@
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use concurrent_pools::baselines::{PoolWorkList, SharedWorkList, WorkHandle};
-use cpool::{NullTiming, PolicyKind, Timing};
+use cpool::{NullTiming, PolicyKind};
 
 /// A slice of work: sum the integers in `lo..hi`.
 #[derive(Clone, Copy, Debug)]
@@ -30,9 +29,14 @@ fn main() {
     const WORKERS: usize = 8;
     const TOTAL: u64 = 10_000_000;
 
-    let timing: Arc<dyn Timing> = Arc::new(NullTiming::new());
-    let list: PoolWorkList<Task> =
-        PoolWorkList::new(WORKERS, PolicyKind::Tree.build(WORKERS, Default::default()), timing, 7);
+    // The statically-dispatched NullTiming pool: bare lock/steal code, no
+    // cost-model indirection on the hot path.
+    let list: PoolWorkList<Task> = PoolWorkList::new(
+        WORKERS,
+        PolicyKind::Tree.build(WORKERS, Default::default()),
+        NullTiming::new(),
+        7,
+    );
     list.seed(vec![Task { lo: 0, hi: TOTAL }]);
 
     let sum = AtomicU64::new(0);

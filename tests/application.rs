@@ -1,11 +1,9 @@
 //! Application-level integration: the §4.4 tic-tac-toe study wired through
 //! pools, baselines, and the virtual-time scheduler.
 
-use std::sync::Arc;
-
 use baselines::{GlobalQueue, GlobalStack, LockFreeQueue, PoolWorkList};
-use cpool::{NullTiming, PolicyKind, Timing};
-use numa_sim::{LatencyModel, SimScheduler, Topology};
+use cpool::{NullTiming, PolicyKind};
+use numa_sim::{LatencyModel, SimScheduler, SimTiming, Topology};
 use ttt::board::Board;
 use ttt::minimax::minimax;
 use ttt::parallel::{expand_parallel, ExpansionConfig, WorkItem};
@@ -14,8 +12,8 @@ fn fast_cfg(depth: u8) -> ExpansionConfig {
     ExpansionConfig { depth, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: true }
 }
 
-fn null_timing() -> Arc<dyn Timing> {
-    Arc::new(NullTiming::new())
+fn null_timing() -> NullTiming {
+    NullTiming::new()
 }
 
 /// Every work-list implementation yields the same decision as sequential
@@ -77,11 +75,11 @@ fn virtual_time_expansion_speeds_up() {
     for workers in [1usize, 2, 4] {
         let scheduler =
             SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
-        let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
-        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+        let timing: SimTiming = scheduler.timing();
+        let pool: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::new(
             workers,
             PolicyKind::Linear.build(workers, Default::default()),
-            Arc::clone(&timing),
+            timing.clone(),
             3,
         );
         let r = expand_parallel(&pool, workers, &cfg, &timing, Some(&scheduler));
@@ -105,11 +103,11 @@ fn virtual_time_expansion_is_deterministic() {
         let workers = 3;
         let scheduler =
             SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
-        let timing: Arc<dyn Timing> = Arc::new(scheduler.timing());
-        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
+        let timing: SimTiming = scheduler.timing();
+        let pool: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::new(
             workers,
             PolicyKind::Tree.build(workers, Default::default()),
-            Arc::clone(&timing),
+            timing.clone(),
             42,
         );
         let cfg = ExpansionConfig {

@@ -1,0 +1,99 @@
+//! Cross-model determinism: the cost model is *observation only*.
+//!
+//! The statically-dispatched cost model changes what a shared-memory access
+//! costs, never what the pool does. A seeded, single-process (hence
+//! schedule-free) workload must therefore produce bit-identical logical
+//! statistics — adds, removes, steals, aborts, segments examined — whether
+//! the pool is built over the generic [`NullTiming`], the
+//! [`DynTiming`](cpool::DynTiming) (`Arc<dyn Timing>`) adapter, or the
+//! virtual-time [`SimTiming`]. This pins the generic-dispatch refactor
+//! against behavioral drift between the monomorphized and dyn-dispatched
+//! hot paths.
+
+use std::sync::Arc;
+
+use cpool::{DynTiming, LinearSearch, NullTiming, Pool, PoolBuilder, ProcId, Timing, VecSegment};
+use numa_sim::{LatencyModel, SimScheduler, Topology};
+
+/// The logical outcome of a run: everything the paper's figures are built
+/// from, except the (model-dependent) latencies.
+#[derive(PartialEq, Eq, Debug)]
+struct Logical {
+    adds: u64,
+    removes: u64,
+    steals: u64,
+    aborted_removes: u64,
+    elements_stolen: u64,
+    segments_examined: u64,
+    final_sizes: Vec<usize>,
+}
+
+/// Runs the same seeded add/remove mix on one process over four segments.
+///
+/// The op sequence comes from a fixed xorshift stream, so it is identical
+/// for every cost model; a single process means no scheduling freedom
+/// either. Removes outnumber adds, so the run drains the initial fill,
+/// steals across segments, and finally aborts — exercising every exit path
+/// of `try_remove`.
+fn run_workload<T: Timing>(pool: &Pool<VecSegment<u64>, LinearSearch, T>) -> Logical {
+    pool.fill_evenly_with(64, |i| i as u64);
+    let mut handle = pool.register();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..512u64 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        if state.is_multiple_of(3) {
+            handle.add(i);
+        } else {
+            let _ = handle.try_remove();
+        }
+    }
+    let stats = handle.stats();
+    Logical {
+        adds: stats.adds,
+        removes: stats.removes,
+        steals: stats.steals,
+        aborted_removes: stats.aborted_removes,
+        elements_stolen: stats.elements_stolen,
+        segments_examined: stats.segments_examined,
+        final_sizes: pool.segment_sizes(),
+    }
+}
+
+fn pool_with<T: Timing>(timing: T) -> Pool<VecSegment<u64>, LinearSearch, T> {
+    PoolBuilder::new(4).seed(7).timing(timing).build_with_policy(LinearSearch::new(4))
+}
+
+#[test]
+fn generic_dyn_and_sim_models_agree_logically() {
+    // Generic static dispatch: the monomorphized, uninstrumented pool.
+    let generic = run_workload(&pool_with(NullTiming::new()));
+
+    // The same model behind the dyn-dispatch adapter.
+    let adapter: DynTiming = Arc::new(NullTiming::new());
+    let dyn_dispatch = run_workload(&pool_with(adapter));
+
+    // The virtual-time engine (Butterfly latencies), under the scheduler's
+    // start/finish protocol.
+    let scheduler = SimScheduler::new(1, LatencyModel::butterfly(), Topology::identity(1));
+    let sim_pool = pool_with(scheduler.timing());
+    scheduler.start(ProcId::new(0));
+    let sim = run_workload(&sim_pool);
+    scheduler.finish(ProcId::new(0));
+
+    assert_eq!(generic, dyn_dispatch, "dyn adapter must not change pool behavior");
+    assert_eq!(generic, sim, "virtual-time model must not change pool behavior");
+
+    // Sanity: the workload exercised the interesting paths at all.
+    assert!(generic.steals > 0, "workload must steal: {generic:?}");
+    assert!(generic.aborted_removes > 0, "workload must abort: {generic:?}");
+    assert!(generic.segments_examined > 0, "workload must search: {generic:?}");
+}
+
+#[test]
+fn generic_null_timing_is_repeatable() {
+    let a = run_workload(&pool_with(NullTiming::new()));
+    let b = run_workload(&pool_with(NullTiming::new()));
+    assert_eq!(a, b, "single-process seeded workload is deterministic");
+}

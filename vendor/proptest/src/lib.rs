@@ -1,7 +1,7 @@
 //! Offline shim for the `proptest` crate.
 //!
 //! Implements the subset of proptest this workspace's property tests use:
-//! the [`Strategy`] trait over ranges / tuples / `Just` / mapped and
+//! the [`Strategy`](strategy::Strategy) trait over ranges / tuples / `Just` / mapped and
 //! composed strategies, `prop::collection::vec`, `prop::bool::ANY`,
 //! [`any`](arbitrary::any), and the `proptest!`, `prop_compose!`,
 //! `prop_oneof!`, `prop_assert*!` and `prop_assume!` macros.
