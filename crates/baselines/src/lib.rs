@@ -18,6 +18,9 @@
 //! [`Resource::Shared`]`(0)` so NUMA cost models and the virtual-time
 //! scheduler see the hot spot; termination uses the same
 //! all-processes-searching rule as the pool ([`cpool::SearchGate`]).
+//! Workers that generate work in bursts should deposit it through
+//! [`WorkHandle::put_batch`], which the pool-backed list serves with one
+//! segment lock per batch ([`cpool::PoolOps::add_batch`]).
 //!
 //! Like the pools they compete with, every work list is generic over its
 //! [`Timing`] cost model (default [`cpool::NullTiming`], statically
@@ -36,8 +39,8 @@ use crossbeam_queue::SegQueue;
 use parking_lot::Mutex;
 
 use cpool::{
-    DynPolicy, Handle, NullTiming, Pool, PoolBuilder, ProcId, RemoveError, Resource, SearchGate,
-    Timing, VecSegment,
+    DynPolicy, Handle, NullTiming, PolicyKind, Pool, PoolBuilder, PoolOps, ProcId, Resource,
+    SearchGate, Timing, VecSegment, WaitStrategy,
 };
 
 /// Returned by [`WorkHandle::get`] when the computation has terminated:
@@ -58,6 +61,16 @@ impl Error for Done {}
 pub trait WorkHandle<T>: Send {
     /// Deposits one work item.
     fn put(&mut self, item: T);
+
+    /// Deposits a batch of work items, paying the list's synchronization
+    /// once per batch where the backing structure supports it (the
+    /// pool-backed list maps this to [`cpool::PoolOps::add_batch`]; the
+    /// default implementation falls back to per-item [`put`](Self::put)).
+    fn put_batch<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        for item in items {
+            self.put(item);
+        }
+    }
 
     /// Retrieves a work item, waiting (by re-probing) while other workers
     /// are still active.
@@ -298,6 +311,11 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> WorkHandle<T>
         self.shared.buffer.push(item);
     }
 
+    // `put_batch` deliberately keeps the default per-`put` implementation:
+    // the centralized structure synchronizes (and is charged) per access —
+    // that hot spot is the baseline's defining property, and batching the
+    // *charge* would falsify the §4.4 pool-vs-central comparison.
+
     fn get(&mut self) -> Result<T, Done> {
         self.shared.timing.charge(self.proc, Resource::Shared(0));
         if let Some(item) = self.shared.buffer.pop() {
@@ -327,11 +345,12 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> WorkHandle<T>
 
 /// A concurrent pool adapted to the [`SharedWorkList`] interface.
 ///
-/// `get` maps to the pool's remove-with-steal; termination piggybacks on
-/// the pool's livelock breaker: an abort means every worker was searching,
-/// at which point an empty pool is a stable "done" signal (no process can
-/// add while all are searching). A non-empty pool after an abort (the rare
-/// race the paper tolerates) simply retries.
+/// `get` maps to the pool's blocking
+/// [`remove`](cpool::PoolOps::remove): transient aborts retry inside the
+/// pool, and termination piggybacks on the terminal abort — every worker
+/// searching with the pool drained is a stable "done" signal (no process
+/// can add while all are searching). `put_batch` maps to
+/// [`add_batch`](cpool::PoolOps::add_batch), one segment lock per batch.
 pub struct PoolWorkList<T: Send + 'static, Ti: Timing = NullTiming> {
     pool: Pool<VecSegment<T>, DynPolicy, Ti>,
 }
@@ -350,10 +369,13 @@ impl<T: Send + 'static, Ti: Timing> Clone for PoolWorkList<T, Ti> {
 
 impl<T: Send + 'static, Ti: Timing> PoolWorkList<T, Ti> {
     /// Creates a pool-backed work list with `segments` segments, the given
-    /// search policy, and cost model (statically dispatched; pass a
+    /// search algorithm, and cost model (statically dispatched; pass a
     /// [`cpool::DynTiming`] for runtime selection).
-    pub fn new(segments: usize, policy: DynPolicy, timing: Ti, seed: u64) -> Self {
-        let pool = PoolBuilder::new(segments).seed(seed).timing(timing).build_with_policy(policy);
+    ///
+    /// The policy is constructed internally for `segments` segments
+    /// ([`PoolBuilder::build_policy`]), so the count is stated once.
+    pub fn new(segments: usize, policy: PolicyKind, timing: Ti, seed: u64) -> Self {
+        let pool = PoolBuilder::new(segments).seed(seed).timing(timing).build_policy(policy);
         PoolWorkList { pool }
     }
 
@@ -367,7 +389,7 @@ impl<T: Send + 'static, Ti: Timing> SharedWorkList<T> for PoolWorkList<T, Ti> {
     type Handle = PoolWorkHandle<T, Ti>;
 
     fn register(&self) -> PoolWorkHandle<T, Ti> {
-        PoolWorkHandle { inner: self.pool.register(), pool: self.pool.clone() }
+        PoolWorkHandle { inner: self.pool.register() }
     }
 
     fn seed(&self, items: Vec<T>) {
@@ -384,7 +406,6 @@ impl<T: Send + 'static, Ti: Timing> SharedWorkList<T> for PoolWorkList<T, Ti> {
 /// Worker handle to a [`PoolWorkList`].
 pub struct PoolWorkHandle<T: Send + 'static, Ti: Timing = NullTiming> {
     inner: Handle<VecSegment<T>, DynPolicy, Ti>,
-    pool: Pool<VecSegment<T>, DynPolicy, Ti>,
 }
 
 impl<T: Send + 'static, Ti: Timing> fmt::Debug for PoolWorkHandle<T, Ti> {
@@ -398,23 +419,19 @@ impl<T: Send + 'static, Ti: Timing> WorkHandle<T> for PoolWorkHandle<T, Ti> {
         self.inner.add(item);
     }
 
+    fn put_batch<I: IntoIterator<Item = T>>(&mut self, items: I) {
+        // One segment lock for the whole batch of generated work.
+        self.inner.add_batch(items);
+    }
+
     fn get(&mut self) -> Result<T, Done> {
-        loop {
-            match self.inner.try_remove() {
-                Ok(item) => return Ok(item),
-                // RemoveError is non-exhaustive; today the only variant is
-                // Aborted, and any future variant should also fall through
-                // to the emptiness re-check.
-                Err(RemoveError::Aborted) => {
-                    // All workers were searching. If the pool is also empty
-                    // the computation is over; otherwise retry (an element
-                    // slipped in just before its producer started searching).
-                    if self.pool.total_len() == 0 {
-                        return Err(Done);
-                    }
-                }
-            }
-        }
+        // The blocking remove owns the retry policy: transient aborts (an
+        // element slipped in just before its producer started searching)
+        // are retried inside the crate, and the only terminal outcome is
+        // abort-while-drained — exactly this trait's "done" condition. An
+        // unbounded attempt budget is safe because the drained check ends
+        // the wait as soon as the pool is genuinely empty.
+        self.inner.remove_with_attempts(WaitStrategy::Spin, usize::MAX).map_err(|_| Done)
     }
 
     fn proc_id(&self) -> ProcId {
@@ -483,12 +500,8 @@ mod tests {
 
     #[test]
     fn pool_work_list_drains() {
-        let list: PoolWorkList<u32> = PoolWorkList::new(
-            4,
-            PolicyKind::Linear.build(4, Default::default()),
-            NullTiming::new(),
-            7,
-        );
+        let list: PoolWorkList<u32> =
+            PoolWorkList::new(4, PolicyKind::Linear, NullTiming::new(), 7);
         assert_eq!(drain_all(&list, 4, (0..1000).collect()), 1000);
         assert_eq!(list.len(), 0);
     }
@@ -523,12 +536,7 @@ mod tests {
 
     #[test]
     fn pool_work_list_with_generation() {
-        let list: PoolWorkList<u32> = PoolWorkList::new(
-            3,
-            PolicyKind::Tree.build(3, Default::default()),
-            NullTiming::new(),
-            1,
-        );
+        let list: PoolWorkList<u32> = PoolWorkList::new(3, PolicyKind::Tree, NullTiming::new(), 1);
         list.seed(vec![0]);
         let handles: Vec<_> = (0..3).map(|_| list.register()).collect();
         let processed = AtomicUsize::new(0);
@@ -539,8 +547,8 @@ mod tests {
                     while let Ok(item) = h.get() {
                         processed.fetch_add(1, Ordering::Relaxed);
                         if item < 4 {
-                            h.put(item + 1);
-                            h.put(item + 1);
+                            // Generated children travel as one batch.
+                            h.put_batch([item + 1, item + 1]);
                         }
                     }
                 });

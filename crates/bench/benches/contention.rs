@@ -19,9 +19,8 @@ const THREADS: usize = 4;
 const OPS: u64 = 20_000;
 
 fn run_budget<S: Segment<Item = ()>>(kind: PolicyKind) {
-    let pool: Pool<S, DynPolicy> = PoolBuilder::new(THREADS)
-        .seed(9)
-        .build_with_policy(kind.build(THREADS, NodeStoreKind::Locked));
+    let pool: Pool<S, DynPolicy> =
+        PoolBuilder::new(THREADS).seed(9).node_store(NodeStoreKind::Locked).build_policy(kind);
     pool.fill_evenly(20 * THREADS);
     let budget = Arc::new(OpBudget::new(OPS));
     std::thread::scope(|s| {

@@ -13,7 +13,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
-use bench::hotpath::{add_remove_op, pool_with, steal_op};
+use bench::hotpath::{
+    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, BATCH_SIZES,
+};
 use cpool::{DynTiming, NullTiming};
 
 fn benches(c: &mut Criterion) {
@@ -34,6 +36,21 @@ fn benches(c: &mut Criterion) {
     let pool = pool_with(2, adapter);
     let mut op = steal_op(&pool);
     c.bench_function("hotpath/steal/dyn", |b| b.iter(&mut op));
+
+    // Batched vs per-element element traffic; each iteration moves `batch`
+    // elements, so compare per-size pairs (the bin twin normalizes to
+    // ns/element for the committed JSON).
+    for batch in BATCH_SIZES {
+        let pool = pool_with(1, NullTiming::new());
+        let mut op = batch_roundtrip_op(&pool, batch);
+        c.bench_function(format!("hotpath/batch_add_remove/batched/{batch}"), |b| b.iter(&mut op));
+
+        let pool = pool_with(1, NullTiming::new());
+        let mut op = per_element_roundtrip_op(&pool, batch);
+        c.bench_function(format!("hotpath/batch_add_remove/per_element/{batch}"), |b| {
+            b.iter(&mut op)
+        });
+    }
 }
 
 criterion_group! {

@@ -15,7 +15,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use bench::hotpath::{add_remove_op, pool_with, steal_op};
+use bench::hotpath::{
+    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, BATCH_SIZES,
+};
 use cpool::{DynTiming, NullTiming};
 use harness::cli::Args;
 
@@ -60,14 +62,31 @@ fn main() {
         measure(iters, steal_op(&pool))
     };
 
-    let results = [
-        ("add_remove/generic", generic_add),
-        ("add_remove/dyn", dyn_add),
-        ("steal/generic", generic_steal),
-        ("steal/dyn", dyn_steal),
+    // Batched vs per-element element traffic (generic NullTiming pool, one
+    // segment): both move `batch` elements per iteration; the number
+    // reported is ns *per element* so sizes compare directly.
+    let mut results: Vec<(String, f64)> = vec![
+        ("add_remove/generic".to_string(), generic_add),
+        ("add_remove/dyn".to_string(), dyn_add),
+        ("steal/generic".to_string(), generic_steal),
+        ("steal/dyn".to_string(), dyn_steal),
     ];
-    for (name, ns) in results {
-        eprintln!("{name:>20}: {ns:8.1} ns/op");
+    for batch in BATCH_SIZES {
+        let per_iter = (iters / batch as u64).max(1);
+        let batched = {
+            let pool = pool_with(1, NullTiming::new());
+            measure(per_iter, batch_roundtrip_op(&pool, batch)) / batch as f64
+        };
+        let per_element = {
+            let pool = pool_with(1, NullTiming::new());
+            measure(per_iter, per_element_roundtrip_op(&pool, batch)) / batch as f64
+        };
+        results.push((format!("batch_add_remove/batched/{batch}"), batched));
+        results.push((format!("batch_add_remove/per_element/{batch}"), per_element));
+    }
+
+    for (name, ns) in &results {
+        eprintln!("{name:>32}: {ns:8.1} ns/elem");
     }
     eprintln!(
         "dyn/generic ratio: add_remove {:.3}, steal {:.3}",
@@ -77,7 +96,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"hotpath\",\n");
-    json.push_str("  \"unit\": \"ns_per_op\",\n");
+    json.push_str("  \"unit\": \"ns_per_element\",\n");
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str("  \"pool\": \"Pool<VecSegment<u64>, LinearSearch, T>\",\n");
     json.push_str("  \"results\": {\n");

@@ -34,17 +34,17 @@ use harness::figures::Scale;
 /// committed `BENCH_hotpath.json` baseline and the criterion numbers drift
 /// apart — so both build their loops from these functions.
 pub mod hotpath {
-    use cpool::{LinearSearch, Pool, PoolBuilder, Timing, VecSegment};
+    use cpool::{LinearSearch, Pool, PoolBuilder, PoolOps, Timing, VecSegment};
 
     /// The pool configuration both hot-path benchmarks measure.
     pub type HotPool<T> = Pool<VecSegment<u64>, LinearSearch, T>;
 
+    /// Batch sizes the batched-vs-per-element comparison sweeps.
+    pub const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
     /// Builds the measured pool over the given cost model.
     pub fn pool_with<T: Timing>(segments: usize, timing: T) -> HotPool<T> {
-        PoolBuilder::new(segments)
-            .seed(1)
-            .timing(timing)
-            .build_with_policy(LinearSearch::new(segments))
+        PoolBuilder::new(segments).seed(1).timing(timing).build()
     }
 
     /// One uncontended local add immediately removed: the fast path.
@@ -66,6 +66,37 @@ pub mod hotpath {
         move || {
             victim.add(7);
             std::hint::black_box(thief.try_remove().expect("victim has an element"));
+        }
+    }
+
+    /// `batch` elements added with one `add_batch` and removed with one
+    /// `try_remove_batch`: one segment lock (and one per-batch timer/probe
+    /// charge) per direction. Build the pool with 1 segment.
+    pub fn batch_roundtrip_op<T: Timing>(pool: &HotPool<T>, batch: usize) -> impl FnMut() + '_ {
+        let mut handle = pool.register();
+        move || {
+            handle.add_batch(0..batch as u64);
+            let got = handle.try_remove_batch(batch);
+            assert_eq!(got.len(), batch, "local batch must be served in full");
+            std::hint::black_box(got.into_vec());
+        }
+    }
+
+    /// The same element traffic as [`batch_roundtrip_op`], moved one
+    /// element at a time — the loop every batch-less caller writes. Build
+    /// the pool with 1 segment.
+    pub fn per_element_roundtrip_op<T: Timing>(
+        pool: &HotPool<T>,
+        batch: usize,
+    ) -> impl FnMut() + '_ {
+        let mut handle = pool.register();
+        move || {
+            for i in 0..batch as u64 {
+                handle.add(i);
+            }
+            for _ in 0..batch {
+                std::hint::black_box(handle.try_remove().expect("just added"));
+            }
         }
     }
 }

@@ -177,6 +177,41 @@ impl<'a, T: Timing> OpTimer<'a, T> {
         stats.aborted_removes += 1;
         stats.abort_ns += self.elapsed();
     }
+
+    /// Completes a batched add of `n` elements, `donated` of which went to
+    /// searching processes' mailboxes instead of the local segment.
+    ///
+    /// Statistics count one add per element; the latency histogram records
+    /// the batch as a single sample (it is one operation). An empty batch
+    /// records nothing, mirroring [`finish_remove_batch`](Self::finish_remove_batch).
+    pub fn finish_add_batch(self, stats: &mut ProcStats, n: usize, donated: usize) {
+        debug_assert!(donated <= n);
+        if n == 0 {
+            return;
+        }
+        let dt = self.elapsed();
+        stats.adds += n as u64;
+        stats.donated_adds += donated as u64;
+        stats.add_ns += dt;
+        stats.add_hist.record(dt);
+    }
+
+    /// Completes a batched remove that obtained `n` elements without a
+    /// steal (the local fast path or a drain sweep).
+    ///
+    /// An empty batch records nothing: it is a probe, not an operation
+    /// outcome (batched removes that fall back to a search account the
+    /// search through the ordinary `finish_steal_remove`/`finish_aborted`
+    /// paths).
+    pub fn finish_remove_batch(self, stats: &mut ProcStats, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let dt = self.elapsed();
+        stats.removes += n as u64;
+        stats.remove_ns += dt;
+        stats.remove_hist.record(dt);
+    }
 }
 
 /// One search for elements to steal: probe counting, the full-lap abort
@@ -353,16 +388,22 @@ mod tests {
         t.finish_steal_remove(&mut stats, 5, search_t0);
         OpTimer::start(&timing, me, 0).finish_hinted_remove(&mut stats);
         OpTimer::start(&timing, me, 0).finish_aborted(&mut stats);
+        // Batch finishers: per-element counts, one histogram sample per
+        // batch, and zero-sized batches recording nothing.
+        OpTimer::start(&timing, me, 0).finish_add_batch(&mut stats, 4, 1);
+        OpTimer::start(&timing, me, 0).finish_add_batch(&mut stats, 0, 0);
+        OpTimer::start(&timing, me, 0).finish_remove_batch(&mut stats, 3);
+        OpTimer::start(&timing, me, 0).finish_remove_batch(&mut stats, 0);
         assert_eq!(stats.ops(), stats.adds + stats.removes + stats.aborted_removes);
-        assert_eq!(stats.adds, 2);
-        assert_eq!(stats.donated_adds, 1);
-        assert_eq!(stats.removes, 3);
+        assert_eq!(stats.adds, 6);
+        assert_eq!(stats.donated_adds, 2);
+        assert_eq!(stats.removes, 6);
         assert_eq!(stats.hinted_removes, 1);
         assert_eq!(stats.steals, 1);
         assert_eq!(stats.elements_stolen, 5);
         assert_eq!(stats.aborted_removes, 1);
-        assert_eq!(stats.add_hist.count(), 2);
-        assert_eq!(stats.remove_hist.count(), 3);
+        assert_eq!(stats.add_hist.count(), 3);
+        assert_eq!(stats.remove_hist.count(), 4);
     }
 
     #[test]

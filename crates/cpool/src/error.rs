@@ -3,14 +3,18 @@
 use std::error::Error;
 use std::fmt;
 
-/// Error returned by [`Handle::try_remove`](crate::Handle::try_remove).
+/// Error returned by [`Handle::try_remove`](crate::Handle::try_remove) and
+/// the blocking [`PoolOps::remove`](crate::PoolOps::remove).
 ///
-/// The concurrent pool has no blocking `remove`: a process that cannot find
-/// an element keeps searching remote segments until it either steals some or
-/// the livelock breaker fires. Following §3.2 of Kotz & Ellis (1989), a
-/// search aborts when *every* process registered with the pool is
-/// simultaneously searching — at that point no process can be adding, so the
-/// pool is (almost certainly) empty and waiting would livelock.
+/// A removing process that cannot find an element keeps searching remote
+/// segments until it either steals some or the livelock breaker fires.
+/// Following §3.2 of Kotz & Ellis (1989), a search aborts when *every*
+/// process registered with the pool is simultaneously searching — at that
+/// point no process can be adding, so the pool is (almost certainly) empty
+/// and waiting would livelock. `try_remove` surfaces each abort directly;
+/// the blocking `remove` retries transient aborts under a
+/// [`WaitStrategy`](crate::WaitStrategy) and only returns this error when
+/// the abort is terminal (pool drained) or its attempt budget is spent.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RemoveError {
     /// All registered processes were searching simultaneously, so the

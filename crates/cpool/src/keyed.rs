@@ -48,6 +48,7 @@ use parking_lot::Mutex;
 use crate::core::{OpTimer, Registry, SearchSession};
 use crate::error::RemoveError;
 use crate::ids::{ProcId, SegIdx};
+use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
 use crate::segment::steal_count;
 use crate::stats::{PoolStats, ProcStats};
 use crate::timing::{NullTiming, Resource, Timing};
@@ -147,12 +148,122 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
         self.len.fetch_sub(stolen.len(), Ordering::AcqRel);
         Some((key, stolen))
     }
+
+    /// Adds a mixed-key batch under one lock acquisition (the keyed side of
+    /// `PoolOps::add_batch`).
+    fn add_bulk_mixed(&self, pairs: Vec<(K, V)>) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut buckets = self.buckets.lock();
+        let n = pairs.len();
+        for (key, value) in pairs {
+            buckets.entry(key).or_default().push(value);
+        }
+        self.len.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Removes up to `n` elements (first keys first, deterministically)
+    /// under one lock acquisition.
+    fn remove_up_to(&self, n: usize) -> Vec<(K, V)> {
+        let mut buckets = self.buckets.lock();
+        let mut out = Vec::new();
+        while out.len() < n {
+            let Some(key) = buckets.keys().next().cloned() else { break };
+            let bucket = buckets.get_mut(&key).expect("key just observed");
+            while out.len() < n {
+                match bucket.pop() {
+                    Some(value) => out.push((key.clone(), value)),
+                    None => break,
+                }
+            }
+            if bucket.is_empty() {
+                buckets.remove(&key);
+            }
+        }
+        self.len.fetch_sub(out.len(), Ordering::AcqRel);
+        out
+    }
+
+    /// Removes every element under one lock acquisition.
+    fn drain_all(&self) -> Vec<(K, V)> {
+        let mut buckets = self.buckets.lock();
+        let mut out = Vec::new();
+        for (key, values) in std::mem::take(&mut *buckets) {
+            out.extend(values.into_iter().map(|v| (key.clone(), v)));
+        }
+        self.len.fetch_sub(out.len(), Ordering::AcqRel);
+        out
+    }
 }
 
 struct KeyedShared<K, V, T> {
     segments: Box<[KeyedSegment<K, V>]>,
     registry: Registry,
     timing: T,
+}
+
+/// Configures and builds a [`KeyedPool`] — the keyed counterpart of
+/// [`PoolBuilder`](crate::PoolBuilder), replacing the former ad-hoc
+/// `new`/`with_timing` constructor pair.
+///
+/// Like `PoolBuilder`, the segment count is stated once ([`new`](Self::new))
+/// and the cost model is a statically-dispatched type parameter rebound by
+/// [`timing`](Self::timing). The keyed pool's search is the built-in
+/// per-key linear walk (see the [module docs](self)), so there is no policy
+/// choice to configure.
+///
+/// ```
+/// use cpool::{KeyedPool, KeyedPoolBuilder, NullTiming};
+///
+/// let pool: KeyedPool<&'static str, u32> =
+///     KeyedPoolBuilder::new(4).timing(NullTiming::new()).build();
+/// assert_eq!(pool.segments(), 4);
+/// ```
+#[must_use = "a KeyedPoolBuilder does nothing until build() is called"]
+pub struct KeyedPoolBuilder<T: Timing = NullTiming> {
+    segments: usize,
+    timing: T,
+}
+
+impl<T: Timing> std::fmt::Debug for KeyedPoolBuilder<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedPoolBuilder").field("segments", &self.segments).finish_non_exhaustive()
+    }
+}
+
+impl KeyedPoolBuilder {
+    /// Starts building a keyed pool with `segments` segments and the free
+    /// [`NullTiming`] cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(segments: usize) -> Self {
+        assert!(segments > 0, "pool must have at least one segment");
+        KeyedPoolBuilder { segments, timing: NullTiming::new() }
+    }
+}
+
+impl<T: Timing> KeyedPoolBuilder<T> {
+    /// Installs a cost model (defaults to [`NullTiming`]), rebinding the
+    /// builder's timing type parameter; pass a
+    /// [`DynTiming`](crate::timing::DynTiming) for runtime selection.
+    pub fn timing<T2: Timing>(self, timing: T2) -> KeyedPoolBuilder<T2> {
+        KeyedPoolBuilder { segments: self.segments, timing }
+    }
+
+    /// Builds the keyed pool.
+    #[must_use]
+    pub fn build<K: Key, V: Send + 'static>(self) -> KeyedPool<K, V, T> {
+        KeyedPool {
+            shared: Arc::new(KeyedShared {
+                segments: (0..self.segments).map(|_| KeyedSegment::new()).collect(),
+                registry: Registry::new(),
+                timing: self.timing,
+            }),
+        }
+    }
 }
 
 /// A concurrent pool of distinguishable elements.
@@ -193,36 +304,21 @@ impl<K, V, T: Timing> std::fmt::Debug for KeyedPool<K, V, T> {
 }
 
 impl<K: Key, V: Send + 'static> KeyedPool<K, V> {
-    /// Creates a keyed pool with `segments` segments and no cost model.
+    /// Creates a keyed pool with `segments` segments and no cost model
+    /// (shorthand for [`KeyedPoolBuilder::new(segments).build()`]; use the
+    /// builder to install a cost model).
+    ///
+    /// [`KeyedPoolBuilder::new(segments).build()`]: KeyedPoolBuilder
     ///
     /// # Panics
     ///
     /// Panics if `segments` is zero.
     pub fn new(segments: usize) -> Self {
-        Self::with_timing(segments, NullTiming::new())
+        KeyedPoolBuilder::new(segments).build()
     }
 }
 
 impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
-    /// Creates a keyed pool charging accesses through `timing`.
-    ///
-    /// The cost model is statically dispatched; pass a
-    /// [`DynTiming`](crate::timing::DynTiming) to select it at runtime.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `segments` is zero.
-    pub fn with_timing(segments: usize, timing: T) -> Self {
-        assert!(segments > 0, "pool must have at least one segment");
-        KeyedPool {
-            shared: Arc::new(KeyedShared {
-                segments: (0..segments).map(|_| KeyedSegment::new()).collect(),
-                registry: Registry::new(),
-                timing,
-            }),
-        }
-    }
-
     /// Number of segments.
     pub fn segments(&self) -> usize {
         self.shared.segments.len()
@@ -435,6 +531,115 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             }
         }
     }
+
+    /// Removes an element with the given key, retrying aborted searches
+    /// under `wait` — the keyed analogue of [`PoolOps::remove`], with the
+    /// drained check scoped to `key` (other keys' elements cannot satisfy
+    /// this remove, so they do not keep it waiting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoveError::Aborted`] once an aborted search observes no
+    /// element of `key` anywhere, or when the strategy's
+    /// [attempt budget](WaitStrategy::default_attempts) is exhausted.
+    pub fn remove_key(&mut self, key: &K, wait: WaitStrategy) -> Result<V, RemoveError> {
+        let attempts = wait.default_attempts();
+        for attempt in 0..attempts {
+            match self.try_remove_key(key) {
+                Ok(value) => return Ok(value),
+                Err(RemoveError::Aborted) => {
+                    if self.shared.segments.iter().all(|s| s.key_len(key) == 0) {
+                        return Err(RemoveError::Aborted);
+                    }
+                    if attempt + 1 < attempts {
+                        wait.pause(attempt);
+                    }
+                }
+            }
+        }
+        Err(RemoveError::Aborted)
+    }
+}
+
+/// The unified operation vocabulary over `(key, value)` pairs — see
+/// [`ops`](crate::ops).
+///
+/// [`try_remove`](PoolOps::try_remove) maps to
+/// [`try_remove_any`](KeyedHandle::try_remove_any); the batch paths take
+/// the segment lock once per batch, exactly like the plain pool's. Note
+/// that the inherent two-argument [`add`](KeyedHandle::add) shadows the
+/// trait's pair-taking `add` for direct calls — the trait surface is for
+/// generic consumers.
+impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
+    type Item = (K, V);
+
+    fn add(&mut self, (key, value): (K, V)) {
+        KeyedHandle::add(self, key, value);
+    }
+
+    fn try_remove(&mut self) -> Result<(K, V), RemoveError> {
+        self.try_remove_any()
+    }
+
+    fn is_drained(&self) -> bool {
+        self.shared.segments.iter().all(|s| s.len() == 0)
+    }
+
+    fn add_batch<I: IntoIterator<Item = (K, V)>>(&mut self, items: I) {
+        // Materialize before starting the timer: an empty batch is a true
+        // no-op (no time attributed, nothing recorded).
+        let batch: Vec<(K, V)> = items.into_iter().collect();
+        let n = batch.len();
+        if n == 0 {
+            return;
+        }
+        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        self.shared.segments[self.seg.index()].add_bulk_mixed(batch);
+        timer.finish_add_batch(&mut self.stats, n, 0);
+    }
+
+    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<(K, V)> {
+        if n == 0 {
+            return SmallDrain::new(Vec::new());
+        }
+        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        let mut got = self.shared.segments[self.seg.index()].remove_up_to(n);
+        if !got.is_empty() {
+            timer.finish_remove_batch(&mut self.stats, got.len());
+            return SmallDrain::new(got);
+        }
+        // Local segment empty: one any-key steal search for the first
+        // element (it refills the local segment with half of a remote
+        // bucket), then top up locally. The search accounts itself.
+        timer.finish_remove_batch(&mut self.stats, 0);
+        match self.try_remove_any() {
+            Ok(first) => {
+                got.push(first);
+                if n > 1 {
+                    let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
+                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                    let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
+                    top_up.finish_remove_batch(&mut self.stats, extra.len());
+                    got.extend(extra);
+                }
+            }
+            Err(RemoveError::Aborted) => {}
+        }
+        SmallDrain::new(got)
+    }
+
+    fn drain(&mut self) -> SmallDrain<(K, V)> {
+        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
+        let mut all = Vec::new();
+        for (i, seg) in self.shared.segments.iter().enumerate() {
+            self.shared.timing.charge(self.me, Resource::Segment(SegIdx::new(i)));
+            all.extend(seg.drain_all());
+        }
+        timer.finish_remove_batch(&mut self.stats, all.len());
+        SmallDrain::new(all)
+    }
 }
 
 /// Opens a [`SearchSession`] for a keyed ring walk: the walk skips the home
@@ -639,5 +844,82 @@ mod tests {
     #[should_panic(expected = "at least one segment")]
     fn zero_segments_panics() {
         let _: KeyedPool<u8, u8> = KeyedPool::new(0);
+    }
+
+    #[test]
+    fn builder_builds_with_timing() {
+        let pool: KeyedPool<u8, u32> = KeyedPoolBuilder::new(3).timing(NullTiming::new()).build();
+        assert_eq!(pool.segments(), 3);
+        let mut h = pool.register();
+        h.add(1, 7);
+        assert_eq!(h.try_remove_key(&1), Ok(7));
+    }
+
+    #[test]
+    fn batch_ops_move_pairs_in_bulk() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut h = pool.register();
+        h.add_batch([(1, 10), (2, 20), (1, 11)]);
+        assert_eq!(pool.total_len(), 3);
+        assert_eq!(pool.key_len(&1), 2);
+        assert_eq!(h.stats().adds, 3);
+        assert_eq!(h.stats().add_hist.count(), 1, "one batch, one latency sample");
+        let batch = h.try_remove_batch(2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(pool.total_len(), 1);
+        let rest: Vec<(u8, u32)> = h.drain().into_vec();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(pool.total_len(), 0);
+        assert_eq!(h.stats().removes, 3);
+    }
+
+    #[test]
+    fn batch_remove_steals_when_local_is_empty() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut thief = pool.register(); // home 0
+        let mut victim = pool.register(); // home 1
+        victim.add_batch((0..12u32).map(|i| (1u8, i)));
+        // The any-key steal takes ceil(12/2) = 6 of the bucket; the batch
+        // asks for 4 of them.
+        let batch = thief.try_remove_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(thief.stats().steals, 1);
+        assert_eq!(thief.stats().elements_stolen, 6);
+        assert_eq!(pool.total_len(), 8);
+    }
+
+    #[test]
+    fn blocking_remove_key_gives_up_only_when_key_is_exhausted() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(4);
+        let mut h = pool.register();
+        h.add(1, 10);
+        assert_eq!(h.remove_key(&1, WaitStrategy::Spin), Ok(10));
+        // Key 9 is absent while key 1's residue... is also gone; an absent
+        // key aborts terminally instead of burning the whole budget.
+        h.add(1, 11);
+        assert_eq!(h.remove_key(&9, WaitStrategy::Spin), Err(RemoveError::Aborted));
+        assert_eq!(h.stats().aborted_removes, 1, "one attempt, not the full budget");
+        assert_eq!(pool.total_len(), 1, "other keys untouched");
+    }
+
+    #[test]
+    fn pool_ops_vocabulary_is_generic_over_frontends() {
+        // The same generic driver runs against the keyed handle.
+        fn roundtrip<H: PoolOps>(h: &mut H, items: Vec<H::Item>) -> usize {
+            let n = items.len();
+            h.add_batch(items);
+            let mut got = 0;
+            while got < n {
+                if h.remove(WaitStrategy::Spin).is_ok() {
+                    got += 1;
+                }
+            }
+            got
+        }
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut h = pool.register();
+        let items: Vec<(u8, u32)> = (0..20).map(|i| (i as u8 % 3, i)).collect();
+        assert_eq!(roundtrip(&mut h, items), 20);
+        assert_eq!(pool.total_len(), 0);
     }
 }

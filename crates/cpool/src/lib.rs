@@ -40,22 +40,21 @@
 //! use cpool::prelude::*;
 //! use std::thread;
 //!
-//! // A pool of 4 integer segments searched linearly.
-//! let pool: Pool<VecSegment<u64>, LinearSearch> =
-//!     PoolBuilder::new(4).build_with_policy(LinearSearch::new(4));
+//! // A pool of 4 integer segments searched linearly (the builder states
+//! // the segment count once and wires it into the default policy).
+//! let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(4).build();
 //!
 //! thread::scope(|s| {
 //!     for _ in 0..4 {
 //!         let mut h = pool.register();
 //!         s.spawn(move || {
-//!             for i in 0..100 {
-//!                 h.add(i);
-//!             }
+//!             h.add_batch(0..100); // one segment lock for the whole batch
 //!             let mut got = 0;
 //!             while got < 100 {
-//!                 match h.try_remove() {
-//!                     Ok(_) => got += 1,
-//!                     Err(RemoveError::Aborted) => {} // everyone searching: retry
+//!                 // Blocking remove: aborted searches (everyone searching
+//!                 // at once) are retried inside the crate.
+//!                 if h.remove(WaitStrategy::Yield).is_ok() {
+//!                     got += 1;
 //!                 }
 //!             }
 //!         });
@@ -63,6 +62,13 @@
 //! });
 //! assert_eq!(pool.total_len(), 0);
 //! ```
+//!
+//! The full operation vocabulary — blocking [`remove`](ops::PoolOps::remove)
+//! with its [`WaitStrategy`], and the batch operations
+//! [`add_batch`](ops::PoolOps::add_batch) /
+//! [`try_remove_batch`](ops::PoolOps::try_remove_batch) /
+//! [`drain`](ops::PoolOps::drain) — is the [`ops::PoolOps`] trait,
+//! implemented by both [`Handle`] and [`KeyedHandle`].
 //!
 //! [`add`]: Handle::add
 //! [`remove`]: Handle::try_remove
@@ -77,6 +83,7 @@ pub mod gate;
 pub mod hints;
 pub mod ids;
 pub mod keyed;
+pub mod ops;
 pub mod pool;
 pub mod search;
 pub mod segment;
@@ -88,7 +95,8 @@ pub use error::RemoveError;
 pub use gate::SearchGate;
 pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
 pub use ids::{ProcId, SegIdx};
-pub use keyed::{KeyedHandle, KeyedPool};
+pub use keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
+pub use ops::{PoolOps, SmallDrain, WaitStrategy};
 pub use pool::{Handle, Pool, PoolBuilder, PoolReport};
 pub use search::{
     DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, SearchEnv, SearchOutcome,
@@ -103,6 +111,8 @@ pub use trace::{TraceEvent, TraceKind, TraceRecorder};
 pub mod prelude {
     pub use crate::error::RemoveError;
     pub use crate::ids::{ProcId, SegIdx};
+    pub use crate::keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
+    pub use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
     pub use crate::pool::{Handle, Pool, PoolBuilder};
     pub use crate::search::{
         DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, TreeSearch,

@@ -1,0 +1,367 @@
+//! The unified pool-operations vocabulary: [`PoolOps`].
+//!
+//! Kotz & Ellis (1989) evaluate pools as a *shared operation vocabulary*
+//! — add / remove / steal-half — over interchangeable search algorithms.
+//! This module captures that vocabulary as one trait implemented by every
+//! pool frontend's handle ([`Handle`](crate::Handle) and
+//! [`KeyedHandle`](crate::KeyedHandle)), so schedulers, baselines, and the
+//! experiment harness all program against the same surface:
+//!
+//! * **Single operations** — [`add`](PoolOps::add) and
+//!   [`try_remove`](PoolOps::try_remove), exactly the paper's vocabulary.
+//! * **Blocking remove** — [`remove`](PoolOps::remove) retries an
+//!   [`Aborted`](crate::RemoveError::Aborted) search under a
+//!   [`WaitStrategy`] until an element arrives, the pool is observed
+//!   drained, or the attempt budget runs out. Every consumer used to
+//!   hand-roll this loop; it now lives inside the crate, once.
+//! * **Batch operations** — [`add_batch`](PoolOps::add_batch),
+//!   [`try_remove_batch`](PoolOps::try_remove_batch), and
+//!   [`drain`](PoolOps::drain) take the segment lock **once per batch**
+//!   instead of once per element, and charge the cost model accordingly
+//!   (one probe per batch plus the per-element transfer). Blelloch & Wei's
+//!   constant-time allocator makes the same observation: amortizing
+//!   per-operation synchronization over batched transfers is where the
+//!   constant-factor wins live.
+//!
+//! # Example
+//!
+//! ```
+//! use cpool::prelude::*;
+//! use std::thread;
+//!
+//! let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2).build();
+//! thread::scope(|s| {
+//!     let mut producer = pool.register();
+//!     let mut consumer = pool.register();
+//!     s.spawn(move || producer.add_batch(0..100));
+//!     s.spawn(move || {
+//!         let mut got = 0;
+//!         while got < 100 {
+//!             // Retries aborted searches internally; no caller spin loop.
+//!             if consumer.remove(WaitStrategy::Yield).is_ok() {
+//!                 got += 1;
+//!             }
+//!         }
+//!     });
+//! });
+//! assert_eq!(pool.total_len(), 0);
+//! ```
+
+use std::fmt;
+use std::iter::FusedIterator;
+use std::time::Duration;
+
+use crate::error::RemoveError;
+
+/// How a blocking [`remove`](PoolOps::remove) waits between retries of an
+/// aborted search.
+///
+/// An abort (§3.2's livelock breaker) fires when every registered process
+/// is searching simultaneously. When the pool is *drained* that is a
+/// reliable terminal signal and the blocking remove gives up immediately;
+/// when elements are still present the abort was a transient race and the
+/// remove retries, pausing according to this strategy:
+///
+/// * [`Spin`](WaitStrategy::Spin) — retry immediately (a CPU
+///   [`spin_loop`](std::hint::spin_loop) hint only). Deterministic under
+///   the virtual-time engine, so simulation runs reproduce bit-for-bit.
+/// * [`Yield`](WaitStrategy::Yield) — surrender the time slice between
+///   retries. The right default on real threads.
+/// * [`Park`](WaitStrategy::Park) — sleep for an exponentially growing,
+///   capped interval between retries. Cheapest for long waits at the cost
+///   of wake-up latency.
+///
+/// Every strategy carries the same default attempt budget
+/// ([`DEFAULT_ATTEMPTS`](Self::DEFAULT_ATTEMPTS)); use
+/// [`remove_with_attempts`](PoolOps::remove_with_attempts) to choose a
+/// different one.
+///
+/// ```
+/// use cpool::WaitStrategy;
+///
+/// assert_eq!(WaitStrategy::default(), WaitStrategy::Yield);
+/// assert_eq!(WaitStrategy::Spin.default_attempts(), WaitStrategy::DEFAULT_ATTEMPTS);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[non_exhaustive]
+pub enum WaitStrategy {
+    /// Retry immediately after an aborted search (spin-loop hint only).
+    Spin,
+    /// Yield the thread between retries.
+    #[default]
+    Yield,
+    /// Sleep between retries with capped exponential backoff, starting at
+    /// one microsecond and doubling up to [`PARK_CAP`](Self::PARK_CAP).
+    Park,
+}
+
+impl WaitStrategy {
+    /// Default number of search attempts a blocking remove makes before
+    /// giving up with [`RemoveError::Aborted`]. Each attempt is a full
+    /// search (at least one complete lap over the segments), so the budget
+    /// guards against pathological livelock, not ordinary contention.
+    pub const DEFAULT_ATTEMPTS: usize = 1024;
+
+    /// Longest single pause [`Park`](Self::Park) sleeps between retries.
+    pub const PARK_CAP: Duration = Duration::from_micros(128);
+
+    /// The attempt budget [`PoolOps::remove`] uses for this strategy.
+    pub fn default_attempts(self) -> usize {
+        Self::DEFAULT_ATTEMPTS
+    }
+
+    /// Pauses the calling thread before retry number `attempt` (0-based).
+    ///
+    /// Exposed so custom retry loops outside the trait can share the exact
+    /// backoff behavior of the blocking remove.
+    pub fn pause(self, attempt: usize) {
+        match self {
+            WaitStrategy::Spin => std::hint::spin_loop(),
+            WaitStrategy::Yield => std::thread::yield_now(),
+            WaitStrategy::Park => {
+                let micros = 1u64 << attempt.min(7);
+                std::thread::sleep(Duration::from_micros(micros).min(Self::PARK_CAP));
+            }
+        }
+    }
+}
+
+impl fmt::Display for WaitStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            WaitStrategy::Spin => "spin",
+            WaitStrategy::Yield => "yield",
+            WaitStrategy::Park => "park",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An owning batch of elements drained from a pool by
+/// [`try_remove_batch`](PoolOps::try_remove_batch) or
+/// [`drain`](PoolOps::drain).
+///
+/// Iterating yields the elements in an unspecified order (the pool is an
+/// unordered collection). Dropping the drain without consuming it drops
+/// the elements — they have already left the pool — hence the `#[must_use]`.
+///
+/// ```
+/// use cpool::prelude::*;
+///
+/// let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(1).build();
+/// let mut h = pool.register();
+/// h.add_batch([1, 2, 3]);
+/// let batch = h.try_remove_batch(2);
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.into_vec().len(), 2);
+/// assert_eq!(pool.total_len(), 1);
+/// ```
+#[must_use = "the elements have already left the pool and are dropped if unused"]
+pub struct SmallDrain<T> {
+    inner: std::vec::IntoIter<T>,
+}
+
+impl<T> SmallDrain<T> {
+    /// Wraps a drained batch (crate-internal: only pools mint drains).
+    pub(crate) fn new(items: Vec<T>) -> Self {
+        SmallDrain { inner: items.into_iter() }
+    }
+
+    /// Number of elements not yet consumed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether every element has been consumed (or none was drained).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// Converts the remaining elements into a plain vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.inner.collect()
+    }
+}
+
+impl<T> fmt::Debug for SmallDrain<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SmallDrain").field("remaining", &self.inner.len()).finish()
+    }
+}
+
+impl<T> Iterator for SmallDrain<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for SmallDrain<T> {}
+impl<T> DoubleEndedIterator for SmallDrain<T> {
+    fn next_back(&mut self) -> Option<T> {
+        self.inner.next_back()
+    }
+}
+impl<T> FusedIterator for SmallDrain<T> {}
+
+/// The common handle contract of every pool frontend.
+///
+/// Implemented by [`Handle`](crate::Handle) (`Item = S::Item`) and
+/// [`KeyedHandle`](crate::KeyedHandle) (`Item = (K, V)`), so generic
+/// consumers — work-list adapters, schedulers, the harness — can program
+/// against one operation surface. See the [module docs](self) for the
+/// design rationale.
+///
+/// Both handles also keep their inherent methods (which shadow the trait
+/// methods of the same name for direct calls); the trait adds the blocking
+/// and batch vocabulary on top.
+pub trait PoolOps {
+    /// The element type this pool stores. For keyed pools this is the
+    /// `(key, value)` pair.
+    type Item;
+
+    /// Adds one element (to the local segment, or wherever the frontend's
+    /// placement rules send it).
+    fn add(&mut self, item: Self::Item);
+
+    /// Removes an arbitrary element, searching (and stealing from) remote
+    /// segments when the local segment is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoveError::Aborted`] when the livelock breaker fired:
+    /// every registered process was searching simultaneously.
+    fn try_remove(&mut self) -> Result<Self::Item, RemoveError>;
+
+    /// Whether a snapshot of the pool shows no element reachable by this
+    /// handle's removes.
+    ///
+    /// Used by the blocking [`remove`](Self::remove) to decide whether an
+    /// abort is terminal: no process can add while every process is
+    /// searching, so *abort + drained* is a stable "empty and nobody
+    /// producing" signal (see [`RemoveError::Aborted`]).
+    fn is_drained(&self) -> bool;
+
+    /// Removes an element, retrying aborted searches under `wait` with the
+    /// strategy's [default attempt budget](WaitStrategy::default_attempts).
+    ///
+    /// This replaces the hand-rolled `Err(Aborted) => retry` spin loop
+    /// every consumer of `try_remove` used to carry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RemoveError::Aborted`] once an aborted search observes the
+    /// pool drained (every registered process was searching and no element
+    /// remains — the terminal starvation signal), or when the attempt
+    /// budget is exhausted.
+    fn remove(&mut self, wait: WaitStrategy) -> Result<Self::Item, RemoveError> {
+        self.remove_with_attempts(wait, wait.default_attempts())
+    }
+
+    /// [`remove`](Self::remove) with an explicit attempt budget.
+    ///
+    /// Each attempt is one full [`try_remove`](Self::try_remove) search.
+    /// Pass `usize::MAX` to retry until the pool is drained (termination is
+    /// still guaranteed by the drained check as long as producers
+    /// eventually stop).
+    ///
+    /// # Errors
+    ///
+    /// As [`remove`](Self::remove).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    fn remove_with_attempts(
+        &mut self,
+        wait: WaitStrategy,
+        attempts: usize,
+    ) -> Result<Self::Item, RemoveError> {
+        assert!(attempts > 0, "a blocking remove needs at least one attempt");
+        for attempt in 0..attempts {
+            match self.try_remove() {
+                Ok(item) => return Ok(item),
+                Err(RemoveError::Aborted) => {
+                    if self.is_drained() {
+                        return Err(RemoveError::Aborted);
+                    }
+                    if attempt + 1 < attempts {
+                        wait.pause(attempt);
+                    }
+                }
+            }
+        }
+        Err(RemoveError::Aborted)
+    }
+
+    /// Adds every element of `items`, taking the local segment lock once
+    /// for the whole batch instead of once per element.
+    ///
+    /// The cost model is charged one segment probe for the batch plus the
+    /// per-element transfer the frontend performs; statistics count one add
+    /// per element.
+    fn add_batch<I: IntoIterator<Item = Self::Item>>(&mut self, items: I);
+
+    /// Removes up to `n` arbitrary elements.
+    ///
+    /// The local segment is drained under a single lock acquisition; only
+    /// when it is empty does the frontend fall back to one steal search
+    /// (whose two-phase transfer already moves a batch) and then top the
+    /// result up locally. The returned drain holds between `0` and `n`
+    /// elements — fewer than `n` (or none) when the pool ran dry or the
+    /// search aborted.
+    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<Self::Item>;
+
+    /// Removes every element currently reachable, visiting each segment
+    /// once (one lock acquisition per segment, no search).
+    ///
+    /// This is a snapshot drain: elements added concurrently while the
+    /// sweep is in flight may or may not be included.
+    fn drain(&mut self) -> SmallDrain<Self::Item>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_strategy_display_and_default() {
+        assert_eq!(WaitStrategy::Spin.to_string(), "spin");
+        assert_eq!(WaitStrategy::Yield.to_string(), "yield");
+        assert_eq!(WaitStrategy::Park.to_string(), "park");
+        assert_eq!(WaitStrategy::default(), WaitStrategy::Yield);
+    }
+
+    #[test]
+    fn pauses_do_not_block_indefinitely() {
+        // Also at high attempt numbers the park backoff stays capped.
+        for strategy in [WaitStrategy::Spin, WaitStrategy::Yield, WaitStrategy::Park] {
+            for attempt in [0, 1, 7, 63, usize::MAX] {
+                strategy.pause(attempt);
+            }
+        }
+    }
+
+    #[test]
+    fn small_drain_iterates_and_reports_len() {
+        let mut drain = SmallDrain::new(vec![1, 2, 3]);
+        assert_eq!(drain.len(), 3);
+        assert!(!drain.is_empty());
+        assert_eq!(drain.next(), Some(1));
+        assert_eq!(drain.next_back(), Some(3));
+        assert_eq!(drain.len(), 1);
+        assert_eq!(drain.into_vec(), vec![2]);
+    }
+
+    #[test]
+    fn small_drain_debug_hides_elements() {
+        struct Opaque;
+        let drain = SmallDrain::new(vec![Opaque, Opaque]);
+        assert_eq!(format!("{drain:?}"), "SmallDrain { remaining: 2 }");
+    }
+}

@@ -39,13 +39,28 @@ use crate::error::RemoveError;
 use crate::gate::SearchGate;
 use crate::hints::{HintBoard, HINT_BOARD_RESOURCE};
 use crate::ids::{ProcId, SegIdx};
-use crate::search::{ProbeOutcome, SearchEnv, SearchOutcome, SearchPolicy};
+use crate::ops::{PoolOps, SmallDrain};
+use crate::search::{
+    DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, ProbeOutcome, SearchEnv, SearchOutcome,
+    SearchPolicy,
+};
 use crate::segment::Segment;
 use crate::stats::{PoolStats, ProcStats};
 use crate::timing::{NullTiming, Resource, Timing};
 use crate::trace::{TraceEvent, TraceKind, TraceRecorder};
 
 /// Configures and builds a [`Pool`].
+///
+/// The builder learns the segment count **once**, in [`new`](Self::new),
+/// and wires it into everything that needs it — the segments themselves
+/// and the search policy:
+///
+/// * [`build`](Self::build) — the default policy ([`LinearSearch`]);
+/// * [`build_policy`](Self::build_policy) — a runtime-selected
+///   [`PolicyKind`], constructed internally for this builder's segment
+///   count and [`node_store`](Self::node_store);
+/// * [`build_with_policy`](Self::build_with_policy) — a caller-constructed
+///   policy instance, for policies the two forms above cannot express.
 ///
 /// The cost model is a *type parameter* (defaulting to the free
 /// [`NullTiming`]): [`timing`](Self::timing) rebinds it, so the model you
@@ -56,11 +71,11 @@ use crate::trace::{TraceEvent, TraceKind, TraceRecorder};
 /// ```
 /// use cpool::prelude::*;
 ///
-/// let pool: Pool<LockedCounter, TreeSearch> = PoolBuilder::new(16)
-///     .seed(42)
-///     .record_trace(true)
-///     .build_with_policy(TreeSearch::new(16));
+/// // The segment count is stated exactly once.
+/// let pool: Pool<LockedCounter, DynPolicy> =
+///     PoolBuilder::new(16).seed(42).record_trace(true).build_policy(PolicyKind::Tree);
 /// assert_eq!(pool.segments(), 16);
+/// assert_eq!(pool.policy_name(), "tree");
 /// ```
 ///
 /// Runtime-selected model through the adapter:
@@ -72,13 +87,15 @@ use crate::trace::{TraceEvent, TraceKind, TraceRecorder};
 ///
 /// let model: DynTiming = Arc::new(NullTiming::new());
 /// let pool: Pool<LockedCounter, LinearSearch, DynTiming> =
-///     PoolBuilder::new(4).timing(model).build_with_policy(LinearSearch::new(4));
+///     PoolBuilder::new(4).timing(model).build();
 /// assert_eq!(pool.segments(), 4);
 /// ```
+#[must_use = "a PoolBuilder does nothing until one of its build methods is called"]
 pub struct PoolBuilder<S, T: Timing = NullTiming> {
     segments: usize,
     seed: u64,
     timing: T,
+    node_store: NodeStoreKind,
     record_trace: bool,
     trace_procs: Option<usize>,
     hints: bool,
@@ -111,6 +128,7 @@ impl<S: Segment> PoolBuilder<S> {
             segments,
             seed: 0,
             timing: NullTiming::new(),
+            node_store: NodeStoreKind::default(),
             record_trace: false,
             trace_procs: None,
             hints: false,
@@ -140,6 +158,7 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
             segments: self.segments,
             seed: self.seed,
             timing,
+            node_store: self.node_store,
             record_trace: self.record_trace,
             trace_procs: self.trace_procs,
             hints: self.hints,
@@ -148,6 +167,15 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
             remove_overhead_ns: self.remove_overhead_ns,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Selects the superimposed tree's round-counter synchronization for
+    /// policies built through [`build_policy`](Self::build_policy)
+    /// (defaults to the paper's [`NodeStoreKind::Locked`]; ignored by the
+    /// linear and random policies).
+    pub fn node_store(mut self, store: NodeStoreKind) -> Self {
+        self.node_store = store;
+        self
     }
 
     /// Enables segment-size trace recording (Figures 3–6 instrumentation).
@@ -180,7 +208,8 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
 
     /// Fixed per-operation computation charged (through the cost model) to
     /// every add and every remove *attempt*, on top of the shared-memory
-    /// accesses the operation performs.
+    /// accesses the operation performs. Batched operations pay it once per
+    /// batch — that amortization is the point of the batch API.
     ///
     /// This models the base cost of the operation's own code path. Kotz &
     /// Ellis report "typical undelayed segment operation times \[of\]
@@ -194,12 +223,61 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
         self
     }
 
-    /// Builds the pool with the given search policy.
+    /// Builds the pool with the default search policy: [`LinearSearch`],
+    /// constructed for this builder's segment count (§5's conclusion that
+    /// "the linear or the random search algorithm may suffice and provide
+    /// better performance").
+    ///
+    /// ```
+    /// use cpool::prelude::*;
+    ///
+    /// let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(8).build();
+    /// assert_eq!(pool.policy_name(), "linear");
+    /// ```
+    #[must_use]
+    pub fn build(self) -> Pool<S, LinearSearch, T> {
+        let segments = self.segments;
+        self.build_with_policy(LinearSearch::new(segments))
+    }
+
+    /// Builds the pool with a runtime-selected search algorithm.
+    ///
+    /// The policy is constructed internally for this builder's segment
+    /// count (and [`node_store`](Self::node_store), for the tree), so the
+    /// count is stated exactly once per pool — the
+    /// `PoolBuilder::new(n).build_with_policy(LinearSearch::new(n))`
+    /// double-`n` pattern is what this method replaces.
+    ///
+    /// ```
+    /// use cpool::prelude::*;
+    ///
+    /// for kind in PolicyKind::ALL {
+    ///     let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(4).build_policy(kind);
+    ///     assert_eq!(pool.policy_name(), kind.to_string());
+    /// }
+    /// ```
+    #[must_use]
+    pub fn build_policy(self, kind: PolicyKind) -> Pool<S, DynPolicy, T> {
+        let policy = kind.build(self.segments, self.node_store);
+        self.build_with_policy(policy)
+    }
+
+    /// Builds the pool with a caller-constructed search policy.
+    ///
+    /// Prefer [`build`](Self::build) or [`build_policy`](Self::build_policy)
+    /// where they suffice: both wire the builder's segment count into the
+    /// policy themselves, while this method requires the caller to repeat
+    /// it (`PoolBuilder::new(n)` *and* `LinearSearch::new(n)`) and panics
+    /// later if the two disagree. It remains the escape hatch for policy
+    /// instances the other builders cannot express — a concrete policy
+    /// type parameter, a pre-built [`DynPolicy`], or a
+    /// [`TreeSearch`](crate::search::TreeSearch) with a custom store.
     ///
     /// # Panics
     ///
     /// Panics if the policy was constructed for a different segment count
     /// (checked in debug builds when the first handle searches).
+    #[must_use]
     pub fn build_with_policy<P: SearchPolicy>(self, policy: P) -> Pool<S, P, T> {
         let segments: Box<[S]> = (0..self.segments).map(|_| S::new()).collect();
         let trace = self
@@ -440,7 +518,14 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
     /// Returns [`RemoveError::Aborted`] when the livelock breaker fired
     /// (every registered process was searching simultaneously).
     pub fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
-        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
+        self.try_remove_charging(self.shared.remove_overhead_ns)
+    }
+
+    /// `try_remove` with an explicit per-operation overhead charge, so the
+    /// batched paths — which already paid the overhead for the whole batch
+    /// — can fall back to a search without charging it twice.
+    fn try_remove_charging(&mut self, overhead_ns: u64) -> Result<S::Item, RemoveError> {
+        let timer = OpTimer::start(&self.shared.timing, self.me, overhead_ns);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(item) = self.shared.segments[self.seg.index()].try_remove() {
             timer.finish_local_remove(&mut self.stats);
@@ -522,6 +607,114 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
     }
 }
 
+/// The unified operation vocabulary (blocking [`remove`](PoolOps::remove),
+/// batch operations) — see [`ops`](crate::ops).
+///
+/// Batch paths take each segment lock once per batch: `add_batch` performs
+/// one bulk insert into the local segment, `try_remove_batch` drains the
+/// local segment under a single lock (falling back to one steal search when
+/// it is empty), and `drain` sweeps every segment once. The cost model is
+/// charged one probe per batch plus the per-element transfer work.
+impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
+    type Item = S::Item;
+
+    fn add(&mut self, item: S::Item) {
+        Handle::add(self, item);
+    }
+
+    fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
+        Handle::try_remove(self)
+    }
+
+    fn is_drained(&self) -> bool {
+        self.shared.segments.iter().all(Segment::is_empty)
+    }
+
+    fn add_batch<I: IntoIterator<Item = S::Item>>(&mut self, items: I) {
+        // Materialize before starting the timer so an empty batch is a
+        // true no-op: no overhead charge, no time attributed.
+        let mut batch: Vec<S::Item> = items.into_iter().collect();
+        let n = batch.len();
+        if n == 0 {
+            return;
+        }
+        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.add_overhead_ns);
+        let mut donated = 0usize;
+        if let Some(board) = &self.shared.hints {
+            // With the hint extension on, searching processes are exactly
+            // the ones a batch parked locally cannot feed — donate to them
+            // first (same reasoning and charge as `add`), bulk-insert the
+            // rest.
+            let mut kept = Vec::with_capacity(batch.len());
+            for item in batch {
+                if board.has_waiters() {
+                    self.shared.timing.charge(self.me, Resource::Shared(HINT_BOARD_RESOURCE));
+                    match board.try_donate(item) {
+                        Ok(_receiver) => donated += 1,
+                        Err(back) => kept.push(back),
+                    }
+                } else {
+                    kept.push(item);
+                }
+            }
+            batch = kept;
+        }
+        if !batch.is_empty() {
+            // One probe charge and one lock acquisition for the whole
+            // batch — this is the amortization the batch API exists for.
+            self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+            self.shared.segments[self.seg.index()].add_bulk(batch);
+            self.record_trace(self.seg, TraceKind::Add);
+        }
+        timer.finish_add_batch(&mut self.stats, n, donated);
+    }
+
+    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<S::Item> {
+        if n == 0 {
+            return SmallDrain::new(Vec::new());
+        }
+        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        let mut got = self.shared.segments[self.seg.index()].remove_up_to(n);
+        if !got.is_empty() {
+            timer.finish_remove_batch(&mut self.stats, got.len());
+            self.record_trace(self.seg, TraceKind::Remove);
+            return SmallDrain::new(got);
+        }
+        // Local segment empty: run one ordinary steal search for the first
+        // element (its two-phase transfer already refills the local segment
+        // with a batch), then top up locally under one more lock. The
+        // search accounts itself through its own timer — with zero
+        // overhead, since this batch already paid `remove_overhead_ns`.
+        timer.finish_remove_batch(&mut self.stats, 0);
+        match self.try_remove_charging(0) {
+            Ok(first) => {
+                got.push(first);
+                if n > 1 {
+                    let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
+                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                    let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
+                    top_up.finish_remove_batch(&mut self.stats, extra.len());
+                    got.extend(extra);
+                }
+            }
+            Err(RemoveError::Aborted) => {}
+        }
+        SmallDrain::new(got)
+    }
+
+    fn drain(&mut self) -> SmallDrain<S::Item> {
+        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
+        let mut all = Vec::new();
+        for (i, seg) in self.shared.segments.iter().enumerate() {
+            self.shared.timing.charge(self.me, Resource::Segment(SegIdx::new(i)));
+            all.extend(seg.drain_all());
+        }
+        timer.finish_remove_batch(&mut self.stats, all.len());
+        SmallDrain::new(all)
+    }
+}
+
 impl<S: Segment, P: SearchPolicy, T: Timing> Drop for Handle<S, P, T> {
     fn drop(&mut self) {
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
@@ -600,9 +793,9 @@ pub type PoolReport = PoolStats;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::search::{LinearSearch, PolicyKind, RandomSearch, TreeSearch};
+    use crate::ops::WaitStrategy;
+    use crate::search::{RandomSearch, TreeSearch};
     use crate::segment::{LockedCounter, VecSegment};
-    use crate::NodeStoreKind;
     use std::thread;
 
     fn counting_pool<P: SearchPolicy>(n: usize, policy: P) -> Pool<LockedCounter, P> {
@@ -787,5 +980,175 @@ mod tests {
         let pool = counting_pool(4, LinearSearch::new(4));
         let dbg = format!("{pool:?}");
         assert!(dbg.contains("linear"), "{dbg}");
+    }
+
+    #[test]
+    fn build_defaults_to_linear() {
+        let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(4).build();
+        assert_eq!(pool.policy_name(), "linear");
+        assert_eq!(pool.segments(), 4);
+    }
+
+    #[test]
+    fn build_policy_wires_segment_count() {
+        for kind in PolicyKind::ALL {
+            let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(6).build_policy(kind);
+            assert_eq!(pool.policy_name(), kind.to_string());
+            // The policy really was constructed for 6 segments: a steal
+            // across the ring must find the remote elements.
+            let mut a = pool.register();
+            let mut b = pool.register();
+            for _ in 0..8 {
+                b.add(());
+            }
+            assert!(a.try_remove().is_ok(), "{kind}");
+            assert_eq!(a.stats().steals, 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn add_batch_counts_every_element_once() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut h = pool.register();
+        h.add_batch([1, 2, 3, 4, 5]);
+        assert_eq!(pool.segment_len(h.home_segment()), 5);
+        assert_eq!(h.stats().adds, 5);
+        assert_eq!(h.stats().add_hist.count(), 1, "one batch, one latency sample");
+        h.add_batch(std::iter::empty());
+        assert_eq!(h.stats().adds, 5, "empty batches are no-ops");
+    }
+
+    #[test]
+    fn try_remove_batch_serves_locally_under_one_probe() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut h = pool.register();
+        h.add_batch(0..10);
+        let examined_before = h.stats().segments_examined;
+        let batch = h.try_remove_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(h.stats().removes, 4);
+        assert_eq!(h.stats().segments_examined, examined_before, "no search ran");
+        assert_eq!(pool.total_len(), 6);
+        let rest = h.try_remove_batch(100);
+        assert_eq!(rest.len(), 6, "bounded by occupancy");
+        assert!(h.try_remove_batch(0).is_empty());
+    }
+
+    #[test]
+    fn try_remove_batch_steals_when_local_is_empty() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut thief = pool.register(); // home 0
+        let mut victim = pool.register(); // home 1
+        victim.add_batch(0..20);
+        // The steal takes ceil(20/2) = 10; the batch asks for 6 of them.
+        let batch = thief.try_remove_batch(6);
+        assert_eq!(batch.len(), 6);
+        assert_eq!(thief.stats().steals, 1);
+        assert_eq!(thief.stats().elements_stolen, 10);
+        assert_eq!(thief.stats().removes, 6);
+        assert_eq!(pool.segment_len(SegIdx::new(0)), 4, "steal residue stays local");
+        assert_eq!(pool.total_len(), 14);
+    }
+
+    #[test]
+    fn try_remove_batch_on_empty_pool_returns_empty() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut h = pool.register();
+        let batch = h.try_remove_batch(5);
+        assert!(batch.is_empty());
+        assert_eq!(h.stats().aborted_removes, 1, "the fallback search aborted");
+    }
+
+    #[test]
+    fn drain_sweeps_every_segment() {
+        let pool: Pool<VecSegment<u64>, TreeSearch> =
+            PoolBuilder::new(4).build_with_policy(TreeSearch::new(4));
+        pool.fill_evenly_with(10, |i| i as u64);
+        let mut h = pool.register();
+        let mut all: Vec<u64> = h.drain().into_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(pool.total_len(), 0);
+        assert_eq!(h.stats().removes, 10);
+        assert!(h.drain().is_empty(), "second drain finds nothing");
+    }
+
+    #[test]
+    fn blocking_remove_returns_elements_and_terminal_aborts() {
+        let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(2).build();
+        let mut h = pool.register();
+        h.add(());
+        assert_eq!(h.remove(WaitStrategy::Spin), Ok(()));
+        // Drained pool, lone registrant: the abort is terminal and the
+        // blocking remove must not spin its whole budget.
+        assert_eq!(h.remove(WaitStrategy::Spin), Err(RemoveError::Aborted));
+        assert_eq!(h.stats().aborted_removes, 1, "one attempt, not the full budget");
+    }
+
+    #[test]
+    fn batch_ops_charge_op_overhead_once_per_batch() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Counts `charge_work` nanoseconds (the op-overhead channel).
+        #[derive(Debug, Default)]
+        struct WorkCounter {
+            work_ns: AtomicU64,
+        }
+        impl Timing for WorkCounter {
+            fn charge(&self, _proc: ProcId, _resource: Resource) {}
+            fn charge_work(&self, _proc: ProcId, ns: u64) {
+                self.work_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+            fn now(&self, _proc: ProcId) -> u64 {
+                0
+            }
+        }
+
+        let pool: Pool<VecSegment<u32>, LinearSearch, WorkCounter> =
+            PoolBuilder::new(2).timing(WorkCounter::default()).op_overhead(5, 7).build();
+        let mut thief = pool.register();
+        let mut victim = pool.register();
+
+        victim.add_batch(0..10);
+        assert_eq!(pool.timing().work_ns.load(Ordering::Relaxed), 5, "one add overhead per batch");
+
+        // Thief's local segment is empty: the batch falls back to a steal
+        // search, which must NOT charge the remove overhead a second time.
+        let got = thief.try_remove_batch(4);
+        assert_eq!(got.len(), 4);
+        assert_eq!(
+            pool.timing().work_ns.load(Ordering::Relaxed),
+            5 + 7,
+            "one remove overhead per batch, fallback search included"
+        );
+
+        // Empty batches are true no-ops: no overhead, no time attributed.
+        thief.add_batch(std::iter::empty());
+        assert_eq!(pool.timing().work_ns.load(Ordering::Relaxed), 5 + 7);
+    }
+
+    #[test]
+    fn blocking_remove_outlasts_transient_droughts() {
+        let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(2).build();
+        let total = 200;
+        thread::scope(|s| {
+            let mut producer = pool.register();
+            let mut consumer = pool.register();
+            s.spawn(move || {
+                for _ in 0..total {
+                    producer.add(());
+                    thread::yield_now();
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..total {
+                    // No hand-rolled abort loop: `remove` retries while the
+                    // producer keeps the pool alive.
+                    while consumer.remove(WaitStrategy::Yield).is_err() {}
+                }
+            });
+        });
+        assert_eq!(pool.total_len(), 0);
+        assert_eq!(pool.stats().merged().removes, total);
     }
 }

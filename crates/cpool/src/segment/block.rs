@@ -173,6 +173,43 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
         }
         inner.check_invariants();
     }
+
+    fn remove_up_to(&self, n: usize) -> Vec<T> {
+        let mut inner = self.inner.lock();
+        let want = n.min(inner.len);
+        let mut out: Vec<T> = Vec::with_capacity(want);
+        // Take whole blocks from the back — the owner's LIFO end, like
+        // `try_remove` — while they fit within the quota, then top up
+        // element-wise from the (new) back block.
+        while let Some(back) = inner.blocks.back() {
+            if out.len() + back.len() > want {
+                break;
+            }
+            let mut block = inner.blocks.pop_back().expect("back exists");
+            inner.len -= block.len();
+            out.append(&mut block);
+        }
+        if out.len() < want {
+            let need = want - out.len();
+            let back = inner.blocks.back_mut().expect("len accounting guarantees a block");
+            let at = back.len() - need;
+            out.extend(back.drain(at..));
+            inner.len -= need;
+        }
+        inner.check_invariants();
+        out
+    }
+
+    fn drain_all(&self) -> Vec<T> {
+        let mut inner = self.inner.lock();
+        let mut out: Vec<T> = Vec::with_capacity(inner.len);
+        for mut block in std::mem::take(&mut inner.blocks) {
+            out.append(&mut block);
+        }
+        inner.len = 0;
+        inner.check_invariants();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,21 @@ impl Segment for LockedCounter {
     fn add_bulk(&self, items: Vec<()>) {
         *self.count.lock() += items.len();
     }
+
+    fn remove_up_to(&self, n: usize) -> Vec<()> {
+        let taken = {
+            let mut count = self.count.lock();
+            let taken = n.min(*count);
+            *count -= taken;
+            taken
+        };
+        vec![(); taken]
+    }
+
+    fn drain_all(&self) -> Vec<()> {
+        let taken = std::mem::take(&mut *self.count.lock());
+        vec![(); taken]
+    }
 }
 
 /// Lock-free element count using a compare-and-swap loop.
@@ -149,6 +164,30 @@ impl Segment for AtomicCounter {
         if !items.is_empty() {
             self.count.fetch_add(items.len(), Ordering::AcqRel);
         }
+    }
+
+    fn remove_up_to(&self, n: usize) -> Vec<()> {
+        let mut current = self.count.load(Ordering::Acquire);
+        loop {
+            let taken = n.min(current);
+            if taken == 0 {
+                return Vec::new();
+            }
+            match self.count.compare_exchange_weak(
+                current,
+                current - taken,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return vec![(); taken],
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn drain_all(&self) -> Vec<()> {
+        let taken = self.count.swap(0, Ordering::AcqRel);
+        vec![(); taken]
     }
 }
 

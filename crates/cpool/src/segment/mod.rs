@@ -79,6 +79,33 @@ pub trait Segment: Send + Sync + 'static {
 
     /// Adds a batch of elements (the thief refilling its own segment).
     fn add_bulk(&self, items: Vec<Self::Item>);
+
+    /// Removes up to `n` arbitrary elements in one batch.
+    ///
+    /// This is the owner side of the batched remove
+    /// ([`PoolOps::try_remove_batch`](crate::PoolOps::try_remove_batch)):
+    /// implementations take their internal lock **once** for the whole
+    /// batch. The default implementation is a per-element
+    /// [`try_remove`](Self::try_remove) loop, provided so third-party
+    /// segments keep compiling; every in-tree segment overrides it.
+    fn remove_up_to(&self, n: usize) -> Vec<Self::Item> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            match self.try_remove() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Removes every element currently present, in one batch.
+    ///
+    /// Like [`remove_up_to`](Self::remove_up_to), implementations take the
+    /// lock once; the default loops until the segment reports empty.
+    fn drain_all(&self) -> Vec<Self::Item> {
+        self.remove_up_to(usize::MAX)
+    }
 }
 
 /// Number of elements a thief takes from a segment of length `n`: ⌈n/2⌉.
@@ -141,6 +168,16 @@ mod tests {
         }
         assert_eq!(removed, 10);
         assert!(seg.is_empty());
+
+        // Batch removal contract: bounded take, then a full drain.
+        seg.add_bulk(vec![(); 7]);
+        assert_eq!(seg.remove_up_to(3).len(), 3);
+        assert_eq!(seg.remove_up_to(100).len(), 4, "remove_up_to is bounded by occupancy");
+        assert!(seg.remove_up_to(5).is_empty());
+        seg.add_bulk(vec![(); 6]);
+        assert_eq!(seg.drain_all().len(), 6);
+        assert!(seg.is_empty());
+        assert!(seg.drain_all().is_empty());
     }
 
     #[test]
@@ -169,6 +206,17 @@ mod tests {
         }
         all.sort_unstable();
         assert_eq!(all, (0..9).collect::<Vec<_>>());
+
+        // Batched removal conserves values exactly like per-element ops.
+        for i in 10..20u32 {
+            seg.add(i);
+        }
+        let mut batched = seg.remove_up_to(4);
+        assert_eq!(batched.len(), 4);
+        batched.extend(seg.drain_all());
+        batched.sort_unstable();
+        assert_eq!(batched, (10..20).collect::<Vec<_>>());
+        assert!(seg.is_empty());
     }
 
     #[test]

@@ -68,6 +68,19 @@ impl<T: Send + 'static> Segment for VecSegment<T> {
         let mut items = self.items.lock();
         items.extend(batch);
     }
+
+    fn remove_up_to(&self, n: usize) -> Vec<T> {
+        let mut items = self.items.lock();
+        let take = n.min(items.len());
+        // Take from the back — the owner's hot (LIFO) end, like
+        // `try_remove` — under a single lock acquisition.
+        let at = items.len() - take;
+        items.split_off(at).into_iter().collect()
+    }
+
+    fn drain_all(&self) -> Vec<T> {
+        std::mem::take(&mut *self.items.lock()).into_iter().collect()
+    }
 }
 
 #[cfg(test)]

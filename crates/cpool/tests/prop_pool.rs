@@ -28,9 +28,8 @@ proptest! {
     /// an empty pool rather than deadlocking).
     #[test]
     fn single_process_pool_is_a_multiset(kind in policy_kind(), ops in script(), segs in 1usize..9) {
-        let policy = kind.build(segs, Default::default());
         let pool: Pool<VecSegment<u16>, DynPolicy> =
-            PoolBuilder::new(segs).seed(7).build_with_policy(policy);
+            PoolBuilder::new(segs).seed(7).build_policy(kind);
         let mut h = pool.register();
         let mut model: Vec<u16> = Vec::new();
 
@@ -61,9 +60,8 @@ proptest! {
     /// union of everything removed plus the residue equals everything added.
     #[test]
     fn multi_process_conserves(kind in policy_kind(), ops in script(), procs in 2usize..6) {
-        let policy = kind.build(procs, Default::default());
         let pool: Pool<VecSegment<u16>, DynPolicy> =
-            PoolBuilder::new(procs).seed(13).build_with_policy(policy);
+            PoolBuilder::new(procs).seed(13).build_policy(kind);
         let mut handles: Vec<_> = (0..procs).map(|_| pool.register()).collect();
 
         let mut added: Vec<u16> = Vec::new();
@@ -119,9 +117,7 @@ proptest! {
     /// process never blocks in `try_remove`, whatever the pool size.
     #[test]
     fn lone_process_never_blocks(kind in policy_kind(), segs in 1usize..20) {
-        let policy = kind.build(segs, Default::default());
-        let pool: Pool<LockedCounter, DynPolicy> =
-            PoolBuilder::new(segs).build_with_policy(policy);
+        let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(segs).build_policy(kind);
         let mut h = pool.register();
         prop_assert_eq!(h.try_remove(), Err(RemoveError::Aborted));
         h.add(());
@@ -133,9 +129,8 @@ proptest! {
     #[test]
     fn steal_accounting_inequalities(kind in policy_kind(), ops in script()) {
         let procs = 4;
-        let policy = kind.build(procs, Default::default());
         let pool: Pool<VecSegment<u16>, DynPolicy> =
-            PoolBuilder::new(procs).seed(3).build_with_policy(policy);
+            PoolBuilder::new(procs).seed(3).build_policy(kind);
         let mut handles: Vec<_> = (0..procs).map(|_| pool.register()).collect();
         let mut live = 0usize;
         for (i, op) in ops.iter().enumerate() {

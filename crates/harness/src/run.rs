@@ -59,14 +59,16 @@ fn run_trial_on<S: Segment<Item = ()>>(spec: &ExperimentSpec, trial: u32) -> Tri
         Engine::Threaded(None) => (Arc::new(cpool::NullTiming::new()), None),
     };
 
-    let policy: DynPolicy = spec.policy.build(spec.procs, spec.node_store);
+    // The builder constructs the runtime-selected policy for `spec.procs`
+    // segments itself: the count is stated once.
     let pool: Pool<S, DynPolicy, DynTiming> = PoolBuilder::new(spec.procs)
         .seed(seed)
         .timing(Arc::clone(&timing))
+        .node_store(spec.node_store)
         .record_trace(spec.record_trace)
         .hints(spec.hints)
         .op_overhead(spec.add_overhead_ns, spec.remove_overhead_ns)
-        .build_with_policy(policy);
+        .build_policy(spec.policy);
     pool.fill_evenly(spec.initial_elements as usize);
 
     let budget = OpBudget::new(spec.total_ops);

@@ -241,9 +241,10 @@ pub fn expand_parallel<W: SharedWorkList<WorkItem>, T: Timing>(
                     } else {
                         let n = item.board.moves().len() as u64;
                         timing.charge_work(me, cfg.expand_work_ns * n);
-                        for m in item.board.moves() {
-                            handle.put(item.child(m));
-                        }
+                        // Generated children travel as one batch: the
+                        // pool-backed list takes its segment lock once for
+                        // all of them instead of once per child.
+                        handle.put_batch(item.board.moves().map(|m| item.child(m)));
                     }
                 }
                 leaves.fetch_add(my_leaves, Ordering::Relaxed);
@@ -320,7 +321,7 @@ mod tests {
         let central: GlobalStack<WorkItem> = GlobalStack::new();
         let a = expand_parallel(&central, 4, &fast_cfg(2, true), &null_timing(), None);
         let pool: PoolWorkList<WorkItem> =
-            PoolWorkList::new(4, PolicyKind::Tree.build(4, Default::default()), null_timing(), 99);
+            PoolWorkList::new(4, PolicyKind::Tree, null_timing(), 99);
         let b = expand_parallel(&pool, 4, &fast_cfg(2, true), &null_timing(), None);
         assert_eq!(a.score, b.score);
         assert_eq!(a.best_move, b.best_move);
@@ -338,7 +339,7 @@ mod tests {
     #[ignore = "expensive: full 249,984-position expansion (run with --ignored)"]
     fn depth_three_paper_position_count() {
         let pool: PoolWorkList<WorkItem> =
-            PoolWorkList::new(8, PolicyKind::Linear.build(8, Default::default()), null_timing(), 1);
+            PoolWorkList::new(8, PolicyKind::Linear, null_timing(), 1);
         let r = expand_parallel(&pool, 8, &fast_cfg(3, true), &null_timing(), None);
         assert_eq!(r.leaves, crate::PAPER_POSITIONS);
         let seq = minimax(&Board::new(), 3);

@@ -147,12 +147,8 @@ pub fn run_one(kind: WorkListKind, workers: usize, cfg: &SpeedupConfig) -> Expan
                 WorkListKind::PoolRandom => PolicyKind::Random,
                 _ => PolicyKind::Tree,
             };
-            let list: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::new(
-                workers,
-                policy.build(workers, Default::default()),
-                timing.clone(),
-                cfg.seed,
-            );
+            let list: PoolWorkList<WorkItem, SimTiming> =
+                PoolWorkList::new(workers, policy, timing.clone(), cfg.seed);
             expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
         }
         WorkListKind::GlobalStack => {

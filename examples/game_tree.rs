@@ -28,12 +28,10 @@ fn main() {
     // The expansion must charge through the same model the list was built
     // with, hence the clone of one instance.
     let timing = NullTiming::new();
-    let list: PoolWorkList<WorkItem> = PoolWorkList::new(
-        workers,
-        PolicyKind::Linear.build(workers, Default::default()),
-        timing.clone(),
-        1,
-    );
+    // The policy is constructed for `workers` segments inside the builder:
+    // the count is stated once.
+    let list: PoolWorkList<WorkItem> =
+        PoolWorkList::new(workers, PolicyKind::Linear, timing.clone(), 1);
     let cfg = ExpansionConfig { depth, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: true };
     let parallel = expand_parallel(&list, workers, &cfg, &timing, None);
 

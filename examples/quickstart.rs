@@ -15,9 +15,10 @@ fn main() {
     const WORKERS: usize = 4;
     const ITEMS_PER_WORKER: usize = 10_000;
 
-    // A pool of u64 payloads, one segment per worker, searched linearly.
-    let pool: Pool<VecSegment<u64>, LinearSearch> =
-        PoolBuilder::new(WORKERS).seed(42).build_with_policy(LinearSearch::new(WORKERS));
+    // A pool of u64 payloads, one segment per worker, searched linearly
+    // (the builder states the worker count once and wires it into the
+    // default linear policy).
+    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(WORKERS).seed(42).build();
 
     // An intentionally unbalanced start: worker 0's segment gets everything.
     pool.fill_evenly_with(0, |_| 0); // (no-op, shown for API discoverability)
@@ -26,21 +27,19 @@ fn main() {
         for w in 0..WORKERS {
             let mut handle = pool.register();
             s.spawn(move || {
-                // Only worker 0 produces; the others must steal to eat.
+                // Only worker 0 produces — one batched insert, one segment
+                // lock; the others must steal to eat.
                 if w == 0 {
-                    for i in 0..(WORKERS * ITEMS_PER_WORKER) as u64 {
-                        handle.add(i);
-                    }
+                    handle.add_batch(0..(WORKERS * ITEMS_PER_WORKER) as u64);
                 }
                 let mut sum = 0u64;
                 let mut got = 0usize;
                 while got < ITEMS_PER_WORKER {
-                    match handle.try_remove() {
-                        Ok(v) => {
-                            sum = sum.wrapping_add(v);
-                            got += 1;
-                        }
-                        Err(RemoveError::Aborted) => thread::yield_now(),
+                    // Blocking remove: transient all-searching aborts are
+                    // retried inside the crate, no hand-rolled spin loop.
+                    if let Ok(v) = handle.remove(WaitStrategy::Yield) {
+                        sum = sum.wrapping_add(v);
+                        got += 1;
                     }
                 }
                 println!(

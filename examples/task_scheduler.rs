@@ -30,13 +30,10 @@ fn main() {
     const TOTAL: u64 = 10_000_000;
 
     // The statically-dispatched NullTiming pool: bare lock/steal code, no
-    // cost-model indirection on the hot path.
-    let list: PoolWorkList<Task> = PoolWorkList::new(
-        WORKERS,
-        PolicyKind::Tree.build(WORKERS, Default::default()),
-        NullTiming::new(),
-        7,
-    );
+    // cost-model indirection on the hot path. The tree policy is built for
+    // WORKERS segments inside the builder — the count is stated once.
+    let list: PoolWorkList<Task> =
+        PoolWorkList::new(WORKERS, PolicyKind::Tree, NullTiming::new(), 7);
     list.seed(vec![Task { lo: 0, hi: TOTAL }]);
 
     let sum = AtomicU64::new(0);
@@ -55,8 +52,11 @@ fn main() {
                         sum.fetch_add(partial, Ordering::Relaxed);
                     } else {
                         let mid = task.lo + (task.hi - task.lo) / 2;
-                        handle.put(Task { lo: task.lo, hi: mid });
-                        handle.put(Task { lo: mid, hi: task.hi });
+                        // Both halves travel as one batch: one segment lock.
+                        handle.put_batch([
+                            Task { lo: task.lo, hi: mid },
+                            Task { lo: mid, hi: task.hi },
+                        ]);
                     }
                 }
                 // `get` returned Done: every worker was searching and the

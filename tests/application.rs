@@ -37,8 +37,7 @@ fn every_work_list_matches_sequential_minimax() {
     }
 
     for policy in PolicyKind::ALL {
-        let pool: PoolWorkList<WorkItem> =
-            PoolWorkList::new(4, policy.build(4, Default::default()), null_timing(), 5);
+        let pool: PoolWorkList<WorkItem> = PoolWorkList::new(4, policy, null_timing(), 5);
         let result = expand_parallel(&pool, 4, &fast_cfg(2), &null_timing(), None);
         assert_eq!(result.score, seq.score, "pool/{policy}");
         assert_eq!(result.best_move, seq.best_move, "pool/{policy}");
@@ -76,12 +75,8 @@ fn virtual_time_expansion_speeds_up() {
         let scheduler =
             SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
         let timing: SimTiming = scheduler.timing();
-        let pool: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::new(
-            workers,
-            PolicyKind::Linear.build(workers, Default::default()),
-            timing.clone(),
-            3,
-        );
+        let pool: PoolWorkList<WorkItem, SimTiming> =
+            PoolWorkList::new(workers, PolicyKind::Linear, timing.clone(), 3);
         let r = expand_parallel(&pool, workers, &cfg, &timing, Some(&scheduler));
         let makespan = r.makespan_ns.expect("virtual-time run has a makespan");
         makespans.push((workers, makespan));
@@ -104,12 +99,8 @@ fn virtual_time_expansion_is_deterministic() {
         let scheduler =
             SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
         let timing: SimTiming = scheduler.timing();
-        let pool: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::new(
-            workers,
-            PolicyKind::Tree.build(workers, Default::default()),
-            timing.clone(),
-            42,
-        );
+        let pool: PoolWorkList<WorkItem, SimTiming> =
+            PoolWorkList::new(workers, PolicyKind::Tree, timing.clone(), 42);
         let cfg = ExpansionConfig {
             depth: 2,
             eval_work_ns: 50_000,
@@ -129,12 +120,8 @@ fn virtual_time_expansion_is_deterministic() {
 #[test]
 fn pool_work_list_stays_local() {
     let workers = 4;
-    let pool: PoolWorkList<WorkItem> = PoolWorkList::new(
-        workers,
-        PolicyKind::Linear.build(workers, Default::default()),
-        null_timing(),
-        17,
-    );
+    let pool: PoolWorkList<WorkItem> =
+        PoolWorkList::new(workers, PolicyKind::Linear, null_timing(), 17);
     // Unbatched: all 64 + 64*63 positions flow through the pool, and each
     // depth-1 item deposits its 63 children locally.
     let cfg = ExpansionConfig { depth: 2, eval_work_ns: 0, expand_work_ns: 0, batch_leaves: false };

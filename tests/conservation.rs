@@ -15,9 +15,8 @@ fn unique_values_survive_stealing_for_every_policy() {
     for kind in PolicyKind::ALL {
         let n = 8;
         let per = 2_000u64;
-        let policy = kind.build(n, NodeStoreKind::Locked);
         let pool: Pool<VecSegment<u64>, DynPolicy> =
-            PoolBuilder::new(n).seed(11).build_with_policy(policy);
+            PoolBuilder::new(n).seed(11).node_store(NodeStoreKind::Locked).build_policy(kind);
         let seen = Mutex::new(HashSet::new());
 
         thread::scope(|s| {
@@ -37,12 +36,9 @@ fn unique_values_survive_stealing_for_every_policy() {
                     }
                     let mut got = local.len() as u64;
                     while got < per {
-                        match h.try_remove() {
-                            Ok(v) => {
-                                local.push(v);
-                                got += 1;
-                            }
-                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        if let Ok(v) = h.remove(WaitStrategy::Yield) {
+                            local.push(v);
+                            got += 1;
                         }
                     }
                     let mut seen = seen.lock().unwrap();
@@ -68,9 +64,8 @@ fn counting_pool_balances_for_every_policy_and_store() {
     for kind in PolicyKind::ALL {
         for store in [NodeStoreKind::Locked, NodeStoreKind::Atomic] {
             let n = 4;
-            let policy = kind.build(n, store);
             let pool: Pool<AtomicCounter, DynPolicy> =
-                PoolBuilder::new(n).seed(3).build_with_policy(policy);
+                PoolBuilder::new(n).seed(3).node_store(store).build_policy(kind);
             pool.fill_evenly(100);
 
             let removed = AtomicU64::new(0);
@@ -106,8 +101,7 @@ fn counting_pool_balances_for_every_policy_and_store() {
 #[test]
 fn stats_match_ground_truth() {
     let n = 6;
-    let pool: Pool<LockedCounter, LinearSearch> =
-        PoolBuilder::new(n).seed(5).build_with_policy(LinearSearch::new(n));
+    let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(n).seed(5).build();
     pool.fill_evenly(60);
 
     thread::scope(|s| {
@@ -140,8 +134,7 @@ fn stats_match_ground_truth() {
 /// `fill_evenly` seeds without charging any process and balances segments.
 #[test]
 fn fill_evenly_is_balanced_and_unattributed() {
-    let pool: Pool<LockedCounter, RandomSearch> =
-        PoolBuilder::new(5).build_with_policy(RandomSearch::new(5));
+    let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(5).build_policy(PolicyKind::Random);
     pool.fill_evenly(23);
     let sizes = pool.segment_sizes();
     assert_eq!(sizes.iter().sum::<usize>(), 23);
@@ -153,8 +146,7 @@ fn fill_evenly_is_balanced_and_unattributed() {
 /// gate consistent and the pool usable.
 #[test]
 fn churning_handles_keeps_pool_consistent() {
-    let pool: Pool<LockedCounter, LinearSearch> =
-        PoolBuilder::new(4).build_with_policy(LinearSearch::new(4));
+    let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(4).build();
     for round in 0..10 {
         let mut h = pool.register();
         for _ in 0..=round {

@@ -62,7 +62,7 @@ fn run_workload<T: Timing>(pool: &Pool<VecSegment<u64>, LinearSearch, T>) -> Log
 }
 
 fn pool_with<T: Timing>(timing: T) -> Pool<VecSegment<u64>, LinearSearch, T> {
-    PoolBuilder::new(4).seed(7).timing(timing).build_with_policy(LinearSearch::new(4))
+    PoolBuilder::new(4).seed(7).timing(timing).build()
 }
 
 #[test]

@@ -16,8 +16,7 @@ use workload::{Arrangement, Workload};
 /// count, so every element is offered while the consumer is starving.
 #[test]
 fn donation_satisfies_a_searcher() {
-    let pool: Pool<VecSegment<u64>, LinearSearch> =
-        PoolBuilder::new(2).hints(true).build_with_policy(LinearSearch::new(2));
+    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2).hints(true).build();
 
     let consumed = AtomicU64::new(0);
     thread::scope(|s| {
@@ -26,12 +25,9 @@ fn donation_satisfies_a_searcher() {
         s.spawn(move || {
             let mut got = 0;
             while got < 100 {
-                match consumer.try_remove() {
-                    Ok(v) => {
-                        consumed.fetch_add(v, Ordering::Relaxed);
-                        got += 1;
-                    }
-                    Err(RemoveError::Aborted) => thread::yield_now(),
+                if let Ok(v) = consumer.remove(WaitStrategy::Yield) {
+                    consumed.fetch_add(v, Ordering::Relaxed);
+                    got += 1;
                 }
             }
             assert!(
@@ -72,9 +68,8 @@ fn hinted_pool_conserves_unique_values() {
     for kind in PolicyKind::ALL {
         let n = 4;
         let per = 2_000u64;
-        let policy = kind.build(n, Default::default());
         let pool: Pool<VecSegment<u64>, DynPolicy> =
-            PoolBuilder::new(n).seed(7).hints(true).build_with_policy(policy);
+            PoolBuilder::new(n).seed(7).hints(true).build_policy(kind);
 
         let sum = AtomicU64::new(0);
         thread::scope(|s| {
@@ -92,12 +87,9 @@ fn hinted_pool_conserves_unique_values() {
                     }
                     let mut got = h.stats().removes;
                     while got < per {
-                        match h.try_remove() {
-                            Ok(v) => {
-                                sum.fetch_add(v, Ordering::Relaxed);
-                                got += 1;
-                            }
-                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        if let Ok(v) = h.remove(WaitStrategy::Yield) {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            got += 1;
                         }
                     }
                 });
@@ -119,8 +111,8 @@ fn hinted_pool_conserves_unique_values() {
 #[test]
 fn raced_deliveries_are_banked() {
     // Tight loop maximizing search/add races.
-    let pool: Pool<LockedCounter, RandomSearch> =
-        PoolBuilder::new(3).seed(13).hints(true).build_with_policy(RandomSearch::new(3));
+    let pool: Pool<LockedCounter, DynPolicy> =
+        PoolBuilder::new(3).seed(13).hints(true).build_policy(PolicyKind::Random);
     let removed = AtomicU64::new(0);
     let added = AtomicU64::new(0);
     thread::scope(|s| {
@@ -219,8 +211,7 @@ fn hinted_runs_are_deterministic() {
 /// Hints off ⇒ the donation counters stay zero (no accidental activation).
 #[test]
 fn hints_default_off() {
-    let pool: Pool<LockedCounter, LinearSearch> =
-        PoolBuilder::new(2).build_with_policy(LinearSearch::new(2));
+    let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(2).build();
     assert!(pool.hint_board().is_none());
     let mut a = pool.register();
     let mut b = pool.register();
@@ -233,9 +224,8 @@ fn hints_default_off() {
         s.spawn(move || {
             let mut got = 0;
             while got < 50 {
-                match b.try_remove() {
-                    Ok(()) => got += 1,
-                    Err(RemoveError::Aborted) => thread::yield_now(),
+                if b.remove(WaitStrategy::Yield).is_ok() {
+                    got += 1;
                 }
             }
         });

@@ -13,8 +13,8 @@ use cpool::{NodeStoreKind, PolicyKind};
 fn empty_pool_consumers_all_abort() {
     for kind in PolicyKind::ALL {
         let n = 8;
-        let policy = kind.build(n, NodeStoreKind::Locked);
-        let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(n).build_with_policy(policy);
+        let pool: Pool<LockedCounter, DynPolicy> =
+            PoolBuilder::new(n).node_store(NodeStoreKind::Locked).build_policy(kind);
         let aborted = AtomicU64::new(0);
         thread::scope(|s| {
             for _ in 0..n {
@@ -39,8 +39,7 @@ fn empty_pool_consumers_all_abort() {
 fn consumers_wait_for_a_slow_producer() {
     let n = 4;
     let total = 600u64;
-    let pool: Pool<LockedCounter, LinearSearch> =
-        PoolBuilder::new(n).build_with_policy(LinearSearch::new(n));
+    let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(n).build();
     let consumed = AtomicU64::new(0);
 
     thread::scope(|s| {
@@ -59,7 +58,10 @@ fn consumers_wait_for_a_slow_producer() {
             let mut c = pool.register();
             let consumed = &consumed;
             s.spawn(move || loop {
-                match c.try_remove() {
+                // The blocking remove retries transient aborts itself; an
+                // Err here means the pool was drained while every process
+                // searched — check whether the whole run is finished.
+                match c.remove(WaitStrategy::Yield) {
                     Ok(()) => {
                         consumed.fetch_add(1, Ordering::Relaxed);
                     }
@@ -77,12 +79,44 @@ fn consumers_wait_for_a_slow_producer() {
     assert_eq!(pool.total_len(), 0);
 }
 
+/// Starvation: blocking `remove` on a drained pool, with every registered
+/// process searching at once, returns the abort outcome — it must not hang
+/// and must not burn its whole attempt budget (the drained check makes the
+/// first abort terminal).
+#[test]
+fn blocking_remove_on_drained_pool_aborts_instead_of_hanging() {
+    for kind in PolicyKind::ALL {
+        let n = 8;
+        let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(n).build_policy(kind);
+        let aborted = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..n {
+                let mut h = pool.register();
+                let aborted = &aborted;
+                s.spawn(move || {
+                    for strategy in [WaitStrategy::Spin, WaitStrategy::Yield, WaitStrategy::Park] {
+                        if h.remove(strategy) == Err(RemoveError::Aborted) {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(aborted.load(Ordering::Relaxed), 8 * 3, "{kind}: every blocking remove aborted");
+        let merged = pool.stats().merged();
+        assert!(
+            merged.aborted_removes < 8 * 3 * WaitStrategy::DEFAULT_ATTEMPTS as u64,
+            "{kind}: terminal aborts fire well before the budget ({} attempts)",
+            merged.aborted_removes
+        );
+    }
+}
+
 /// An aborted remove leaves the pool fully usable: elements added afterwards
 /// are found by the previously-aborted process.
 #[test]
 fn abort_is_recoverable() {
-    let pool: Pool<LockedCounter, TreeSearch> =
-        PoolBuilder::new(2).build_with_policy(TreeSearch::new(2));
+    let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(2).build_policy(PolicyKind::Tree);
     let mut a = pool.register();
     assert_eq!(a.try_remove(), Err(RemoveError::Aborted), "lone searcher aborts");
     a.add(());
@@ -97,8 +131,8 @@ fn search_gate_stress_terminates() {
     // consuming it all back. Consumers hammer remove. The run must finish
     // (no livelock, no lost wakeups) with all elements accounted for.
     let n = 8;
-    let pool: Pool<AtomicCounter, RandomSearch> =
-        PoolBuilder::new(n).seed(99).build_with_policy(RandomSearch::new(n));
+    let pool: Pool<AtomicCounter, DynPolicy> =
+        PoolBuilder::new(n).seed(99).build_policy(PolicyKind::Random);
     let stop = AtomicBool::new(false);
     let produced = AtomicU64::new(0);
     let consumed = AtomicU64::new(0);

@@ -14,9 +14,7 @@ use cpool::{PolicyKind, SearchGate};
 fn panicking_worker_does_not_wedge_the_gate() {
     for kind in PolicyKind::ALL {
         let n = 4;
-        let policy = kind.build(n, Default::default());
-        let pool: Pool<LockedCounter, DynPolicy> =
-            PoolBuilder::new(n).seed(3).build_with_policy(policy);
+        let pool: Pool<LockedCounter, DynPolicy> = PoolBuilder::new(n).seed(3).build_policy(kind);
         pool.fill_evenly(100);
 
         thread::scope(|s| {
@@ -34,7 +32,7 @@ fn panicking_worker_does_not_wedge_the_gate() {
             // Honest workers drain the rest.
             for _ in 0..n - 1 {
                 let mut h = pool.register();
-                s.spawn(move || while h.try_remove() != Err(RemoveError::Aborted) {});
+                s.spawn(move || while h.remove(WaitStrategy::Spin).is_ok() {});
             }
         });
 
@@ -67,8 +65,7 @@ fn oversubscribed_pool_works() {
     let segments = 3;
     let workers = 10;
     let per = 500u64;
-    let pool: Pool<VecSegment<u64>, LinearSearch> =
-        PoolBuilder::new(segments).build_with_policy(LinearSearch::new(segments));
+    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(segments).build();
 
     thread::scope(|s| {
         for w in 0..workers as u64 {
@@ -79,9 +76,8 @@ fn oversubscribed_pool_works() {
                 }
                 let mut got = 0;
                 while got < per {
-                    match h.try_remove() {
-                        Ok(_) => got += 1,
-                        Err(RemoveError::Aborted) => thread::yield_now(),
+                    if h.remove(WaitStrategy::Yield).is_ok() {
+                        got += 1;
                     }
                 }
             });
@@ -98,8 +94,7 @@ fn oversubscribed_pool_works() {
 #[test]
 fn single_segment_pool_contract() {
     for kind in PolicyKind::ALL {
-        let policy = kind.build(1, Default::default());
-        let pool: Pool<VecSegment<u32>, DynPolicy> = PoolBuilder::new(1).build_with_policy(policy);
+        let pool: Pool<VecSegment<u32>, DynPolicy> = PoolBuilder::new(1).build_policy(kind);
         let mut a = pool.register();
         let mut b = pool.register();
         a.add(1);
@@ -130,8 +125,7 @@ fn concurrency_trait_bounds() {
 /// Handles can migrate between threads mid-lifetime (Send, not pinned).
 #[test]
 fn handle_migrates_across_threads() {
-    let pool: Pool<LockedCounter, LinearSearch> =
-        PoolBuilder::new(2).build_with_policy(LinearSearch::new(2));
+    let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(2).build();
     let mut h = pool.register();
     h.add(());
     let h = thread::spawn(move || {
@@ -159,8 +153,7 @@ fn zero_segment_builder_panics() {
 #[test]
 fn elements_survive_steal_chains() {
     let n = 6;
-    let pool: Pool<VecSegment<u32>, LinearSearch> =
-        PoolBuilder::new(n).build_with_policy(LinearSearch::new(n));
+    let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(n).build();
 
     // Worker 0 owns everything initially.
     {
@@ -180,9 +173,8 @@ fn elements_survive_steal_chains() {
                 s.spawn(move || {
                     let mut mine = Vec::new();
                     while mine.len() < 100 {
-                        match h.try_remove() {
-                            Ok(v) => mine.push(v),
-                            Err(RemoveError::Aborted) => thread::yield_now(),
+                        if let Ok(v) = h.remove(WaitStrategy::Yield) {
+                            mine.push(v);
                         }
                     }
                     mine
