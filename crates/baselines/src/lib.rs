@@ -16,11 +16,21 @@
 //!
 //! All centralized lists charge their accesses to
 //! [`Resource::Shared`]`(0)` so NUMA cost models and the virtual-time
-//! scheduler see the hot spot; termination uses the same
-//! all-processes-searching rule as the pool ([`cpool::SearchGate`]).
-//! Workers that generate work in bursts should deposit it through
-//! [`WorkHandle::put_batch`], which the pool-backed list serves with one
-//! segment lock per batch ([`cpool::PoolOps::add_batch`]).
+//! scheduler see the hot spot. Workers that generate work in bursts should
+//! deposit it through [`WorkHandle::put_batch`], which the pool-backed list
+//! serves with one segment lock per batch ([`cpool::PoolOps::add_batch`]).
+//!
+//! # Termination and shutdown
+//!
+//! Completion is *detected* by the same all-processes-searching rule as the
+//! pool ([`cpool::SearchGate`]): the list is empty and every worker is
+//! looking, so no new item can appear. The detecting worker then **closes**
+//! the list ([`SharedWorkList::close`]), which wakes every blocked peer to
+//! drain out with [`Done`] — so a pool-backed list's workers can wait
+//! *event-driven* ([`cpool::WaitStrategy::Block`], the default: park on the
+//! pool's notifier, woken by the add edge) instead of burning an attempt
+//! budget polling. An application that knows it is finished (or wants to
+//! cancel) may also close the list explicitly from outside.
 //!
 //! Like the pools they compete with, every work list is generic over its
 //! [`Timing`] cost model (default [`cpool::NullTiming`], statically
@@ -32,20 +42,20 @@
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_queue::SegQueue;
 use parking_lot::Mutex;
 
 use cpool::{
-    DynPolicy, Handle, NullTiming, PolicyKind, Pool, PoolBuilder, PoolOps, ProcId, Resource,
-    SearchGate, Timing, VecSegment, WaitStrategy,
+    DynPolicy, Handle, NullTiming, PolicyKind, Pool, PoolBuilder, PoolOps, ProcId, RemoveError,
+    Resource, SearchGate, Timing, VecSegment, WaitStrategy,
 };
 
 /// Returned by [`WorkHandle::get`] when the computation has terminated:
-/// the list is empty and every registered worker is looking for work, so no
-/// new items can appear.
+/// the list was [closed](SharedWorkList::close), or it is empty and every
+/// registered worker is looking for work, so no new items can appear.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Done;
 
@@ -103,6 +113,19 @@ pub trait SharedWorkList<T: Send>: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Closes the list: sticky and idempotent. Workers blocked in
+    /// [`get`](WorkHandle::get) are woken; they and all future getters
+    /// drain the remaining items and then report [`Done`].
+    ///
+    /// The pool-backed list closes itself when a worker detects completion
+    /// (see [`PoolWorkHandle::get`]); call this from outside to cancel a
+    /// computation early or to release workers a coordinator knows are no
+    /// longer needed.
+    fn close(&self);
+
+    /// Whether [`close`](Self::close) has been called.
+    fn is_closed(&self) -> bool;
 }
 
 // ---------------------------------------------------------------------------
@@ -200,6 +223,7 @@ struct CentralShared<T, B, Ti> {
     gate: SearchGate,
     timing: Ti,
     next_proc: AtomicUsize,
+    closed: AtomicBool,
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
@@ -249,6 +273,7 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> Central<T, B,
                 gate: SearchGate::new(),
                 timing,
                 next_proc: AtomicUsize::new(0),
+                closed: AtomicBool::new(false),
                 _marker: std::marker::PhantomData,
             }),
         }
@@ -282,6 +307,16 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> SharedWorkLis
 
     fn len(&self) -> usize {
         self.shared.buffer.len()
+    }
+
+    fn close(&self) {
+        // The centralized lists wait by polling, so a flag the poll loop
+        // reads is a complete close mechanism — no wakeup channel needed.
+        self.shared.closed.store(true, Ordering::SeqCst);
+    }
+
+    fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::SeqCst)
     }
 }
 
@@ -327,6 +362,13 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> WorkHandle<T>
             if let Some(item) = self.shared.buffer.pop() {
                 return Ok(item);
             }
+            if self.shared.closed.load(Ordering::SeqCst) {
+                // Drain-before-Done: a push sequenced before the close()
+                // that this load just observed may have raced *after* the
+                // pop above, so give the buffer one more look now that the
+                // flag orders us after every pre-close deposit.
+                return self.shared.buffer.pop().ok_or(Done);
+            }
             if self.shared.gate.all_searching() {
                 return Err(Done);
             }
@@ -346,13 +388,22 @@ impl<T: Send + 'static, B: CentralBuffer<T> + 'static, Ti: Timing> WorkHandle<T>
 /// A concurrent pool adapted to the [`SharedWorkList`] interface.
 ///
 /// `get` maps to the pool's blocking
-/// [`remove`](cpool::PoolOps::remove): transient aborts retry inside the
-/// pool, and termination piggybacks on the terminal abort — every worker
-/// searching with the pool drained is a stable "done" signal (no process
-/// can add while all are searching). `put_batch` maps to
+/// [`remove`](cpool::PoolOps::remove): by default under
+/// [`WaitStrategy::Block`], so an idle worker **parks** on the pool's
+/// notifier and is woken by the add edge instead of polling the segments.
+/// Termination is close-on-completion: the first worker whose remove takes
+/// the terminal abort (every worker searching with the pool drained — a
+/// stable "done" signal, since no process can add while all are searching)
+/// [closes](cpool::PoolOps::close) the pool, which wakes every parked peer
+/// to drain out with [`Done`]. `put_batch` maps to
 /// [`add_batch`](cpool::PoolOps::add_batch), one segment lock per batch.
+///
+/// Virtual-time runs must use [`with_wait`](Self::with_wait) and a polling
+/// strategy (`Spin`): a thread parked on a real OS primitive never yields
+/// the simulation token, and `Spin` keeps the run deterministic.
 pub struct PoolWorkList<T: Send + 'static, Ti: Timing = NullTiming> {
     pool: Pool<VecSegment<T>, DynPolicy, Ti>,
+    wait: WaitStrategy,
 }
 
 impl<T: Send + 'static, Ti: Timing> fmt::Debug for PoolWorkList<T, Ti> {
@@ -363,20 +414,37 @@ impl<T: Send + 'static, Ti: Timing> fmt::Debug for PoolWorkList<T, Ti> {
 
 impl<T: Send + 'static, Ti: Timing> Clone for PoolWorkList<T, Ti> {
     fn clone(&self) -> Self {
-        PoolWorkList { pool: self.pool.clone() }
+        PoolWorkList { pool: self.pool.clone(), wait: self.wait }
     }
 }
 
 impl<T: Send + 'static, Ti: Timing> PoolWorkList<T, Ti> {
     /// Creates a pool-backed work list with `segments` segments, the given
     /// search algorithm, and cost model (statically dispatched; pass a
-    /// [`cpool::DynTiming`] for runtime selection).
+    /// [`cpool::DynTiming`] for runtime selection). Idle workers wait
+    /// event-driven ([`WaitStrategy::Block`]); use
+    /// [`with_wait`](Self::with_wait) to choose a polling strategy instead.
     ///
     /// The policy is constructed internally for `segments` segments
     /// ([`PoolBuilder::build_policy`]), so the count is stated once.
     pub fn new(segments: usize, policy: PolicyKind, timing: Ti, seed: u64) -> Self {
+        Self::with_wait(segments, policy, timing, seed, WaitStrategy::Block)
+    }
+
+    /// [`new`](Self::new) with an explicit wait strategy for idle workers.
+    ///
+    /// Virtual-time runs must pass [`WaitStrategy::Spin`]: parking a thread
+    /// under the simulation scheduler would deadlock the virtual clock, and
+    /// spinning keeps the run deterministic.
+    pub fn with_wait(
+        segments: usize,
+        policy: PolicyKind,
+        timing: Ti,
+        seed: u64,
+        wait: WaitStrategy,
+    ) -> Self {
         let pool = PoolBuilder::new(segments).seed(seed).timing(timing).build_policy(policy);
-        PoolWorkList { pool }
+        PoolWorkList { pool, wait }
     }
 
     /// The underlying pool (for statistics).
@@ -389,7 +457,7 @@ impl<T: Send + 'static, Ti: Timing> SharedWorkList<T> for PoolWorkList<T, Ti> {
     type Handle = PoolWorkHandle<T, Ti>;
 
     fn register(&self) -> PoolWorkHandle<T, Ti> {
-        PoolWorkHandle { inner: self.pool.register() }
+        PoolWorkHandle { inner: self.pool.register(), wait: self.wait }
     }
 
     fn seed(&self, items: Vec<T>) {
@@ -401,11 +469,20 @@ impl<T: Send + 'static, Ti: Timing> SharedWorkList<T> for PoolWorkList<T, Ti> {
     fn len(&self) -> usize {
         self.pool.total_len()
     }
+
+    fn close(&self) {
+        self.pool.close();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.pool.is_closed()
+    }
 }
 
 /// Worker handle to a [`PoolWorkList`].
 pub struct PoolWorkHandle<T: Send + 'static, Ti: Timing = NullTiming> {
     inner: Handle<VecSegment<T>, DynPolicy, Ti>,
+    wait: WaitStrategy,
 }
 
 impl<T: Send + 'static, Ti: Timing> fmt::Debug for PoolWorkHandle<T, Ti> {
@@ -425,13 +502,25 @@ impl<T: Send + 'static, Ti: Timing> WorkHandle<T> for PoolWorkHandle<T, Ti> {
     }
 
     fn get(&mut self) -> Result<T, Done> {
-        // The blocking remove owns the retry policy: transient aborts (an
+        // The blocking remove owns the wait policy: transient aborts (an
         // element slipped in just before its producer started searching)
-        // are retried inside the crate, and the only terminal outcome is
-        // abort-while-drained — exactly this trait's "done" condition. An
-        // unbounded attempt budget is safe because the drained check ends
-        // the wait as soon as the pool is genuinely empty.
-        self.inner.remove_with_attempts(WaitStrategy::Spin, usize::MAX).map_err(|_| Done)
+        // are waited out inside the crate — parked on the notifier under
+        // the default Block strategy. An unbounded lap budget is safe
+        // because the terminal-abort and close paths end the wait as soon
+        // as the pool is genuinely finished.
+        match self.inner.remove_with_attempts(self.wait, usize::MAX) {
+            Ok(item) => Ok(item),
+            Err(RemoveError::Closed) => Err(Done),
+            Err(_) => {
+                // Terminal abort: this worker just witnessed "drained with
+                // everyone searching" — completion. Close the pool so
+                // parked peers wake and drain out instead of each having
+                // to re-derive the proof (close is idempotent, so races
+                // between several witnesses are fine).
+                self.inner.close();
+                Err(Done)
+            }
+        }
     }
 
     fn proc_id(&self) -> ProcId {
@@ -561,5 +650,68 @@ mod tests {
     #[test]
     fn done_error_displays() {
         assert_eq!(Done.to_string(), "work list drained: all workers idle");
+    }
+
+    #[test]
+    fn pool_list_closes_itself_on_completion() {
+        let list: PoolWorkList<u32> =
+            PoolWorkList::new(2, PolicyKind::Linear, NullTiming::new(), 3);
+        assert!(!list.is_closed());
+        assert_eq!(drain_all(&list, 3, (0..100).collect()), 100);
+        assert!(list.is_closed(), "the completion witness closed the pool");
+        // A late worker on the closed list drains straight to Done.
+        let mut late = list.register();
+        assert_eq!(late.get(), Err(Done));
+    }
+
+    #[test]
+    fn explicit_close_releases_blocked_pool_workers() {
+        // Workers park on an empty, never-completing list (an outsider
+        // handle keeps the gate from declaring termination); close() must
+        // wake and release them all.
+        let list: PoolWorkList<u32> =
+            PoolWorkList::new(4, PolicyKind::Linear, NullTiming::new(), 9);
+        let _outsider = list.register(); // registered, never searches
+        let released = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                let mut h = list.register();
+                let released = &released;
+                s.spawn(move || {
+                    assert_eq!(h.get(), Err(Done));
+                    released.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Give the workers time to park, then shut the list down.
+            thread::sleep(std::time::Duration::from_millis(5));
+            list.close();
+        });
+        assert_eq!(released.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn closed_central_list_drains_residue_first() {
+        let list: GlobalStack<u32> = GlobalStack::new();
+        list.seed(vec![1, 2]);
+        list.close();
+        let mut h = list.register();
+        assert_eq!(h.get(), Ok(2));
+        assert_eq!(h.get(), Ok(1));
+        assert_eq!(h.get(), Err(Done), "drained residue, then Done");
+        assert!(list.is_closed());
+    }
+
+    #[test]
+    fn close_releases_central_waiters() {
+        let list: GlobalQueue<u32> = GlobalQueue::new();
+        let _outsider = list.register(); // suppresses the all-searching rule
+        thread::scope(|s| {
+            let mut h = list.register();
+            s.spawn(move || {
+                assert_eq!(h.get(), Err(Done));
+            });
+            thread::sleep(std::time::Duration::from_millis(2));
+            list.close();
+        });
     }
 }

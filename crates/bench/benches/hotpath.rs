@@ -14,9 +14,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 use bench::hotpath::{
-    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, BATCH_SIZES,
+    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, Handoff,
+    BATCH_SIZES, HANDOFF_SETTLE,
 };
-use cpool::{DynTiming, NullTiming};
+use cpool::{DynTiming, NullTiming, WaitStrategy};
 
 fn benches(c: &mut Criterion) {
     let pool = pool_with(1, NullTiming::new());
@@ -36,6 +37,19 @@ fn benches(c: &mut Criterion) {
     let pool = pool_with(2, adapter);
     let mut op = steal_op(&pool);
     c.bench_function("hotpath/steal/dyn", |b| b.iter(&mut op));
+
+    // Producer→blocked-consumer wakeup latency: the settle sleep puts the
+    // consumer into its steady idle state (backoff cap / parked) before
+    // each measured add. NOTE: criterion measures the whole round here —
+    // settle included — so compare the park/block pair against each other,
+    // not against the committed JSON medians (whose rounds exclude the
+    // settle).
+    for (name, wait) in [("park", WaitStrategy::Park), ("block", WaitStrategy::Block)] {
+        let mut handoff = Handoff::new(wait);
+        c.bench_function(format!("hotpath/handoff/{name}"), |b| {
+            b.iter(|| handoff.round(HANDOFF_SETTLE))
+        });
+    }
 
     // Batched vs per-element element traffic; each iteration moves `batch`
     // elements, so compare per-size pairs (the bin twin normalizes to

@@ -16,9 +16,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::hotpath::{
-    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, BATCH_SIZES,
+    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, Handoff,
+    BATCH_SIZES,
 };
-use cpool::{DynTiming, NullTiming};
+use cpool::{DynTiming, NullTiming, WaitStrategy};
 use harness::cli::Args;
 
 /// Times `iters` runs of `op` after `iters / 10` warmup runs; returns the
@@ -85,13 +86,25 @@ fn main() {
         results.push((format!("batch_add_remove/per_element/{batch}"), per_element));
     }
 
+    // Producer→blocked-consumer wakeup latency: Park (sleep backoff — an
+    // element added mid-sleep waits out the rest of the interval) vs Block
+    // (event-driven — the add edge unparks the consumer). Medians, ns per
+    // handoff; each round lets the consumer settle into its idle state
+    // first, so this measures wakeup latency, not throughput.
+    let handoff_rounds = if args.flag("quick") { 50 } else { 400 };
+    let handoff_park = Handoff::new(WaitStrategy::Park).median_ns(handoff_rounds);
+    let handoff_block = Handoff::new(WaitStrategy::Block).median_ns(handoff_rounds);
+    results.push(("handoff/park".to_string(), handoff_park));
+    results.push(("handoff/block".to_string(), handoff_block));
+
     for (name, ns) in &results {
         eprintln!("{name:>32}: {ns:8.1} ns/elem");
     }
     eprintln!(
-        "dyn/generic ratio: add_remove {:.3}, steal {:.3}",
+        "dyn/generic ratio: add_remove {:.3}, steal {:.3}; handoff block/park {:.3}",
         dyn_add / generic_add,
-        dyn_steal / generic_steal
+        dyn_steal / generic_steal,
+        handoff_block / handoff_park,
     );
 
     let mut json = String::from("{\n");

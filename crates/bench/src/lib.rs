@@ -34,7 +34,15 @@ use harness::figures::Scale;
 /// committed `BENCH_hotpath.json` baseline and the criterion numbers drift
 /// apart — so both build their loops from these functions.
 pub mod hotpath {
-    use cpool::{LinearSearch, Pool, PoolBuilder, PoolOps, Timing, VecSegment};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    use cpool::{
+        Handle, LinearSearch, Pool, PoolBuilder, PoolOps, RemoveError, Timing, VecSegment,
+        WaitStrategy,
+    };
 
     /// The pool configuration both hot-path benchmarks measure.
     pub type HotPool<T> = Pool<VecSegment<u64>, LinearSearch, T>;
@@ -96,6 +104,88 @@ pub mod hotpath {
             }
             for _ in 0..batch {
                 std::hint::black_box(handle.try_remove().expect("just added"));
+            }
+        }
+    }
+
+    /// How long an idle consumer is given to settle into its wait before
+    /// the producer adds: long enough for `Park`'s exponential backoff to
+    /// reach its cap and for `Block` to actually park the thread, so each
+    /// measured round starts from the strategy's steady idle state.
+    pub const HANDOFF_SETTLE: Duration = Duration::from_micros(400);
+
+    /// A producer→blocked-consumer handoff rig: one consumer thread waits
+    /// in a blocking `remove(wait)` on an otherwise-empty two-segment pool
+    /// while the producer (the caller) stays registered but idle, so the
+    /// wait never turns into a terminal abort.
+    ///
+    /// [`round`](Self::round) measures the latency from the producer's
+    /// `add` to the consumer observing the element — the number the
+    /// `Park`-vs-[`Block`](WaitStrategy::Block) comparison is about:
+    /// polling backoff discovers the element only when its current sleep
+    /// expires, while the notifier wakes the parked consumer on the add
+    /// edge.
+    pub struct Handoff {
+        pool: HotPool<cpool::NullTiming>,
+        producer: Handle<VecSegment<u64>, LinearSearch>,
+        received: Arc<AtomicU64>,
+        sent: u64,
+        consumer: Option<JoinHandle<()>>,
+    }
+
+    impl Handoff {
+        /// Spawns the consumer, waiting under `wait`.
+        pub fn new(wait: WaitStrategy) -> Self {
+            let pool = pool_with(2, cpool::NullTiming::new());
+            let producer = pool.register();
+            let mut consumer_handle = pool.register();
+            let received = Arc::new(AtomicU64::new(0));
+            let received_consumer = Arc::clone(&received);
+            let consumer = std::thread::spawn(move || loop {
+                match consumer_handle.remove_with_attempts(wait, usize::MAX) {
+                    Ok(v) => {
+                        std::hint::black_box(v);
+                        received_consumer.fetch_add(1, Ordering::Release);
+                    }
+                    Err(RemoveError::Closed) => break,
+                    Err(_) => {}
+                }
+            });
+            Handoff { pool, producer, received, sent: 0, consumer: Some(consumer) }
+        }
+
+        /// One measured handoff: settle, add, and time until the consumer
+        /// acknowledges receipt. The settle sleep is excluded from the
+        /// returned duration.
+        pub fn round(&mut self, settle: Duration) -> Duration {
+            std::thread::sleep(settle);
+            self.sent += 1;
+            let t0 = Instant::now();
+            self.producer.add(self.sent);
+            while self.received.load(Ordering::Acquire) < self.sent {
+                std::hint::spin_loop();
+            }
+            t0.elapsed()
+        }
+
+        /// Runs `rounds` handoffs and returns the median latency in
+        /// nanoseconds (the median filters scheduler outliers; individual
+        /// park/unpark round trips are noisy).
+        pub fn median_ns(&mut self, rounds: usize) -> f64 {
+            let mut samples: Vec<u64> =
+                (0..rounds).map(|_| self.round(HANDOFF_SETTLE).as_nanos() as u64).collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2] as f64
+        }
+    }
+
+    impl Drop for Handoff {
+        fn drop(&mut self) {
+            // Close-on-drop is the shutdown path under test everywhere
+            // else: the consumer drains out with `Closed` and joins.
+            self.pool.close();
+            if let Some(consumer) = self.consumer.take() {
+                let _ = consumer.join();
             }
         }
     }

@@ -34,11 +34,15 @@
 //! exactly one hot path to change.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::error::RemoveError;
 use crate::gate::{SearchGate, SearchGuard};
 use crate::ids::{ProcId, SegIdx};
+use crate::notify::{Notifier, WaitOutcome};
+use crate::ops::WaitStrategy;
 use crate::stats::{PoolStats, ProcStats};
 use crate::timing::{Resource, Timing};
 
@@ -84,6 +88,12 @@ impl Registry {
     pub fn retire(&self, proc: ProcId, stats: ProcStats) {
         self.gate.deregister();
         self.collected.lock().push((proc, stats));
+    }
+
+    /// The pool's wakeup channel (owned by the gate; see
+    /// [`SearchGate::notifier`]).
+    pub fn notifier(&self) -> &Notifier {
+        self.gate.notifier()
     }
 
     /// Statistics of retired processes, ordered by process id.
@@ -287,6 +297,21 @@ impl<'a, T: Timing> SearchSession<'a, T> {
         self.examined >= self.lap
     }
 
+    /// Whether the gate's all-searching condition holds *right now*,
+    /// regardless of this search's probe count.
+    ///
+    /// The lap-counted [`should_abort`](Self::should_abort) is the rule for
+    /// a search in flight; a waiter parked at a lap boundary must use this
+    /// raw form instead, because policies may spend abort checks on visits
+    /// that examine nothing (the tree's phantom leaves of a
+    /// non-power-of-two pool), leaving `examined` short of a formal lap —
+    /// and a parked waiter that conditions its wake-up on `full_lap_done`
+    /// would then sleep through the very transition that was meant to wake
+    /// it.
+    pub fn gate_abort_now(&self) -> bool {
+        self.gate.all_searching()
+    }
+
     /// §3.2's starvation rule, honored only after the search has examined
     /// at least one full lap of victim segments.
     ///
@@ -339,8 +364,271 @@ impl<'a, T: Timing> SearchSession<'a, T> {
         if !batch.is_empty() {
             self.timing.charge(self.me, Resource::Segment(self.home));
             refill(batch);
+            // The banked remainder is fresh availability in the thief's
+            // segment: wake parked waiters, or they could sleep next to
+            // elements nobody signalled (the victim's residue was visible
+            // all along, but these elements were in flight while other
+            // searchers lapped past both segments).
+            self.gate.notifier().notify_all();
         }
         Some((item, stolen))
+    }
+}
+
+/// The blocking-remove wait controller: what a search does at each **lap
+/// boundary** (every [`SearchSession::lap`] fruitless probes) instead of
+/// polling straight through.
+///
+/// Shared by both frontends — [`Pool`](crate::Pool) threads it into its
+/// [`SearchEnv`](crate::search::SearchEnv) and [`KeyedPool`](crate::KeyedPool)
+/// into its ring walk — so the waiting semantics of
+/// [`WaitStrategy`](crate::WaitStrategy) live in exactly one place:
+///
+/// * `Spin` / `Yield` / `Park` pause per the strategy between laps (the
+///   pre-notify polling backoff, kept for virtual-time determinism and as
+///   the benchmark baseline);
+/// * `Block` parks on the pool's [`Notifier`] under the lost-wakeup-free
+///   epoch protocol, waking on the add edge, on close, and on the gate's
+///   all-searching transition;
+/// * every strategy honors the lap budget (`attempts`) and an optional
+///   deadline.
+///
+/// One controller spans the whole blocking remove: the budget and the
+/// backoff round survive a transient gate abort and the retry search that
+/// follows it ([`begin_pass`](Self::begin_pass) only resets the per-search
+/// lap counter).
+pub(crate) struct WaitCtl<'a> {
+    notifier: &'a Notifier,
+    strategy: WaitStrategy,
+    /// Fruitless laps left before the blocking remove gives up.
+    remaining: usize,
+    deadline: Option<Instant>,
+    /// Completed fruitless laps (drives `Park`'s exponential backoff).
+    rounds: usize,
+    /// Abort-check invocations this search pass. Counted separately from
+    /// `session.examined()` because traversals spend checks on visits that
+    /// probe nothing (the keyed ring's home skip, the tree's phantom
+    /// leaves) — and a single-segment keyed ring probes nothing at all, so
+    /// boundaries must be reachable by calls alone when the lap is empty.
+    calls: u64,
+    /// Set when the deadline expired; the owning remove maps the resulting
+    /// abort to [`RemoveError::Timeout`](crate::RemoveError::Timeout).
+    pub timed_out: bool,
+    /// Set when the lap budget ran out; the abort stays
+    /// [`RemoveError::Aborted`](crate::RemoveError::Aborted).
+    pub budget_spent: bool,
+    /// Set when the pass ended because its wait quantum elapsed (pause
+    /// done, or a wakeup reported work) rather than because of the gate or
+    /// close. Consumed by [`take_boundary_abort`](Self::take_boundary_abort).
+    boundary_abort: bool,
+}
+
+impl<'a> WaitCtl<'a> {
+    /// Creates a controller with `attempts` fruitless laps of budget.
+    pub fn new(
+        notifier: &'a Notifier,
+        strategy: WaitStrategy,
+        attempts: usize,
+        deadline: Option<Instant>,
+    ) -> Self {
+        WaitCtl {
+            notifier,
+            strategy,
+            remaining: attempts,
+            deadline,
+            rounds: 0,
+            calls: 0,
+            timed_out: false,
+            budget_spent: false,
+            boundary_abort: false,
+        }
+    }
+
+    /// Resets the per-search lap counter before a retry search (the budget,
+    /// backoff round, and deadline deliberately carry over).
+    pub fn begin_pass(&mut self) {
+        self.calls = 0;
+    }
+
+    /// Whether the last abort was a mere wait quantum ending (lap pause
+    /// done, or a wakeup reported fresh work) — the owning remove must
+    /// simply start another pass, re-checking its local segment first.
+    /// Consuming read; a gate or close abort never sets it.
+    pub fn take_boundary_abort(&mut self) -> bool {
+        std::mem::take(&mut self.boundary_abort)
+    }
+
+    /// Accounts a pass that ended in a *transient* gate abort (every
+    /// process searching, but elements still present): consumes one lap of
+    /// budget and pauses the polling strategies, so the `attempts` bound
+    /// covers this path too — gate aborts end a search before any lap
+    /// boundary, and without the charge here a run of transient aborts
+    /// could retry forever at full speed. `Block` skips the pause (work
+    /// exists, so the retry pass should chase it immediately) but still
+    /// pays budget. Returns `true` when the budget is now spent.
+    pub fn on_transient_abort(&mut self) -> bool {
+        self.remaining = self.remaining.saturating_sub(1);
+        if self.remaining == 0 {
+            self.budget_spent = true;
+            return true;
+        }
+        match self.strategy {
+            WaitStrategy::Block => {}
+            strategy => {
+                strategy.pause(self.rounds);
+                self.rounds += 1;
+            }
+        }
+        false
+    }
+
+    /// Called from the frontend's abort check after every probe, once the
+    /// terminal conditions (gate abort, close) have been ruled out.
+    ///
+    /// `has_work` answers "could another pass succeed right now?" (a
+    /// segment-occupancy snapshot); `woken` covers frontend-specific
+    /// reasons to end the search and return to the caller (a hint-board
+    /// delivery). Returns `true` when the search must abort — the caller
+    /// distinguishes why through [`timed_out`](Self::timed_out) /
+    /// [`budget_spent`](Self::budget_spent) /
+    /// [`take_boundary_abort`](Self::take_boundary_abort) and its own
+    /// terminal checks.
+    ///
+    /// A lap boundary always **ends the search pass**: after the wait (a
+    /// strategy pause, or a park that a signal ended) the owning remove
+    /// starts a fresh pass, which re-checks the *local* segment before
+    /// searching again. Continuing the same search instead would be blind
+    /// to elements that land in the searcher's own segment — remote probes
+    /// never visit it — and could lap forever next to its own food.
+    pub fn on_probe<T: Timing>(
+        &mut self,
+        session: &SearchSession<'_, T>,
+        has_work: impl Fn() -> bool,
+        woken: impl Fn() -> bool,
+    ) -> bool {
+        self.calls += 1;
+        // The boundary needs a full lap by *both* counts: enough calls
+        // (reachable even when the lap holds zero probes) and enough
+        // examined probes (so the gate's lap-counted abort rule, evaluated
+        // by the caller before this hook, always gets the first word on a
+        // genuinely terminal lap — no-probe visits would otherwise let the
+        // boundary outrun it and burn budget on spurious pass restarts).
+        if self.calls < session.lap().max(1) || !session.full_lap_done() {
+            return false;
+        }
+        // A full fruitless lap is done: this is where a blocking remove
+        // waits instead of polling on.
+        self.remaining = self.remaining.saturating_sub(1);
+        if self.remaining == 0 {
+            self.budget_spent = true;
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.timed_out = true;
+                return true;
+            }
+        }
+        match self.strategy {
+            WaitStrategy::Block => {
+                // Epoch protocol: register as a waiter first, then re-check
+                // every wake condition, then park. Any condition made true
+                // after the registration signals the notifier and is caught
+                // either by the re-check or by `wait` declining to park.
+                let mut waiter = self.notifier.waiter();
+                loop {
+                    if self.notifier.is_closed() {
+                        return true;
+                    }
+                    if session.gate_abort_now() {
+                        // The all-searching transition fired while we were
+                        // parked (or just before): take the terminal-abort
+                        // path. Parked waiters hold their search guard, so
+                        // the gate counted us all along. (The raw gate
+                        // check, not the lap-counted rule: a policy's
+                        // no-probe visits — tree phantom leaves — can leave
+                        // `examined` short of a formal lap forever.)
+                        return true;
+                    }
+                    if woken() {
+                        return true;
+                    }
+                    if has_work() {
+                        // Fresh work somewhere: end the pass and let the
+                        // remove run a new local-first search.
+                        self.boundary_abort = true;
+                        return true;
+                    }
+                    match waiter.wait(self.deadline) {
+                        WaitOutcome::Signalled => continue,
+                        WaitOutcome::TimedOut => {
+                            self.timed_out = true;
+                            return true;
+                        }
+                    }
+                }
+            }
+            strategy => {
+                // The polling strategies: pause blind, then start the next
+                // pass. `rounds` grows the Park backoff across laps.
+                strategy.pause(self.rounds);
+                self.rounds += 1;
+                self.boundary_abort = true;
+                true
+            }
+        }
+    }
+}
+
+/// The blocking-remove driver shared by every frontend primitive
+/// ([`Handle::remove_bounded`](crate::Handle), keyed
+/// `remove_key_bounded` / `remove_bounded`): runs search passes through
+/// `try_once` until an element arrives or one of the terminal outcomes
+/// fires, mapping the controller's state and the pool's lifecycle to the
+/// caller-facing error exactly once, in one place.
+///
+/// `try_once` performs one pass (local check + wait-aware search) and may
+/// zero its own per-op overhead after the first call; `drained` is the
+/// frontend's reachability snapshot (key-scoped for keyed removes) and
+/// `closed` the lifecycle bit. The terminal mapping uses the drained
+/// snapshot just taken plus a fresh `closed` read, so a close that an
+/// in-search check raced past is still honored.
+pub(crate) fn drive_blocking_remove<T>(
+    ctl: &mut WaitCtl<'_>,
+    mut try_once: impl FnMut(&mut WaitCtl<'_>) -> Result<T, RemoveError>,
+    drained: impl Fn() -> bool,
+    closed: impl Fn() -> bool,
+) -> Result<T, RemoveError> {
+    loop {
+        match try_once(ctl) {
+            Ok(item) => return Ok(item),
+            Err(RemoveError::Closed) => return Err(RemoveError::Closed),
+            Err(_) => {
+                if ctl.timed_out {
+                    return Err(RemoveError::Timeout);
+                }
+                if ctl.budget_spent {
+                    return Err(RemoveError::Aborted);
+                }
+                if ctl.take_boundary_abort() {
+                    // A wait quantum ended (pause done, or a wakeup saw
+                    // fresh work): the boundary already charged the
+                    // budget — just run the next local-first pass.
+                    continue;
+                }
+                if drained() {
+                    // §3.2 terminal: every registered process searching
+                    // with nothing reachable — no add can be in flight.
+                    return Err(if closed() { RemoveError::Closed } else { RemoveError::Aborted });
+                }
+                // Transient gate abort with elements still present: pay
+                // one lap of budget (and a polling pause) before the next
+                // pass, so `attempts` bounds this path too.
+                if ctl.on_transient_abort() {
+                    return Err(RemoveError::Aborted);
+                }
+            }
+        }
     }
 }
 

@@ -12,10 +12,13 @@ use std::fmt;
 /// process registered with the pool is simultaneously searching — at that
 /// point no process can be adding, so the pool is (almost certainly) empty
 /// and waiting would livelock. `try_remove` surfaces each abort directly;
-/// the blocking `remove` retries transient aborts under a
-/// [`WaitStrategy`](crate::WaitStrategy) and only returns this error when
-/// the abort is terminal (pool drained) or its attempt budget is spent.
+/// the blocking `remove` waits out transient aborts under a
+/// [`WaitStrategy`](crate::WaitStrategy) and only returns an error when the
+/// pool is closed and drained ([`Closed`](Self::Closed)), the wait deadline
+/// passes ([`Timeout`](Self::Timeout)), or the abort is terminal / the lap
+/// budget is spent ([`Aborted`](Self::Aborted)).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
 pub enum RemoveError {
     /// All registered processes were searching simultaneously, so the
     /// operation was aborted to break the livelock.
@@ -27,6 +30,27 @@ pub enum RemoveError {
     /// [`Pool::total_len`](crate::Pool::total_len) after an abort (no
     /// process can add while all are searching, so the check is stable).
     Aborted,
+    /// The pool was [closed](crate::PoolOps::close) and no remaining
+    /// element is reachable: this remover's work is over.
+    ///
+    /// Closing is the explicit lifecycle signal — removers observe `Closed`
+    /// only once no segment holds an element, so everything added before
+    /// the close is delivered first (see the [`notify`](crate::notify)
+    /// module and the README's "Blocking, wakeups, and shutdown" section).
+    /// Like [`Aborted`](Self::Aborted), the emptiness check is a snapshot
+    /// and conservative in one direction: elements mid-steal (drained from
+    /// a victim, not yet banked in the thief's segment) are invisible to
+    /// it, so a concurrent thief may still complete removes after another
+    /// consumer observed `Closed`. No element is ever lost — the in-flight
+    /// batch belongs to the thief, whose own subsequent removes drain it
+    /// before that thief observes `Closed`.
+    Closed,
+    /// The deadline passed before an element arrived
+    /// ([`PoolOps::remove_timeout`](crate::PoolOps::remove_timeout)).
+    ///
+    /// The pool may still be live: a timeout says nothing about other
+    /// processes, only that this wait expired.
+    Timeout,
 }
 
 impl fmt::Display for RemoveError {
@@ -34,6 +58,12 @@ impl fmt::Display for RemoveError {
         match self {
             RemoveError::Aborted => {
                 write!(f, "remove aborted: all registered processes were searching")
+            }
+            RemoveError::Closed => {
+                write!(f, "pool closed and drained: no remove can succeed again")
+            }
+            RemoveError::Timeout => {
+                write!(f, "remove timed out before an element arrived")
             }
         }
     }
@@ -47,9 +77,14 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_unpunctuated() {
-        let msg = RemoveError::Aborted.to_string();
-        assert!(msg.starts_with("remove aborted"));
-        assert!(!msg.ends_with('.'));
+        for err in [RemoveError::Aborted, RemoveError::Closed, RemoveError::Timeout] {
+            let msg = err.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+        assert!(RemoveError::Aborted.to_string().starts_with("remove aborted"));
+        assert!(RemoveError::Closed.to_string().contains("closed"));
+        assert!(RemoveError::Timeout.to_string().contains("timed out"));
     }
 
     #[test]

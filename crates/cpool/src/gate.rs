@@ -11,8 +11,31 @@
 //! start using the pool and deregister when they stop; a searcher holds a
 //! [`SearchGuard`] while probing remote segments and polls
 //! [`SearchGate::all_searching`] between probes.
+//!
+//! # The gate and the notifier
+//!
+//! The gate owns the pool's [`Notifier`] (see [`notify`](crate::notify)),
+//! because the two protocols must compose: a consumer blocked in
+//! [`WaitStrategy::Block`](crate::WaitStrategy::Block) parks *while holding
+//! its search guard*, so parked waiters still count as searching and the
+//! §3.2 rule keeps detecting termination. The price is that the
+//! all-searching condition can become true while its witnesses are asleep —
+//! so the gate wakes the notifier's parked waiters on exactly the two
+//! transitions that can newly establish the condition:
+//!
+//! * [`begin_search`](SearchGate::begin_search) — the last non-searching
+//!   process starts searching;
+//! * [`deregister`](SearchGate::deregister) — a non-searching process
+//!   leaves, and everyone remaining is searching.
+//!
+//! Woken waiters re-run their search, observe the abort condition, and take
+//! the terminal-abort path instead of sleeping through it: no lost-wakeup
+//! livelock. (The other two transitions — a guard dropping or a process
+//! registering — can only make the condition *false* and need no wake.)
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::notify::Notifier;
 
 /// Shared searching-process counter used to break empty-pool livelock.
 ///
@@ -35,15 +58,46 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct SearchGate {
     registered: AtomicUsize,
     searching: AtomicUsize,
+    notifier: Notifier,
 }
 
 impl SearchGate {
     /// Creates a gate with no registered processes.
     pub fn new() -> Self {
-        SearchGate { registered: AtomicUsize::new(0), searching: AtomicUsize::new(0) }
+        SearchGate::default()
+    }
+
+    /// The pool's wakeup channel (owned by the gate so the all-searching
+    /// transition can wake parked waiters — see the [module docs](self)).
+    pub fn notifier(&self) -> &Notifier {
+        &self.notifier
     }
 
     /// Registers one process as a pool participant.
+    ///
+    /// # Memory ordering
+    ///
+    /// The four protocol operations (`register` / `deregister` /
+    /// `begin_search` / the guard drop) and the two `all_searching` loads
+    /// are all SeqCst, and an ordering audit concluded that this *is* the
+    /// weakest correct choice — nothing here can be relaxed:
+    ///
+    /// * The condition spans **two** atomics, and readers pair with
+    ///   writers Dekker-style: a deregistering producer checks "is
+    ///   everyone else searching?" while a would-be parker checks "is
+    ///   some registrant not searching?". With anything weaker than
+    ///   SeqCst, both sides may read the *other* counter stale (the
+    ///   store-buffer outcome), the deregister edge never fires and the
+    ///   parked waiter sleeps forever — a lost wakeup x86's fenced RMWs
+    ///   mask but the memory model (and weaker hardware) permits.
+    /// * A stale-low `registered` read that misses a freshly registered
+    ///   (not yet searching) producer would turn a live pool's wait into
+    ///   a spurious *terminal* abort — and in the work-list layer, into a
+    ///   premature `close()`. SeqCst's single total order is what makes
+    ///   the §3.2 check a consistent linearization-point decision.
+    ///
+    /// (The registry's id counter, by contrast, stays Relaxed — it only
+    /// mints unique indices and publishes nothing.)
     pub fn register(&self) {
         self.registered.fetch_add(1, Ordering::SeqCst);
     }
@@ -54,34 +108,59 @@ impl SearchGate {
     ///
     /// Panics (in debug builds) if no process is registered.
     pub fn deregister(&self) {
+        // SeqCst: see `register` — this decrement can newly *establish*
+        // the abort condition, and the edge check below must be totally
+        // ordered against concurrent parkers' own checks.
         let prev = self.registered.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "deregister without matching register");
+        // This is one of the two transitions that can newly establish the
+        // all-searching condition (the departed process was the last
+        // potential producer): wake parked waiters so they can observe the
+        // terminal abort instead of sleeping through it.
+        if self.all_searching() {
+            self.notifier.notify_all();
+        }
     }
 
     /// Number of currently registered processes.
     pub fn registered(&self) -> usize {
-        self.registered.load(Ordering::SeqCst)
+        // Diagnostic snapshot; callers that need a stable value already
+        // synchronize externally (e.g. after joining worker threads).
+        self.registered.load(Ordering::Relaxed)
     }
 
     /// Number of processes currently inside a search.
     pub fn searching(&self) -> usize {
-        self.searching.load(Ordering::SeqCst)
+        self.searching.load(Ordering::Relaxed)
     }
 
     /// Marks the calling process as searching; the returned guard unmarks it
     /// when dropped (also on panic, so a poisoned search cannot wedge the
     /// abort condition for everyone else).
     pub fn begin_search(&self) -> SearchGuard<'_> {
+        // SeqCst: see `register` — this increment is the other
+        // condition-establishing transition.
         self.searching.fetch_add(1, Ordering::SeqCst);
+        // The last non-searching process just started searching. Wake
+        // parked waiters (they hold guards and count in `searching`) so
+        // the abort has witnesses. `notify_all` is a fence + one load when
+        // nobody waits.
+        if self.all_searching() {
+            self.notifier.notify_all();
+        }
         SearchGuard { gate: self }
     }
 
     /// Returns `true` when every registered process is searching — the
     /// abort condition of §3.2.
     ///
-    /// Reads `searching` before `registered` so that a concurrent
-    /// register+begin_search pair cannot produce a false positive; a false
-    /// *negative* only delays the abort by one probe, which is harmless.
+    /// Both loads are SeqCst (see [`register`](Self::register) for the
+    /// audit): the check participates in Dekker-style pairings with the
+    /// counter updates, so it needs the single total order. Reading
+    /// `searching` before `registered` additionally keeps the transient
+    /// shapes benign: a concurrent register+begin_search pair can only be
+    /// seen as a false *negative* (one probe of delay), never a false
+    /// positive.
     pub fn all_searching(&self) -> bool {
         let searching = self.searching.load(Ordering::SeqCst);
         let registered = self.registered.load(Ordering::SeqCst);
@@ -97,6 +176,10 @@ pub struct SearchGuard<'a> {
 
 impl Drop for SearchGuard<'_> {
     fn drop(&mut self) {
+        // SeqCst: a stale-high `searching` read that missed this decrement
+        // while seeing a later `registered` decrement would manufacture a
+        // false-positive abort; the single total order rules the mixed
+        // snapshot out (see `SearchGate::register` for the full audit).
         let prev = self.gate.searching.fetch_sub(1, Ordering::SeqCst);
         debug_assert!(prev > 0, "search guard dropped without matching begin_search");
     }
@@ -184,5 +267,56 @@ mod tests {
         assert!(gate.all_searching(), "4 of 4 searching: abort");
         drop(last);
         drop(guards);
+    }
+
+    #[test]
+    fn all_searching_transition_wakes_parked_waiters() {
+        // A waiter parked on the gate's notifier while holding a search
+        // guard must be woken when the *other* process starts searching:
+        // the begin_search edge signals the notifier.
+        use crate::notify::WaitOutcome;
+
+        let gate = SearchGate::new();
+        gate.register();
+        gate.register();
+
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = gate.begin_search(); // 1 of 2 searching: no edge
+                let mut w = gate.notifier().waiter();
+                assert_eq!(w.wait(None), WaitOutcome::Signalled, "begin_search edge woke us");
+            });
+            // Only fire the edge once the waiter is registered, so the
+            // signal provably targets a parked (or parking) thread.
+            while gate.notifier().waiters() < 1 {
+                thread::yield_now();
+            }
+            let _g2 = gate.begin_search(); // 2 of 2 searching: edge fires
+        });
+        gate.deregister();
+        gate.deregister();
+    }
+
+    #[test]
+    fn deregister_edge_wakes_parked_waiters() {
+        use crate::notify::WaitOutcome;
+
+        let gate = SearchGate::new();
+        gate.register(); // the searcher-to-be
+        gate.register(); // a lurker that will deregister
+
+        thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = gate.begin_search(); // lurker not searching: no edge
+                let mut w = gate.notifier().waiter();
+                assert_eq!(w.wait(None), WaitOutcome::Signalled, "deregister edge woke us");
+            });
+            while gate.notifier().waiters() < 1 {
+                thread::yield_now();
+            }
+            // The lurker leaves; the lone searcher is now "everyone".
+            gate.deregister();
+        });
+        gate.deregister();
     }
 }

@@ -42,12 +42,14 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::core::{OpTimer, Registry, SearchSession};
+use crate::core::{OpTimer, Registry, SearchSession, WaitCtl};
 use crate::error::RemoveError;
 use crate::ids::{ProcId, SegIdx};
+use crate::notify::Notifier;
 use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
 use crate::segment::steal_count;
 use crate::stats::{PoolStats, ProcStats};
@@ -343,6 +345,29 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
         self.shared.segments[seg.index()].len()
     }
 
+    /// Closes the pool — see [`PoolOps::close`] (sticky, idempotent;
+    /// blocked and future removers drain the residue and then observe
+    /// [`RemoveError::Closed`]).
+    ///
+    /// ```
+    /// use cpool::{KeyedPool, RemoveError, WaitStrategy};
+    ///
+    /// let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+    /// let mut h = pool.register();
+    /// h.add(1, 10);
+    /// pool.close();
+    /// assert_eq!(h.remove_key(&1, WaitStrategy::Block), Ok(10), "residue drains first");
+    /// assert_eq!(h.remove_key(&1, WaitStrategy::Block), Err(RemoveError::Closed));
+    /// ```
+    pub fn close(&self) {
+        self.shared.registry.notifier().close();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.registry.notifier().is_closed()
+    }
+
     /// Registers a process; the `i`-th registration homes at segment
     /// `i mod segments`.
     pub fn register(&self) -> KeyedHandle<K, V, T> {
@@ -403,12 +428,40 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
         &self.stats
     }
 
-    /// Adds an element under `key` to the local segment.
+    /// Closes the pool — see [`PoolOps::close`]. Any handle (or the
+    /// [`KeyedPool`] itself) may close; the transition is pool-wide.
+    pub fn close(&self) {
+        self.shared.registry.notifier().close();
+    }
+
+    /// Whether the pool has been [closed](Self::close).
+    pub fn is_closed(&self) -> bool {
+        self.shared.registry.notifier().is_closed()
+    }
+
+    /// Adds an element under `key` to the local segment, then signals the
+    /// pool's notifier (after the segment lock is released) so consumers
+    /// parked in a [`Block`](WaitStrategy::Block) remove wake on the add
+    /// edge.
     pub fn add(&mut self, key: K, value: V) {
         let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.shared.segments[self.seg.index()].add(key, value);
+        self.shared.registry.notifier().notify_all();
         timer.finish_add(&mut self.stats, false);
+    }
+
+    /// Maps a search abort to its caller-facing error, with the drained
+    /// check scoped by `drained`: on a [closed](Self::close) pool whose
+    /// relevant elements are gone the abort is final
+    /// ([`RemoveError::Closed`]); otherwise the §3.2
+    /// [`RemoveError::Aborted`] semantics apply.
+    fn abort_error(&self, drained: impl Fn() -> bool) -> RemoveError {
+        if self.shared.registry.notifier().is_closed() && drained() {
+            RemoveError::Closed
+        } else {
+            RemoveError::Aborted
+        }
     }
 
     /// Removes an arbitrary element, stealing half of a remote bucket when
@@ -417,13 +470,25 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
     /// # Errors
     ///
     /// Returns [`RemoveError::Aborted`] when every registered process was
-    /// searching simultaneously (the pool is starving).
+    /// searching simultaneously (the pool is starving), or
+    /// [`RemoveError::Closed`] when additionally the pool is closed and
+    /// drained.
     pub fn try_remove_any(&mut self) -> Result<(K, V), RemoveError> {
+        self.try_remove_any_inner(None)
+    }
+
+    fn try_remove_any_inner(
+        &mut self,
+        mut wait: Option<&mut WaitCtl<'_>>,
+    ) -> Result<(K, V), RemoveError> {
         let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(found) = self.shared.segments[self.seg.index()].remove_any() {
             timer.finish_local_remove(&mut self.stats);
             return Ok(found);
+        }
+        if let Some(ctl) = wait.as_deref_mut() {
+            ctl.begin_pass();
         }
 
         // Linear search from where we last found anything. The session must
@@ -461,6 +526,11 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
                 )
             },
             |cursor| *last_found_any = cursor,
+            RingCtx {
+                notifier: shared.registry.notifier(),
+                has_work: &|| segments.iter().any(|s| s.len() > 0),
+                wait,
+            },
         );
         self.stats.segments_examined += session.examined();
         drop(session);
@@ -474,7 +544,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             }
             None => {
                 timer.finish_aborted(&mut self.stats);
-                Err(RemoveError::Aborted)
+                Err(self.abort_error(|| self.shared.segments.iter().all(|s| s.len() == 0)))
             }
         }
     }
@@ -486,13 +556,25 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
     ///
     /// Returns [`RemoveError::Aborted`] when every registered process was
     /// searching simultaneously (no element of `key` is reachable and
-    /// nobody can be adding one).
+    /// nobody can be adding one), or [`RemoveError::Closed`] when the pool
+    /// is closed and holds no element of `key` anywhere.
     pub fn try_remove_key(&mut self, key: &K) -> Result<V, RemoveError> {
+        self.try_remove_key_inner(key, None)
+    }
+
+    fn try_remove_key_inner(
+        &mut self,
+        key: &K,
+        mut wait: Option<&mut WaitCtl<'_>>,
+    ) -> Result<V, RemoveError> {
         let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(value) = self.shared.segments[self.seg.index()].remove_key(key) {
             timer.finish_local_remove(&mut self.stats);
             return Ok(value);
+        }
+        if let Some(ctl) = wait.as_deref_mut() {
+            ctl.begin_pass();
         }
 
         let shared = Arc::clone(&self.shared);
@@ -515,6 +597,13 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             |cursor| {
                 last_found_key.insert(key.clone(), cursor);
             },
+            RingCtx {
+                notifier: shared.registry.notifier(),
+                // A keyed wait only resumes probing for elements it can
+                // actually take: other keys' traffic re-parks it.
+                has_work: &|| segments.iter().any(|s| s.key_len(key) > 0),
+                wait,
+            },
         );
         self.stats.segments_examined += session.examined();
         drop(session);
@@ -527,37 +616,68 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             }
             None => {
                 timer.finish_aborted(&mut self.stats);
-                Err(RemoveError::Aborted)
+                Err(self.abort_error(|| self.shared.segments.iter().all(|s| s.key_len(key) == 0)))
             }
         }
     }
 
-    /// Removes an element with the given key, retrying aborted searches
-    /// under `wait` — the keyed analogue of [`PoolOps::remove`], with the
-    /// drained check scoped to `key` (other keys' elements cannot satisfy
-    /// this remove, so they do not keep it waiting).
+    /// Removes an element with the given key, waiting under `wait` — the
+    /// keyed analogue of [`PoolOps::remove`], with the drained check (and,
+    /// for [`Block`](WaitStrategy::Block), the wakeup filter) scoped to
+    /// `key`: other keys' elements cannot satisfy this remove, so they do
+    /// not keep it waiting or wake it.
     ///
     /// # Errors
     ///
-    /// Returns [`RemoveError::Aborted`] once an aborted search observes no
-    /// element of `key` anywhere, or when the strategy's
-    /// [attempt budget](WaitStrategy::default_attempts) is exhausted.
+    /// Returns [`RemoveError::Closed`] once the pool is closed and the
+    /// `key` residue is drained; [`RemoveError::Aborted`] once an aborted
+    /// search observes no element of `key` anywhere, or when the strategy's
+    /// [lap budget](WaitStrategy::default_attempts) is exhausted.
     pub fn remove_key(&mut self, key: &K, wait: WaitStrategy) -> Result<V, RemoveError> {
-        let attempts = wait.default_attempts();
-        for attempt in 0..attempts {
-            match self.try_remove_key(key) {
-                Ok(value) => return Ok(value),
-                Err(RemoveError::Aborted) => {
-                    if self.shared.segments.iter().all(|s| s.key_len(key) == 0) {
-                        return Err(RemoveError::Aborted);
-                    }
-                    if attempt + 1 < attempts {
-                        wait.pause(attempt);
-                    }
-                }
-            }
-        }
-        Err(RemoveError::Aborted)
+        self.remove_key_bounded(key, wait, wait.default_attempts(), None)
+    }
+
+    /// Removes an element with the given key, parking
+    /// ([`Block`](WaitStrategy::Block)) for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoveError::Timeout`] when the deadline passes first; otherwise
+    /// as [`remove_key`](Self::remove_key).
+    pub fn remove_key_timeout(&mut self, key: &K, timeout: Duration) -> Result<V, RemoveError> {
+        self.remove_key_bounded(
+            key,
+            WaitStrategy::Block,
+            usize::MAX,
+            Some(Instant::now() + timeout),
+        )
+    }
+
+    /// The keyed blocking-remove primitive — see
+    /// [`PoolOps::remove_bounded`] for the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    pub fn remove_key_bounded(
+        &mut self,
+        key: &K,
+        wait: WaitStrategy,
+        attempts: usize,
+        deadline: Option<Instant>,
+    ) -> Result<V, RemoveError> {
+        assert!(attempts > 0, "a blocking remove needs at least one attempt");
+        let shared = Arc::clone(&self.shared);
+        let mut ctl = WaitCtl::new(shared.registry.notifier(), wait, attempts, deadline);
+        // The shared driver with the drained snapshot scoped to `key`:
+        // other keys' elements cannot satisfy this remove, so they do not
+        // keep it alive.
+        crate::core::drive_blocking_remove(
+            &mut ctl,
+            |ctl| self.try_remove_key_inner(key, Some(ctl)),
+            || shared.segments.iter().all(|s| s.key_len(key) == 0),
+            || shared.registry.notifier().is_closed(),
+        )
     }
 }
 
@@ -585,6 +705,31 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
         self.shared.segments.iter().all(|s| s.len() == 0)
     }
 
+    fn close(&self) {
+        KeyedHandle::close(self);
+    }
+
+    fn is_closed(&self) -> bool {
+        KeyedHandle::is_closed(self)
+    }
+
+    fn remove_bounded(
+        &mut self,
+        wait: WaitStrategy,
+        attempts: usize,
+        deadline: Option<Instant>,
+    ) -> Result<(K, V), RemoveError> {
+        assert!(attempts > 0, "a blocking remove needs at least one attempt");
+        let shared = Arc::clone(&self.shared);
+        let mut ctl = WaitCtl::new(shared.registry.notifier(), wait, attempts, deadline);
+        crate::core::drive_blocking_remove(
+            &mut ctl,
+            |ctl| self.try_remove_any_inner(Some(ctl)),
+            || shared.segments.iter().all(|s| s.len() == 0),
+            || shared.registry.notifier().is_closed(),
+        )
+    }
+
     fn add_batch<I: IntoIterator<Item = (K, V)>>(&mut self, items: I) {
         // Materialize before starting the timer: an empty batch is a true
         // no-op (no time attributed, nothing recorded).
@@ -596,6 +741,8 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
         let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.shared.segments[self.seg.index()].add_bulk_mixed(batch);
+        // One wakeup per batch, after the segment lock is released.
+        self.shared.registry.notifier().notify_all();
         timer.finish_add_batch(&mut self.stats, n, 0);
     }
 
@@ -614,18 +761,15 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
         // element (it refills the local segment with half of a remote
         // bucket), then top up locally. The search accounts itself.
         timer.finish_remove_batch(&mut self.stats, 0);
-        match self.try_remove_any() {
-            Ok(first) => {
-                got.push(first);
-                if n > 1 {
-                    let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
-                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-                    let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
-                    top_up.finish_remove_batch(&mut self.stats, extra.len());
-                    got.extend(extra);
-                }
+        if let Ok(first) = self.try_remove_any() {
+            got.push(first);
+            if n > 1 {
+                let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
+                self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
+                top_up.finish_remove_batch(&mut self.stats, extra.len());
+                got.extend(extra);
             }
-            Err(RemoveError::Aborted) => {}
         }
         SmallDrain::new(got)
     }
@@ -655,18 +799,25 @@ fn begin_keyed_search<'a, K: Key, V: Send + 'static, T: Timing>(
 }
 
 /// Walks the ring from `cursor`, skipping the searcher's home segment and
-/// probing every other segment through `probe`, until a steal succeeds or
-/// the engine's full-lap abort rule fires.
+/// probing every other segment through `probe`, until a steal succeeds, the
+/// engine's full-lap abort rule fires, the pool turns out closed, or the
+/// blocking-wait controller gives up (budget, deadline).
 ///
 /// The cursor is persisted through `save_cursor` *before* every abort check
 /// (same reasoning as `LinearSearch`): a retrying caller must resume at the
 /// next segment or it could never reach elements parked elsewhere.
+///
+/// On a blocking remove (`ctx.wait` present) the walk pauses or parks at
+/// each fruitless lap boundary per [`WaitCtl`]; `ctx.has_work` is the wake
+/// filter — for a keyed remove it is scoped to the wanted key, so other
+/// keys' elements neither wake the search nor keep it probing.
 fn ring_search<I, T: Timing>(
     session: &mut SearchSession<'_, T>,
     n: usize,
     mut victim: SegIdx,
     mut probe: impl FnMut(&mut SearchSession<'_, T>, SegIdx) -> Option<(I, usize)>,
     mut save_cursor: impl FnMut(SegIdx),
+    mut ctx: RingCtx<'_, '_>,
 ) -> Option<(I, usize, SegIdx)> {
     loop {
         if victim != session.home() {
@@ -679,7 +830,27 @@ fn ring_search<I, T: Timing>(
         if session.should_abort() {
             return None;
         }
+        // A closed pool ends fruitless walks at the first lap boundary even
+        // when not everyone is searching; the caller's `abort_error`
+        // distinguishes drained (Closed) from residue (retryable Aborted).
+        if session.full_lap_done() && ctx.notifier.is_closed() {
+            return None;
+        }
+        if let Some(ctl) = ctx.wait.as_deref_mut() {
+            if ctl.on_probe(session, ctx.has_work, || false) {
+                return None;
+            }
+        }
     }
+}
+
+/// The lifecycle-and-wait context of one [`ring_search`]: the pool's
+/// notifier (for the closed check), the wake filter, and — on blocking
+/// removes — the lap-boundary wait controller.
+struct RingCtx<'a, 'n> {
+    notifier: &'a Notifier,
+    has_work: &'a dyn Fn() -> bool,
+    wait: Option<&'a mut WaitCtl<'n>>,
 }
 
 impl<K, V, T: Timing> Drop for KeyedHandle<K, V, T> {
@@ -771,7 +942,7 @@ mod tests {
                     while got < per {
                         match h.try_remove_key(&w) {
                             Ok(_) => got += 1,
-                            Err(RemoveError::Aborted) => thread::yield_now(),
+                            Err(_) => thread::yield_now(),
                         }
                     }
                 });
@@ -805,7 +976,7 @@ mod tests {
                                 assert_eq!(v % 2 == 0, key == "even", "keys never cross");
                                 got += 1;
                             }
-                            Err(RemoveError::Aborted) => thread::yield_now(),
+                            Err(_) => thread::yield_now(),
                         }
                     }
                 });
@@ -900,6 +1071,78 @@ mod tests {
         assert_eq!(h.remove_key(&9, WaitStrategy::Spin), Err(RemoveError::Aborted));
         assert_eq!(h.stats().aborted_removes, 1, "one attempt, not the full budget");
         assert_eq!(pool.total_len(), 1, "other keys untouched");
+    }
+
+    #[test]
+    fn remove_key_blocks_until_the_right_key_arrives() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        thread::scope(|s| {
+            let mut producer = pool.register();
+            let mut consumer = pool.register();
+            s.spawn(move || {
+                // The wrong key first: it must not satisfy (or unpark-loop
+                // confuse) the keyed waiter, which re-parks on wrong-key
+                // traffic.
+                producer.add(2, 200);
+                thread::sleep(std::time::Duration::from_millis(2));
+                producer.add(1, 100);
+            });
+            s.spawn(move || {
+                assert_eq!(consumer.remove_key(&1, WaitStrategy::Block), Ok(100));
+            });
+        });
+        assert_eq!(pool.key_len(&2), 1, "the other key's element is untouched");
+    }
+
+    #[test]
+    fn keyed_close_wakes_blocked_removers_with_closed() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        thread::scope(|s| {
+            let mut producer = pool.register();
+            let mut consumer = pool.register();
+            s.spawn(move || {
+                producer.add(1, 10);
+                producer.close();
+            });
+            s.spawn(move || {
+                let mut got = 0;
+                let err = loop {
+                    match consumer.remove_key(&1, WaitStrategy::Block) {
+                        Ok(_) => got += 1,
+                        Err(err) => break err,
+                    }
+                };
+                assert_eq!(got, 1, "pre-close residue delivered first");
+                assert_eq!(err, RemoveError::Closed);
+            });
+        });
+        assert!(pool.is_closed());
+    }
+
+    #[test]
+    fn remove_key_timeout_expires_while_other_keys_flow() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut h = pool.register();
+        let _idle = pool.register(); // keeps the gate from firing
+        h.add(2, 20);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            h.remove_key_timeout(&1, std::time::Duration::from_millis(15)),
+            Err(RemoveError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+        assert_eq!(pool.key_len(&2), 1, "waiting for key 1 never consumed key 2");
+    }
+
+    #[test]
+    fn blocking_any_remove_on_closed_drained_pool() {
+        let pool: KeyedPool<u8, u32> = KeyedPool::new(2);
+        let mut h = pool.register();
+        h.add(3, 30);
+        pool.close();
+        assert_eq!(h.remove(WaitStrategy::Block), Ok((3, 30)), "drain before Closed");
+        assert_eq!(h.remove(WaitStrategy::Block), Err(RemoveError::Closed));
+        assert_eq!(h.try_remove_any(), Err(RemoveError::Closed));
     }
 
     #[test]

@@ -64,7 +64,12 @@
 //! ```
 //!
 //! The full operation vocabulary — blocking [`remove`](ops::PoolOps::remove)
-//! with its [`WaitStrategy`], and the batch operations
+//! with its [`WaitStrategy`] (including the event-driven
+//! [`Block`](ops::WaitStrategy::Block), which parks on the pool's
+//! [`notify`] subsystem and wakes on the add edge),
+//! [`remove_timeout`](ops::PoolOps::remove_timeout), the
+//! [`close`](ops::PoolOps::close) lifecycle (drain the residue, then
+//! [`RemoveError::Closed`]), and the batch operations
 //! [`add_batch`](ops::PoolOps::add_batch) /
 //! [`try_remove_batch`](ops::PoolOps::try_remove_batch) /
 //! [`drain`](ops::PoolOps::drain) — is the [`ops::PoolOps`] trait,
@@ -83,6 +88,7 @@ pub mod gate;
 pub mod hints;
 pub mod ids;
 pub mod keyed;
+pub mod notify;
 pub mod ops;
 pub mod pool;
 pub mod search;
@@ -96,6 +102,7 @@ pub use gate::SearchGate;
 pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
 pub use ids::{ProcId, SegIdx};
 pub use keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
+pub use notify::{Notifier, WaitOutcome};
 pub use ops::{PoolOps, SmallDrain, WaitStrategy};
 pub use pool::{Handle, Pool, PoolBuilder, PoolReport};
 pub use search::{
@@ -112,6 +119,7 @@ pub mod prelude {
     pub use crate::error::RemoveError;
     pub use crate::ids::{ProcId, SegIdx};
     pub use crate::keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
+    pub use crate::notify::Notifier;
     pub use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
     pub use crate::pool::{Handle, Pool, PoolBuilder};
     pub use crate::search::{

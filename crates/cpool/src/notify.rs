@@ -1,0 +1,387 @@
+//! Event-driven waiting: the pool's wakeup subsystem.
+//!
+//! Kotz & Ellis's consumers *search* for elements, so a process that wants
+//! an element from an empty pool either polls (burning shared-memory
+//! probes) or sleeps blind (paying the full backoff interval in wakeup
+//! latency). Production pools instead wake blocked consumers on the *add
+//! edge*: the producer that makes an element available is the one that
+//! knows a wakeup is due. [`Notifier`] provides that edge, built from two
+//! pieces and no extra dependencies:
+//!
+//! * an **epoch counter** — bumped by every [`notify_all`](Notifier::notify_all)
+//!   — that lets a waiter detect a signal that raced ahead of its park
+//!   (the classic lost-wakeup window between "I checked the condition" and
+//!   "I went to sleep");
+//! * a **registered-parker list** of [`std::thread::Thread`] handles that
+//!   `notify_all` drains and unparks.
+//!
+//! The waiting protocol is the standard epoch/parking-lot shape:
+//!
+//! 1. the waiter takes a [`Waiter`] registration ([`Notifier::waiter`]) and
+//!    snapshots the epoch;
+//! 2. it re-checks its wake condition (elements present, pool closed, ...);
+//! 3. [`Waiter::wait`] registers the thread in the parker list, re-reads
+//!    the epoch *after* registering, and parks only if no signal arrived
+//!    in between.
+//!
+//! A signaller makes its condition true first (e.g. releases the segment
+//! lock with the element inside), then calls `notify_all`, which bumps the
+//! epoch and drains the parker list **as one atomic step** under the list
+//! lock before unparking. Whichever side loses the race, the waiter either
+//! observes the changed epoch and skips the park, or is present in the
+//! parker list when the signaller drains it — there is no interleaving in
+//! which the wakeup is lost (see `notify_all` for the fence argument that
+//! covers the producer's fast path, and `bump_and_drain` for why the bump
+//! and the drain must not be separated).
+//!
+//! The notifier also owns the pool's **lifecycle bit**: [`close`](Notifier::close)
+//! flips a sticky flag and wakes everyone, so blocked removers can drain
+//! the remaining elements and report
+//! [`RemoveError::Closed`](crate::RemoveError::Closed).
+//!
+//! ```
+//! use cpool::notify::Notifier;
+//! use std::sync::atomic::{AtomicBool, Ordering};
+//! use std::thread;
+//!
+//! let notifier = Notifier::new();
+//! let ready = AtomicBool::new(false);
+//! thread::scope(|s| {
+//!     s.spawn(|| {
+//!         let mut w = notifier.waiter();
+//!         while !ready.load(Ordering::Acquire) {
+//!             w.wait(None); // parks; no lost wakeup even if `ready` flips now
+//!         }
+//!     });
+//!     ready.store(true, Ordering::Release);
+//!     notifier.notify_all(); // condition first, then the signal
+//! });
+//! ```
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::thread::Thread;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A per-pool wakeup channel: signal epoch, registered parkers, and the
+/// pool's closed bit. See the [module docs](self) for the protocol.
+#[derive(Debug, Default)]
+pub struct Notifier {
+    /// Signal epoch: bumped by every `notify_all`. A waiter parks only if
+    /// the epoch is unchanged since it last looked.
+    epoch: AtomicU64,
+    /// Number of threads currently inside the prepare→park window
+    /// (holding a [`Waiter`]). Lets the add fast path skip the epoch bump
+    /// entirely when nobody can possibly be waiting.
+    waiters: AtomicUsize,
+    /// Sticky lifecycle bit set by [`close`](Self::close).
+    closed: AtomicBool,
+    /// Parked threads, keyed by a per-wait ticket so a waiter can withdraw
+    /// its own registration without touching anyone else's.
+    parked: Mutex<Vec<(u64, Thread)>>,
+    /// Ticket mint for the parked list.
+    next_ticket: AtomicU64,
+}
+
+/// What ended a [`Waiter::wait`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WaitOutcome {
+    /// A signal arrived (the epoch advanced): re-check the wake condition.
+    Signalled,
+    /// The deadline passed before any signal.
+    TimedOut,
+}
+
+impl Notifier {
+    /// Creates a notifier with no waiters and the pool open.
+    pub fn new() -> Self {
+        Notifier::default()
+    }
+
+    /// Registers the calling thread as a prospective waiter and snapshots
+    /// the signal epoch.
+    ///
+    /// Take the waiter **before** re-checking the wake condition; signals
+    /// sent after this call are guaranteed to be observed, either by the
+    /// condition re-check or by [`Waiter::wait`] declining to park.
+    pub fn waiter(&self) -> Waiter<'_> {
+        // The increment-then-fence pairs with the fence-then-load in
+        // `notify_all` (symmetric SC fences over different objects): in
+        // the fences' total order, either this side's fence precedes the
+        // signaller's — then the signaller's `waiters` load sees the
+        // increment and it bumps the epoch — or the signaller's fence
+        // precedes this one, in which case the condition write sequenced
+        // before that fence is visible to this thread's condition
+        // re-check, sequenced after this fence. Either way the wakeup
+        // cannot be lost. (The RMW alone would suffice on x86, but the
+        // cross-object guarantee formally needs the fence pair.)
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let seen = self.epoch.load(Ordering::SeqCst);
+        Waiter { notifier: self, seen }
+    }
+
+    /// Number of threads currently in the prepare→park window (diagnostic;
+    /// racy by nature).
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
+    }
+
+    /// Current signal epoch (diagnostic; racy by nature).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Number of threads currently registered in the parked list
+    /// (diagnostic; racy by nature).
+    pub fn parked(&self) -> usize {
+        self.parked.lock().len()
+    }
+
+    /// Wakes every current and in-flight waiter.
+    ///
+    /// Call **after** making the awaited condition true (element added and
+    /// segment lock released, pool closed, gate transition completed). Free
+    /// when nobody is waiting: one fence plus one shared load, no RMW — so
+    /// the uncontended add path does not ping-pong a notifier cache line
+    /// between producers.
+    pub fn notify_all(&self) {
+        // The fence closes the store-buffer window of the fast-path check:
+        // without it the condition store could still be in this CPU's
+        // write buffer when `waiters` is read, allowing both this thread to
+        // miss the waiter *and* the waiter to miss the condition. With the
+        // fence (paired with the waiter's SeqCst RMW in `waiter`), one of
+        // the two sides is guaranteed to see the other.
+        fence(Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let parked = self.bump_and_drain();
+        for (_, thread) in parked {
+            thread.unpark();
+        }
+    }
+
+    /// Advances the epoch and empties the parked list as one atomic step
+    /// (with respect to waiter registration, which takes the same lock).
+    ///
+    /// The two must not be separated: if the bump could land long before
+    /// the drain (a descheduled notifier), the drain would steal
+    /// registrations made *after* the bump by waiters whose epoch snapshot
+    /// already includes it — they absorb the resulting unpark as spurious
+    /// (their epoch looks unchanged), re-park unregistered, and no later
+    /// signal can ever reach them. Under the lock, a registration either
+    /// completes before the bump (and is drained and meaningfully
+    /// unparked) or starts after it (and its pre-push epoch re-check turns
+    /// the wait into an immediate `Signalled`).
+    fn bump_and_drain(&self) -> Vec<(u64, Thread)> {
+        let mut parked = self.parked.lock();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        std::mem::take(&mut *parked)
+    }
+
+    /// Closes the pool: a sticky, idempotent lifecycle transition.
+    ///
+    /// Blocked and future removers first drain whatever elements remain and
+    /// then observe [`RemoveError::Closed`](crate::RemoveError::Closed);
+    /// see [`PoolOps::close`](crate::PoolOps::close) for the pool-level
+    /// story. The flag is set *before* the wakeup so a waiter that parks
+    /// concurrently either sees the flag on its pre-park re-check or is
+    /// woken by the signal — the close/park race cannot strand a waiter.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Always signal, even with the waiter fast path: close is a cold,
+        // once-per-pool event and the unconditional epoch bump makes the
+        // sticky transition visible to the next `waiter()` snapshot too.
+        let parked = self.bump_and_drain();
+        for (_, thread) in parked {
+            thread.unpark();
+        }
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+}
+
+/// A registered prospective waiter (see [`Notifier::waiter`]).
+///
+/// Holding a `Waiter` keeps the notifier's waiter count raised, which is
+/// what forces concurrent signallers off their fast path; drop it as soon
+/// as the wait is over.
+#[derive(Debug)]
+pub struct Waiter<'a> {
+    notifier: &'a Notifier,
+    seen: u64,
+}
+
+impl Waiter<'_> {
+    /// Parks the calling thread until a signal newer than the last observed
+    /// epoch arrives, or `deadline` passes.
+    ///
+    /// Returns [`WaitOutcome::Signalled`] immediately — without parking —
+    /// if a signal already arrived since this waiter last looked, so the
+    /// prepare→check→park window is race-free. Spurious unparks (stale
+    /// tokens from a previous wait on the same thread) are absorbed
+    /// internally. After a `Signalled` return the waiter's snapshot is
+    /// refreshed: re-check the condition and call `wait` again to keep
+    /// waiting.
+    pub fn wait(&mut self, deadline: Option<Instant>) -> WaitOutcome {
+        let notifier = self.notifier;
+        let ticket = notifier.next_ticket.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut parked = notifier.parked.lock();
+            // Re-read the epoch while registered: a signal between our last
+            // look and this registration already drained the list, so
+            // parking now would sleep through it.
+            let now = notifier.epoch.load(Ordering::SeqCst);
+            if now != self.seen {
+                self.seen = now;
+                return WaitOutcome::Signalled;
+            }
+            parked.push((ticket, std::thread::current()));
+        }
+        let outcome = loop {
+            let now = notifier.epoch.load(Ordering::SeqCst);
+            if now != self.seen {
+                self.seen = now;
+                break WaitOutcome::Signalled;
+            }
+            match deadline {
+                None => std::thread::park(),
+                Some(deadline) => {
+                    let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                        break WaitOutcome::TimedOut;
+                    };
+                    std::thread::park_timeout(remaining);
+                }
+            }
+        };
+        // Withdraw our registration if a notifier did not already drain it
+        // (timeout, or a signal observed via the epoch before the unpark).
+        notifier.parked.lock().retain(|(t, _)| *t != ticket);
+        if outcome == WaitOutcome::TimedOut {
+            self.seen = notifier.epoch.load(Ordering::SeqCst);
+        }
+        outcome
+    }
+}
+
+impl Drop for Waiter<'_> {
+    fn drop(&mut self) {
+        self.notifier.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn notify_without_waiters_is_free_and_sticky_close_is_not() {
+        let n = Notifier::new();
+        n.notify_all();
+        assert_eq!(n.epoch.load(Ordering::SeqCst), 0, "no waiters: no epoch bump");
+        n.close();
+        assert!(n.is_closed());
+        assert_eq!(n.epoch.load(Ordering::SeqCst), 1, "close always signals");
+        n.close();
+        assert!(n.is_closed(), "close is idempotent");
+    }
+
+    #[test]
+    fn signal_between_snapshot_and_park_is_not_lost() {
+        let n = Notifier::new();
+        let mut w = n.waiter();
+        // Signal lands after the waiter snapshotted the epoch but before it
+        // parks: wait must return immediately.
+        n.notify_all();
+        assert_eq!(w.wait(None), WaitOutcome::Signalled);
+    }
+
+    #[test]
+    fn wait_times_out_without_signal() {
+        let n = Notifier::new();
+        let mut w = n.waiter();
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(w.wait(Some(deadline)), WaitOutcome::TimedOut);
+        assert!(n.parked.lock().is_empty(), "timed-out waiter withdrew its registration");
+    }
+
+    #[test]
+    fn parked_thread_is_woken_by_notify() {
+        let n = Notifier::new();
+        let woken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (n, woken) = (&n, &woken);
+                s.spawn(move || {
+                    let mut w = n.waiter();
+                    while w.wait(None) != WaitOutcome::Signalled {}
+                    woken.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Wait until all four are registered as waiters, then signal.
+            while n.waiters() < 4 {
+                std::thread::yield_now();
+            }
+            n.notify_all();
+        });
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+        assert_eq!(n.waiters(), 0, "every waiter deregistered on drop");
+    }
+
+    #[test]
+    fn close_wakes_parked_threads() {
+        let n = Notifier::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = n.waiter();
+                while !n.is_closed() {
+                    let _ = w.wait(None);
+                }
+            });
+            while n.waiters() < 1 {
+                std::thread::yield_now();
+            }
+            n.close();
+        });
+        assert!(n.is_closed());
+    }
+
+    #[test]
+    fn producer_consumer_handoff_never_hangs() {
+        // The lost-wakeup gauntlet: one flag flip + notify per round, a
+        // consumer that parks whenever the flag is down. Any lost wakeup
+        // hangs the test.
+        let n = Notifier::new();
+        let flag = AtomicUsize::new(0);
+        let rounds = 2_000;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..rounds {
+                    loop {
+                        let mut w = n.waiter();
+                        if flag.swap(0, Ordering::SeqCst) == 1 {
+                            break;
+                        }
+                        let _ = w.wait(None);
+                    }
+                }
+            });
+            for _ in 0..rounds {
+                flag.store(1, Ordering::SeqCst);
+                n.notify_all();
+                // Wait for the consumer to consume the flag before the next
+                // round so rounds do not coalesce.
+                while flag.load(Ordering::SeqCst) == 1 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+}

@@ -9,19 +9,22 @@
 //!
 //! * **Single operations** — [`add`](PoolOps::add) and
 //!   [`try_remove`](PoolOps::try_remove), exactly the paper's vocabulary.
-//! * **Blocking remove** — [`remove`](PoolOps::remove) retries an
-//!   [`Aborted`](crate::RemoveError::Aborted) search under a
-//!   [`WaitStrategy`] until an element arrives, the pool is observed
-//!   drained, or the attempt budget runs out. Every consumer used to
-//!   hand-roll this loop; it now lives inside the crate, once.
+//! * **Blocking remove** — [`remove`](PoolOps::remove) waits under a
+//!   [`WaitStrategy`] until an element arrives, the pool
+//!   [closes](PoolOps::close), or waiting is provably futile (the §3.2
+//!   terminal abort). [`WaitStrategy::Block`] waits *event-driven*: the
+//!   consumer parks on the pool's [`notify`](crate::notify) subsystem and
+//!   is woken by the add that satisfies it. [`remove_timeout`](PoolOps::remove_timeout)
+//!   bounds the wait by a deadline.
+//! * **Lifecycle** — [`close`](PoolOps::close) flips the pool-wide shutdown
+//!   state: blocked and future removers drain the remaining elements and
+//!   then observe [`RemoveError::Closed`], replacing attempt-budget
+//!   starvation as the way to terminate consumers.
 //! * **Batch operations** — [`add_batch`](PoolOps::add_batch),
 //!   [`try_remove_batch`](PoolOps::try_remove_batch), and
 //!   [`drain`](PoolOps::drain) take the segment lock **once per batch**
 //!   instead of once per element, and charge the cost model accordingly
-//!   (one probe per batch plus the per-element transfer). Blelloch & Wei's
-//!   constant-time allocator makes the same observation: amortizing
-//!   per-operation synchronization over batched transfers is where the
-//!   constant-factor wins live.
+//!   (one probe per batch plus the per-element transfer).
 //!
 //! # Example
 //!
@@ -33,15 +36,18 @@
 //! thread::scope(|s| {
 //!     let mut producer = pool.register();
 //!     let mut consumer = pool.register();
-//!     s.spawn(move || producer.add_batch(0..100));
+//!     s.spawn(move || {
+//!         producer.add_batch(0..100);
+//!         producer.close(); // everything produced: begin shutdown
+//!     });
 //!     s.spawn(move || {
 //!         let mut got = 0;
-//!         while got < 100 {
-//!             // Retries aborted searches internally; no caller spin loop.
-//!             if consumer.remove(WaitStrategy::Yield).is_ok() {
-//!                 got += 1;
-//!             }
+//!         // Parks between fruitless search laps; woken by adds. The pool
+//!         // delivers all 100 elements before reporting Closed.
+//!         while consumer.remove(WaitStrategy::Block).is_ok() {
+//!             got += 1;
 //!         }
+//!         assert_eq!(got, 100);
 //!     });
 //! });
 //! assert_eq!(pool.total_len(), 0);
@@ -49,29 +55,35 @@
 
 use std::fmt;
 use std::iter::FusedIterator;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::RemoveError;
 
-/// How a blocking [`remove`](PoolOps::remove) waits between retries of an
-/// aborted search.
+/// How a blocking [`remove`](PoolOps::remove) waits after each **fruitless
+/// search lap** (one full round over the victim segments with nothing
+/// found).
 ///
-/// An abort (§3.2's livelock breaker) fires when every registered process
-/// is searching simultaneously. When the pool is *drained* that is a
-/// reliable terminal signal and the blocking remove gives up immediately;
-/// when elements are still present the abort was a transient race and the
-/// remove retries, pausing according to this strategy:
+/// A blocking remove searches like any other remove; what the strategy
+/// decides is what happens when a whole lap finds nothing and the §3.2
+/// abort condition does *not* hold (some registered process is not
+/// searching, so an add may still be coming):
 ///
-/// * [`Spin`](WaitStrategy::Spin) — retry immediately (a CPU
+/// * [`Spin`](WaitStrategy::Spin) — probe the next lap immediately (a CPU
 ///   [`spin_loop`](std::hint::spin_loop) hint only). Deterministic under
 ///   the virtual-time engine, so simulation runs reproduce bit-for-bit.
 /// * [`Yield`](WaitStrategy::Yield) — surrender the time slice between
-///   retries. The right default on real threads.
+///   laps.
 /// * [`Park`](WaitStrategy::Park) — sleep for an exponentially growing,
-///   capped interval between retries. Cheapest for long waits at the cost
-///   of wake-up latency.
+///   capped interval between laps. Polling backoff: cheap to run, but a
+///   new element is only discovered once the current sleep expires.
+/// * [`Block`](WaitStrategy::Block) — park on the pool's
+///   [`notify`](crate::notify) subsystem and wake **on the add edge**: the
+///   producer that makes an element available unparks the consumer.
+///   Lowest handoff latency and zero busy work, at the cost of one
+///   park/unpark round trip. Not for virtual-time pools (a parked thread
+///   never yields the simulation token); use `Spin` there.
 ///
-/// Every strategy carries the same default attempt budget
+/// Every strategy carries the same default lap budget
 /// ([`DEFAULT_ATTEMPTS`](Self::DEFAULT_ATTEMPTS)); use
 /// [`remove_with_attempts`](PoolOps::remove_with_attempts) to choose a
 /// different one.
@@ -85,39 +97,46 @@ use crate::error::RemoveError;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 #[non_exhaustive]
 pub enum WaitStrategy {
-    /// Retry immediately after an aborted search (spin-loop hint only).
+    /// Start the next search lap immediately (spin-loop hint only).
     Spin,
-    /// Yield the thread between retries.
+    /// Yield the thread between search laps.
     #[default]
     Yield,
-    /// Sleep between retries with capped exponential backoff, starting at
-    /// one microsecond and doubling up to [`PARK_CAP`](Self::PARK_CAP).
+    /// Sleep between search laps with capped exponential backoff, starting
+    /// at one microsecond and doubling up to [`PARK_CAP`](Self::PARK_CAP).
     Park,
+    /// Park on the pool's notifier; woken by the add edge, by
+    /// [`close`](PoolOps::close), and by the gate's all-searching
+    /// transition. See [`notify`](crate::notify).
+    Block,
 }
 
 impl WaitStrategy {
-    /// Default number of search attempts a blocking remove makes before
-    /// giving up with [`RemoveError::Aborted`]. Each attempt is a full
-    /// search (at least one complete lap over the segments), so the budget
-    /// guards against pathological livelock, not ordinary contention.
+    /// Default number of fruitless search laps a blocking remove completes
+    /// before giving up with [`RemoveError::Aborted`]. Each lap examines
+    /// every victim segment once, so the budget guards against pathological
+    /// livelock, not ordinary contention.
     pub const DEFAULT_ATTEMPTS: usize = 1024;
 
-    /// Longest single pause [`Park`](Self::Park) sleeps between retries.
+    /// Longest single pause [`Park`](Self::Park) sleeps between laps.
     pub const PARK_CAP: Duration = Duration::from_micros(128);
 
-    /// The attempt budget [`PoolOps::remove`] uses for this strategy.
+    /// The lap budget [`PoolOps::remove`] uses for this strategy.
     pub fn default_attempts(self) -> usize {
         Self::DEFAULT_ATTEMPTS
     }
 
-    /// Pauses the calling thread before retry number `attempt` (0-based).
+    /// Pauses the calling thread before lap number `attempt` (0-based).
     ///
     /// Exposed so custom retry loops outside the trait can share the exact
-    /// backoff behavior of the blocking remove.
+    /// backoff behavior of the polling strategies. `Block` has no
+    /// standalone pause — parking correctly requires the pool's notifier,
+    /// which only the in-crate blocking remove can reach — so here it
+    /// degrades to a yield.
     pub fn pause(self, attempt: usize) {
         match self {
             WaitStrategy::Spin => std::hint::spin_loop(),
-            WaitStrategy::Yield => std::thread::yield_now(),
+            WaitStrategy::Yield | WaitStrategy::Block => std::thread::yield_now(),
             WaitStrategy::Park => {
                 let micros = 1u64 << attempt.min(7);
                 std::thread::sleep(Duration::from_micros(micros).min(Self::PARK_CAP));
@@ -132,6 +151,7 @@ impl fmt::Display for WaitStrategy {
             WaitStrategy::Spin => "spin",
             WaitStrategy::Yield => "yield",
             WaitStrategy::Park => "park",
+            WaitStrategy::Block => "block",
         };
         f.write_str(name)
     }
@@ -218,15 +238,16 @@ impl<T> FusedIterator for SmallDrain<T> {}
 /// design rationale.
 ///
 /// Both handles also keep their inherent methods (which shadow the trait
-/// methods of the same name for direct calls); the trait adds the blocking
-/// and batch vocabulary on top.
+/// methods of the same name for direct calls); the trait adds the blocking,
+/// lifecycle, and batch vocabulary on top.
 pub trait PoolOps {
     /// The element type this pool stores. For keyed pools this is the
     /// `(key, value)` pair.
     type Item;
 
     /// Adds one element (to the local segment, or wherever the frontend's
-    /// placement rules send it).
+    /// placement rules send it), waking consumers parked in
+    /// [`WaitStrategy::Block`] removes.
     fn add(&mut self, item: Self::Item);
 
     /// Removes an arbitrary element, searching (and stealing from) remote
@@ -235,7 +256,9 @@ pub trait PoolOps {
     /// # Errors
     ///
     /// Returns [`RemoveError::Aborted`] when the livelock breaker fired:
-    /// every registered process was searching simultaneously.
+    /// every registered process was searching simultaneously. Returns
+    /// [`RemoveError::Closed`] instead when the pool is
+    /// [closed](Self::close) and drained.
     fn try_remove(&mut self) -> Result<Self::Item, RemoveError>;
 
     /// Whether a snapshot of the pool shows no element reachable by this
@@ -247,28 +270,49 @@ pub trait PoolOps {
     /// producing" signal (see [`RemoveError::Aborted`]).
     fn is_drained(&self) -> bool;
 
-    /// Removes an element, retrying aborted searches under `wait` with the
-    /// strategy's [default attempt budget](WaitStrategy::default_attempts).
+    /// Closes the pool: a sticky, idempotent, pool-wide lifecycle
+    /// transition.
+    ///
+    /// Removers blocked in [`remove`](Self::remove) are woken; they and all
+    /// future removers first drain whatever elements remain and then
+    /// observe [`RemoveError::Closed`]. Adds are not rejected (the
+    /// operation stays infallible and conservation properties hold), but a
+    /// well-behaved application stops adding once it closes.
+    ///
+    /// This replaces the attempt-budget hack — letting consumers burn
+    /// search attempts until the all-searching abort — as the way to shut
+    /// a pool's consumers down.
+    fn close(&self);
+
+    /// Whether [`close`](Self::close) has been called on this pool.
+    fn is_closed(&self) -> bool;
+
+    /// Removes an element, waiting under `wait` with the strategy's
+    /// [default lap budget](WaitStrategy::default_attempts).
     ///
     /// This replaces the hand-rolled `Err(Aborted) => retry` spin loop
-    /// every consumer of `try_remove` used to carry.
+    /// every consumer of `try_remove` used to carry — and with
+    /// [`WaitStrategy::Block`], replaces polling entirely: the consumer
+    /// parks and the add edge wakes it.
     ///
     /// # Errors
     ///
-    /// Returns [`RemoveError::Aborted`] once an aborted search observes the
-    /// pool drained (every registered process was searching and no element
-    /// remains — the terminal starvation signal), or when the attempt
-    /// budget is exhausted.
+    /// * [`RemoveError::Closed`] — the pool was closed and every remaining
+    ///   element has been drained.
+    /// * [`RemoveError::Aborted`] — the terminal starvation signal (every
+    ///   registered process searching with the pool drained), or the lap
+    ///   budget ran out.
     fn remove(&mut self, wait: WaitStrategy) -> Result<Self::Item, RemoveError> {
-        self.remove_with_attempts(wait, wait.default_attempts())
+        self.remove_bounded(wait, wait.default_attempts(), None)
     }
 
-    /// [`remove`](Self::remove) with an explicit attempt budget.
+    /// [`remove`](Self::remove) with an explicit lap budget.
     ///
-    /// Each attempt is one full [`try_remove`](Self::try_remove) search.
-    /// Pass `usize::MAX` to retry until the pool is drained (termination is
-    /// still guaranteed by the drained check as long as producers
-    /// eventually stop).
+    /// Each attempt is one full fruitless search lap (every victim segment
+    /// examined once). Pass `usize::MAX` to wait until the pool is drained
+    /// or closed — termination is still guaranteed by the terminal-abort
+    /// and close paths as long as producers eventually stop or someone
+    /// closes the pool.
     ///
     /// # Errors
     ///
@@ -282,29 +326,45 @@ pub trait PoolOps {
         wait: WaitStrategy,
         attempts: usize,
     ) -> Result<Self::Item, RemoveError> {
-        assert!(attempts > 0, "a blocking remove needs at least one attempt");
-        for attempt in 0..attempts {
-            match self.try_remove() {
-                Ok(item) => return Ok(item),
-                Err(RemoveError::Aborted) => {
-                    if self.is_drained() {
-                        return Err(RemoveError::Aborted);
-                    }
-                    if attempt + 1 < attempts {
-                        wait.pause(attempt);
-                    }
-                }
-            }
-        }
-        Err(RemoveError::Aborted)
+        self.remove_bounded(wait, attempts, None)
     }
+
+    /// Removes an element, parking ([`WaitStrategy::Block`]) for at most
+    /// `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoveError::Timeout`] when the deadline passes first; otherwise
+    /// as [`remove`](Self::remove).
+    fn remove_timeout(&mut self, timeout: Duration) -> Result<Self::Item, RemoveError> {
+        self.remove_bounded(WaitStrategy::Block, usize::MAX, Some(Instant::now() + timeout))
+    }
+
+    /// The blocking-remove primitive the convenience methods above lower
+    /// to: wait under `wait` for at most `attempts` fruitless laps, bounded
+    /// by `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// As [`remove`](Self::remove), plus [`RemoveError::Timeout`] when
+    /// `deadline` passes before an element arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero.
+    fn remove_bounded(
+        &mut self,
+        wait: WaitStrategy,
+        attempts: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Self::Item, RemoveError>;
 
     /// Adds every element of `items`, taking the local segment lock once
     /// for the whole batch instead of once per element.
     ///
     /// The cost model is charged one segment probe for the batch plus the
     /// per-element transfer the frontend performs; statistics count one add
-    /// per element.
+    /// per element. Parked consumers are woken once per batch.
     fn add_batch<I: IntoIterator<Item = Self::Item>>(&mut self, items: I);
 
     /// Removes up to `n` arbitrary elements.
@@ -334,13 +394,18 @@ mod tests {
         assert_eq!(WaitStrategy::Spin.to_string(), "spin");
         assert_eq!(WaitStrategy::Yield.to_string(), "yield");
         assert_eq!(WaitStrategy::Park.to_string(), "park");
+        assert_eq!(WaitStrategy::Block.to_string(), "block");
         assert_eq!(WaitStrategy::default(), WaitStrategy::Yield);
     }
 
     #[test]
     fn pauses_do_not_block_indefinitely() {
-        // Also at high attempt numbers the park backoff stays capped.
-        for strategy in [WaitStrategy::Spin, WaitStrategy::Yield, WaitStrategy::Park] {
+        // Also at high attempt numbers the park backoff stays capped, and
+        // the standalone Block pause degrades to a yield rather than
+        // parking a thread nobody will unpark.
+        for strategy in
+            [WaitStrategy::Spin, WaitStrategy::Yield, WaitStrategy::Park, WaitStrategy::Block]
+        {
             for attempt in [0, 1, 7, 63, usize::MAX] {
                 strategy.pause(attempt);
             }

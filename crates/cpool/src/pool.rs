@@ -33,13 +33,14 @@
 //! (a [`Segment`] per processor) and the pluggable [`SearchPolicy`] driver.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use crate::core::{OpTimer, Registry, SearchSession};
+use crate::core::{OpTimer, Registry, SearchSession, WaitCtl};
 use crate::error::RemoveError;
 use crate::gate::SearchGate;
 use crate::hints::{HintBoard, HINT_BOARD_RESOURCE};
 use crate::ids::{ProcId, SegIdx};
-use crate::ops::{PoolOps, SmallDrain};
+use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
 use crate::search::{
     DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, ProbeOutcome, SearchEnv, SearchOutcome,
     SearchPolicy,
@@ -398,12 +399,39 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T> {
     /// Distributes `count` items round-robin across the segments, producing
     /// each item with `make`. Intended for pre-run initialization (the
     /// paper's "pool initialized with only 320 elements"); accesses are not
-    /// charged to any process.
+    /// charged to any process. Consumers already parked in a
+    /// [`Block`](crate::WaitStrategy::Block) remove are woken once.
     pub fn fill_evenly_with(&self, count: usize, mut make: impl FnMut(usize) -> S::Item) {
         let n = self.segments();
         for i in 0..count {
             self.shared.segments[i % n].add(make(i));
         }
+        if count > 0 {
+            self.shared.registry.notifier().notify_all();
+        }
+    }
+
+    /// Closes the pool — see [`PoolOps::close`] for the semantics (sticky,
+    /// idempotent; blocked and future removers drain the residue and then
+    /// observe [`RemoveError::Closed`]).
+    ///
+    /// ```
+    /// use cpool::prelude::*;
+    ///
+    /// let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(1).build();
+    /// let mut h = pool.register();
+    /// h.add(7);
+    /// pool.close();
+    /// assert_eq!(h.remove(WaitStrategy::Block), Ok(7), "residue drains first");
+    /// assert_eq!(h.remove(WaitStrategy::Block), Err(RemoveError::Closed));
+    /// ```
+    pub fn close(&self) {
+        self.shared.registry.notifier().close();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.registry.notifier().is_closed()
     }
 
     /// Registers a new process and returns its handle.
@@ -483,9 +511,26 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
         self.shared.timing.charge_work(self.me, ns);
     }
 
+    /// Closes the pool — see [`PoolOps::close`]. Any handle (or the
+    /// [`Pool`] itself) may close; the transition is pool-wide.
+    pub fn close(&self) {
+        self.shared.registry.notifier().close();
+    }
+
+    /// Whether the pool has been [closed](Self::close).
+    pub fn is_closed(&self) -> bool {
+        self.shared.registry.notifier().is_closed()
+    }
+
     /// Adds an element: to the local segment, or — when the hint extension
     /// is enabled and some process is searching — directly to that searcher
     /// (see [`hints`](crate::hints)).
+    ///
+    /// After the element is published (segment lock released, or mailbox
+    /// delivery done), the pool's notifier is signalled so consumers parked
+    /// in a [`Block`](crate::WaitStrategy::Block) remove wake on the add
+    /// edge instead of waiting out a backoff. The signal is one fence plus
+    /// one load when nobody is parked.
     pub fn add(&mut self, item: S::Item) {
         let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.add_overhead_ns);
         let mut item = item;
@@ -496,6 +541,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
                 self.shared.timing.charge(self.me, Resource::Shared(HINT_BOARD_RESOURCE));
                 match board.try_donate(item) {
                     Ok(_receiver) => {
+                        self.shared.registry.notifier().notify_all();
                         timer.finish_add(&mut self.stats, true);
                         return;
                     }
@@ -506,6 +552,9 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
         }
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.shared.segments[self.seg.index()].add(item);
+        // Signal after releasing the segment lock: the element is already
+        // visible to any woken searcher's probe.
+        self.shared.registry.notifier().notify_all();
         timer.finish_add(&mut self.stats, false);
         self.record_trace(self.seg, TraceKind::Add);
     }
@@ -516,15 +565,24 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
     /// # Errors
     ///
     /// Returns [`RemoveError::Aborted`] when the livelock breaker fired
-    /// (every registered process was searching simultaneously).
+    /// (every registered process was searching simultaneously) — or
+    /// [`RemoveError::Closed`] when, additionally, the pool is
+    /// [closed](Self::close) and drained.
     pub fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
-        self.try_remove_charging(self.shared.remove_overhead_ns)
+        self.try_remove_inner(self.shared.remove_overhead_ns, None)
     }
 
-    /// `try_remove` with an explicit per-operation overhead charge, so the
+    /// `try_remove` with an explicit per-operation overhead charge (so the
     /// batched paths — which already paid the overhead for the whole batch
-    /// — can fall back to a search without charging it twice.
-    fn try_remove_charging(&mut self, overhead_ns: u64) -> Result<S::Item, RemoveError> {
+    /// — can fall back to a search without charging it twice) and an
+    /// optional blocking-wait controller (threaded into the search by
+    /// [`remove_bounded`](PoolOps::remove_bounded), which parks the search
+    /// at lap boundaries instead of letting it poll).
+    fn try_remove_inner(
+        &mut self,
+        overhead_ns: u64,
+        mut wait: Option<&mut WaitCtl<'_>>,
+    ) -> Result<S::Item, RemoveError> {
         let timer = OpTimer::start(&self.shared.timing, self.me, overhead_ns);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
         if let Some(item) = self.shared.segments[self.seg.index()].try_remove() {
@@ -539,6 +597,9 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
         // steals remain the first-line mechanism — they balance reserves in
         // a way single-element deliveries cannot — and donations target
         // exactly the long-tail searches that batches cannot satisfy.
+        if let Some(ctl) = wait.as_deref_mut() {
+            ctl.begin_pass();
+        }
         let mut env = PoolSearchEnv {
             shared: &self.shared,
             session: SearchSession::begin(
@@ -551,6 +612,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
             stolen: 0,
             taken: None,
             victim: None,
+            wait,
         };
         let outcome = self.shared.policy.search(&mut self.state, &mut env);
         let PoolSearchEnv { session, stolen, mut taken, victim, .. } = env;
@@ -569,9 +631,12 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
                 let victim = victim.expect("search reported Found without a victim");
                 if let Some(extra) = delivery {
                     // Both a steal and a donation: keep the stolen element
-                    // for the caller and bank the donation locally.
+                    // for the caller and bank the donation locally (and
+                    // wake parked waiters — the banked element is fresh
+                    // availability they were never signalled about).
                     self.shared.timing.charge(self.me, Resource::Segment(self.seg));
                     self.shared.segments[self.seg.index()].add(extra);
+                    self.shared.registry.notifier().notify_all();
                 }
                 timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
                 self.record_trace(victim, TraceKind::StealFrom);
@@ -589,8 +654,23 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
             SearchOutcome::Aborted => {
                 debug_assert!(taken.is_none());
                 timer.finish_aborted(&mut self.stats);
-                Err(RemoveError::Aborted)
+                Err(self.abort_error())
             }
+        }
+    }
+
+    /// Maps a search abort to its caller-facing error: an abort on a
+    /// [closed](Self::close) *and drained* pool is the end of the pool's
+    /// life ([`RemoveError::Closed`]); anything else keeps the §3.2
+    /// [`RemoveError::Aborted`] semantics (a closed pool that still holds
+    /// elements must drain them first).
+    fn abort_error(&self) -> RemoveError {
+        if self.shared.registry.notifier().is_closed()
+            && self.shared.segments.iter().all(Segment::is_empty)
+        {
+            RemoveError::Closed
+        } else {
+            RemoveError::Aborted
         }
     }
 
@@ -630,6 +710,37 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
         self.shared.segments.iter().all(Segment::is_empty)
     }
 
+    fn close(&self) {
+        Handle::close(self);
+    }
+
+    fn is_closed(&self) -> bool {
+        Handle::is_closed(self)
+    }
+
+    fn remove_bounded(
+        &mut self,
+        wait: WaitStrategy,
+        attempts: usize,
+        deadline: Option<Instant>,
+    ) -> Result<S::Item, RemoveError> {
+        assert!(attempts > 0, "a blocking remove needs at least one attempt");
+        // The controller and the driver's snapshots borrow from a local Arc
+        // clone so the handle itself stays mutably borrowable for the
+        // searches.
+        let shared = Arc::clone(&self.shared);
+        let mut ctl = WaitCtl::new(shared.registry.notifier(), wait, attempts, deadline);
+        // The per-op overhead is paid by the first pass only; retry passes
+        // must not charge it twice.
+        let mut overhead = self.shared.remove_overhead_ns;
+        crate::core::drive_blocking_remove(
+            &mut ctl,
+            |ctl| self.try_remove_inner(std::mem::take(&mut overhead), Some(ctl)),
+            || shared.segments.iter().all(Segment::is_empty),
+            || shared.registry.notifier().is_closed(),
+        )
+    }
+
     fn add_batch<I: IntoIterator<Item = S::Item>>(&mut self, items: I) {
         // Materialize before starting the timer so an empty batch is a
         // true no-op: no overhead charge, no time attributed.
@@ -666,6 +777,10 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
             self.shared.segments[self.seg.index()].add_bulk(batch);
             self.record_trace(self.seg, TraceKind::Add);
         }
+        // One wakeup per batch (covering mailbox donations too): the
+        // elements are published, so every woken waiter's next probe round
+        // can find them.
+        self.shared.registry.notifier().notify_all();
         timer.finish_add_batch(&mut self.stats, n, donated);
     }
 
@@ -687,18 +802,15 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
         // search accounts itself through its own timer — with zero
         // overhead, since this batch already paid `remove_overhead_ns`.
         timer.finish_remove_batch(&mut self.stats, 0);
-        match self.try_remove_charging(0) {
-            Ok(first) => {
-                got.push(first);
-                if n > 1 {
-                    let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
-                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-                    let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
-                    top_up.finish_remove_batch(&mut self.stats, extra.len());
-                    got.extend(extra);
-                }
+        if let Ok(first) = self.try_remove_inner(0, None) {
+            got.push(first);
+            if n > 1 {
+                let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
+                self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
+                top_up.finish_remove_batch(&mut self.stats, extra.len());
+                got.extend(extra);
             }
-            Err(RemoveError::Aborted) => {}
         }
         SmallDrain::new(got)
     }
@@ -724,16 +836,20 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Drop for Handle<S, P, T> {
 /// The pool-side implementation of [`SearchEnv`]: adapts the policy's probe
 /// requests to the shared engine's [`SearchSession`] (which performs the
 /// two-phase steal, charges costs, and tracks search statistics) and layers
-/// the hint-board interplay on top of the engine's abort rule.
-struct PoolSearchEnv<'a, S: Segment, P, T: Timing> {
+/// the hint-board interplay — and, for blocking removes, the lap-boundary
+/// waiting of [`WaitCtl`] — on top of the engine's abort rule.
+struct PoolSearchEnv<'a, 'w, 'n, S: Segment, P, T: Timing> {
     shared: &'a Shared<S, P, T>,
     session: SearchSession<'a, T>,
     stolen: usize,
     taken: Option<S::Item>,
     victim: Option<SegIdx>,
+    /// Present on blocking removes: what to do at each fruitless lap
+    /// boundary (pause, park, give up) instead of polling straight through.
+    wait: Option<&'w mut WaitCtl<'n>>,
 }
 
-impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, S, P, T> {
+impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, '_, '_, S, P, T> {
     fn segments(&self) -> usize {
         self.shared.segments.len()
     }
@@ -782,7 +898,29 @@ impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, S, 
         }
         // The engine's full-lap starvation rule (§3.2); see
         // [`SearchSession::should_abort`].
-        self.session.should_abort()
+        if self.session.should_abort() {
+            return true;
+        }
+        // A closed pool ends fruitless searches at the first lap boundary
+        // even when not everyone is searching (an idle registrant on a
+        // closed pool is not a reason to keep polling); `abort_error` then
+        // distinguishes drained (Closed) from residue (retryable Aborted).
+        let notifier = self.shared.registry.notifier();
+        if self.session.full_lap_done() && notifier.is_closed() {
+            return true;
+        }
+        // Blocking removes wait at lap boundaries instead of polling on.
+        if let Some(ctl) = self.wait.as_deref_mut() {
+            let segments = &self.shared.segments;
+            let hints = self.shared.hints.as_ref();
+            let proc = self.session.proc();
+            return ctl.on_probe(
+                &self.session,
+                || segments.iter().any(|s| !s.is_empty()),
+                || hints.is_some_and(|b| b.delivered(proc)),
+            );
+        }
+        false
     }
 }
 
@@ -862,7 +1000,7 @@ mod tests {
                     while removed < k {
                         match h.try_remove() {
                             Ok(()) => removed += 1,
-                            Err(RemoveError::Aborted) => thread::yield_now(),
+                            Err(_) => thread::yield_now(),
                         }
                     }
                 });
@@ -894,7 +1032,7 @@ mod tests {
                         while got < 100 {
                             match c.try_remove() {
                                 Ok(()) => got += 1,
-                                Err(RemoveError::Aborted) => thread::yield_now(),
+                                Err(_) => thread::yield_now(),
                             }
                         }
                     });
@@ -1125,6 +1263,111 @@ mod tests {
         // Empty batches are true no-ops: no overhead, no time attributed.
         thief.add_batch(std::iter::empty());
         assert_eq!(pool.timing().work_ns.load(Ordering::Relaxed), 5 + 7);
+    }
+
+    #[test]
+    fn block_remove_wakes_on_the_add_edge() {
+        // The consumer parks (no element, producer idle); the producer's
+        // add must wake it. A lost wakeup hangs this test.
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let total = 50;
+        thread::scope(|s| {
+            let mut producer = pool.register();
+            let mut consumer = pool.register();
+            s.spawn(move || {
+                for i in 0..total {
+                    // Let the consumer actually park between elements.
+                    thread::sleep(std::time::Duration::from_micros(200));
+                    producer.add(i);
+                }
+            });
+            s.spawn(move || {
+                for _ in 0..total {
+                    consumer.remove(WaitStrategy::Block).expect("producer still registered");
+                }
+            });
+        });
+        assert_eq!(pool.total_len(), 0);
+        assert_eq!(pool.stats().merged().removes, total as u64);
+    }
+
+    #[test]
+    fn close_wakes_blocked_removers_with_closed() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        thread::scope(|s| {
+            let mut producer = pool.register();
+            let mut consumer = pool.register();
+            s.spawn(move || {
+                // Elements added before the close must all come out first.
+                producer.add_batch([1, 2, 3]);
+                producer.close();
+            });
+            s.spawn(move || {
+                let mut got = 0;
+                let err = loop {
+                    match consumer.remove(WaitStrategy::Block) {
+                        Ok(_) => got += 1,
+                        Err(err) => break err,
+                    }
+                };
+                assert_eq!(got, 3, "residue drained before Closed");
+                assert_eq!(err, RemoveError::Closed);
+            });
+        });
+        assert!(pool.is_closed());
+    }
+
+    #[test]
+    fn remove_timeout_expires_on_a_quiet_live_pool() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut consumer = pool.register();
+        // A second registrant that never searches keeps the gate from
+        // firing: without it the remove would be a terminal abort, not a
+        // wait.
+        let _idle = pool.register();
+        let t0 = std::time::Instant::now();
+        let err = consumer.remove_timeout(std::time::Duration::from_millis(20));
+        assert_eq!(err, Err(RemoveError::Timeout));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+
+        // The timeout left the pool fully usable.
+        consumer.add(9);
+        assert_eq!(consumer.try_remove(), Ok(9));
+    }
+
+    #[test]
+    fn try_remove_on_closed_drained_pool_reports_closed() {
+        let pool: Pool<VecSegment<u32>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut h = pool.register();
+        h.add(5);
+        pool.close();
+        assert_eq!(h.try_remove(), Ok(5), "closed pools still drain");
+        assert_eq!(h.try_remove(), Err(RemoveError::Closed));
+        assert_eq!(
+            h.remove(WaitStrategy::Block),
+            Err(RemoveError::Closed),
+            "blocking removers see Closed too"
+        );
+    }
+
+    #[test]
+    fn block_remove_takes_terminal_abort_when_everyone_waits() {
+        // All registered processes block on an empty pool: the gate's
+        // all-searching transition must wake the parked ones so at least
+        // the transition's witness escapes; escaping consumers drop their
+        // handles, which cascades the deregister edge to the rest. No
+        // close() needed — this is the §3.2 terminal path, event-driven.
+        let n = 4;
+        let pool: Pool<LockedCounter, LinearSearch> = PoolBuilder::new(n).build();
+        thread::scope(|s| {
+            for _ in 0..n {
+                let mut h = pool.register();
+                s.spawn(move || {
+                    assert_eq!(h.remove(WaitStrategy::Block), Err(RemoveError::Aborted));
+                });
+            }
+        });
+        assert_eq!(pool.gate().registered(), 0);
     }
 
     #[test]

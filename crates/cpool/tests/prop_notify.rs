@@ -1,0 +1,181 @@
+//! Property tests of the notify subsystem's end-to-end guarantee: **no
+//! lost wakeups**. Arbitrary producer scripts (mixes of single adds and
+//! batches) against k consumers blocked in [`WaitStrategy::Block`] removes
+//! must hand over every element exactly once, with every consumer released
+//! by the close — on both pool frontends. A single lost wakeup deadlocks
+//! the scope (the test hangs) or loses an element (the multiset assertion
+//! fails).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use proptest::prelude::*;
+
+use cpool::prelude::*;
+
+/// A producer script: each entry is one action — a single add (`1`) or a
+/// batch of the given size.
+fn script() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(prop_oneof![Just(1usize), 2usize..9], 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Plain pool: every element the script adds while consumers block is
+    /// removed exactly once; the close releases every consumer with
+    /// `Closed` only after the residue is drained.
+    #[test]
+    fn blocked_consumers_receive_every_add_exactly_once(
+        consumers in 1usize..5,
+        producer_script in script(),
+        segs in 1usize..5,
+    ) {
+        let total: usize = producer_script.iter().sum();
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(segs).seed(7).build();
+        let received = AtomicU64::new(0);
+        // One slot per element value: each must be delivered exactly once.
+        let seen: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+
+        thread::scope(|s| {
+            // Producer registered before any consumer runs: a consumer
+            // alone on the gate would read its solitude as terminal.
+            let mut p = pool.register();
+            for _ in 0..consumers {
+                let mut h = pool.register();
+                let (received, seen) = (&received, &seen);
+                s.spawn(move || {
+                    let err = loop {
+                        match h.remove(WaitStrategy::Block) {
+                            Ok(v) => {
+                                seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                                received.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => break err,
+                        }
+                    };
+                    assert_eq!(err, RemoveError::Closed, "close released this consumer");
+                });
+            }
+            let script = producer_script.clone();
+            s.spawn(move || {
+                let mut next = 0u64;
+                for action in script {
+                    if action == 1 {
+                        p.add(next);
+                        next += 1;
+                    } else {
+                        p.add_batch(next..next + action as u64);
+                        next += action as u64;
+                    }
+                    thread::yield_now();
+                }
+                p.close();
+            });
+        });
+
+        prop_assert_eq!(received.load(Ordering::Relaxed), total as u64);
+        prop_assert_eq!(pool.total_len(), 0);
+        for (v, slot) in seen.iter().enumerate() {
+            prop_assert_eq!(slot.load(Ordering::Relaxed), 1, "value {} delivered once", v);
+        }
+    }
+
+    /// Keyed pool: the same guarantee over `(key, value)` pairs through the
+    /// generic `PoolOps` vocabulary (any-key blocking removes + batches).
+    #[test]
+    fn keyed_blocked_consumers_conserve_the_multimap(
+        consumers in 1usize..4,
+        producer_script in script(),
+        segs in 1usize..4,
+    ) {
+        let total: usize = producer_script.iter().sum();
+        let pool: KeyedPool<u8, u64> = KeyedPool::new(segs);
+        let received = AtomicU64::new(0);
+        let seen: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+        let key_of = |v: u64| (v % 5) as u8;
+
+        thread::scope(|s| {
+            // Producer registered before any consumer runs: a consumer
+            // alone on the gate would read its solitude as terminal.
+            let mut p = pool.register();
+            for _ in 0..consumers {
+                let mut h = pool.register();
+                let (received, seen) = (&received, &seen);
+                s.spawn(move || {
+                    let err = loop {
+                        match h.remove(WaitStrategy::Block) {
+                            Ok((k, v)) => {
+                                assert_eq!(k, key_of(v), "pair integrity");
+                                seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                                received.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => break err,
+                        }
+                    };
+                    assert_eq!(err, RemoveError::Closed);
+                });
+            }
+            let script = producer_script.clone();
+            s.spawn(move || {
+                let mut next = 0u64;
+                for action in script {
+                    if action == 1 {
+                        PoolOps::add(&mut p, (key_of(next), next));
+                        next += 1;
+                    } else {
+                        p.add_batch((next..next + action as u64).map(|v| (key_of(v), v)));
+                        next += action as u64;
+                    }
+                    thread::yield_now();
+                }
+                p.close();
+            });
+        });
+
+        prop_assert_eq!(received.load(Ordering::Relaxed), total as u64);
+        prop_assert_eq!(pool.total_len(), 0);
+        for (v, slot) in seen.iter().enumerate() {
+            prop_assert_eq!(slot.load(Ordering::Relaxed), 1, "pair {} delivered once", v);
+        }
+    }
+
+    /// Keyed blocking removes scoped to a single key: wrong-key traffic
+    /// neither satisfies nor permanently wakes the waiter, and the close
+    /// ends the wait with `Closed` once that key's residue is gone.
+    #[test]
+    fn keyed_per_key_waiters_only_take_their_key(
+        per_key in 1usize..12,
+        segs in 1usize..4,
+    ) {
+        let pool: KeyedPool<u8, u64> = KeyedPool::new(segs);
+        thread::scope(|s| {
+            let mut p = pool.register(); // before consumers: see above
+            for key in 0u8..2 {
+                let mut h = pool.register();
+                s.spawn(move || {
+                    let mut got = 0usize;
+                    let err = loop {
+                        match h.remove_key(&key, WaitStrategy::Block) {
+                            Ok(v) => {
+                                assert_eq!((v % 2) as u8, key, "wrong key delivered");
+                                got += 1;
+                            }
+                            Err(err) => break err,
+                        }
+                    };
+                    assert_eq!(got, per_key, "key {key} got its share");
+                    assert_eq!(err, RemoveError::Closed);
+                });
+            }
+            s.spawn(move || {
+                for v in 0..2 * per_key as u64 {
+                    p.add((v % 2) as u8, v);
+                    thread::yield_now();
+                }
+                p.close();
+            });
+        });
+        prop_assert_eq!(pool.total_len(), 0);
+    }
+}

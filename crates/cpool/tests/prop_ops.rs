@@ -92,7 +92,10 @@ proptest! {
                 }
                 Op::Remove => match h.try_remove() {
                     Ok(v) => prop_assert!(model.take(v), "pool invented value {v}"),
-                    Err(RemoveError::Aborted) => prop_assert_eq!(model.len, 0),
+                    Err(err) => {
+                        prop_assert_eq!(err, RemoveError::Aborted);
+                        prop_assert_eq!(model.len, 0);
+                    }
                 },
                 Op::RemoveBatch(n) => {
                     let got = h.try_remove_batch(*n);
@@ -163,7 +166,10 @@ proptest! {
                         }
                         model_len -= 1;
                     }
-                    Err(RemoveError::Aborted) => prop_assert_eq!(model_len, 0),
+                    Err(err) => {
+                        prop_assert_eq!(err, RemoveError::Aborted);
+                        prop_assert_eq!(model_len, 0);
+                    }
                 },
                 Op::RemoveBatch(n) => {
                     let got = h.try_remove_batch(*n);

@@ -45,7 +45,10 @@ proptest! {
                             .expect("pool returned a value the model holds");
                         model.swap_remove(at);
                     }
-                    Err(RemoveError::Aborted) => prop_assert!(model.is_empty()),
+                    Err(err) => {
+                        prop_assert_eq!(err, RemoveError::Aborted);
+                        prop_assert!(model.is_empty());
+                    }
                 },
             }
             prop_assert_eq!(pool.total_len(), model.len());
@@ -97,7 +100,8 @@ proptest! {
         loop {
             match drainer.try_remove() {
                 Ok(v) => residue.push(v),
-                Err(RemoveError::Aborted) => {
+                Err(err) => {
+                    prop_assert_eq!(err, RemoveError::Aborted);
                     if pool.total_len() == 0 {
                         break;
                     }

@@ -119,6 +119,12 @@ fn run_trial_on<S: Segment<Item = ()>>(spec: &ExperimentSpec, trial: u32) -> Tri
         None => wall_start.elapsed().as_nanos() as u64,
     };
 
+    // The trial is over: close the pool so its lifecycle ends explicitly —
+    // any handle that leaked past the scope would drain the residue and
+    // observe `Closed` instead of spinning against a dead experiment.
+    // (Final segment sizes are reported below; close does not drain.)
+    pool.close();
+
     let stats = pool.stats();
     let merged = stats.merged();
     debug_assert_eq!(merged.ops(), spec.total_ops, "every budgeted operation is accounted for");

@@ -24,6 +24,12 @@
 //! `expand_work_ns` per generated child), so under the virtual-time
 //! scheduler the experiment models the Butterfly's compute/communication
 //! ratio; see [`speedup`](crate::speedup).
+//!
+//! Termination is close-on-completion: the first worker whose `get` proves
+//! the expansion finished (pool drained with every worker searching) closes
+//! the list, releasing peers that are parked in event-driven waits — the
+//! expansion seals the list again on exit for good measure. No worker burns
+//! an attempt budget to discover the end of the computation.
 
 use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -256,6 +262,12 @@ pub fn expand_parallel<W: SharedWorkList<WorkItem>, T: Timing>(
             });
         }
     });
+    // Completion already closed the list from inside (the worker whose get
+    // took the terminal abort closes so parked peers drain out — see
+    // `PoolWorkHandle::get`); sealing it here too makes the lifecycle
+    // explicit for list implementations that only poll, and guards against
+    // a handle leaking into a finished expansion.
+    list.close();
     let wall_ns = wall_start.elapsed().as_nanos() as u64;
 
     let (best_move, score) = table.root_decision();

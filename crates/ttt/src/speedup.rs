@@ -147,8 +147,16 @@ pub fn run_one(kind: WorkListKind, workers: usize, cfg: &SpeedupConfig) -> Expan
                 WorkListKind::PoolRandom => PolicyKind::Random,
                 _ => PolicyKind::Tree,
             };
-            let list: PoolWorkList<WorkItem, SimTiming> =
-                PoolWorkList::new(workers, policy, timing.clone(), cfg.seed);
+            // Spin, not the Block default: a thread parked on an OS
+            // primitive never yields the virtual-time token, and spinning
+            // keeps the simulated run deterministic.
+            let list: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::with_wait(
+                workers,
+                policy,
+                timing.clone(),
+                cfg.seed,
+                cpool::WaitStrategy::Spin,
+            );
             expand_parallel(&list, workers, &cfg.expansion, &timing, Some(&scheduler))
         }
         WorkListKind::GlobalStack => {

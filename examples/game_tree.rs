@@ -9,7 +9,7 @@
 //! cargo run --release --example game_tree -- --depth 3   # the paper's 249,984 positions
 //! ```
 
-use concurrent_pools::baselines::PoolWorkList;
+use concurrent_pools::baselines::{PoolWorkList, SharedWorkList};
 use concurrent_pools::harness::cli::Args;
 use concurrent_pools::ttt::board::Board;
 use concurrent_pools::ttt::minimax::minimax;
@@ -52,6 +52,11 @@ fn main() {
     assert_eq!(parallel.score, seq.score);
     assert_eq!(parallel.leaves, seq.leaves);
     println!("agreement: OK");
+
+    // Workers waited event-driven (parked on the pool's notifier) and the
+    // expansion ended via close-on-completion, not by burning search
+    // attempts into the abort path.
+    assert!(list.is_closed(), "completion closed the work list");
 
     let stats = list.pool().stats().merged();
     println!(

@@ -75,6 +75,9 @@ fn main() {
                             // class is genuinely exhausted right now.
                             starved.fetch_add(1, Ordering::Relaxed);
                         }
+                        Err(err) => {
+                            unreachable!("nobody closes or times out here: {err}")
+                        }
                     }
                 }
             });

@@ -3,9 +3,13 @@
 //!
 //! A recursive partition job: each task either splits into two subtasks or
 //! does leaf work. Workers pull tasks from the pool, generating new tasks
-//! as they go; locality keeps most traffic in each worker's own segment,
-//! and the all-searching abort doubles as distributed termination
-//! detection. Run with:
+//! as they go; locality keeps most traffic in each worker's own segment.
+//! Idle workers **park** on the pool's notifier (`WaitStrategy::Block`, the
+//! work list's default) and are woken by the add edge, and termination is
+//! close-on-completion: the all-searching abort still *detects* the end of
+//! the computation, but the detecting worker then closes the pool so every
+//! parked peer wakes and drains out — no attempt budget is burned waiting.
+//! Run with:
 //!
 //! ```sh
 //! cargo run --example task_scheduler
@@ -59,11 +63,13 @@ fn main() {
                         ]);
                     }
                 }
-                // `get` returned Done: every worker was searching and the
-                // pool is empty -- the computation has terminated.
+                // `get` returned Done: either this worker witnessed the
+                // terminal state (empty pool, everyone searching) and
+                // closed the pool, or a peer did and the close woke us.
             });
         }
     });
+    assert!(list.is_closed(), "completion closed the pool");
 
     let expected = TOTAL * (TOTAL - 1) / 2;
     let computed = sum.load(Ordering::Relaxed);

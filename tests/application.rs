@@ -75,8 +75,15 @@ fn virtual_time_expansion_speeds_up() {
         let scheduler =
             SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
         let timing: SimTiming = scheduler.timing();
-        let pool: PoolWorkList<WorkItem, SimTiming> =
-            PoolWorkList::new(workers, PolicyKind::Linear, timing.clone(), 3);
+        // Spin, not the Block default: a thread parked on an OS primitive
+        // would deadlock the virtual-time token hand-off.
+        let pool: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::with_wait(
+            workers,
+            PolicyKind::Linear,
+            timing.clone(),
+            3,
+            cpool::WaitStrategy::Spin,
+        );
         let r = expand_parallel(&pool, workers, &cfg, &timing, Some(&scheduler));
         let makespan = r.makespan_ns.expect("virtual-time run has a makespan");
         makespans.push((workers, makespan));
@@ -99,8 +106,13 @@ fn virtual_time_expansion_is_deterministic() {
         let scheduler =
             SimScheduler::new(workers, LatencyModel::butterfly(), Topology::identity(workers));
         let timing: SimTiming = scheduler.timing();
-        let pool: PoolWorkList<WorkItem, SimTiming> =
-            PoolWorkList::new(workers, PolicyKind::Tree, timing.clone(), 42);
+        let pool: PoolWorkList<WorkItem, SimTiming> = PoolWorkList::with_wait(
+            workers,
+            PolicyKind::Tree,
+            timing.clone(),
+            42,
+            cpool::WaitStrategy::Spin,
+        );
         let cfg = ExpansionConfig {
             depth: 2,
             eval_work_ns: 50_000,

@@ -1,0 +1,222 @@
+//! Pool-lifecycle integration tests: the close/park race under load, and
+//! the drain-before-`Closed` ordering guarantee.
+//!
+//! Every scenario runs under a hard watchdog deadline — the property these
+//! tests defend is *termination*: a single lost wakeup between a consumer
+//! checking its wake conditions and parking, or between `close()` flipping
+//! the flag and signalling, strands a parked thread forever and trips the
+//! watchdog. CI runs this file under `--release` too (optimized codegen
+//! shrinks the race windows the dev profile masks).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use concurrent_pools::prelude::*;
+use cpool::KeyedPool;
+
+/// Runs `scenario` on its own thread and panics if it does not finish
+/// within `deadline` — the close/park deadlock detector.
+fn with_deadline(deadline: Duration, scenario: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let runner = thread::spawn(move || {
+        scenario();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(()) => runner.join().expect("scenario panicked"),
+        Err(_) => {
+            panic!("lifecycle scenario exceeded its {deadline:?} deadline: close/park deadlock")
+        }
+    }
+}
+
+/// N producers × M blocking consumers with a `close()` at the end: the run
+/// must terminate (no deadlock on the close/park race) and conserve every
+/// element — whatever interleaving the scheduler picks between the last
+/// adds, the parked waits, and the close.
+#[test]
+fn producers_consumers_close_terminates_and_conserves() {
+    with_deadline(Duration::from_secs(60), || {
+        let producers = 4;
+        let consumers = 4;
+        let per_producer = 2_000u64;
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(4).seed(11).build();
+        let produced_total = producers as u64 * per_producer;
+        let received = AtomicU64::new(0);
+        let live_producers = AtomicU64::new(producers as u64);
+
+        thread::scope(|s| {
+            for p in 0..producers {
+                let mut h = pool.register();
+                let live_producers = &live_producers;
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        let v = p as u64 * per_producer + i;
+                        // Mix singles and small batches so the notify paths
+                        // of both add flavors face the park race.
+                        if i % 7 == 0 {
+                            h.add_batch([v]);
+                        } else {
+                            h.add(v);
+                        }
+                        if i % 64 == 0 {
+                            thread::yield_now();
+                        }
+                    }
+                    // The last producer out closes the pool: the lifecycle
+                    // signal races directly against consumers parking. The
+                    // handle drops only after the close, so no window
+                    // exists in which every producer has deregistered with
+                    // the close still pending — consumers would (correctly,
+                    // but not what this test asserts) read that window as
+                    // the §3.2 terminal state.
+                    if live_producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        pool.close();
+                    }
+                    drop(h);
+                });
+            }
+            for _ in 0..consumers {
+                let mut h = pool.register();
+                let received = &received;
+                s.spawn(move || {
+                    let err = loop {
+                        match h.remove(WaitStrategy::Block) {
+                            Ok(_) => {
+                                received.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => break err,
+                        }
+                    };
+                    assert_eq!(err, RemoveError::Closed, "close released this consumer");
+                });
+            }
+        });
+
+        assert_eq!(received.load(Ordering::Relaxed), produced_total, "every element delivered");
+        assert_eq!(pool.total_len(), 0);
+        assert!(pool.is_closed());
+    });
+}
+
+/// Elements added before `close()` are all delivered before any consumer
+/// observes `Closed`: the close drains, it does not drop.
+#[test]
+fn drained_then_closed_ordering() {
+    with_deadline(Duration::from_secs(60), || {
+        let elements = 500u64;
+        let consumers = 3;
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2).build();
+        let received = AtomicU64::new(0);
+
+        thread::scope(|s| {
+            // Register the producer before any consumer thread can run: a
+            // consumer alone on the gate would (correctly) read its own
+            // solitude as the §3.2 terminal state.
+            let mut p = pool.register();
+            for _ in 0..consumers {
+                let mut h = pool.register();
+                let received = &received;
+                s.spawn(move || {
+                    loop {
+                        match h.remove(WaitStrategy::Block) {
+                            Ok(_) => {
+                                received.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => {
+                                // The ordering guarantee: Closed is only
+                                // observable once no pre-close element is
+                                // reachable — nothing is dropped. (No
+                                // segment-emptiness assertion here: a peer
+                                // mid-steal may bank its in-flight batch
+                                // right after this observation and drain
+                                // it itself — see the RemoveError::Closed
+                                // docs. The post-scope count asserts that
+                                // every element was delivered to someone.)
+                                assert_eq!(err, RemoveError::Closed);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+            s.spawn(move || {
+                p.add_batch(0..elements);
+                p.close();
+            });
+        });
+
+        assert_eq!(received.load(Ordering::Relaxed), elements);
+        assert_eq!(pool.total_len(), 0);
+    });
+}
+
+/// The keyed frontend under the same close/park stress: per-key blocking
+/// consumers, producers spread across keys, close at the end.
+#[test]
+fn keyed_close_park_race_terminates() {
+    with_deadline(Duration::from_secs(60), || {
+        let keys = 3u8;
+        let per_key = 800u64;
+        let pool: KeyedPool<u8, u64> = KeyedPool::new(4);
+        let received = AtomicU64::new(0);
+
+        thread::scope(|s| {
+            let mut p = pool.register(); // before consumers: see above
+            for key in 0..keys {
+                let mut h = pool.register();
+                let received = &received;
+                s.spawn(move || {
+                    let err = loop {
+                        match h.remove_key(&key, WaitStrategy::Block) {
+                            Ok(v) => {
+                                assert_eq!((v % keys as u64) as u8, key);
+                                received.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => break err,
+                        }
+                    };
+                    assert_eq!(err, RemoveError::Closed);
+                });
+            }
+            let pool = &pool;
+            s.spawn(move || {
+                for v in 0..keys as u64 * per_key {
+                    p.add((v % keys as u64) as u8, v);
+                    if v % 128 == 0 {
+                        thread::yield_now();
+                    }
+                }
+                // Close before the handle drops (see the plain-pool test).
+                pool.close();
+                drop(p);
+            });
+        });
+
+        assert_eq!(received.load(Ordering::Relaxed), keys as u64 * per_key);
+        assert_eq!(pool.total_len(), 0);
+    });
+}
+
+/// `remove_timeout` under contention: waiters that time out leave the pool
+/// coherent, and a later add still finds a live pool.
+#[test]
+fn timeouts_leave_the_pool_live() {
+    with_deadline(Duration::from_secs(60), || {
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut waiter = pool.register();
+        let mut producer = pool.register();
+        assert_eq!(
+            waiter.remove_timeout(Duration::from_millis(10)),
+            Err(RemoveError::Timeout),
+            "quiet pool with a live producer times the wait out"
+        );
+        producer.add(42);
+        assert_eq!(waiter.remove_timeout(Duration::from_millis(200)), Ok(42));
+        pool.close();
+        assert_eq!(waiter.remove_timeout(Duration::from_millis(200)), Err(RemoveError::Closed));
+    });
+}

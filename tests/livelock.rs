@@ -65,7 +65,7 @@ fn consumers_wait_for_a_slow_producer() {
                     Ok(()) => {
                         consumed.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(RemoveError::Aborted) => {
+                    Err(_) => {
                         if consumed.load(Ordering::Relaxed) == total {
                             break;
                         }
