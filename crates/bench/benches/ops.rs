@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use cpool::segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
+use cpool::transfer::TransferBatch;
 
 fn bench_counting<S: Segment<Item = ()>>(c: &mut Criterion, name: &str) {
     let mut group = c.benchmark_group(format!("ops/{name}"));
@@ -18,7 +19,7 @@ fn bench_counting<S: Segment<Item = ()>>(c: &mut Criterion, name: &str) {
     group.bench_function("remove", |b| {
         let seg = S::new();
         b.iter_batched(
-            || seg.add_bulk(vec![(); 1024]),
+            || seg.add_bulk(S::Batch::from_vec(vec![(); 1024])),
             |()| {
                 for _ in 0..1024 {
                     std::hint::black_box(seg.try_remove());

@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 
 use cpool::segment::{BlockSegment, LockedCounter, Segment, VecSegment};
+use cpool::transfer::CountBatch;
 
 fn bench_steals(c: &mut Criterion) {
     let mut group = c.benchmark_group("steal_half");
@@ -16,7 +17,7 @@ fn bench_steals(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("counting", size), &size, |b, &size| {
             let seg = LockedCounter::new();
             b.iter_batched(
-                || seg.add_bulk(vec![(); size]),
+                || seg.add_bulk(CountBatch::of(size)),
                 |()| std::hint::black_box(seg.steal_half()),
                 BatchSize::SmallInput,
             );
@@ -34,7 +35,9 @@ fn bench_steals(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("block", size), &size, |b, &size| {
             let seg: BlockSegment<u64> = BlockSegment::with_block_size(64);
             b.iter_batched(
-                || seg.add_bulk((0..size as u64).collect()),
+                // add_bulk_vec chunks at the segment's own block size;
+                // from_vec would silently rebuild 16-element blocks.
+                || seg.add_bulk_vec((0..size as u64).collect()),
                 |()| std::hint::black_box(seg.steal_half()),
                 BatchSize::SmallInput,
             );

@@ -1,0 +1,77 @@
+//! Microbenchmark: the steal→refill **transfer** itself, occupancy ×
+//! block size.
+//!
+//! [`bench::hotpath::transfer_op`] isolates the two phases every
+//! successful probe pays — drain ⌈n/2⌉ from the victim, deposit into the
+//! thief — from the search around them. Since the transfer layer became
+//! batch-typed, a block segment moves whole block *handles* (O(n/B)
+//! pointer moves, shell recycled through the pool's free list) where the
+//! vec segment moves every element; this bench pins that comparison across
+//! occupancies and block sizes. Throughput is per element moved, so all
+//! cells compare directly; `bin/hotpath.rs --quick` smoke-runs the same
+//! kernels in CI and the full binary records them in `BENCH_hotpath.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bench::hotpath::{
+    block_pool_with, filled_block_segment, filled_vec_segment, pool_with, steal_reserve_op,
+    transfer_elements, transfer_op, RESERVE_SIZES, TRANSFER_BLOCK_SIZES, TRANSFER_OCCUPANCIES,
+};
+use cpool::NullTiming;
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steal_transfer");
+    for &occ in &TRANSFER_OCCUPANCIES {
+        group.throughput(Throughput::Elements(transfer_elements(occ) as u64));
+
+        group.bench_with_input(BenchmarkId::new("vec", occ), &occ, |b, &occ| {
+            let seg = filled_vec_segment(occ);
+            let mut op = transfer_op(&seg);
+            b.iter(&mut op);
+        });
+
+        for &bs in &TRANSFER_BLOCK_SIZES {
+            group.bench_with_input(
+                BenchmarkId::new(format!("block/{bs}"), occ),
+                &occ,
+                |b, &occ| {
+                    let seg = filled_block_segment(occ, bs);
+                    let mut op = transfer_op(&seg);
+                    b.iter(&mut op);
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // The pool-level twin: reserve-building steals (one search + two-phase
+    // transfer moves half a reserve and banks it), per element through the
+    // pool, vec vs block transfer currency.
+    let mut group = c.benchmark_group("steal_reserve");
+    for &reserve in &RESERVE_SIZES {
+        group.throughput(Throughput::Elements(reserve as u64));
+        group.bench_with_input(BenchmarkId::new("vec", reserve), &reserve, |b, &reserve| {
+            let pool = pool_with(2, NullTiming::new());
+            let mut op = steal_reserve_op(&pool, reserve);
+            b.iter(&mut op);
+        });
+        group.bench_with_input(BenchmarkId::new("block", reserve), &reserve, |b, &reserve| {
+            let pool = block_pool_with(2, NullTiming::new());
+            let mut op = steal_reserve_op(&pool, reserve);
+            b.iter(&mut op);
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = steal_transfer;
+    // Trimmed sampling: these are comparative microbenchmarks, not
+    // absolute-latency measurements.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_transfers
+}
+criterion_main!(steal_transfer);

@@ -16,8 +16,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bench::hotpath::{
-    add_remove_op, batch_roundtrip_op, per_element_roundtrip_op, pool_with, steal_op, Handoff,
-    BATCH_SIZES,
+    add_remove_op, batch_roundtrip_op, block_pool_with, filled_block_segment, filled_vec_segment,
+    per_element_roundtrip_op, pool_with, steal_op, steal_reserve_op, transfer_elements,
+    transfer_op, Handoff, BATCH_SIZES, RESERVE_SIZES, TRANSFER_BLOCK_SIZES, TRANSFER_OCCUPANCIES,
 };
 use cpool::{DynTiming, NullTiming, WaitStrategy};
 use harness::cli::Args;
@@ -62,6 +63,13 @@ fn main() {
         let pool = pool_with(2, adapter);
         measure(iters, steal_op(&pool))
     };
+    // The same single-element steal over block segments: the batch-typed
+    // transfer layer hands the lone element over in a recycled shell, so
+    // the whole search+steal round trip is allocation-free.
+    let block_steal = {
+        let pool = block_pool_with(2, NullTiming::new());
+        measure(iters, steal_op(&pool))
+    };
 
     // Batched vs per-element element traffic (generic NullTiming pool, one
     // segment): both move `batch` elements per iteration; the number
@@ -71,6 +79,7 @@ fn main() {
         ("add_remove/dyn".to_string(), dyn_add),
         ("steal/generic".to_string(), generic_steal),
         ("steal/dyn".to_string(), dyn_steal),
+        ("steal_block/generic".to_string(), block_steal),
     ];
     for batch in BATCH_SIZES {
         let per_iter = (iters / batch as u64).max(1);
@@ -84,6 +93,45 @@ fn main() {
         };
         results.push((format!("batch_add_remove/batched/{batch}"), batched));
         results.push((format!("batch_add_remove/per_element/{batch}"), per_element));
+    }
+
+    // Reserve-building steals (the paper's actual protocol shape: one
+    // search + two-phase transfer moves half a segment and banks a
+    // reserve), ns per element through the pool — the number that shows
+    // what the batch-typed transfer layer buys at the pool level.
+    for reserve in RESERVE_SIZES {
+        let per_iter = (iters / reserve as u64).clamp(1_000, 200_000);
+        let vec_ns = {
+            let pool = pool_with(2, NullTiming::new());
+            measure(per_iter, steal_reserve_op(&pool, reserve)) / reserve as f64
+        };
+        let block_ns = {
+            let pool = block_pool_with(2, NullTiming::new());
+            measure(per_iter, steal_reserve_op(&pool, reserve)) / reserve as f64
+        };
+        results.push((format!("steal_reserve/vec/{reserve}"), vec_ns));
+        results.push((format!("steal_reserve/block/{reserve}"), block_ns));
+    }
+
+    // The steal→refill transfer itself (drain ⌈n/2⌉ + deposit), isolated
+    // from the search, occupancy × block size: block segments move whole
+    // block handles through the batch-typed layer, the vec baseline moves
+    // every element. ns per element moved, so all cells compare directly.
+    for occ in TRANSFER_OCCUPANCIES {
+        let moved = transfer_elements(occ) as f64;
+        let per_iter = (iters / moved.max(1.0) as u64).clamp(1_000, 200_000);
+        let vec_ns = {
+            let seg = filled_vec_segment(occ);
+            measure(per_iter, transfer_op(&seg)) / moved
+        };
+        results.push((format!("transfer/vec/{occ}"), vec_ns));
+        for bs in TRANSFER_BLOCK_SIZES {
+            let block_ns = {
+                let seg = filled_block_segment(occ, bs);
+                measure(per_iter, transfer_op(&seg)) / moved
+            };
+            results.push((format!("transfer/block{bs}/{occ}"), block_ns));
+        }
     }
 
     // Producer→blocked-consumer wakeup latency: Park (sleep backoff — an

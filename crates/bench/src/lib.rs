@@ -40,24 +40,44 @@ pub mod hotpath {
     use std::time::{Duration, Instant};
 
     use cpool::{
-        Handle, LinearSearch, Pool, PoolBuilder, PoolOps, RemoveError, Timing, VecSegment,
-        WaitStrategy,
+        BlockSegment, Handle, LinearSearch, Pool, PoolBuilder, PoolOps, RemoveError, Segment,
+        Timing, VecSegment, WaitStrategy,
     };
 
     /// The pool configuration both hot-path benchmarks measure.
     pub type HotPool<T> = Pool<VecSegment<u64>, LinearSearch, T>;
 
+    /// The block-organized twin: same protocol, transfers move whole block
+    /// handles through the batch-typed layer instead of flat vectors.
+    pub type BlockHotPool<T> = Pool<BlockSegment<u64>, LinearSearch, T>;
+
     /// Batch sizes the batched-vs-per-element comparison sweeps.
     pub const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+    /// Occupancies the steal-transfer sweep measures (elements resident in
+    /// the victim when the steal fires; the transfer moves ⌈n/2⌉).
+    pub const TRANSFER_OCCUPANCIES: [usize; 3] = [64, 1024, 8192];
+
+    /// Block sizes the steal-transfer sweep crosses with each occupancy.
+    pub const TRANSFER_BLOCK_SIZES: [usize; 3] = [16, 64, 256];
 
     /// Builds the measured pool over the given cost model.
     pub fn pool_with<T: Timing>(segments: usize, timing: T) -> HotPool<T> {
         PoolBuilder::new(segments).seed(1).timing(timing).build()
     }
 
+    /// Builds the block-segment twin of [`pool_with`].
+    pub fn block_pool_with<T: Timing>(segments: usize, timing: T) -> BlockHotPool<T> {
+        PoolBuilder::new(segments).seed(1).timing(timing).build()
+    }
+
     /// One uncontended local add immediately removed: the fast path.
     /// Build the pool with 1 segment.
-    pub fn add_remove_op<T: Timing>(pool: &HotPool<T>) -> impl FnMut() + '_ {
+    pub fn add_remove_op<S, T>(pool: &Pool<S, LinearSearch, T>) -> impl FnMut() + '_
+    where
+        S: Segment<Item = u64>,
+        T: Timing,
+    {
         let mut handle = pool.register();
         move || {
             handle.add(7);
@@ -68,13 +88,92 @@ pub mod hotpath {
     /// A remove that must steal: the victim holds exactly one element, so
     /// every iteration runs the full search + two-phase transfer with no
     /// refill. Build the pool with 2 segments.
-    pub fn steal_op<T: Timing>(pool: &HotPool<T>) -> impl FnMut() + '_ {
+    pub fn steal_op<S, T>(pool: &Pool<S, LinearSearch, T>) -> impl FnMut() + '_
+    where
+        S: Segment<Item = u64>,
+        T: Timing,
+    {
         let mut thief = pool.register(); // home segment 0
         let mut victim = pool.register(); // home segment 1
         move || {
             victim.add(7);
             std::hint::black_box(thief.try_remove().expect("victim has an element"));
         }
+    }
+
+    /// Reserve sizes the reserve-building steal cycle sweeps.
+    pub const RESERVE_SIZES: [usize; 3] = [16, 64, 512];
+
+    /// A reserve-building steal cycle — the paper's actual protocol shape,
+    /// where a steal moves half a segment and banks a reserve — amortized
+    /// per element. Each iteration: the victim deposits `reserve` elements
+    /// in one batch; the thief's batched remove runs **one** search +
+    /// two-phase steal (⌈reserve/2⌉ elements through the typed transfer
+    /// layer: one kept, the rest refilled into the thief's segment) and
+    /// serves the remainder of its batch from that refilled reserve; the
+    /// victim then drains its own residue. `reserve` elements flow through
+    /// the pool per iteration — normalize ns by that count. Build the pool
+    /// with 2 segments.
+    pub fn steal_reserve_op<S, T>(
+        pool: &Pool<S, LinearSearch, T>,
+        reserve: usize,
+    ) -> impl FnMut() + '_
+    where
+        S: Segment<Item = u64>,
+        T: Timing,
+    {
+        let mut thief = pool.register(); // home segment 0
+        let mut victim = pool.register(); // home segment 1
+        move || {
+            victim.add_batch(0..reserve as u64);
+            let got = thief.try_remove_batch(reserve / 2);
+            assert_eq!(got.len(), reserve / 2, "one steal serves the whole batch");
+            for item in got {
+                std::hint::black_box(item);
+            }
+            for item in victim.try_remove_batch(reserve / 2) {
+                std::hint::black_box(item);
+            }
+        }
+    }
+
+    /// One steal→refill transfer hop at a pinned occupancy: `steal_half`
+    /// drains ⌈occupancy/2⌉ elements into the segment family's batch
+    /// currency and `add_bulk` deposits them straight back, restoring the
+    /// occupancy exactly — the two phases every successful probe pays,
+    /// isolated from the search. For a block segment this moves block
+    /// handles (and recycles the batch shell); for a vec segment it moves
+    /// the elements through a recycled vector.
+    ///
+    /// Normalize by [`transfer_elements`] to report ns per element moved.
+    pub fn transfer_op<S: Segment<Item = u64>>(seg: &S) -> impl FnMut() + '_ {
+        move || {
+            let batch = seg.steal_half();
+            seg.add_bulk(batch);
+        }
+    }
+
+    /// Elements one [`transfer_op`] iteration moves at `occupancy`.
+    pub fn transfer_elements(occupancy: usize) -> usize {
+        cpool::segment::steal_count(occupancy)
+    }
+
+    /// A block segment pre-filled to `occupancy` with the given block size.
+    pub fn filled_block_segment(occupancy: usize, block_size: usize) -> BlockSegment<u64> {
+        let seg = BlockSegment::with_block_size(block_size);
+        for i in 0..occupancy as u64 {
+            seg.add(i);
+        }
+        seg
+    }
+
+    /// A vec segment pre-filled to `occupancy` (the flat-transfer baseline).
+    pub fn filled_vec_segment(occupancy: usize) -> VecSegment<u64> {
+        let seg = VecSegment::new();
+        for i in 0..occupancy as u64 {
+            seg.add(i);
+        }
+        seg
     }
 
     /// `batch` elements added with one `add_batch` and removed with one

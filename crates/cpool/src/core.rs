@@ -45,6 +45,7 @@ use crate::notify::{Notifier, WaitOutcome};
 use crate::ops::WaitStrategy;
 use crate::stats::{PoolStats, ProcStats};
 use crate::timing::{Resource, Timing};
+use crate::transfer::TransferBatch;
 
 /// Process registration and statistics collection, shared by all pool
 /// frontends.
@@ -348,20 +349,39 @@ impl<'a, T: Timing> SearchSession<'a, T> {
     /// Because the phases run strictly in sequence, no two segment locks
     /// are ever held at once.
     ///
+    /// When the lone drained element already satisfied the remove, the
+    /// now-empty batch is **still** handed to `refill` — as a pure
+    /// container return, with no home-segment charge and no wakeup. The
+    /// in-tree segments only recycle the batch's containers on this path
+    /// (the transfer shell into the pool's free list, a spent block into
+    /// the home segment's spare stash); without this return leg the
+    /// single-element steal would leak its containers to the allocator on
+    /// every probe.
+    ///
+    /// The transfer is generic over the segment family's
+    /// [`TransferBatch`] currency — a [`BlockSegment`](crate::BlockSegment)
+    /// pool moves whole block handles through here without flattening, a
+    /// counting pool moves a bare count — and the engine only ever opens
+    /// the batch for the single element it keeps.
+    ///
     /// Returns the kept element and the total number stolen, or `None` if
     /// the victim was empty.
-    pub fn probe<I>(
+    pub fn probe<B: TransferBatch>(
         &mut self,
         victim: SegIdx,
-        drain: impl FnOnce() -> Vec<I>,
-        refill: impl FnOnce(Vec<I>),
-    ) -> Option<(I, usize)> {
+        drain: impl FnOnce() -> B,
+        refill: impl FnOnce(B),
+    ) -> Option<(B::Item, usize)> {
         self.examined += 1;
         self.timing.charge(self.me, Resource::Segment(victim));
         let mut batch = drain();
-        let item = batch.pop()?;
+        let item = batch.take_one()?;
         let stolen = batch.len() + 1;
-        if !batch.is_empty() {
+        if batch.is_empty() {
+            // Container return only: no elements move, so no charge and no
+            // wakeup.
+            refill(batch);
+        } else {
             self.timing.charge(self.me, Resource::Segment(self.home));
             refill(batch);
             // The banked remainder is fresh availability in the thief's
@@ -731,14 +751,25 @@ mod tests {
     }
 
     #[test]
-    fn probe_single_element_skips_refill_phase() {
+    fn probe_single_element_refill_is_container_return_only() {
         let timing = NullTiming::new();
         let gate = SearchGate::new();
         gate.register();
         let mut session = SearchSession::begin(&timing, &gate, ProcId::new(0), SegIdx::new(0), 4);
-        let out =
-            session.probe(SegIdx::new(1), || vec![7], |_| panic!("no refill for a lone element"));
+        // The lone element satisfies the remove; the refill leg still runs
+        // so the segment can recycle the batch's containers — but it must
+        // see an *empty* batch (no elements ever move on this path).
+        let refilled = std::cell::Cell::new(false);
+        let out = session.probe(
+            SegIdx::new(1),
+            || vec![7],
+            |rest: Vec<i32>| {
+                assert!(rest.is_empty(), "a lone element is never re-deposited");
+                refilled.set(true);
+            },
+        );
         assert_eq!(out, Some((7, 1)));
+        assert!(refilled.get(), "the container-return leg ran");
         drop(session);
         gate.deregister();
     }

@@ -30,6 +30,17 @@
 //! remembers where it last found each key, the keyed analogue of
 //! `LastFound`.
 //!
+//! Transfers ride the same batch-typed machinery as the plain pool
+//! ([`transfer`](crate::transfer)): steals fill a recycled vector shell
+//! from a pool-wide free list and refills return it, and a bucket emptied
+//! by removes or steals stays resident so its capacity (and its map node)
+//! is reused by the next add of that key — the steady-state keyed
+//! steal/refill cycle allocates nothing (asserted by
+//! `tests/alloc_steal.rs`). Residency is bounded per segment (64 buckets;
+//! beyond that emptied buckets are evicted so occupancy scans stay
+//! bounded under ephemeral-key workloads); a [`PoolOps::drain`] releases
+//! everything.
+//!
 //! Livelock on exhausted keys is broken by the same §3.2 gate as the plain
 //! pool: a keyed search aborts when every registered process is searching —
 //! whether they starve on the same key or different ones, nobody can be
@@ -54,22 +65,83 @@ use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
 use crate::segment::steal_count;
 use crate::stats::{PoolStats, ProcStats};
 use crate::timing::{NullTiming, Resource, Timing};
+use crate::transfer::{FreeList, SHELL_SPILL_MAX, SHELL_SPILL_MIN};
 
 /// Keys must be orderable (deterministic bucket iteration), cloneable
 /// (buckets store them), and sendable across worker threads.
 pub trait Key: Ord + Clone + Send + 'static {}
 impl<K: Ord + Clone + Send + 'static> Key for K {}
 
+/// Most buckets a segment keeps resident while *empty*. Above this, an
+/// emptied bucket is evicted instead: occupancy scans
+/// ([`KeyedSegment::remove_any`]) walk past resident empties, so an
+/// unbounded ephemeral-key workload would otherwise degrade every remove
+/// (and its lock hold time) linearly with the keys ever seen. Live
+/// (non-empty) buckets never count against the bound.
+const RESIDENT_BUCKETS_MAX: usize = 64;
+
+/// The bucket map plus an exact count of its resident *empty* buckets,
+/// kept in lockstep so the residency policy never has to scan.
+struct Buckets<K, V> {
+    map: BTreeMap<K, Vec<V>>,
+    empties: usize,
+}
+
+impl<K: Key, V> Buckets<K, V> {
+    /// The bucket for `key`, creating it if absent and fixing the empties
+    /// count if a resident empty bucket is being brought back into use.
+    fn bucket_for(&mut self, key: K) -> &mut Vec<V> {
+        match self.map.entry(key) {
+            std::collections::btree_map::Entry::Occupied(entry) => {
+                let bucket = entry.into_mut();
+                if bucket.is_empty() {
+                    self.empties -= 1;
+                }
+                bucket
+            }
+            std::collections::btree_map::Entry::Vacant(entry) => entry.insert(Vec::new()),
+        }
+    }
+
+    /// The residency policy in one place: a bucket that an operation just
+    /// emptied stays resident (capacity + map node reuse) unless the
+    /// segment already hoards [`RESIDENT_BUCKETS_MAX`] empty buckets, in
+    /// which case it is evicted.
+    fn settle_emptied(&mut self, key: &K, emptied: bool) {
+        if !emptied {
+            return;
+        }
+        if self.empties >= RESIDENT_BUCKETS_MAX {
+            self.map.remove(key);
+        } else {
+            self.empties += 1;
+        }
+    }
+}
+
 /// One segment: per-key buckets plus a cached total for cheap emptiness
 /// probes.
+///
+/// A bucket emptied by removes or steals **stays resident** (an empty
+/// vector under its key) instead of being evicted from the map — up to
+/// [`RESIDENT_BUCKETS_MAX`] empty buckets: the next add or refill of that
+/// key reuses the bucket's grown capacity and the map's existing node, so
+/// the steady-state keyed steal/refill cycle allocates nothing. Beyond
+/// the bound emptied buckets are evicted (ephemeral-key workloads trade
+/// the allocation-free property for bounded scans);
+/// [`drain_all`](Self::drain_all) releases everything. All occupancy
+/// checks skip empty buckets.
 struct KeyedSegment<K, V> {
-    buckets: Mutex<BTreeMap<K, Vec<V>>>,
+    buckets: Mutex<Buckets<K, V>>,
     len: AtomicUsize,
 }
 
 impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
     fn new() -> Self {
-        KeyedSegment { buckets: Mutex::new(BTreeMap::new()), len: AtomicUsize::new(0) }
+        KeyedSegment {
+            buckets: Mutex::new(Buckets { map: BTreeMap::new(), empties: 0 }),
+            len: AtomicUsize::new(0),
+        }
     }
 
     fn len(&self) -> usize {
@@ -77,77 +149,103 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
     }
 
     fn key_len(&self, key: &K) -> usize {
-        self.buckets.lock().get(key).map_or(0, Vec::len)
+        self.buckets.lock().map.get(key).map_or(0, Vec::len)
     }
 
     fn add(&self, key: K, value: V) {
         let mut buckets = self.buckets.lock();
-        buckets.entry(key).or_default().push(value);
+        buckets.bucket_for(key).push(value);
         self.len.fetch_add(1, Ordering::AcqRel);
     }
 
-    fn add_bulk(&self, key: &K, values: Vec<V>) {
-        if values.is_empty() {
-            return;
+    fn add_bulk(&self, key: &K, mut values: Vec<V>, shells: &FreeList<Vec<V>>) {
+        if !values.is_empty() {
+            let mut buckets = self.buckets.lock();
+            let n = values.len();
+            buckets.bucket_for(key.clone()).append(&mut values);
+            self.len.fetch_add(n, Ordering::AcqRel);
         }
-        let mut buckets = self.buckets.lock();
-        let n = values.len();
-        buckets.entry(key.clone()).or_default().extend(values);
-        self.len.fetch_add(n, Ordering::AcqRel);
+        // The drained transfer shell goes back to the pool for the next
+        // bulk steal (lock released first; recycling needs no segment
+        // state). Undersized shells are not worth the round trip;
+        // oversized ones would pin unbounded memory.
+        if (SHELL_SPILL_MIN..=SHELL_SPILL_MAX).contains(&values.capacity()) {
+            shells.put(values);
+        }
     }
 
     fn remove_any(&self) -> Option<(K, V)> {
         let mut buckets = self.buckets.lock();
-        // First key in order: deterministic.
-        let key = buckets.keys().next()?.clone();
-        let bucket = buckets.get_mut(&key).expect("key just observed");
-        let value = bucket.pop().expect("buckets are never left empty");
-        if bucket.is_empty() {
-            buckets.remove(&key);
-        }
+        // First *non-empty* key in order: deterministic; empty buckets are
+        // resident capacity, not occupancy.
+        let (key, bucket) = buckets.map.iter_mut().find(|(_, bucket)| !bucket.is_empty())?;
+        let value = bucket.pop().expect("bucket observed non-empty");
+        let key = key.clone();
+        let emptied = bucket.is_empty();
+        buckets.settle_emptied(&key, emptied);
         self.len.fetch_sub(1, Ordering::AcqRel);
         Some((key, value))
     }
 
     fn remove_key(&self, key: &K) -> Option<V> {
         let mut buckets = self.buckets.lock();
-        let bucket = buckets.get_mut(key)?;
-        let value = bucket.pop().expect("buckets are never left empty");
-        if bucket.is_empty() {
-            buckets.remove(key);
-        }
+        let bucket = buckets.map.get_mut(key)?;
+        let value = bucket.pop()?;
+        let emptied = bucket.is_empty();
+        buckets.settle_emptied(key, emptied);
         self.len.fetch_sub(1, Ordering::AcqRel);
         Some(value)
     }
 
-    /// Steals ⌈b/2⌉ of the `key` bucket (`b` = its size).
-    fn steal_half_key(&self, key: &K) -> Vec<V> {
-        let mut buckets = self.buckets.lock();
-        let Some(bucket) = buckets.get_mut(key) else {
-            return Vec::new();
-        };
+    /// The shared tail of both keyed steals: drains ⌈b/2⌉ of `key`'s
+    /// bucket into a transfer vector (a recycled shell for bulk steals;
+    /// tiny ones take the allocator's small-size fast path instead of a
+    /// free-list round trip), settles bucket residency, and fixes the
+    /// cached length. `None` if the bucket is absent or empty.
+    fn steal_tail(
+        &self,
+        buckets: &mut Buckets<K, V>,
+        key: &K,
+        shells: &FreeList<Vec<V>>,
+    ) -> Option<Vec<V>> {
+        let bucket = buckets.map.get_mut(key)?;
         let take = steal_count(bucket.len());
-        let stolen = bucket.split_off(bucket.len() - take);
-        if bucket.is_empty() {
-            buckets.remove(key);
+        if take == 0 {
+            return None;
         }
-        self.len.fetch_sub(stolen.len(), Ordering::AcqRel);
-        stolen
+        let at = bucket.len() - take;
+        let mut stolen = if take < SHELL_SPILL_MIN {
+            Vec::with_capacity(take)
+        } else {
+            shells.take().unwrap_or_default()
+        };
+        stolen.extend(bucket.drain(at..));
+        let emptied = bucket.is_empty();
+        buckets.settle_emptied(key, emptied);
+        self.len.fetch_sub(take, Ordering::AcqRel);
+        Some(stolen)
     }
 
-    /// Steals ⌈b/2⌉ of the largest bucket (ties: smallest key), returning
-    /// the key alongside the elements.
-    fn steal_half_largest(&self) -> Option<(K, Vec<V>)> {
+    /// Steals ⌈b/2⌉ of the `key` bucket (`b` = its size), filling a
+    /// recycled transfer shell.
+    fn steal_half_key(&self, key: &K, shells: &FreeList<Vec<V>>) -> Vec<V> {
         let mut buckets = self.buckets.lock();
-        let key =
-            buckets.iter().max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(a.0)))?.0.clone();
-        let bucket = buckets.get_mut(&key).expect("key just observed");
-        let take = steal_count(bucket.len());
-        let stolen = bucket.split_off(bucket.len() - take);
-        if bucket.is_empty() {
-            buckets.remove(&key);
-        }
-        self.len.fetch_sub(stolen.len(), Ordering::AcqRel);
+        self.steal_tail(&mut buckets, key, shells).unwrap_or_default()
+    }
+
+    /// Steals ⌈b/2⌉ of the largest non-empty bucket (ties: smallest key),
+    /// returning the key alongside the elements.
+    fn steal_half_largest(&self, shells: &FreeList<Vec<V>>) -> Option<(K, Vec<V>)> {
+        let mut buckets = self.buckets.lock();
+        let key = buckets
+            .map
+            .iter()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(b.0.cmp(a.0)))?
+            .0
+            .clone();
+        let stolen =
+            self.steal_tail(&mut buckets, &key, shells).expect("key just observed non-empty");
         Some((key, stolen))
     }
 
@@ -160,7 +258,7 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
         let mut buckets = self.buckets.lock();
         let n = pairs.len();
         for (key, value) in pairs {
-            buckets.entry(key).or_default().push(value);
+            buckets.bucket_for(key).push(value);
         }
         self.len.fetch_add(n, Ordering::AcqRel);
     }
@@ -168,39 +266,72 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
     /// Removes up to `n` elements (first keys first, deterministically)
     /// under one lock acquisition.
     fn remove_up_to(&self, n: usize) -> Vec<(K, V)> {
+        if n == 0 {
+            return Vec::new();
+        }
         let mut buckets = self.buckets.lock();
         let mut out = Vec::new();
-        while out.len() < n {
-            let Some(key) = buckets.keys().next().cloned() else { break };
-            let bucket = buckets.get_mut(&key).expect("key just observed");
-            while out.len() < n {
-                match bucket.pop() {
-                    Some(value) => out.push((key.clone(), value)),
-                    None => break,
+        let mut newly_empty = 0;
+        'keys: for (key, bucket) in buckets.map.iter_mut() {
+            let had_elements = !bucket.is_empty();
+            while let Some(value) = bucket.pop() {
+                out.push((key.clone(), value));
+                if out.len() >= n {
+                    if bucket.is_empty() && had_elements {
+                        newly_empty += 1;
+                    }
+                    break 'keys;
                 }
             }
-            if bucket.is_empty() {
-                buckets.remove(&key);
+            if had_elements {
+                newly_empty += 1;
             }
+        }
+        buckets.empties += newly_empty;
+        if buckets.empties > RESIDENT_BUCKETS_MAX {
+            // Evict only the excess above the bound, matching the per-op
+            // policy in `settle_emptied` — a batched remove must not purge
+            // every hot key's retained capacity in one sweep.
+            let mut excess = buckets.empties - RESIDENT_BUCKETS_MAX;
+            buckets.map.retain(|_, bucket| {
+                if excess > 0 && bucket.is_empty() {
+                    excess -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            buckets.empties = RESIDENT_BUCKETS_MAX;
         }
         self.len.fetch_sub(out.len(), Ordering::AcqRel);
         out
     }
 
-    /// Removes every element under one lock acquisition.
+    /// Removes every element under one lock acquisition. This is the one
+    /// operation that also evicts the resident buckets (and their retained
+    /// capacity): a drain is a teardown, not steady-state traffic.
     fn drain_all(&self) -> Vec<(K, V)> {
         let mut buckets = self.buckets.lock();
         let mut out = Vec::new();
-        for (key, values) in std::mem::take(&mut *buckets) {
+        for (key, values) in std::mem::take(&mut buckets.map) {
             out.extend(values.into_iter().map(|v| (key.clone(), v)));
         }
+        buckets.empties = 0;
         self.len.fetch_sub(out.len(), Ordering::AcqRel);
         out
     }
 }
 
+/// Transfer shells a keyed pool retains per segment (see
+/// [`FreeList`]; the steal/refill cycle keeps at most one in flight per
+/// concurrent search).
+const CACHED_SHELLS_PER_SEGMENT: usize = 2;
+
 struct KeyedShared<K, V, T> {
     segments: Box<[KeyedSegment<K, V>]>,
+    /// Pool-wide cache of spare transfer vectors: steals fill a recycled
+    /// shell, refills return it (see [`transfer`](crate::transfer)).
+    shells: FreeList<Vec<V>>,
     registry: Registry,
     timing: T,
 }
@@ -261,6 +392,7 @@ impl<T: Timing> KeyedPoolBuilder<T> {
         KeyedPool {
             shared: Arc::new(KeyedShared {
                 segments: (0..self.segments).map(|_| KeyedSegment::new()).collect(),
+                shells: FreeList::new(CACHED_SHELLS_PER_SEGMENT * self.segments + 2),
                 registry: Registry::new(),
                 timing: self.timing,
             }),
@@ -511,7 +643,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             |session, victim| {
                 session.probe(
                     victim,
-                    || match segments[victim.index()].steal_half_largest() {
+                    || match segments[victim.index()].steal_half_largest(&shared.shells) {
                         Some((key, values)) => {
                             *stolen_key.borrow_mut() = Some(key);
                             values
@@ -521,7 +653,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
                     |rest| {
                         let key = stolen_key.borrow();
                         let key = key.as_ref().expect("refill follows a successful drain");
-                        segments[home.index()].add_bulk(key, rest);
+                        segments[home.index()].add_bulk(key, rest, &shared.shells);
                     },
                 )
             },
@@ -590,8 +722,8 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             |session, victim| {
                 session.probe(
                     victim,
-                    || segments[victim.index()].steal_half_key(key),
-                    |rest| segments[home.index()].add_bulk(key, rest),
+                    || segments[victim.index()].steal_half_key(key, &shared.shells),
+                    |rest| segments[home.index()].add_bulk(key, rest, &shared.shells),
                 )
             },
             |cursor| {
@@ -692,6 +824,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
 /// generic consumers.
 impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
     type Item = (K, V);
+    type Batch = Vec<(K, V)>;
 
     fn add(&mut self, (key, value): (K, V)) {
         KeyedHandle::add(self, key, value);
@@ -746,7 +879,7 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
         timer.finish_add_batch(&mut self.stats, n, 0);
     }
 
-    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<(K, V)> {
+    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<Vec<(K, V)>> {
         if n == 0 {
             return SmallDrain::new(Vec::new());
         }
@@ -774,7 +907,7 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
         SmallDrain::new(got)
     }
 
-    fn drain(&mut self) -> SmallDrain<(K, V)> {
+    fn drain(&mut self) -> SmallDrain<Vec<(K, V)>> {
         let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         let mut all = Vec::new();
         for (i, seg) in self.shared.segments.iter().enumerate() {
@@ -984,6 +1117,55 @@ mod tests {
             let _spare = pool.register(); // a fourth, idle-ish participant
         });
         assert_eq!(pool.total_len(), 0);
+    }
+
+    #[test]
+    fn ephemeral_keys_do_not_accumulate_resident_buckets() {
+        // One key per "task": beyond the residency bound, drained buckets
+        // are evicted, so removes keep finding live work in bounded time
+        // instead of scanning an ever-growing prefix of empties.
+        let pool: KeyedPool<u32, u32> = KeyedPool::new(1);
+        let mut h = pool.register();
+        for key in 0..10 * RESIDENT_BUCKETS_MAX as u32 {
+            h.add(key, key);
+            assert_eq!(h.try_remove_key(&key), Ok(key));
+        }
+        let resident = pool.shared.segments[0].buckets.lock().map.len();
+        assert!(
+            resident <= RESIDENT_BUCKETS_MAX + 1,
+            "drained ephemeral buckets must be evicted, found {resident} resident"
+        );
+        // The pool still works normally afterwards.
+        h.add(7, 77);
+        assert_eq!(h.try_remove_any(), Ok((7, 77)));
+    }
+
+    #[test]
+    fn live_buckets_do_not_count_against_the_residency_bound() {
+        // The bound is on *empty* resident buckets only: with enough
+        // permanently-live keys to push the total bucket count past the
+        // bound, hot keys whose buckets empty briefly between cycles must
+        // still stay resident (evicting them would re-allocate a bucket
+        // and a map node on every cycle).
+        let pool: KeyedPool<u32, u32> = KeyedPool::new(1);
+        let mut h = pool.register();
+        let pinned = RESIDENT_BUCKETS_MAX as u32; // live the whole test
+        let hot = RESIDENT_BUCKETS_MAX as u32 / 2;
+        for key in 0..pinned {
+            h.add(key, 1);
+        }
+        for round in 0..3 {
+            for key in pinned..pinned + hot {
+                h.add(key, round);
+                assert_eq!(h.try_remove_key(&key), Ok(round));
+            }
+        }
+        let resident = pool.shared.segments[0].buckets.lock().map.len();
+        assert_eq!(
+            resident as u32,
+            pinned + hot,
+            "hot-key buckets stay resident beside {pinned} live ones"
+        );
     }
 
     #[test]

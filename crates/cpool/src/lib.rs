@@ -22,7 +22,13 @@
 //! [`segment::AtomicCounter`]) that store only a count (the paper's
 //! measurement simplification), and *element* segments
 //! ([`segment::VecSegment`], [`segment::BlockSegment`]) that store real
-//! values for applications such as task scheduling.
+//! values for applications such as task scheduling. Batch transfers —
+//! steals, refills, batched removes — are typed over each family's native
+//! currency ([`transfer::TransferBatch`]): the block segment hands whole
+//! block *handles* across the steal protocol (O(n/B) pointer moves, no
+//! flattening) and the counting segments a bare count, with containers
+//! recycled through per-pool free lists so the steady-state steal path
+//! performs zero allocations — see [`transfer`].
 //!
 //! Every shared-memory access the paper charges for (segment probes, tree
 //! node visits) is reported through the [`timing::Timing`] trait so the same
@@ -96,6 +102,7 @@ pub mod segment;
 pub mod stats;
 pub mod timing;
 pub mod trace;
+pub mod transfer;
 
 pub use error::RemoveError;
 pub use gate::SearchGate;
@@ -109,10 +116,11 @@ pub use search::{
     DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, RandomSearch, SearchEnv, SearchOutcome,
     SearchPolicy, TreeSearch,
 };
-pub use segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
+pub use segment::{AtomicCounter, BlockBatch, BlockSegment, LockedCounter, Segment, VecSegment};
 pub use stats::{Histogram, PoolStats, ProcStats};
 pub use timing::{DynTiming, NullTiming, Resource, Timing};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
+pub use transfer::{CountBatch, FreeList, TransferBatch};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -127,4 +135,5 @@ pub mod prelude {
     };
     pub use crate::segment::{AtomicCounter, BlockSegment, LockedCounter, Segment, VecSegment};
     pub use crate::timing::{DynTiming, NullTiming, Resource, Timing};
+    pub use crate::transfer::{CountBatch, TransferBatch};
 }

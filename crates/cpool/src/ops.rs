@@ -24,7 +24,12 @@
 //!   [`try_remove_batch`](PoolOps::try_remove_batch), and
 //!   [`drain`](PoolOps::drain) take the segment lock **once per batch**
 //!   instead of once per element, and charge the cost model accordingly
-//!   (one probe per batch plus the per-element transfer).
+//!   (one probe per batch plus the per-element transfer). Batched removes
+//!   return a [`SmallDrain`] over the frontend's
+//!   [`TransferBatch`] currency ([`PoolOps::Batch`]) — elements drained
+//!   from a block pool stay in their blocks until the consumer pops them,
+//!   and the spent containers recycle into the pool's free lists
+//!   (see [`transfer`](crate::transfer)).
 //!
 //! # Example
 //!
@@ -58,6 +63,7 @@ use std::iter::FusedIterator;
 use std::time::{Duration, Instant};
 
 use crate::error::RemoveError;
+use crate::transfer::TransferBatch;
 
 /// How a blocking [`remove`](PoolOps::remove) waits after each **fruitless
 /// search lap** (one full round over the victim segments with nothing
@@ -161,9 +167,13 @@ impl fmt::Display for WaitStrategy {
 /// [`try_remove_batch`](PoolOps::try_remove_batch) or
 /// [`drain`](PoolOps::drain).
 ///
-/// Iterating yields the elements in an unspecified order (the pool is an
-/// unordered collection). Dropping the drain without consuming it drops
-/// the elements — they have already left the pool — hence the `#[must_use]`.
+/// The drain iterates directly over the frontend's [`TransferBatch`]
+/// currency ([`PoolOps::Batch`]) — elements drained from a
+/// [`BlockSegment`](crate::BlockSegment) pool stay in their blocks until
+/// this iterator pops them; no intermediate vector is built. Iterating
+/// yields the elements in an unspecified order (the pool is an unordered
+/// collection). Dropping the drain without consuming it drops the
+/// elements — they have already left the pool — hence the `#[must_use]`.
 ///
 /// ```
 /// use cpool::prelude::*;
@@ -177,14 +187,14 @@ impl fmt::Display for WaitStrategy {
 /// assert_eq!(pool.total_len(), 1);
 /// ```
 #[must_use = "the elements have already left the pool and are dropped if unused"]
-pub struct SmallDrain<T> {
-    inner: std::vec::IntoIter<T>,
+pub struct SmallDrain<B: TransferBatch> {
+    inner: B,
 }
 
-impl<T> SmallDrain<T> {
+impl<B: TransferBatch> SmallDrain<B> {
     /// Wraps a drained batch (crate-internal: only pools mint drains).
-    pub(crate) fn new(items: Vec<T>) -> Self {
-        SmallDrain { inner: items.into_iter() }
+    pub(crate) fn new(batch: B) -> Self {
+        SmallDrain { inner: batch }
     }
 
     /// Number of elements not yet consumed.
@@ -194,40 +204,35 @@ impl<T> SmallDrain<T> {
 
     /// Whether every element has been consumed (or none was drained).
     pub fn is_empty(&self) -> bool {
-        self.inner.len() == 0
+        self.inner.is_empty()
     }
 
     /// Converts the remaining elements into a plain vector.
-    pub fn into_vec(self) -> Vec<T> {
-        self.inner.collect()
+    pub fn into_vec(self) -> Vec<B::Item> {
+        self.inner.into_vec()
     }
 }
 
-impl<T> fmt::Debug for SmallDrain<T> {
+impl<B: TransferBatch> fmt::Debug for SmallDrain<B> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SmallDrain").field("remaining", &self.inner.len()).finish()
     }
 }
 
-impl<T> Iterator for SmallDrain<T> {
-    type Item = T;
+impl<B: TransferBatch> Iterator for SmallDrain<B> {
+    type Item = B::Item;
 
-    fn next(&mut self) -> Option<T> {
-        self.inner.next()
+    fn next(&mut self) -> Option<B::Item> {
+        self.inner.take_one()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+        (self.inner.len(), Some(self.inner.len()))
     }
 }
 
-impl<T> ExactSizeIterator for SmallDrain<T> {}
-impl<T> DoubleEndedIterator for SmallDrain<T> {
-    fn next_back(&mut self) -> Option<T> {
-        self.inner.next_back()
-    }
-}
-impl<T> FusedIterator for SmallDrain<T> {}
+impl<B: TransferBatch> ExactSizeIterator for SmallDrain<B> {}
+impl<B: TransferBatch> FusedIterator for SmallDrain<B> {}
 
 /// The common handle contract of every pool frontend.
 ///
@@ -244,6 +249,12 @@ pub trait PoolOps {
     /// The element type this pool stores. For keyed pools this is the
     /// `(key, value)` pair.
     type Item;
+
+    /// The [`TransferBatch`] currency batched removes return: the segment
+    /// family's batch type for [`Handle`](crate::Handle) (so a block pool's
+    /// drains stay block-organized end to end), a plain vector of pairs for
+    /// [`KeyedHandle`](crate::KeyedHandle).
+    type Batch: TransferBatch<Item = Self::Item>;
 
     /// Adds one element (to the local segment, or wherever the frontend's
     /// placement rules send it), waking consumers parked in
@@ -375,14 +386,14 @@ pub trait PoolOps {
     /// result up locally. The returned drain holds between `0` and `n`
     /// elements — fewer than `n` (or none) when the pool ran dry or the
     /// search aborted.
-    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<Self::Item>;
+    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<Self::Batch>;
 
     /// Removes every element currently reachable, visiting each segment
     /// once (one lock acquisition per segment, no search).
     ///
     /// This is a snapshot drain: elements added concurrently while the
     /// sweep is in flight may or may not be included.
-    fn drain(&mut self) -> SmallDrain<Self::Item>;
+    fn drain(&mut self) -> SmallDrain<Self::Batch>;
 }
 
 #[cfg(test)]
@@ -417,10 +428,20 @@ mod tests {
         let mut drain = SmallDrain::new(vec![1, 2, 3]);
         assert_eq!(drain.len(), 3);
         assert!(!drain.is_empty());
-        assert_eq!(drain.next(), Some(1));
-        assert_eq!(drain.next_back(), Some(3));
-        assert_eq!(drain.len(), 1);
-        assert_eq!(drain.into_vec(), vec![2]);
+        assert_eq!(drain.next(), Some(3), "vector batches yield back-first");
+        assert_eq!(drain.len(), 2);
+        assert_eq!(drain.size_hint(), (2, Some(2)));
+        assert_eq!(drain.into_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn small_drain_iterates_block_batches_without_flattening() {
+        use crate::segment::BlockBatch;
+        let drain = SmallDrain::new(BlockBatch::from_vec((0..40u32).collect()));
+        assert_eq!(drain.len(), 40);
+        let mut got: Vec<u32> = drain.collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
     }
 
     #[test]

@@ -49,6 +49,7 @@ use crate::segment::Segment;
 use crate::stats::{PoolStats, ProcStats};
 use crate::timing::{NullTiming, Resource, Timing};
 use crate::trace::{TraceEvent, TraceKind, TraceRecorder};
+use crate::transfer::TransferBatch;
 
 /// Configures and builds a [`Pool`].
 ///
@@ -280,7 +281,10 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
     /// (checked in debug builds when the first handle searches).
     #[must_use]
     pub fn build_with_policy<P: SearchPolicy>(self, policy: P) -> Pool<S, P, T> {
-        let segments: Box<[S]> = (0..self.segments).map(|_| S::new()).collect();
+        // Segments are built as one family so representations with pooled
+        // resources (the block segment's block cache, the vec segment's
+        // shell cache) share them across the pool.
+        let segments: Box<[S]> = S::new_family(self.segments).into();
         let trace = self
             .record_trace
             .then(|| TraceRecorder::new(self.trace_procs.unwrap_or(self.segments)));
@@ -697,6 +701,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
 /// charged one probe per batch plus the per-element transfer work.
 impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
     type Item = S::Item;
+    type Batch = S::Batch;
 
     fn add(&mut self, item: S::Item) {
         Handle::add(self, item);
@@ -773,8 +778,11 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
         if !batch.is_empty() {
             // One probe charge and one lock acquisition for the whole
             // batch — this is the amortization the batch API exists for.
+            // The segment converts the vector to its native transfer
+            // currency itself (block segments chunk it straight into
+            // recycled blocks under the same lock).
             self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-            self.shared.segments[self.seg.index()].add_bulk(batch);
+            self.shared.segments[self.seg.index()].add_bulk_vec(batch);
             self.record_trace(self.seg, TraceKind::Add);
         }
         // One wakeup per batch (covering mailbox donations too): the
@@ -784,9 +792,9 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
         timer.finish_add_batch(&mut self.stats, n, donated);
     }
 
-    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<S::Item> {
+    fn try_remove_batch(&mut self, n: usize) -> SmallDrain<S::Batch> {
         if n == 0 {
-            return SmallDrain::new(Vec::new());
+            return SmallDrain::new(S::Batch::empty());
         }
         let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
         self.shared.timing.charge(self.me, Resource::Segment(self.seg));
@@ -803,24 +811,26 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
         // overhead, since this batch already paid `remove_overhead_ns`.
         timer.finish_remove_batch(&mut self.stats, 0);
         if let Ok(first) = self.try_remove_inner(0, None) {
-            got.push(first);
             if n > 1 {
                 let top_up = OpTimer::start(&self.shared.timing, self.me, 0);
                 self.shared.timing.charge(self.me, Resource::Segment(self.seg));
                 let extra = self.shared.segments[self.seg.index()].remove_up_to(n - 1);
                 top_up.finish_remove_batch(&mut self.stats, extra.len());
-                got.extend(extra);
+                got.append(extra);
             }
+            // After the append, so the element rides the batch's existing
+            // containers instead of minting a fresh one.
+            got.put_one(first);
         }
         SmallDrain::new(got)
     }
 
-    fn drain(&mut self) -> SmallDrain<S::Item> {
+    fn drain(&mut self) -> SmallDrain<S::Batch> {
         let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
-        let mut all = Vec::new();
+        let mut all = S::Batch::empty();
         for (i, seg) in self.shared.segments.iter().enumerate() {
             self.shared.timing.charge(self.me, Resource::Segment(SegIdx::new(i)));
-            all.extend(seg.drain_all());
+            all.append(seg.drain_all());
         }
         timer.finish_remove_batch(&mut self.stats, all.len());
         SmallDrain::new(all)

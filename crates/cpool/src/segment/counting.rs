@@ -11,17 +11,23 @@
 //!
 //! * [`LockedCounter`] — a mutex-protected count, mirroring the paper.
 //! * [`AtomicCounter`] — a lock-free CAS loop.
+//!
+//! Both transfer in [`CountBatch`] currency — a bare count, one machine
+//! word — so the unified batch-typed steal interface costs the counter
+//! representation nothing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
 use super::{steal_count, Segment};
+use crate::transfer::{CountBatch, TransferBatch};
 
 /// Mutex-protected element count (the paper's segment representation).
 ///
 /// ```
 /// use cpool::segment::{LockedCounter, Segment};
+/// use cpool::transfer::TransferBatch;
 /// let seg = LockedCounter::new();
 /// seg.add(());
 /// seg.add(());
@@ -36,6 +42,7 @@ pub struct LockedCounter {
 
 impl Segment for LockedCounter {
     type Item = ();
+    type Batch = CountBatch;
 
     fn new() -> Self {
         LockedCounter { count: Mutex::new(0) }
@@ -59,34 +66,30 @@ impl Segment for LockedCounter {
         *self.count.lock()
     }
 
-    fn steal_half(&self) -> Vec<()> {
-        let taken = {
-            let mut count = self.count.lock();
-            let taken = steal_count(*count);
-            *count -= taken;
-            taken
-        };
-        // Vec<()> never allocates: this is just a length.
-        vec![(); taken]
+    fn steal_half(&self) -> CountBatch {
+        let mut count = self.count.lock();
+        let taken = steal_count(*count);
+        *count -= taken;
+        CountBatch::of(taken)
     }
 
-    fn add_bulk(&self, items: Vec<()>) {
-        *self.count.lock() += items.len();
+    fn add_bulk(&self, batch: CountBatch) {
+        // Guard the empty case: the probe's container-return leg must not
+        // acquire the (uncharged) segment lock.
+        if !batch.is_empty() {
+            *self.count.lock() += batch.len();
+        }
     }
 
-    fn remove_up_to(&self, n: usize) -> Vec<()> {
-        let taken = {
-            let mut count = self.count.lock();
-            let taken = n.min(*count);
-            *count -= taken;
-            taken
-        };
-        vec![(); taken]
+    fn remove_up_to(&self, n: usize) -> CountBatch {
+        let mut count = self.count.lock();
+        let taken = n.min(*count);
+        *count -= taken;
+        CountBatch::of(taken)
     }
 
-    fn drain_all(&self) -> Vec<()> {
-        let taken = std::mem::take(&mut *self.count.lock());
-        vec![(); taken]
+    fn drain_all(&self) -> CountBatch {
+        CountBatch::of(std::mem::take(&mut *self.count.lock()))
     }
 }
 
@@ -97,8 +100,9 @@ impl Segment for LockedCounter {
 ///
 /// ```
 /// use cpool::segment::{AtomicCounter, Segment};
+/// use cpool::transfer::{CountBatch, TransferBatch};
 /// let seg = AtomicCounter::new();
-/// seg.add_bulk(vec![(); 5]);
+/// seg.add_bulk(CountBatch::of(5));
 /// assert_eq!(seg.len(), 5);
 /// assert!(seg.try_remove().is_some());
 /// assert_eq!(seg.steal_half().len(), 2); // ceil(4/2)
@@ -110,6 +114,7 @@ pub struct AtomicCounter {
 
 impl Segment for AtomicCounter {
     type Item = ();
+    type Batch = CountBatch;
 
     fn new() -> Self {
         AtomicCounter { count: AtomicUsize::new(0) }
@@ -141,12 +146,12 @@ impl Segment for AtomicCounter {
         self.count.load(Ordering::Acquire)
     }
 
-    fn steal_half(&self) -> Vec<()> {
+    fn steal_half(&self) -> CountBatch {
         let mut current = self.count.load(Ordering::Acquire);
         loop {
             let taken = steal_count(current);
             if taken == 0 {
-                return Vec::new();
+                return CountBatch::of(0);
             }
             match self.count.compare_exchange_weak(
                 current,
@@ -154,24 +159,24 @@ impl Segment for AtomicCounter {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return vec![(); taken],
+                Ok(_) => return CountBatch::of(taken),
                 Err(actual) => current = actual,
             }
         }
     }
 
-    fn add_bulk(&self, items: Vec<()>) {
-        if !items.is_empty() {
-            self.count.fetch_add(items.len(), Ordering::AcqRel);
+    fn add_bulk(&self, batch: CountBatch) {
+        if !batch.is_empty() {
+            self.count.fetch_add(batch.len(), Ordering::AcqRel);
         }
     }
 
-    fn remove_up_to(&self, n: usize) -> Vec<()> {
+    fn remove_up_to(&self, n: usize) -> CountBatch {
         let mut current = self.count.load(Ordering::Acquire);
         loop {
             let taken = n.min(current);
             if taken == 0 {
-                return Vec::new();
+                return CountBatch::of(0);
             }
             match self.count.compare_exchange_weak(
                 current,
@@ -179,15 +184,14 @@ impl Segment for AtomicCounter {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return vec![(); taken],
+                Ok(_) => return CountBatch::of(taken),
                 Err(actual) => current = actual,
             }
         }
     }
 
-    fn drain_all(&self) -> Vec<()> {
-        let taken = self.count.swap(0, Ordering::AcqRel);
-        vec![(); taken]
+    fn drain_all(&self) -> CountBatch {
+        CountBatch::of(self.count.swap(0, Ordering::AcqRel))
     }
 }
 
@@ -257,7 +261,7 @@ mod tests {
         // Repeated halving of 20 elements: 10, 5, 3, 1, 1 (sizes after each
         // steal: 10, 5, 2, 1, 0).
         let seg = LockedCounter::new();
-        seg.add_bulk(vec![(); 20]);
+        seg.add_bulk(CountBatch::of(20));
         let takes: Vec<usize> = std::iter::from_fn(|| {
             let batch = seg.steal_half();
             if batch.is_empty() {
@@ -272,11 +276,12 @@ mod tests {
     }
 
     #[test]
-    fn zst_batches_do_not_allocate() {
-        // Vec<()> has zero-sized elements; capacity is usize::MAX and no heap
-        // allocation happens. This is what makes the unified batch API free
-        // for counting segments.
-        let v = vec![(); 1_000_000];
-        assert_eq!(v.capacity(), usize::MAX);
+    fn count_batches_never_touch_the_heap() {
+        // A CountBatch is one machine word however many elements it stands
+        // for — this is what makes the batch-typed steal interface free for
+        // the counter representation.
+        assert_eq!(std::mem::size_of::<CountBatch>(), std::mem::size_of::<usize>());
+        let batch = CountBatch::of(1_000_000);
+        assert_eq!(batch.len(), 1_000_000);
     }
 }

@@ -21,14 +21,27 @@
 //! [`Segment::steal_half`] implements the paper's rule: take
 //! ⌈n/2⌉ elements, which for `n == 1` degenerates to "that element is taken
 //! immediately". The victim keeps ⌊n/2⌋.
+//!
+//! # The transfer currency
+//!
+//! Batch-moving operations are typed over the segment's associated
+//! [`Batch`](Segment::Batch), a [`TransferBatch`], so each representation
+//! transfers in its native currency: counting segments move a bare
+//! [`CountBatch`](crate::transfer::CountBatch), [`VecSegment`] a plain
+//! vector, and [`BlockSegment`] a [`BlockBatch`] of whole blocks — pointer
+//! moves, no flattening. See [`transfer`](crate::transfer) for the design
+//! and for the pooled free lists that make the steady-state transfer paths
+//! allocation-free.
 
 mod block;
 mod counting;
 mod vec;
 
-pub use block::BlockSegment;
+pub use block::{BlockBatch, BlockSegment};
 pub use counting::{AtomicCounter, LockedCounter};
 pub use vec::VecSegment;
+
+use crate::transfer::TransferBatch;
 
 /// A single pool segment.
 ///
@@ -41,18 +54,51 @@ pub use vec::VecSegment;
 /// `len` is a snapshot: by the time the caller inspects the value another
 /// process may have changed the segment. The pool's algorithms only use it
 /// as a hint (probing emptiness) and for instrumentation.
+///
+/// # Implementing the trait
+///
+/// Simple segments set `type Batch = Vec<Self::Item>` (the
+/// [`TransferBatch`] impl for `Vec` is the compatibility shim — method
+/// bodies that already produce and consume vectors keep compiling
+/// unchanged) and take the provided [`remove_up_to`](Self::remove_up_to) /
+/// [`drain_all`](Self::drain_all) defaults. Representations with a cheaper
+/// native currency define their own batch type, as [`BlockSegment`] does.
 pub trait Segment: Send + Sync + 'static {
     /// The element type stored in the segment.
     ///
-    /// Counting segments use `()`: a zero-sized item makes `Vec<Item>`
-    /// allocation-free, so the unified batch-based steal interface costs
-    /// nothing for the counter representation.
+    /// Counting segments use `()`: the elements are indistinguishable, so
+    /// their transfers carry only a count.
     type Item: Send + 'static;
+
+    /// The currency of batch transfers: what a steal hands over, a refill
+    /// deposits, and a batched remove returns.
+    ///
+    /// Use `Vec<Self::Item>` unless the representation can move elements
+    /// more cheaply in bulk ([`BlockSegment`] moves whole blocks, counting
+    /// segments move a bare count).
+    type Batch: TransferBatch<Item = Self::Item>;
 
     /// Creates an empty segment.
     fn new() -> Self
     where
         Self: Sized;
+
+    /// Creates the `count` segments of one pool.
+    ///
+    /// Segments created together may share pooled resources — the in-tree
+    /// element segments share one per-pool free list of recycled blocks and
+    /// batch shells ([`transfer`](crate::transfer)), so a block freed by a
+    /// consumer's segment refills a producer's without touching the
+    /// allocator. The default builds `count` independent segments with
+    /// [`new`](Self::new), which keeps third-party implementations
+    /// compiling (and correct — sharing is an optimization, never a
+    /// semantic requirement).
+    fn new_family(count: usize) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        (0..count).map(|_| Self::new()).collect()
+    }
 
     /// Adds one element to the segment.
     fn add(&self, item: Self::Item);
@@ -75,10 +121,27 @@ pub trait Segment: Send + Sync + 'static {
     /// back by value so the thief can move it into its own segment without
     /// ever holding two segment locks at once (deadlock freedom by
     /// construction).
-    fn steal_half(&self) -> Vec<Self::Item>;
+    fn steal_half(&self) -> Self::Batch;
 
     /// Adds a batch of elements (the thief refilling its own segment).
-    fn add_bulk(&self, items: Vec<Self::Item>);
+    ///
+    /// Implementations should accept the batch in its native currency —
+    /// [`BlockSegment`] splices whole blocks into its own list — and
+    /// recycle the batch's container through the pool's free lists where
+    /// one exists.
+    fn add_bulk(&self, batch: Self::Batch);
+
+    /// Adds a batch of elements supplied as a plain vector (the frontends'
+    /// `add_batch`).
+    ///
+    /// The default converts through
+    /// [`TransferBatch::from_vec`] and delegates to
+    /// [`add_bulk`](Self::add_bulk); [`BlockSegment`] overrides it to
+    /// chunk the elements straight into recycled blocks under its lock,
+    /// skipping the intermediate batch's fresh allocations.
+    fn add_bulk_vec(&self, items: Vec<Self::Item>) {
+        self.add_bulk(Self::Batch::from_vec(items));
+    }
 
     /// Removes up to `n` arbitrary elements in one batch.
     ///
@@ -88,11 +151,11 @@ pub trait Segment: Send + Sync + 'static {
     /// batch. The default implementation is a per-element
     /// [`try_remove`](Self::try_remove) loop, provided so third-party
     /// segments keep compiling; every in-tree segment overrides it.
-    fn remove_up_to(&self, n: usize) -> Vec<Self::Item> {
-        let mut out = Vec::new();
+    fn remove_up_to(&self, n: usize) -> Self::Batch {
+        let mut out = Self::Batch::empty();
         while out.len() < n {
             match self.try_remove() {
-                Some(item) => out.push(item),
+                Some(item) => out.put_one(item),
                 None => break,
             }
         }
@@ -103,7 +166,7 @@ pub trait Segment: Send + Sync + 'static {
     ///
     /// Like [`remove_up_to`](Self::remove_up_to), implementations take the
     /// lock once; the default loops until the segment reports empty.
-    fn drain_all(&self) -> Vec<Self::Item> {
+    fn drain_all(&self) -> Self::Batch {
         self.remove_up_to(usize::MAX)
     }
 }
@@ -141,7 +204,8 @@ mod tests {
         }
     }
 
-    /// Generic contract test run against every segment implementation.
+    /// Generic contract test run against every segment implementation,
+    /// exercised purely through the batch-typed trait surface.
     fn check_contract<S: Segment<Item = ()>>() {
         let seg = S::new();
         assert!(seg.is_empty());
@@ -170,11 +234,11 @@ mod tests {
         assert!(seg.is_empty());
 
         // Batch removal contract: bounded take, then a full drain.
-        seg.add_bulk(vec![(); 7]);
+        seg.add_bulk(S::Batch::from_vec(vec![(); 7]));
         assert_eq!(seg.remove_up_to(3).len(), 3);
         assert_eq!(seg.remove_up_to(100).len(), 4, "remove_up_to is bounded by occupancy");
         assert!(seg.remove_up_to(5).is_empty());
-        seg.add_bulk(vec![(); 6]);
+        seg.add_bulk(S::Batch::from_vec(vec![(); 6]));
         assert_eq!(seg.drain_all().len(), 6);
         assert!(seg.is_empty());
         assert!(seg.drain_all().is_empty());
@@ -200,7 +264,7 @@ mod tests {
         assert_eq!(seg.len(), 4);
         // Between them, the stolen batch and the residue hold exactly the
         // original elements (the pool is unordered but must conserve items).
-        let mut all: Vec<u32> = stolen;
+        let mut all: Vec<u32> = stolen.into_vec();
         while let Some(x) = seg.try_remove() {
             all.push(x);
         }
@@ -211,9 +275,10 @@ mod tests {
         for i in 10..20u32 {
             seg.add(i);
         }
-        let mut batched = seg.remove_up_to(4);
+        let batched = seg.remove_up_to(4);
         assert_eq!(batched.len(), 4);
-        batched.extend(seg.drain_all());
+        let mut batched = batched.into_vec();
+        batched.extend(seg.drain_all().into_vec());
         batched.sort_unstable();
         assert_eq!(batched, (10..20).collect::<Vec<_>>());
         assert!(seg.is_empty());
@@ -236,5 +301,15 @@ mod tests {
         let stolen = seg.steal_half();
         assert_eq!(stolen, vec![42], "a lone element is taken outright");
         assert!(seg.is_empty());
+    }
+
+    #[test]
+    fn new_family_defaults_to_independent_segments() {
+        // The default hook just builds `count` fresh segments.
+        let family = <LockedCounter as Segment>::new_family(3);
+        assert_eq!(family.len(), 3);
+        family[0].add(());
+        assert_eq!(family[0].len(), 1);
+        assert_eq!(family[1].len(), 0);
     }
 }

@@ -1,10 +1,15 @@
 //! Element segment backed by a deque.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use super::{steal_count, Segment};
+use crate::transfer::{FreeList, SHELL_SPILL_MAX, SHELL_SPILL_MIN};
+
+/// Vector shells a pool-wide cache retains per segment of the family.
+const CACHED_SHELLS_PER_SEGMENT: usize = 2;
 
 /// A segment storing real elements in a mutex-protected deque.
 ///
@@ -14,6 +19,12 @@ use super::{steal_count, Segment};
 /// Thieves take the ⌈n/2⌉ *oldest* elements from the front, which both
 /// matches the "split half" rule and minimizes contention with the owner's
 /// end.
+///
+/// Transfers travel as plain `Vec` batches whose backing vectors are
+/// recycled through a pool-wide free list (shared via
+/// [`Segment::new_family`]): `steal_half` fills a recycled shell and
+/// `add_bulk` returns it, so the steady-state steal/refill cycle allocates
+/// nothing once the shells have grown to the transfer size.
 ///
 /// The pool's element order is unspecified by contract; this layout is an
 /// implementation choice, not an ordering guarantee.
@@ -28,19 +39,35 @@ use super::{steal_count, Segment};
 #[derive(Debug)]
 pub struct VecSegment<T> {
     items: Mutex<VecDeque<T>>,
+    shells: Arc<FreeList<Vec<T>>>,
+}
+
+impl<T> VecSegment<T> {
+    fn with_shells(shells: Arc<FreeList<Vec<T>>>) -> Self {
+        VecSegment { items: Mutex::new(VecDeque::new()), shells }
+    }
 }
 
 impl<T> Default for VecSegment<T> {
     fn default() -> Self {
-        VecSegment { items: Mutex::new(VecDeque::new()) }
+        Self::with_shells(Arc::new(FreeList::new(CACHED_SHELLS_PER_SEGMENT + 2)))
     }
 }
 
 impl<T: Send + 'static> Segment for VecSegment<T> {
     type Item = T;
+    type Batch = Vec<T>;
 
     fn new() -> Self {
         Self::default()
+    }
+
+    /// One pool's segments share a single shell cache, so the vector a
+    /// thief carried its last steal in is reused for the next transfer
+    /// anywhere in the pool.
+    fn new_family(count: usize) -> Vec<Self> {
+        let shells = Arc::new(FreeList::new(CACHED_SHELLS_PER_SEGMENT * count.max(1) + 2));
+        (0..count).map(|_| Self::with_shells(Arc::clone(&shells))).collect()
     }
 
     fn add(&self, item: T) {
@@ -58,24 +85,44 @@ impl<T: Send + 'static> Segment for VecSegment<T> {
     fn steal_half(&self) -> Vec<T> {
         let mut items = self.items.lock();
         let taken = steal_count(items.len());
-        items.drain(..taken).collect()
+        if taken == 0 {
+            return Vec::new(); // no allocation: an empty Vec is a null cap
+        }
+        if taken < SHELL_SPILL_MIN {
+            // A tiny steal: the allocator's small-size fast path beats a
+            // free-list round trip.
+            return items.drain(..taken).collect();
+        }
+        // A bulk steal fills a recycled shell (capacity carried over from
+        // an earlier transfer) instead of collecting into a fresh vector.
+        let mut batch = self.shells.take().unwrap_or_default();
+        batch.extend(items.drain(..taken));
+        batch
     }
 
-    fn add_bulk(&self, batch: Vec<T>) {
-        if batch.is_empty() {
-            return;
+    fn add_bulk(&self, mut batch: Vec<T>) {
+        if !batch.is_empty() {
+            let mut items = self.items.lock();
+            items.extend(batch.drain(..));
         }
-        let mut items = self.items.lock();
-        items.extend(batch);
+        // The drained shell goes back to the pool's cache for the next
+        // bulk steal (lock already released); undersized shells are not
+        // worth the round trip and would dilute the cache, oversized ones
+        // (a huge add_batch's backing buffer) would pin unbounded memory.
+        if (SHELL_SPILL_MIN..=SHELL_SPILL_MAX).contains(&batch.capacity()) {
+            self.shells.put(batch);
+        }
     }
 
     fn remove_up_to(&self, n: usize) -> Vec<T> {
         let mut items = self.items.lock();
         let take = n.min(items.len());
         // Take from the back — the owner's hot (LIFO) end, like
-        // `try_remove` — under a single lock acquisition.
+        // `try_remove` — under a single lock acquisition. The result leaves
+        // the pool with the caller, so it is a plain allocation, not a
+        // cache draw (a shell handed out could never come back).
         let at = items.len() - take;
-        items.split_off(at).into_iter().collect()
+        items.drain(at..).collect()
     }
 
     fn drain_all(&self) -> Vec<T> {
@@ -119,6 +166,22 @@ mod tests {
         b.add_bulk(batch);
         assert_eq!(a.len() + b.len(), 100);
         assert_eq!(b.len(), 50);
+    }
+
+    #[test]
+    fn refill_recycles_the_shell() {
+        let family = <VecSegment<u32> as Segment>::new_family(2);
+        for i in 0..40 {
+            family[0].add(i);
+        }
+        let batch = family[0].steal_half();
+        let cap = batch.capacity();
+        assert!(cap >= 20);
+        family[1].add_bulk(batch);
+        // The next steal anywhere in the family reuses that very shell.
+        let again = family[1].steal_half();
+        assert_eq!(again.capacity(), cap, "shell came back from the cache");
+        assert_eq!(again.len(), 10);
     }
 
     #[test]

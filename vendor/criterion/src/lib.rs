@@ -119,7 +119,9 @@ impl Criterion {
         self
     }
 
-    /// Accepted for CLI compatibility; the shim has no CLI options.
+    /// Accepted for CLI compatibility. The shim recognizes exactly one
+    /// flag of the real crate: `--test` (run every benchmark once, no
+    /// warm-up or sampling — CI smoke mode); other options are ignored.
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -256,12 +258,25 @@ impl Bencher {
     }
 }
 
+/// Whether the binary was invoked with `--test` (cargo bench -- --test):
+/// run each benchmark once to prove it executes, skip all measurement.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|arg| arg == "--test"))
+}
+
 fn run_benchmark(
     settings: &Criterion,
     id: &str,
     throughput: Option<Throughput>,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    if test_mode() {
+        let mut once = Bencher { iters_per_sample: 1, samples: Vec::with_capacity(1) };
+        f(&mut once);
+        println!("Testing {id} ... ok");
+        return;
+    }
     // Calibration pass: find how many iterations fit one sample's share of
     // the measurement budget.
     let mut calibrate = Bencher { iters_per_sample: 1, samples: Vec::with_capacity(1) };
