@@ -9,8 +9,10 @@
 //! * [`GlobalStack`] — `Mutex<Vec<T>>`, the paper's comparator;
 //! * [`GlobalQueue`] — `Mutex<VecDeque<T>>` (FIFO variant);
 //! * [`LockFreeQueue`] — a modern lock-free MPMC queue
-//!   (`crossbeam_queue::SegQueue`): still a *centralized* structure, so it
-//!   remains a memory hot spot on a NUMA machine even without a lock;
+//!   (`crossbeam_queue::SegQueue`, the vendored hand-rolled segmented
+//!   queue — genuinely lock-free, no mutex anywhere): still a
+//!   *centralized* structure, so it remains a memory hot spot on a NUMA
+//!   machine even without a lock;
 //! * [`PoolWorkList`] — a concurrent pool (any search policy) adapted to
 //!   the same interface.
 //!
@@ -216,7 +218,8 @@ impl<T: Send> CentralBuffer<T> for LockedQueueBuffer<T> {
     }
 }
 
-/// Lock-free MPMC buffer (crossbeam's `SegQueue`).
+/// Lock-free MPMC buffer (the crossbeam `SegQueue` design: CAS-claimed
+/// indexes over linked slot blocks — no lock on any path).
 #[derive(Debug)]
 pub struct LockFreeBuffer<T>(SegQueue<T>);
 

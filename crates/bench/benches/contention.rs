@@ -3,14 +3,21 @@
 //! Runs a fixed combined operation budget (the paper's trial shape) on real
 //! threads at raw machine speed and reports elapsed time per budget — i.e.
 //! contended throughput of the full add/remove/steal machinery for each
-//! search policy, plus the locked/atomic segment ablation.
+//! search policy, plus the locked/atomic segment ablation. A second group
+//! pits the hand-rolled lock-free primitives against the retired mutex-shim
+//! design on the same multi-threaded push+pop kernel (shared with the
+//! `contention` binary through [`bench::contention`], so these numbers and
+//! the committed `BENCH_contention.json` measure identical code).
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use bench::contention::{bag_round, Bag, MutexQueue};
 use cpool::prelude::*;
 use cpool::segment::{AtomicCounter, LockedCounter, Segment};
+use cpool::transfer::FreeList;
+use crossbeam_queue::{ArrayQueue, SegQueue, Stack};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use workload::OpBudget;
@@ -62,5 +69,30 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(contention, bench_contention);
+/// The primitive matrix: `THREADS` real threads hammering one shared
+/// container with push+pop pairs. `mutex_shim` is the before row.
+fn bench_primitives(c: &mut Criterion) {
+    const PAIRS: u64 = 20_000;
+    let mut group = c.benchmark_group(format!("contention/primitives_{THREADS}_threads"));
+    group.throughput(Throughput::Elements(PAIRS));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter(MutexQueue::NAME), |b| {
+        b.iter(|| bag_round::<MutexQueue>(THREADS, PAIRS))
+    });
+    group.bench_function(BenchmarkId::from_parameter(<FreeList<u64> as Bag>::NAME), |b| {
+        b.iter(|| bag_round::<FreeList<u64>>(THREADS, PAIRS))
+    });
+    group.bench_function(BenchmarkId::from_parameter(<Stack<u64> as Bag>::NAME), |b| {
+        b.iter(|| bag_round::<Stack<u64>>(THREADS, PAIRS))
+    });
+    group.bench_function(BenchmarkId::from_parameter(<SegQueue<u64> as Bag>::NAME), |b| {
+        b.iter(|| bag_round::<SegQueue<u64>>(THREADS, PAIRS))
+    });
+    group.bench_function(BenchmarkId::from_parameter(<ArrayQueue<u64> as Bag>::NAME), |b| {
+        b.iter(|| bag_round::<ArrayQueue<u64>>(THREADS, PAIRS))
+    });
+    group.finish();
+}
+
+criterion_group!(contention, bench_contention, bench_primitives);
 criterion_main!(contention);

@@ -290,6 +290,241 @@ pub mod hotpath {
     }
 }
 
+/// Shared measurement kernels for the multi-threaded contention matrix.
+///
+/// The criterion bench (`benches/contention.rs`) and the JSON-emitting
+/// binary (`src/bin/contention.rs`) share these so the committed
+/// `BENCH_contention.json` baseline and the criterion numbers measure the
+/// same code. Two matrices:
+///
+/// * **Primitive matrix** — real threads hammering one shared container
+///   with push+pop pairs: the retired mutex-shim design
+///   ([`MutexQueue`](contention::MutexQueue), a `Mutex<VecDeque>`) against
+///   the three hand-rolled lock-free structures in `crossbeam-queue`
+///   ([`Stack`](crossbeam_queue::Stack) — the free-list primitive,
+///   [`SegQueue`](crossbeam_queue::SegQueue),
+///   [`ArrayQueue`](crossbeam_queue::ArrayQueue)).
+/// * **Pool matrix** — the whole add/remove/steal machinery, threads ×
+///   segments × workload mix × vec/block segment representation.
+pub mod contention {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    use cpool::transfer::FreeList;
+    use cpool::{BlockSegment, LinearSearch, Pool, PoolBuilder, Segment, VecSegment};
+    use crossbeam_queue::{ArrayQueue, SegQueue, Stack};
+    use parking_lot::Mutex;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use workload::OpBudget;
+
+    /// Thread counts both matrices sweep.
+    pub const THREAD_MATRIX: [usize; 4] = [1, 2, 4, 8];
+
+    /// Elements pre-loaded per participating thread before the clock
+    /// starts, so pops essentially never observe an empty container and
+    /// the loop measures push/pop cost, not empty-retry spinning.
+    pub const PREFILL_PER_THREAD: usize = 16;
+
+    /// Workload mixes the pool matrix crosses: fraction of operations that
+    /// are adds. 40% is the steal-heavy regime where remote traffic
+    /// dominates; 60% keeps segments populated so local paths dominate.
+    pub const MIXES: [(&str, f64); 2] = [("sparse40", 0.4), ("dense60", 0.6)];
+
+    /// A concurrent multiset of `u64`s — the least common denominator of
+    /// the retired mutex shim and its lock-free replacements, so one kernel
+    /// measures all four.
+    pub trait Bag: Send + Sync {
+        /// Row label used in result names.
+        const NAME: &'static str;
+        /// Creates a bag that can hold at least `capacity` elements.
+        fn with_capacity(capacity: usize) -> Self;
+        /// Inserts one element.
+        fn push(&self, value: u64);
+        /// Removes some element, or `None` if empty.
+        fn pop(&self) -> Option<u64>;
+    }
+
+    /// The "before" row: the design of the retired `crossbeam-queue` shim —
+    /// a `parking_lot::Mutex` around a `VecDeque`, every operation through
+    /// the lock.
+    pub struct MutexQueue(Mutex<VecDeque<u64>>);
+
+    impl Bag for MutexQueue {
+        const NAME: &'static str = "mutex_shim";
+        fn with_capacity(capacity: usize) -> Self {
+            MutexQueue(Mutex::new(VecDeque::with_capacity(capacity)))
+        }
+        fn push(&self, value: u64) {
+            self.0.lock().push_back(value);
+        }
+        fn pop(&self) -> Option<u64> {
+            self.0.lock().pop_front()
+        }
+    }
+
+    impl Bag for FreeList<u64> {
+        const NAME: &'static str = "free_list";
+        fn with_capacity(capacity: usize) -> Self {
+            // Sized past the kernel's peak occupancy so `put` never drops
+            // (a dropped element would starve the paired pop).
+            FreeList::new(capacity)
+        }
+        fn push(&self, value: u64) {
+            self.put(value);
+        }
+        fn pop(&self) -> Option<u64> {
+            self.take()
+        }
+    }
+
+    impl Bag for Stack<u64> {
+        const NAME: &'static str = "treiber_stack";
+        fn with_capacity(_capacity: usize) -> Self {
+            Stack::new()
+        }
+        fn push(&self, value: u64) {
+            Stack::push(self, value);
+        }
+        fn pop(&self) -> Option<u64> {
+            Stack::pop(self)
+        }
+    }
+
+    impl Bag for SegQueue<u64> {
+        const NAME: &'static str = "seg_queue";
+        fn with_capacity(_capacity: usize) -> Self {
+            SegQueue::new()
+        }
+        fn push(&self, value: u64) {
+            SegQueue::push(self, value);
+        }
+        fn pop(&self) -> Option<u64> {
+            SegQueue::pop(self)
+        }
+    }
+
+    impl Bag for ArrayQueue<u64> {
+        const NAME: &'static str = "array_queue";
+        fn with_capacity(capacity: usize) -> Self {
+            ArrayQueue::new(capacity)
+        }
+        fn push(&self, value: u64) {
+            // Sized so the kernel never fills the queue; spin defensively
+            // rather than silently dropping an element if it ever does.
+            let mut value = value;
+            while let Err(back) = ArrayQueue::push(self, value) {
+                value = back;
+                std::thread::yield_now();
+            }
+        }
+        fn pop(&self) -> Option<u64> {
+            ArrayQueue::pop(self)
+        }
+    }
+
+    /// Runs `threads` workers each performing `pairs` push+pop pairs
+    /// against one shared bag and returns wall-clock nanoseconds per pair
+    /// (per-thread latency: constant under perfect scaling, growing under
+    /// contention). Occupancy hovers at the prefill level throughout, so
+    /// every pop finds an element.
+    ///
+    /// Each worker times its own window (start barrier → last pair) and
+    /// the slowest worker's clock is the cell — timing from the
+    /// coordinating thread would race the workers on an oversubscribed
+    /// host, where the coordinator can be scheduled last.
+    pub fn bag_round<B: Bag>(threads: usize, pairs: u64) -> f64 {
+        let bag = B::with_capacity(PREFILL_PER_THREAD * threads + threads + 8);
+        for i in 0..(PREFILL_PER_THREAD * threads) as u64 {
+            bag.push(i);
+        }
+        let start = Barrier::new(threads);
+        let slowest_ns = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (bag, start, slowest_ns) = (&bag, &start, &slowest_ns);
+                s.spawn(move || {
+                    start.wait();
+                    let t0 = Instant::now();
+                    for i in 0..pairs {
+                        bag.push(t as u64 * pairs + i);
+                        while bag.pop().is_none() {
+                            // Can only happen transiently; yield rather
+                            // than spin so an oversubscribed host lets the
+                            // in-flight operation finish.
+                            std::thread::yield_now();
+                        }
+                    }
+                    slowest_ns.fetch_max(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        slowest_ns.load(Ordering::Relaxed) as f64 / pairs as f64
+    }
+
+    /// Runs a shared budget of `ops` mixed add/remove operations over a
+    /// whole pool from `threads` registered processes and returns
+    /// wall-clock nanoseconds per operation. `segments < threads` forces
+    /// processes to share home segments (maximum lock contention);
+    /// `segments == threads` is the paper's per-processor shape.
+    pub fn pool_round<S: Segment<Item = u64>>(
+        threads: usize,
+        segments: usize,
+        add_fraction: f64,
+        ops: u64,
+    ) -> f64 {
+        let pool: Pool<S, LinearSearch> = PoolBuilder::new(segments).seed(9).build();
+        pool.fill_evenly_with(PREFILL_PER_THREAD * segments, |i| i as u64);
+        let budget = OpBudget::new(ops);
+        let start = Barrier::new(threads);
+        let slowest_ns = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let mut handle = pool.register();
+                let (budget, start, slowest_ns) = (&budget, &start, &slowest_ns);
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(t as u64);
+                    start.wait();
+                    let t0 = Instant::now();
+                    while budget.take() {
+                        if rng.gen_bool(add_fraction) {
+                            handle.add(t as u64);
+                        } else {
+                            let _ = handle.try_remove();
+                        }
+                    }
+                    // Deregister before reporting: a straggler searching an
+                    // empty pool aborts only once every *registered*
+                    // process is searching (§3.2), so a worker that kept
+                    // its handle while idling here could strand the last
+                    // searcher.
+                    drop(handle);
+                    slowest_ns.fetch_max(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        slowest_ns.load(Ordering::Relaxed) as f64 / ops as f64
+    }
+
+    /// The pool matrix's vec-segment cell.
+    pub fn pool_round_vec(threads: usize, segments: usize, add_fraction: f64, ops: u64) -> f64 {
+        pool_round::<VecSegment<u64>>(threads, segments, add_fraction, ops)
+    }
+
+    /// The pool matrix's block-segment cell.
+    pub fn pool_round_block(threads: usize, segments: usize, add_fraction: f64, ops: u64) -> f64 {
+        pool_round::<BlockSegment<u64>>(threads, segments, add_fraction, ops)
+    }
+
+    /// Minimum of `runs` repetitions (wall-clock floors filter scheduler
+    /// noise exactly as `hotpath::measure` does for single-threaded loops).
+    pub fn best_of(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..runs.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+    }
+}
+
 /// Parses the common scale flags.
 pub fn scale_from_args(args: &Args) -> Scale {
     let base = if args.flag("quick") { Scale::tiny() } else { Scale::paper() };

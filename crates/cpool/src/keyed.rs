@@ -643,12 +643,20 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             |session, victim| {
                 session.probe(
                     victim,
-                    || match segments[victim.index()].steal_half_largest(&shared.shells) {
-                        Some((key, values)) => {
-                            *stolen_key.borrow_mut() = Some(key);
-                            values
+                    || {
+                        // Segment-level empty skip: the atomic occupancy
+                        // mirror rules out any non-empty bucket without
+                        // taking the victim's lock.
+                        if segments[victim.index()].len() == 0 {
+                            return Vec::new();
                         }
-                        None => Vec::new(),
+                        match segments[victim.index()].steal_half_largest(&shared.shells) {
+                            Some((key, values)) => {
+                                *stolen_key.borrow_mut() = Some(key);
+                                values
+                            }
+                            None => Vec::new(),
+                        }
                     },
                     |rest| {
                         let key = stolen_key.borrow();
@@ -722,7 +730,15 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             |session, victim| {
                 session.probe(
                     victim,
-                    || segments[victim.index()].steal_half_key(key, &shared.shells),
+                    || {
+                        // Same lock-free empty skip as the anonymous steal:
+                        // a segment with no elements at all certainly has no
+                        // `key` bucket worth locking for.
+                        if segments[victim.index()].len() == 0 {
+                            return Vec::new();
+                        }
+                        segments[victim.index()].steal_half_key(key, &shared.shells)
+                    },
                     |rest| segments[home.index()].add_bulk(key, rest, &shared.shells),
                 )
             },

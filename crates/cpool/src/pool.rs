@@ -873,7 +873,21 @@ impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, '_,
         let home = self.session.home();
         match self.session.probe(
             victim,
-            || segments[victim.index()].steal_half(),
+            || {
+                let seg = &segments[victim.index()];
+                // Emptiness fast path: the in-tree segments keep a lock-free
+                // occupancy mirror, so a probe of an empty victim observes
+                // it without contending for the victim's lock. The probe is
+                // still charged and counted — examining a segment is the
+                // cost the paper's model measures — and the mirror is a
+                // snapshot, exactly like the length read `steal_half` would
+                // have made under the lock a few instructions later.
+                if seg.is_empty() {
+                    S::Batch::empty()
+                } else {
+                    seg.steal_half()
+                }
+            },
             |rest| segments[home.index()].add_bulk(rest),
         ) {
             Some((item, stolen)) => {

@@ -31,6 +31,7 @@
 //! operations per *transfer*, not per block.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -317,6 +318,12 @@ pub struct BlockSegment<T> {
     /// (`block_size()`, the add fast path) must not take the segment lock
     /// for a value that never changes.
     block_size: usize,
+    /// Occupancy, also outside the mutex (the PR that de-mutexed
+    /// `block_size` left `len` behind the lock; this finishes the job):
+    /// written (`Release`) only while `inner` is locked, read (`Acquire`)
+    /// without the lock by `len`/`is_empty`, so search probes observe
+    /// emptiness without contending with the owner.
+    len: AtomicUsize,
     cache: Arc<BlockCache<T>>,
     inner: Mutex<Blocks<T>>,
 }
@@ -324,19 +331,10 @@ pub struct BlockSegment<T> {
 #[derive(Debug)]
 struct Blocks<T> {
     blocks: VecDeque<Vec<T>>,
-    len: usize,
     /// Spare empty blocks stashed under this segment's own lock: the
     /// add/remove churn recycles here for free, and only overflow (or a
     /// dry stash) touches the shared bundle cache.
     spares: VecDeque<Vec<T>>,
-}
-
-impl<T> Blocks<T> {
-    fn check_invariants(&self) {
-        debug_assert_eq!(self.len, self.blocks.iter().map(Vec::len).sum::<usize>());
-        debug_assert!(self.blocks.iter().all(|b| !b.is_empty()));
-        debug_assert!(self.spares.iter().all(|b| b.is_empty()));
-    }
 }
 
 impl<T> BlockSegment<T> {
@@ -354,9 +352,31 @@ impl<T> BlockSegment<T> {
     fn with_cache(block_size: usize, cache: Arc<BlockCache<T>>) -> Self {
         BlockSegment {
             block_size,
+            len: AtomicUsize::new(0),
             cache,
-            inner: Mutex::new(Blocks { blocks: VecDeque::new(), len: 0, spares: VecDeque::new() }),
+            inner: Mutex::new(Blocks { blocks: VecDeque::new(), spares: VecDeque::new() }),
         }
+    }
+
+    /// Exact occupancy while the `inner` lock is held (all writers hold the
+    /// lock, so the relaxed load cannot race a store).
+    fn len_locked(&self, _inner: &Blocks<T>) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a new occupancy to the lock-free mirror; must be called
+    /// with the `inner` lock held, after the mutation.
+    fn publish_len(&self, _inner: &Blocks<T>, len: usize) {
+        self.len.store(len, Ordering::Release);
+    }
+
+    fn check_invariants(&self, inner: &Blocks<T>) {
+        debug_assert_eq!(
+            self.len.load(Ordering::Relaxed),
+            inner.blocks.iter().map(Vec::len).sum::<usize>()
+        );
+        debug_assert!(inner.blocks.iter().all(|b| !b.is_empty()));
+        debug_assert!(inner.spares.iter().all(|b| b.is_empty()));
     }
 
     /// The configured block size (plain field read; no lock).
@@ -441,8 +461,8 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
                 inner.blocks.push_back(block);
             }
         }
-        inner.len += 1;
-        inner.check_invariants();
+        self.publish_len(&inner, self.len_locked(&inner) + 1);
+        self.check_invariants(&inner);
     }
 
     fn try_remove(&self) -> Option<T> {
@@ -453,18 +473,18 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
             let spent = inner.blocks.pop_back().expect("back exists");
             self.retire_block(&mut inner, spent);
         }
-        inner.len -= 1;
-        inner.check_invariants();
+        self.publish_len(&inner, self.len_locked(&inner) - 1);
+        self.check_invariants(&inner);
         item
     }
 
     fn len(&self) -> usize {
-        self.inner.lock().len
+        self.len.load(Ordering::Acquire)
     }
 
     fn steal_half(&self) -> BlockBatch<T> {
         let mut inner = self.inner.lock();
-        let want = steal_count(inner.len);
+        let want = steal_count(self.len_locked(&inner));
         if want == 0 {
             return BlockBatch::empty();
         }
@@ -504,8 +524,8 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
             top.extend(front.drain(..need));
             shell.push_back(top);
         }
-        inner.len -= want;
-        inner.check_invariants();
+        self.publish_len(&inner, self.len_locked(&inner) - want);
+        self.check_invariants(&inner);
         let cache = Some(Arc::clone(&self.cache));
         BlockBatch { first: None, rest: shell, parked: 0, len: want, cache }
     }
@@ -530,7 +550,7 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
         }
         {
             let mut inner = self.inner.lock();
-            inner.len += len;
+            self.publish_len(&inner, self.len_locked(&inner) + len);
             // Splice the handles; blocks the batch spent in transit (the
             // two-phase steal keeps one element back, which can empty a
             // block; a recycled shell may carry spares) retire into this
@@ -556,7 +576,7 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
                 }
                 rest.push_back(spare);
             }
-            inner.check_invariants();
+            self.check_invariants(&inner);
         }
         // Lock released: recycling the shell (and the spares riding in it)
         // needs no segment state.
@@ -569,7 +589,7 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
         }
         let block_size = self.block_size;
         let mut inner = self.inner.lock();
-        inner.len += items.len();
+        self.publish_len(&inner, self.len_locked(&inner) + items.len());
         let mut items = items.into_iter();
         // Top off the back block, then chunk the rest into recycled blocks
         // — one lock, no fresh allocations in the steady state.
@@ -592,12 +612,12 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
             }
             inner.blocks.push_back(block);
         }
-        inner.check_invariants();
+        self.check_invariants(&inner);
     }
 
     fn remove_up_to(&self, n: usize) -> BlockBatch<T> {
         let mut inner = self.inner.lock();
-        let want = n.min(inner.len);
+        let want = n.min(self.len_locked(&inner));
         if want == 0 {
             return BlockBatch::empty();
         }
@@ -610,8 +630,8 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
         let back_len = inner.blocks.back().map_or(0, Vec::len);
         if want == back_len {
             let block = inner.blocks.pop_back().expect("back exists");
-            inner.len -= want;
-            inner.check_invariants();
+            self.publish_len(&inner, self.len_locked(&inner) - want);
+            self.check_invariants(&inner);
             return BlockBatch {
                 first: Some(block),
                 rest: VecDeque::new(),
@@ -625,8 +645,8 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
             let back = inner.blocks.back_mut().expect("back exists");
             let at = back.len() - want;
             top.extend(back.drain(at..));
-            inner.len -= want;
-            inner.check_invariants();
+            self.publish_len(&inner, self.len_locked(&inner) - want);
+            self.check_invariants(&inner);
             return BlockBatch {
                 first: Some(top),
                 rest: VecDeque::new(),
@@ -658,17 +678,17 @@ impl<T: Send + 'static> Segment for BlockSegment<T> {
             top.extend(back.drain(at..));
             blocks.push_back(top);
         }
-        inner.len -= want;
-        inner.check_invariants();
+        self.publish_len(&inner, self.len_locked(&inner) - want);
+        self.check_invariants(&inner);
         BlockBatch { first: None, rest: blocks, parked: 0, len: want, cache }
     }
 
     fn drain_all(&self) -> BlockBatch<T> {
         let mut inner = self.inner.lock();
-        let len = inner.len;
+        let len = self.len_locked(&inner);
         let blocks = std::mem::take(&mut inner.blocks);
-        inner.len = 0;
-        inner.check_invariants();
+        self.publish_len(&inner, 0);
+        self.check_invariants(&inner);
         BlockBatch {
             first: None,
             rest: blocks,
@@ -699,6 +719,18 @@ mod tests {
         let seg = BlockSegment::<u8>::with_block_size(7);
         let _lock = seg.inner.lock();
         assert_eq!(seg.block_size(), 7);
+    }
+
+    #[test]
+    fn len_reads_without_the_lock() {
+        // Occupancy, like block_size, must answer while the lock is held.
+        let seg = BlockSegment::with_block_size(4);
+        for i in 0..9 {
+            seg.add(i);
+        }
+        let _lock = seg.inner.lock();
+        assert_eq!(seg.len(), 9);
+        assert!(!seg.is_empty());
     }
 
     #[test]

@@ -25,6 +25,12 @@ use crate::transfer::{CountBatch, TransferBatch};
 
 /// Mutex-protected element count (the paper's segment representation).
 ///
+/// Mutations still serialize on the mutex — that locking discipline is the
+/// thing being studied — but the count is mirrored in an atomic written
+/// under the lock, so [`len`](Segment::len) / [`is_empty`](Segment::is_empty)
+/// observe occupancy without contending with mutators (search probes skip
+/// empty victims lock-free).
+///
 /// ```
 /// use cpool::segment::{LockedCounter, Segment};
 /// use cpool::transfer::TransferBatch;
@@ -38,6 +44,17 @@ use crate::transfer::{CountBatch, TransferBatch};
 #[derive(Debug, Default)]
 pub struct LockedCounter {
     count: Mutex<usize>,
+    /// Lock-free occupancy mirror: written (`Release`) only while `count`
+    /// is locked, read (`Acquire`) without the lock.
+    mirror: AtomicUsize,
+}
+
+impl LockedCounter {
+    /// Publishes the locked count to the lock-free mirror; must be called
+    /// with the `count` lock held, after the mutation.
+    fn publish(&self, count: usize) {
+        self.mirror.store(count, Ordering::Release);
+    }
 }
 
 impl Segment for LockedCounter {
@@ -45,11 +62,13 @@ impl Segment for LockedCounter {
     type Batch = CountBatch;
 
     fn new() -> Self {
-        LockedCounter { count: Mutex::new(0) }
+        LockedCounter::default()
     }
 
     fn add(&self, _item: ()) {
-        *self.count.lock() += 1;
+        let mut count = self.count.lock();
+        *count += 1;
+        self.publish(*count);
     }
 
     fn try_remove(&self) -> Option<()> {
@@ -58,18 +77,20 @@ impl Segment for LockedCounter {
             None
         } else {
             *count -= 1;
+            self.publish(*count);
             Some(())
         }
     }
 
     fn len(&self) -> usize {
-        *self.count.lock()
+        self.mirror.load(Ordering::Acquire)
     }
 
     fn steal_half(&self) -> CountBatch {
         let mut count = self.count.lock();
         let taken = steal_count(*count);
         *count -= taken;
+        self.publish(*count);
         CountBatch::of(taken)
     }
 
@@ -77,7 +98,9 @@ impl Segment for LockedCounter {
         // Guard the empty case: the probe's container-return leg must not
         // acquire the (uncharged) segment lock.
         if !batch.is_empty() {
-            *self.count.lock() += batch.len();
+            let mut count = self.count.lock();
+            *count += batch.len();
+            self.publish(*count);
         }
     }
 
@@ -85,11 +108,15 @@ impl Segment for LockedCounter {
         let mut count = self.count.lock();
         let taken = n.min(*count);
         *count -= taken;
+        self.publish(*count);
         CountBatch::of(taken)
     }
 
     fn drain_all(&self) -> CountBatch {
-        CountBatch::of(std::mem::take(&mut *self.count.lock()))
+        let mut count = self.count.lock();
+        let taken = std::mem::take(&mut *count);
+        self.publish(*count);
+        CountBatch::of(taken)
     }
 }
 
@@ -254,6 +281,17 @@ mod tests {
     #[test]
     fn atomic_counter_concurrent_conservation() {
         hammer::<AtomicCounter>();
+    }
+
+    #[test]
+    fn locked_counter_len_reads_without_the_lock() {
+        let seg = LockedCounter::new();
+        seg.add(());
+        seg.add(());
+        // The mirror must answer even while the mutex is held.
+        let _lock = seg.count.lock();
+        assert_eq!(seg.len(), 2);
+        assert!(!seg.is_empty());
     }
 
     #[test]

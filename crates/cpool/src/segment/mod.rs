@@ -55,6 +55,19 @@ use crate::transfer::TransferBatch;
 /// process may have changed the segment. The pool's algorithms only use it
 /// as a hint (probing emptiness) and for instrumentation.
 ///
+/// Because the search engine now consults that hint *before* draining a
+/// victim — an `is_empty` answer skips the victim's lock entirely —
+/// implementations should make `len`/`is_empty` cheap and non-blocking.
+/// Every in-tree segment keeps an atomic occupancy mirror updated by its
+/// locked mutation paths for exactly this reason. A third-party segment
+/// whose `len` takes its internal lock stays *correct* (the hint is
+/// re-validated by `steal_half` under the lock), it just forfeits the
+/// empty-probe fast path; one whose `len` over-reports emptiness would
+/// make probes skip real elements, which the contract forbids — the hint
+/// may lag a racing add, but must reflect every mutation this segment has
+/// completed. See the README's "lock-free internals" section for the
+/// migration note.
+///
 /// # Implementing the trait
 ///
 /// Simple segments set `type Batch = Vec<Self::Item>` (the

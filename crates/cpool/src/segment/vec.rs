@@ -1,6 +1,7 @@
 //! Element segment backed by a deque.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -29,6 +30,12 @@ const CACHED_SHELLS_PER_SEGMENT: usize = 2;
 /// The pool's element order is unspecified by contract; this layout is an
 /// implementation choice, not an ordering guarantee.
 ///
+/// Occupancy is mirrored in an atomic counter maintained by the locked
+/// mutation paths (every store happens while the mutex is held), so
+/// [`len`](Segment::len) / [`is_empty`](Segment::is_empty) never touch the
+/// lock — search probes observe emptiness without contending with the
+/// owner.
+///
 /// ```
 /// use cpool::segment::{Segment, VecSegment};
 /// let seg = VecSegment::new();
@@ -39,12 +46,21 @@ const CACHED_SHELLS_PER_SEGMENT: usize = 2;
 #[derive(Debug)]
 pub struct VecSegment<T> {
     items: Mutex<VecDeque<T>>,
+    /// Lock-free occupancy mirror: written (`Release`) only while `items`
+    /// is locked, read (`Acquire`) without the lock by `len`/`is_empty`.
+    len: AtomicUsize,
     shells: Arc<FreeList<Vec<T>>>,
 }
 
 impl<T> VecSegment<T> {
     fn with_shells(shells: Arc<FreeList<Vec<T>>>) -> Self {
-        VecSegment { items: Mutex::new(VecDeque::new()), shells }
+        VecSegment { items: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0), shells }
+    }
+
+    /// Publishes the locked deque's length to the lock-free mirror; must be
+    /// called with the `items` lock held, after the mutation.
+    fn publish_len(&self, items: &VecDeque<T>) {
+        self.len.store(items.len(), Ordering::Release);
     }
 }
 
@@ -71,15 +87,20 @@ impl<T: Send + 'static> Segment for VecSegment<T> {
     }
 
     fn add(&self, item: T) {
-        self.items.lock().push_back(item);
+        let mut items = self.items.lock();
+        items.push_back(item);
+        self.publish_len(&items);
     }
 
     fn try_remove(&self) -> Option<T> {
-        self.items.lock().pop_back()
+        let mut items = self.items.lock();
+        let item = items.pop_back();
+        self.publish_len(&items);
+        item
     }
 
     fn len(&self) -> usize {
-        self.items.lock().len()
+        self.len.load(Ordering::Acquire)
     }
 
     fn steal_half(&self) -> Vec<T> {
@@ -91,12 +112,15 @@ impl<T: Send + 'static> Segment for VecSegment<T> {
         if taken < SHELL_SPILL_MIN {
             // A tiny steal: the allocator's small-size fast path beats a
             // free-list round trip.
-            return items.drain(..taken).collect();
+            let batch = items.drain(..taken).collect();
+            self.publish_len(&items);
+            return batch;
         }
         // A bulk steal fills a recycled shell (capacity carried over from
         // an earlier transfer) instead of collecting into a fresh vector.
         let mut batch = self.shells.take().unwrap_or_default();
         batch.extend(items.drain(..taken));
+        self.publish_len(&items);
         batch
     }
 
@@ -104,6 +128,7 @@ impl<T: Send + 'static> Segment for VecSegment<T> {
         if !batch.is_empty() {
             let mut items = self.items.lock();
             items.extend(batch.drain(..));
+            self.publish_len(&items);
         }
         // The drained shell goes back to the pool's cache for the next
         // bulk steal (lock already released); undersized shells are not
@@ -122,11 +147,16 @@ impl<T: Send + 'static> Segment for VecSegment<T> {
         // the pool with the caller, so it is a plain allocation, not a
         // cache draw (a shell handed out could never come back).
         let at = items.len() - take;
-        items.drain(at..).collect()
+        let batch = items.drain(at..).collect();
+        self.publish_len(&items);
+        batch
     }
 
     fn drain_all(&self) -> Vec<T> {
-        std::mem::take(&mut *self.items.lock()).into_iter().collect()
+        let mut items = self.items.lock();
+        let drained = std::mem::take(&mut *items);
+        self.publish_len(&items);
+        drained.into_iter().collect()
     }
 }
 
@@ -182,6 +212,17 @@ mod tests {
         let again = family[1].steal_half();
         assert_eq!(again.capacity(), cap, "shell came back from the cache");
         assert_eq!(again.len(), 10);
+    }
+
+    #[test]
+    fn len_reads_without_the_lock() {
+        let seg = VecSegment::new();
+        seg.add(1);
+        seg.add(2);
+        // The occupancy mirror must answer even while the mutex is held.
+        let _lock = seg.items.lock();
+        assert_eq!(seg.len(), 2);
+        assert!(!seg.is_empty());
     }
 
     #[test]

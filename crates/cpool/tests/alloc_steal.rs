@@ -123,6 +123,41 @@ fn check_pool_frontend<S: Segment<Item = u64>>(name: &str) {
     );
 }
 
+/// The primitive under all of the pool-level guarantees above: the
+/// lock-free Treiber stack the free lists ride on keeps popped nodes on an
+/// internal spares list and reuses them for later pushes, so past the
+/// high-water mark a push/pop churn performs zero allocations — `pop`
+/// never frees, `push` only allocates when no spare exists.
+#[test]
+fn treiber_free_list_steady_state_allocates_nothing() {
+    use crossbeam_queue::Stack;
+
+    let stack = Stack::new();
+    // Warm to the high-water mark: every node the measured churn needs is
+    // allocated here once and then recycled through the spares list.
+    for i in 0..PER_ROUND {
+        stack.push(i);
+    }
+    for _ in 0..PER_ROUND {
+        stack.pop().expect("warmed");
+    }
+    let hits = count_allocs(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            for i in 0..PER_ROUND {
+                stack.push(i);
+            }
+            for _ in 0..PER_ROUND {
+                stack.pop().expect("pushed this round");
+            }
+        }
+    });
+    assert_eq!(
+        hits, 0,
+        "Stack must recycle nodes: {MEASURED_ROUNDS} rounds of {PER_ROUND} push/pop pairs \
+         past the high-water mark"
+    );
+}
+
 fn keyed_round(thief: &mut cpool::KeyedHandle<u8, u64>, victim: &mut cpool::KeyedHandle<u8, u64>) {
     const KEY: u8 = 7;
     for i in 0..PER_ROUND {

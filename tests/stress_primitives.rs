@@ -1,0 +1,181 @@
+//! N×M stress tests for the hand-rolled lock-free primitives in
+//! `crossbeam-queue` (and the `FreeList` built on them), run under hard
+//! watchdog deadlines.
+//!
+//! The vendored crate's own unit tests check ordering and small concurrent
+//! interleavings; these tests run real producer/consumer fleets long
+//! enough for preemption to land inside every CAS window — mid-push
+//! between claiming a slot index and setting its WRITE bit, mid-pop
+//! between unhooking a Treiber head and parking the node on the spares
+//! list — and assert the two properties that survive any interleaving:
+//!
+//! * **termination** — no lost update can strand a spinning peer (the
+//!   watchdog turns a livelock into a test failure instead of a hung CI
+//!   job), and
+//! * **conservation** — every value pushed is popped exactly once
+//!   (checksums catch both loss and duplication, the two faces of an ABA
+//!   bug).
+//!
+//! CI also runs this file under `--release` behind a hard `timeout`:
+//! optimized codegen shrinks the race windows the dev profile masks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use cpool::transfer::FreeList;
+use crossbeam_queue::{ArrayQueue, SegQueue, Stack};
+
+/// Runs `scenario` on its own thread and panics if it does not finish
+/// within `deadline` (the lifecycle-test watchdog pattern: the property
+/// under test is termination, so a deadlock must fail fast, not hang CI).
+fn with_deadline(deadline: Duration, scenario: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let runner = thread::spawn(move || {
+        scenario();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(()) => runner.join().expect("scenario panicked"),
+        Err(_) => panic!("primitive stress exceeded its {deadline:?} deadline: livelock"),
+    }
+}
+
+const PRODUCERS: usize = 4;
+const CONSUMERS: usize = 4;
+const PER_PRODUCER: u64 = 30_000;
+
+/// Values `producer` pushes: globally unique, so duplication shifts the
+/// checksum just as surely as loss.
+fn values_of(producer: usize) -> impl Iterator<Item = u64> {
+    let base = producer as u64 * PER_PRODUCER;
+    (base..base + PER_PRODUCER).map(|v| v + 1) // +1: zero would hide in a sum
+}
+
+fn expected_checksum() -> u64 {
+    (0..PRODUCERS).flat_map(values_of).sum()
+}
+
+/// N producers push disjoint value ranges while M consumers pop until the
+/// producers finish and the structure drains; `push`/`pop` are the
+/// structure's own operations, threaded through closures so one driver
+/// covers all three primitives.
+fn mpmc_conservation(push: impl Fn(u64) + Sync, pop: impl Fn() -> Option<u64> + Sync) {
+    let live_producers = AtomicU64::new(PRODUCERS as u64);
+    let consumed = AtomicU64::new(0);
+    thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            let (push, live_producers) = (&push, &live_producers);
+            s.spawn(move || {
+                for v in values_of(p) {
+                    push(v);
+                    if v.is_multiple_of(1024) {
+                        thread::yield_now();
+                    }
+                }
+                live_producers.fetch_sub(1, Ordering::Release);
+            });
+        }
+        for _ in 0..CONSUMERS {
+            let (pop, live_producers, consumed) = (&pop, &live_producers, &consumed);
+            s.spawn(move || {
+                let mut sum = 0u64;
+                loop {
+                    match pop() {
+                        Some(v) => sum += v,
+                        // Consumers may quit while peers still drain (or
+                        // even while elements linger after the last
+                        // producer's count hits zero); the residue sweep
+                        // below settles the books single-threaded.
+                        None if live_producers.load(Ordering::Acquire) == 0 => break,
+                        None => thread::yield_now(),
+                    }
+                }
+                consumed.fetch_add(sum, Ordering::Relaxed);
+            });
+        }
+    });
+    // Anything the consumers' exits raced past is still inside.
+    let mut residue = 0u64;
+    while let Some(v) = pop() {
+        residue += v;
+    }
+    assert_eq!(
+        consumed.load(Ordering::Relaxed) + residue,
+        expected_checksum(),
+        "every pushed value must be popped exactly once"
+    );
+}
+
+#[test]
+fn seg_queue_mpmc_conservation_under_stress() {
+    with_deadline(Duration::from_secs(120), || {
+        let q = SegQueue::new();
+        mpmc_conservation(|v| q.push(v), || q.pop());
+    });
+}
+
+#[test]
+fn treiber_stack_mpmc_conservation_under_stress() {
+    with_deadline(Duration::from_secs(120), || {
+        let stack = Stack::new();
+        mpmc_conservation(|v| stack.push(v), || stack.pop());
+    });
+}
+
+#[test]
+fn array_queue_mpmc_conservation_under_stress() {
+    with_deadline(Duration::from_secs(120), || {
+        // Deliberately smaller than the total element count: producers hit
+        // the full path and must wait for consumers, so the stamp-based
+        // full/empty detection runs under real backpressure.
+        let q = ArrayQueue::new(256);
+        mpmc_conservation(
+            |v| {
+                let mut v = v;
+                while let Err(back) = q.push(v) {
+                    v = back;
+                    thread::yield_now();
+                }
+            },
+            || q.pop(),
+        );
+    });
+}
+
+/// The production free list under churn: `put` may *drop* beyond the cap,
+/// so conservation here means "never invent a container" — takes can
+/// never outnumber puts — and the cache bound holds at quiescence.
+#[test]
+fn free_list_churn_bounded_and_terminates() {
+    with_deadline(Duration::from_secs(120), || {
+        const CAP: usize = 64;
+        let list: FreeList<u64> = FreeList::new(CAP);
+        let takes = AtomicU64::new(0);
+        let puts = AtomicU64::new(0);
+        thread::scope(|s| {
+            for t in 0..(PRODUCERS + CONSUMERS) {
+                let (list, takes, puts) = (&list, &takes, &puts);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        if (i + t as u64).is_multiple_of(3) {
+                            if list.take().is_some() {
+                                takes.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            list.put(i);
+                            puts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let cached = list.cached() as u64;
+        assert!(cached as usize <= CAP, "cache bound violated: {cached} > {CAP}");
+        assert!(
+            takes.load(Ordering::Relaxed) + cached <= puts.load(Ordering::Relaxed),
+            "successful takes + residue cannot exceed puts (puts beyond the cap drop)"
+        );
+    });
+}

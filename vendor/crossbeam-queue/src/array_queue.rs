@@ -1,0 +1,366 @@
+//! Bounded lock-free MPMC FIFO queue over a fixed ring of slots.
+//!
+//! This is Vyukov's bounded MPMC queue (also the crossbeam `ArrayQueue`
+//! design). Each slot carries a *sequence stamp*; `head` and `tail` are
+//! ever-increasing indexes that encode a lap number alongside the slot
+//! offset. A slot is writable when its stamp equals the tail that maps to
+//! it, readable when the stamp is one past the head that maps to it — so a
+//! single `Acquire` stamp load tells a thread whether the slot is ready
+//! without inspecting the other end of the queue, and the stamp store
+//! (`Release`) publishes the value write (or the vacancy) it follows.
+//!
+//! Full and empty are decided the same way as `SegQueue` emptiness: a
+//! `SeqCst` fence followed by a relaxed load of the *other* index, paired
+//! with the `SeqCst` index CASes, proves the condition was true at a real
+//! instant rather than a stale snapshot.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{self, AtomicUsize, Ordering};
+
+use crate::backoff::Backoff;
+use crate::pad::CachePadded;
+
+struct Slot<T> {
+    /// Sequence stamp: `tail` value when vacant for that tail, `tail + 1`
+    /// once written, `head + one_lap` once read back out.
+    stamp: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded lock-free MPMC FIFO queue with exact capacity.
+///
+/// `push` fails (returning the value) when the ring is full, which is what
+/// makes it a fit for *bounded* hand-off paths; order is FIFO.
+///
+/// ```
+/// use crossbeam_queue::ArrayQueue;
+///
+/// let q = ArrayQueue::new(2);
+/// assert_eq!(q.push(1), Ok(()));
+/// assert_eq!(q.push(2), Ok(()));
+/// assert_eq!(q.push(3), Err(3));
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+pub struct ArrayQueue<T> {
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    buffer: Box<[Slot<T>]>,
+    cap: usize,
+    /// Index distance between the same slot on consecutive laps: the
+    /// smallest power of two strictly greater than `cap`, so lap and
+    /// offset split on a bit boundary.
+    one_lap: usize,
+}
+
+// SAFETY: the queue moves owned `T` values between threads through the
+// ring; the stamp protocol gives each value exactly one reader.
+unsafe impl<T: Send> Send for ArrayQueue<T> {}
+unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+impl<T> ArrayQueue<T> {
+    /// Creates a queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be non-zero");
+        let buffer: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        ArrayQueue {
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            buffer,
+            cap,
+            one_lap: (cap + 1).next_power_of_two(),
+        }
+    }
+
+    /// Pushes `value` onto the back, or returns it if the queue is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut backoff = Backoff::new();
+        let mut tail = self.tail.load(Ordering::Relaxed);
+
+        loop {
+            let index = tail & (self.one_lap - 1);
+            let lap = tail & !(self.one_lap - 1);
+            // The ring wraps at `cap`, not at the (power-of-two) lap size,
+            // so capacity is exact.
+            let new_tail =
+                if index + 1 < self.cap { tail + 1 } else { lap.wrapping_add(self.one_lap) };
+            let slot = &self.buffer[index];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+
+            if tail == stamp {
+                // Vacant for this lap: claim it.
+                match self.tail.compare_exchange_weak(
+                    tail,
+                    new_tail,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive write access to
+                        // this slot for this lap.
+                        unsafe { slot.value.get().write(MaybeUninit::new(value)) };
+                        slot.stamp.store(tail + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => {
+                        tail = t;
+                        backoff.spin();
+                    }
+                }
+            } else if stamp.wrapping_add(self.one_lap) == tail + 1 {
+                // The slot was written a full lap ago and not yet read:
+                // possibly full. The fence + head load (paired with the
+                // SeqCst CASes) decides for real.
+                atomic::fence(Ordering::SeqCst);
+                let head = self.head.load(Ordering::Relaxed);
+                if head.wrapping_add(self.one_lap) == tail {
+                    return Err(value);
+                }
+                backoff.spin();
+                tail = self.tail.load(Ordering::Relaxed);
+            } else {
+                // The claiming pusher has not finished its stamp store yet.
+                backoff.snooze();
+                tail = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the front element, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut backoff = Backoff::new();
+        let mut head = self.head.load(Ordering::Relaxed);
+
+        loop {
+            let index = head & (self.one_lap - 1);
+            let lap = head & !(self.one_lap - 1);
+            let new_head =
+                if index + 1 < self.cap { head + 1 } else { lap.wrapping_add(self.one_lap) };
+            let slot = &self.buffer[index];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+
+            if head + 1 == stamp {
+                // Written for this lap: claim it.
+                match self.head.compare_exchange_weak(
+                    head,
+                    new_head,
+                    Ordering::SeqCst,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the CAS gave us exclusive read access to
+                        // this slot for this lap.
+                        let value = unsafe { slot.value.get().read().assume_init() };
+                        // Mark the slot vacant for the *next* lap's pusher.
+                        slot.stamp.store(head.wrapping_add(self.one_lap), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(h) => {
+                        head = h;
+                        backoff.spin();
+                    }
+                }
+            } else if stamp == head {
+                // Not yet written this lap: possibly empty.
+                atomic::fence(Ordering::SeqCst);
+                let tail = self.tail.load(Ordering::Relaxed);
+                if tail == head {
+                    return None;
+                }
+                backoff.spin();
+                head = self.head.load(Ordering::Relaxed);
+            } else {
+                // The claiming popper has not finished its stamp store yet.
+                backoff.snooze();
+                head = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Maximum number of elements the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of elements currently queued (snapshot).
+    pub fn len(&self) -> usize {
+        loop {
+            let tail = self.tail.load(Ordering::SeqCst);
+            let head = self.head.load(Ordering::SeqCst);
+            // Re-check tail so the pair is a consistent snapshot.
+            if self.tail.load(Ordering::SeqCst) == tail {
+                let hix = head & (self.one_lap - 1);
+                let tix = tail & (self.one_lap - 1);
+                return if hix < tix {
+                    tix - hix
+                } else if hix > tix {
+                    self.cap - hix + tix
+                } else if tail == head {
+                    0
+                } else {
+                    self.cap
+                };
+            }
+        }
+    }
+
+    /// Whether the queue is currently empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::SeqCst);
+        let tail = self.tail.load(Ordering::SeqCst);
+        tail == head
+    }
+
+    /// Whether the queue is currently full (snapshot).
+    pub fn is_full(&self) -> bool {
+        let tail = self.tail.load(Ordering::SeqCst);
+        let head = self.head.load(Ordering::SeqCst);
+        head.wrapping_add(self.one_lap) == tail
+    }
+}
+
+impl<T> Drop for ArrayQueue<T> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<T>() {
+            let head = *self.head.get_mut();
+            let hix = head & (self.one_lap - 1);
+            for i in 0..self.len() {
+                let index = if hix + i < self.cap { hix + i } else { hix + i - self.cap };
+                // SAFETY: exclusive access; the slots in [head, head+len)
+                // hold initialized values.
+                unsafe { (*self.buffer[index].value.get()).assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for ArrayQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArrayQueue").field("len", &self.len()).field("cap", &self.cap).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_with_exact_capacity() {
+        // Non-power-of-two capacity exercises the manual wrap.
+        let q = ArrayQueue::new(3);
+        assert_eq!(q.capacity(), 3);
+        for lap in 0..5 {
+            assert_eq!(q.push(lap * 10 + 1), Ok(()));
+            assert_eq!(q.push(lap * 10 + 2), Ok(()));
+            assert_eq!(q.push(lap * 10 + 3), Ok(()));
+            assert_eq!(q.push(99), Err(99), "full at exactly cap");
+            assert!(q.is_full());
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop(), Some(lap * 10 + 1));
+            assert_eq!(q.pop(), Some(lap * 10 + 2));
+            assert_eq!(q.pop(), Some(lap * 10 + 3));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn len_tracks_wrapped_occupancy() {
+        let q = ArrayQueue::new(5);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        q.pop();
+        q.pop();
+        q.push(9).unwrap();
+        q.push(10).unwrap();
+        q.push(11).unwrap(); // wrapped past the ring edge
+        assert_eq!(q.len(), 5);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    fn drops_remaining_values() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q = ArrayQueue::new(4);
+            for _ in 0..4 {
+                q.push(Counted(Arc::clone(&drops))).ok().unwrap();
+            }
+            drop(q.pop());
+            q.push(Counted(Arc::clone(&drops))).ok().unwrap(); // wrap
+            assert_eq!(drops.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_multiset_conservation() {
+        let q = ArrayQueue::new(7); // small odd capacity: constant wrapping
+        let producers = 4;
+        let consumers = 4;
+        let per = 2000usize;
+        let total = producers * per;
+        let seen: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        let taken = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for p in 0..producers {
+                let q = &q;
+                scope.spawn(move || {
+                    for i in 0..per {
+                        let mut v = p * per + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let q = &q;
+                let seen = &seen;
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    if let Some(v) = q.pop() {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                        if taken.fetch_add(1, Ordering::Relaxed) + 1 == total {
+                            return;
+                        }
+                    } else if taken.load(Ordering::Relaxed) >= total {
+                        return;
+                    } else {
+                        thread::yield_now();
+                    }
+                });
+            }
+        });
+        for (v, count) in seen.iter().enumerate() {
+            assert_eq!(count.load(Ordering::Relaxed), 1, "value {v} popped exactly once");
+        }
+        assert!(q.is_empty());
+    }
+}

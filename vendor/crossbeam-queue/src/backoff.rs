@@ -1,0 +1,44 @@
+//! Exponential backoff for CAS retry loops (a minimal stand-in for
+//! `crossbeam_utils::Backoff`).
+
+use std::hint;
+use std::thread;
+
+/// Spins double the previous amount each step, up to `1 << SPIN_LIMIT`
+/// spin-loop hints per call, before `snooze` starts yielding to the OS.
+const SPIN_LIMIT: u32 = 6;
+
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Backs off after a failed CAS: the contended word *did* change, so
+    /// progress is being made somewhere — burn a few cycles and retry.
+    pub(crate) fn spin(&mut self) {
+        for _ in 0..1u32 << self.step.min(SPIN_LIMIT) {
+            hint::spin_loop();
+        }
+        if self.step <= SPIN_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Backs off while waiting for *another thread's* pending store (a
+    /// block installation, a slot write). After the spin budget is spent,
+    /// yields the time slice so a descheduled writer can run.
+    pub(crate) fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+}

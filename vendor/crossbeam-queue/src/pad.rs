@@ -1,0 +1,32 @@
+//! Cache-line padding so the producer and consumer ends of a queue do not
+//! false-share (a minimal stand-in for `crossbeam_utils::CachePadded`).
+
+use std::ops::{Deref, DerefMut};
+
+/// Aligns `T` to 128 bytes: two 64-byte lines, covering the adjacent-line
+/// prefetcher on x86-64 and 128-byte lines on some aarch64 parts.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub(crate) fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}

@@ -1,0 +1,552 @@
+//! Unbounded lock-free MPMC FIFO queue over linked fixed-size blocks.
+//!
+//! This follows the crossbeam `SegQueue` design. Elements live in
+//! heap-allocated blocks of [`BLOCK_CAP`] slots linked into a list; two
+//! global indexes (`head` for poppers, `tail` for pushers) are claimed with
+//! CAS, and a per-slot state word coordinates the three hand-offs the
+//! algorithm needs:
+//!
+//! * **writer → reader** (`WRITE`): a pop that claimed index `i` may run
+//!   before the push that claimed `i` has stored the value. The reader
+//!   spins on the slot's `WRITE` bit; the writer's `fetch_or(WRITE,
+//!   Release)` publishes the value store before it.
+//! * **reader → reclaimer** (`READ` / `DESTROY`): blocks are freed without
+//!   an epoch collector. The pop that claims a block's *last* slot starts a
+//!   destruction sweep over the block; any slot whose reader is still
+//!   mid-pop gets its `DESTROY` bit set instead, and that straggler — on
+//!   seeing `DESTROY` in its own `fetch_or(READ)` — resumes the sweep from
+//!   the next slot. Exactly one thread ends up calling `Box::from_raw`.
+//! * **installer → everyone** (the boundary index): each block owns `LAP`
+//!   consecutive index values — `BLOCK_CAP` real slots plus one reserved
+//!   *boundary* value. An index sitting on the boundary means "the next
+//!   block is being installed"; pushers and poppers that land there spin
+//!   until the installer advances the index past it.
+//!
+//! Emptiness is decided by comparing the two indexes: both are monotonic
+//! and walk the identical index sequence, so `head == tail` observed under
+//! a `SeqCst` fence means every claimed slot has been popped.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{self, AtomicPtr, AtomicUsize, Ordering};
+
+use crate::backoff::Backoff;
+use crate::pad::CachePadded;
+
+/// Set once the pushing thread has stored the slot's value.
+const WRITE: usize = 1;
+/// Set once the popping thread has finished reading the slot's value.
+const READ: usize = 2;
+/// Set by a destruction sweep that found the slot's reader still mid-pop.
+const DESTROY: usize = 4;
+
+/// Index values per block: the slots plus one boundary value.
+const LAP: usize = 32;
+/// Value slots per block.
+const BLOCK_CAP: usize = LAP - 1;
+
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    /// Spins until the pushing thread has written this slot's value.
+    fn wait_write(&self) {
+        let mut backoff = Backoff::new();
+        while self.state.load(Ordering::Acquire) & WRITE == 0 {
+            backoff.snooze();
+        }
+    }
+}
+
+struct Block<T> {
+    next: AtomicPtr<Block<T>>,
+    slots: [Slot<T>; BLOCK_CAP],
+}
+
+impl<T> Block<T> {
+    fn new() -> Box<Self> {
+        // SAFETY: the all-zero bit pattern is valid for every field — a
+        // null `AtomicPtr`, zeroed `AtomicUsize` state words (no bits set),
+        // and `MaybeUninit<T>` values (uninitialized by definition).
+        unsafe { Box::new(MaybeUninit::<Block<T>>::zeroed().assume_init()) }
+    }
+
+    /// Spins until the next block has been installed, then returns it.
+    fn wait_next(&self) -> *mut Block<T> {
+        let mut backoff = Backoff::new();
+        loop {
+            let next = self.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Sweeps slots `start..` marking them `DESTROY`, freeing the block if
+    /// every reader is done; a straggling reader resumes the sweep.
+    ///
+    /// The last slot is exempt: its reader is the thread that *initiates*
+    /// destruction (with `start == 0`), so it never needs the hand-off.
+    ///
+    /// # Safety
+    ///
+    /// `this` must have been claimed in full (all `BLOCK_CAP` slots popped
+    /// or being popped), and each slot's pop calls this at most once.
+    unsafe fn destroy(this: *mut Block<T>, start: usize) {
+        for i in start..BLOCK_CAP - 1 {
+            let slot = unsafe { &(*this).slots[i] };
+            // If the reader is still mid-pop, delegate the rest of the
+            // sweep to it (it will see DESTROY in its own fetch_or).
+            if slot.state.load(Ordering::Acquire) & READ == 0
+                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+            {
+                return;
+            }
+        }
+        // Every reader is done; this thread frees the block.
+        drop(unsafe { Box::from_raw(this) });
+    }
+}
+
+/// One end of the queue: the next index to claim and the block it lives in.
+struct Position<T> {
+    index: AtomicUsize,
+    block: AtomicPtr<Block<T>>,
+}
+
+/// An unbounded lock-free MPMC FIFO queue.
+///
+/// ```
+/// use crossbeam_queue::SegQueue;
+///
+/// let q = SegQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct SegQueue<T> {
+    head: CachePadded<Position<T>>,
+    tail: CachePadded<Position<T>>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the queue moves owned `T` values between threads through raw
+// blocks; the per-slot state protocol gives each value exactly one reader.
+unsafe impl<T: Send> Send for SegQueue<T> {}
+unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue. The first block is allocated lazily by the
+    /// first push.
+    pub fn new() -> Self {
+        SegQueue {
+            head: CachePadded::new(Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(ptr::null_mut()),
+            }),
+            tail: CachePadded::new(Position {
+                index: AtomicUsize::new(0),
+                block: AtomicPtr::new(ptr::null_mut()),
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Pushes `value` onto the back of the queue.
+    pub fn push(&self, value: T) {
+        let mut backoff = Backoff::new();
+        let mut tail = self.tail.index.load(Ordering::Acquire);
+        let mut block = self.tail.block.load(Ordering::Acquire);
+        let mut next_block: Option<Box<Block<T>>> = None;
+
+        loop {
+            let offset = tail % LAP;
+            if offset == BLOCK_CAP {
+                // The push that claimed the previous slot is installing the
+                // next block; wait for it to advance the index.
+                backoff.snooze();
+                tail = self.tail.index.load(Ordering::Acquire);
+                block = self.tail.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            // About to claim this block's last slot: pre-allocate the next
+            // block so the post-CAS installation is a couple of stores.
+            if offset + 1 == BLOCK_CAP && next_block.is_none() {
+                next_block = Some(Block::new());
+            }
+
+            // First push ever: race to install the initial block.
+            if block.is_null() {
+                let new = Box::into_raw(Block::new());
+                if self
+                    .tail
+                    .block
+                    .compare_exchange(ptr::null_mut(), new, Ordering::Release, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    self.head.block.store(new, Ordering::Release);
+                    block = new;
+                } else {
+                    // Lost the race; keep the allocation for the boundary.
+                    next_block = Some(unsafe { Box::from_raw(new) });
+                    tail = self.tail.index.load(Ordering::Acquire);
+                    block = self.tail.block.load(Ordering::Acquire);
+                    continue;
+                }
+            }
+
+            // Claim index `tail` (slot `offset` of `block`). SeqCst on
+            // success so pop's fence + relaxed `tail` load observes it.
+            match self.tail.index.compare_exchange_weak(
+                tail,
+                tail + 1,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Claimed the last slot: install the next block, then
+                    // bump the index past the boundary value so spinning
+                    // pushers can proceed.
+                    if offset + 1 == BLOCK_CAP {
+                        let next = Box::into_raw(next_block.take().unwrap());
+                        self.tail.block.store(next, Ordering::Release);
+                        self.tail.index.fetch_add(1, Ordering::Release);
+                        (*block).next.store(next, Ordering::Release);
+                    }
+
+                    // Write the value, then publish it with the WRITE bit.
+                    let slot = (*block).slots.get_unchecked(offset);
+                    slot.value.get().write(MaybeUninit::new(value));
+                    slot.state.fetch_or(WRITE, Ordering::Release);
+                    return;
+                },
+                Err(t) => {
+                    tail = t;
+                    block = self.tail.block.load(Ordering::Acquire);
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Pops the front element, or `None` if the queue is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut backoff = Backoff::new();
+        let mut head = self.head.index.load(Ordering::Acquire);
+        let mut block = self.head.block.load(Ordering::Acquire);
+
+        loop {
+            let offset = head % LAP;
+            if offset == BLOCK_CAP {
+                // The pop that claimed the previous slot is advancing the
+                // head to the next block; wait for it.
+                backoff.snooze();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            // Emptiness check: the fence orders this load after our head
+            // load, pairing with the SeqCst index CAS in `push` — if a
+            // value was pushed before we started, we see `tail` past it.
+            // Both indexes walk the same sequence, so equality means every
+            // claimed slot has already been popped.
+            atomic::fence(Ordering::SeqCst);
+            let tail = self.tail.index.load(Ordering::Relaxed);
+            if head == tail {
+                return None;
+            }
+
+            if block.is_null() {
+                // A push has claimed index 0 but is still installing the
+                // first block.
+                backoff.snooze();
+                head = self.head.index.load(Ordering::Acquire);
+                block = self.head.block.load(Ordering::Acquire);
+                continue;
+            }
+
+            // Claim index `head` (slot `offset` of `block`).
+            match self.head.index.compare_exchange_weak(
+                head,
+                head + 1,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => unsafe {
+                    // Claimed the last slot: move the head to the next
+                    // block (installed by the push that claimed that slot),
+                    // skipping the boundary index value.
+                    if offset + 1 == BLOCK_CAP {
+                        let next = (*block).wait_next();
+                        self.head.block.store(next, Ordering::Release);
+                        self.head.index.store(head + 2, Ordering::Release);
+                    }
+
+                    let slot = (*block).slots.get_unchecked(offset);
+                    slot.wait_write();
+                    let value = slot.value.get().read().assume_init();
+
+                    // Reclamation: the last slot's popper sweeps the block;
+                    // earlier poppers mark READ, inheriting the sweep if a
+                    // DESTROY already beat them to this slot.
+                    if offset + 1 == BLOCK_CAP {
+                        Block::destroy(block, 0);
+                    } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                        Block::destroy(block, offset + 1);
+                    }
+
+                    return Some(value);
+                },
+                Err(h) => {
+                    head = h;
+                    block = self.head.block.load(Ordering::Acquire);
+                    backoff.spin();
+                }
+            }
+        }
+    }
+
+    /// Number of elements currently queued (snapshot).
+    pub fn len(&self) -> usize {
+        loop {
+            // Load tail before head, and re-check tail so the pair is a
+            // consistent snapshot (head never passes tail).
+            let mut tail = self.tail.index.load(Ordering::SeqCst);
+            let mut head = self.head.index.load(Ordering::SeqCst);
+            if self.tail.index.load(Ordering::SeqCst) == tail {
+                // An index resting on a block boundary is morally at the
+                // next block's first slot.
+                if tail % LAP == BLOCK_CAP {
+                    tail += 1;
+                }
+                if head % LAP == BLOCK_CAP {
+                    head += 1;
+                }
+                // Rebase to head's lap, then discount the boundary values
+                // between the two indexes (one per whole lap below tail).
+                let lap = head / LAP;
+                tail -= lap * LAP;
+                head -= lap * LAP;
+                return tail - head - tail / LAP;
+            }
+        }
+    }
+
+    /// Whether the queue is currently empty (snapshot).
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.index.load(Ordering::SeqCst);
+        let tail = self.tail.index.load(Ordering::SeqCst);
+        head == tail
+    }
+}
+
+impl<T> Drop for SegQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the unclaimed indexes, dropping values and
+        // freeing blocks as boundaries are crossed.
+        let mut head = *self.head.index.get_mut();
+        let tail = *self.tail.index.get_mut();
+        let mut block = *self.head.block.get_mut();
+
+        unsafe {
+            while head != tail {
+                let offset = head % LAP;
+                if offset < BLOCK_CAP {
+                    let slot = (*block).slots.get_unchecked(offset);
+                    (*slot.value.get()).assume_init_drop();
+                } else {
+                    let next = *(*block).next.get_mut();
+                    drop(Box::from_raw(block));
+                    block = next;
+                }
+                head += 1;
+            }
+            if !block.is_null() {
+                drop(Box::from_raw(block));
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for SegQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegQueue").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_order_across_blocks() {
+        // Enough elements to cross several block boundaries.
+        let q = SegQueue::new();
+        let n = LAP * 5 + 7;
+        for i in 0..n {
+            q.push(i);
+        }
+        assert_eq!(q.len(), n);
+        for i in 0..n {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn len_tracks_interleaved_push_pop() {
+        // Walk push/pop through boundary offsets to exercise the lap
+        // arithmetic in len().
+        let q = SegQueue::new();
+        let mut expect = 0usize;
+        for round in 0..(LAP * 3) {
+            for i in 0..3 {
+                q.push(round * 3 + i);
+                expect += 1;
+                assert_eq!(q.len(), expect);
+            }
+            assert!(q.pop().is_some());
+            expect -= 1;
+            assert_eq!(q.len(), expect);
+        }
+        while q.pop().is_some() {
+            expect -= 1;
+            assert_eq!(q.len(), expect);
+        }
+        assert_eq!(expect, 0);
+    }
+
+    #[test]
+    fn drops_unpopped_elements_and_blocks() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let n = LAP * 2 + 5;
+        {
+            let q = SegQueue::new();
+            for _ in 0..n {
+                q.push(Counted(Arc::clone(&drops)));
+            }
+            for _ in 0..7 {
+                drop(q.pop());
+            }
+            assert_eq!(drops.load(Ordering::Relaxed), 7);
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), n, "queue drop releases the remainder");
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        let q = SegQueue::new();
+        let producers = 4;
+        let per = 1000;
+        let popped = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for p in 0..producers {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.push(p * per + i);
+                    }
+                });
+            }
+            for _ in 0..producers {
+                let q = &q;
+                let popped = &popped;
+                s.spawn(move || {
+                    let mut got = 0;
+                    while got < per {
+                        if q.pop().is_some() {
+                            got += 1;
+                        } else {
+                            thread::yield_now();
+                        }
+                    }
+                    popped.fetch_add(got, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), producers * per);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_multiset_conservation() {
+        // Stronger than counting: the popped *values* must be exactly the
+        // pushed multiset, each exactly once.
+        let q = SegQueue::new();
+        let producers = 4;
+        let consumers = 4;
+        let per = 2000usize;
+        let total = producers * per;
+        let seen: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        let taken = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for p in 0..producers {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.push(p * per + i);
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let q = &q;
+                let seen = &seen;
+                let taken = &taken;
+                s.spawn(move || loop {
+                    if let Some(v) = q.pop() {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                        if taken.fetch_add(1, Ordering::Relaxed) + 1 == total {
+                            return;
+                        }
+                    } else if taken.load(Ordering::Relaxed) >= total {
+                        return;
+                    } else {
+                        thread::yield_now();
+                    }
+                });
+            }
+        });
+        for (v, count) in seen.iter().enumerate() {
+            assert_eq!(count.load(Ordering::Relaxed), 1, "value {v} popped exactly once");
+        }
+        assert!(q.is_empty());
+    }
+}

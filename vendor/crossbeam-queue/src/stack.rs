@@ -1,0 +1,374 @@
+//! An unordered lock-free Treiber stack with a generation-tagged head.
+//!
+//! The classic Treiber pop is ABA-unsafe: between loading the head node and
+//! CASing it off, the node can be popped, recycled, and pushed back — the
+//! pointer matches, the CAS succeeds, and the stack is corrupted (the stale
+//! `next` the CAS installs may point at a node that is no longer in the
+//! list). Two mechanisms close the hole here:
+//!
+//! * **Generation tags.** The head is a single `AtomicU64` packing a
+//!   48-bit node pointer with a 16-bit generation counter that every
+//!   successful CAS increments. A pop that raced a pop-repush cycle fails
+//!   its CAS on the tag even though the pointer matches. (`Stack::new`
+//!   asserts the 48-bit packing actually fits this platform's pointers.)
+//! * **Type-stable nodes.** Popped nodes are not freed; they move to an
+//!   internal spare-node list (itself a tagged Treiber stack) and are
+//!   reused by later pushes, freed only when the `Stack` is dropped. A
+//!   stalled pop may therefore read the `next` field of a node it no
+//!   longer owns, but never of *freed* memory — and `next` is an
+//!   `AtomicPtr`, so the racy read is defined behavior. The node count is
+//!   bounded by the stack's high-water mark.
+//!
+//! Ordering argument: a push writes the value into the node and publishes
+//! the node with a `Release` CAS on `head`; the pop that claims the node
+//! does so with an `Acquire`-on-success CAS, so the value read happens
+//! after the value write. The spare-list hand-off repeats the same pattern
+//! for the node structure itself.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use crate::backoff::Backoff;
+use crate::pad::CachePadded;
+
+/// Low 48 bits of a packed head hold the node pointer; the high 16 bits
+/// hold the generation tag.
+const PTR_MASK: u64 = (1 << 48) - 1;
+
+struct Node<T> {
+    next: AtomicPtr<Node<T>>,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+fn pack<T>(node: *mut Node<T>, tag: u64) -> u64 {
+    let addr = node as u64;
+    debug_assert_eq!(addr & !PTR_MASK, 0);
+    addr | (tag << 48)
+}
+
+fn unpack<T>(packed: u64) -> (*mut Node<T>, u64) {
+    ((packed & PTR_MASK) as *mut Node<T>, packed >> 48)
+}
+
+/// Pushes `node` onto the tagged list at `list`, bumping the generation.
+fn push_node<T>(list: &AtomicU64, node: *mut Node<T>) {
+    let mut backoff = Backoff::new();
+    let mut cur = list.load(Ordering::Relaxed);
+    loop {
+        let (head, tag) = unpack::<T>(cur);
+        // SAFETY: we own `node` until the CAS below succeeds; after that,
+        // ownership transfers to the list.
+        unsafe { (*node).next.store(head, Ordering::Relaxed) };
+        match list.compare_exchange_weak(
+            cur,
+            pack(node, tag.wrapping_add(1)),
+            Ordering::Release,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(c) => {
+                cur = c;
+                backoff.spin();
+            }
+        }
+    }
+}
+
+/// Pops a node from the tagged list at `list`; the caller takes ownership
+/// of the returned node.
+fn pop_node<T>(list: &AtomicU64) -> Option<*mut Node<T>> {
+    let mut backoff = Backoff::new();
+    let mut cur = list.load(Ordering::Acquire);
+    loop {
+        let (head, tag) = unpack::<T>(cur);
+        if head.is_null() {
+            return None;
+        }
+        // SAFETY: nodes are type-stable — `head` may have been popped and
+        // recycled since we loaded `cur` (the tag CAS below catches that),
+        // but it is never freed while the stack is alive, and `next` is
+        // atomic, so this read is always defined.
+        let next = unsafe { (*head).next.load(Ordering::Relaxed) };
+        match list.compare_exchange_weak(
+            cur,
+            pack(next, tag.wrapping_add(1)),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(head),
+            Err(c) => {
+                cur = c;
+                backoff.spin();
+            }
+        }
+    }
+}
+
+/// An unbounded lock-free MPMC stack (LIFO), ABA-safe via generation tags.
+///
+/// API-compatible with [`SegQueue`](crate::SegQueue) minus FIFO order —
+/// built for free-list / shell-cache paths where reuse order is
+/// irrelevant (LIFO even helps: the hottest container comes back first).
+///
+/// ```
+/// use crossbeam_queue::Stack;
+///
+/// let s = Stack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct Stack<T> {
+    head: CachePadded<AtomicU64>,
+    spares: CachePadded<AtomicU64>,
+    len: AtomicUsize,
+    _marker: PhantomData<Box<Node<T>>>,
+}
+
+// SAFETY: the stack moves owned `T` values between threads through raw
+// nodes; the tagged-head protocol gives each value exactly one reader.
+unsafe impl<T: Send> Send for Stack<T> {}
+unsafe impl<T: Send> Sync for Stack<T> {}
+
+impl<T> Default for Stack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Stack<T> {
+    /// Creates an empty stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this platform hands out heap pointers wider than 48 bits
+    /// (the packed pointer+tag representation would be lossy).
+    pub fn new() -> Self {
+        let probe = Box::into_raw(Box::new(0u64));
+        let fits = probe as u64 & !PTR_MASK == 0;
+        // SAFETY: `probe` came from Box::into_raw just above.
+        drop(unsafe { Box::from_raw(probe) });
+        assert!(fits, "heap pointers exceed 48 bits; tagged-head packing is unavailable");
+        Stack {
+            head: CachePadded::new(AtomicU64::new(0)),
+            spares: CachePadded::new(AtomicU64::new(0)),
+            len: AtomicUsize::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Pushes `value` onto the stack.
+    ///
+    /// Allocates only when the spare-node cache is empty — i.e. when the
+    /// stack grows past its historical high-water mark.
+    pub fn push(&self, value: T) {
+        let node = match pop_node::<T>(&self.spares) {
+            Some(node) => node,
+            None => Box::into_raw(Box::new(Node {
+                next: AtomicPtr::new(ptr::null_mut()),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })),
+        };
+        // SAFETY: we own `node` (freshly allocated or claimed from the
+        // spare list); nobody reads `value` until push_node publishes it.
+        unsafe { (*node).value.get().write(MaybeUninit::new(value)) };
+        push_node(&self.head, node);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops an element (LIFO order), or `None` if the stack is empty.
+    pub fn pop(&self) -> Option<T> {
+        let node = pop_node::<T>(&self.head)?;
+        // SAFETY: winning the head CAS made us the node's unique owner; the
+        // Acquire pairs with the pushing thread's Release, ordering the
+        // value write before this read.
+        let value = unsafe { (*node).value.get().read().assume_init() };
+        push_node(&self.spares, node);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Number of elements currently on the stack (approximate snapshot —
+    /// the counter is maintained with relaxed increments around the CAS).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the stack is currently empty (exact at the load of the
+    /// head word).
+    pub fn is_empty(&self) -> bool {
+        unpack::<T>(self.head.load(Ordering::Acquire)).0.is_null()
+    }
+}
+
+impl<T> Drop for Stack<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free the live list (dropping values) and the
+        // spare list (empty shells).
+        unsafe {
+            let (mut ptr, _) = unpack::<T>(*self.head.get_mut());
+            while !ptr.is_null() {
+                let mut node = Box::from_raw(ptr);
+                node.value.get_mut().assume_init_drop();
+                ptr = *node.next.get_mut();
+            }
+            let (mut ptr, _) = unpack::<T>(*self.spares.get_mut());
+            while !ptr.is_null() {
+                let mut node = Box::from_raw(ptr);
+                ptr = *node.next.get_mut();
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for Stack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lifo_order() {
+        let s = Stack::new();
+        for i in 0..10 {
+            s.push(i);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn nodes_are_recycled() {
+        let s = Stack::new();
+        s.push(1);
+        let first = unpack::<i32>(s.head.load(Ordering::SeqCst)).0;
+        assert_eq!(s.pop(), Some(1));
+        s.push(2);
+        let second = unpack::<i32>(s.head.load(Ordering::SeqCst)).0;
+        assert_eq!(first, second, "push after pop reuses the spare node");
+        assert_eq!(s.pop(), Some(2));
+    }
+
+    #[test]
+    fn aba_pop_race_repush_is_detected() {
+        // Reconstructs the classic ABA interleaving deterministically: a
+        // "stalled pop" holds a stale head snapshot while the head node is
+        // popped, recycled, and pushed back. The pointer matches again but
+        // the generation tag does not, so the stalled CAS must fail.
+        let s = Stack::new();
+        s.push(1u32);
+        s.push(2);
+        s.push(3);
+
+        // The stalled pop reads the head: node A (value 3), tag t.
+        let stale = s.head.load(Ordering::SeqCst);
+        let (stale_ptr, _) = unpack::<u32>(stale);
+        let stale_next = unsafe { (*stale_ptr).next.load(Ordering::SeqCst) };
+
+        // Meanwhile other threads pop A, pop B, and push twice; the spare
+        // list is LIFO, so the second push gets node A back.
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        s.push(4);
+        s.push(5);
+
+        let now = s.head.load(Ordering::SeqCst);
+        let (now_ptr, _) = unpack::<u32>(now);
+        assert_eq!(now_ptr, stale_ptr, "the recycled node is back at the head (the ABA shape)");
+        assert_ne!(now, stale, "but the generation tag moved");
+
+        // The stalled pop resumes: with an untagged head its CAS would
+        // succeed and install the stale next pointer. Here it must fail.
+        let resumed =
+            s.head.compare_exchange(stale, pack(stale_next, 0), Ordering::SeqCst, Ordering::SeqCst);
+        assert!(resumed.is_err(), "stale CAS against a recycled head must fail");
+
+        // And the stack is still intact.
+        assert_eq!(s.pop(), Some(5));
+        assert_eq!(s.pop(), Some(4));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn drops_remaining_values_and_spares() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let s = Stack::new();
+            for _ in 0..10 {
+                s.push(Counted(Arc::clone(&drops)));
+            }
+            for _ in 0..4 {
+                drop(s.pop());
+            }
+            assert_eq!(drops.load(Ordering::Relaxed), 4);
+            // 6 live values + 4 spare nodes outstanding.
+        }
+        assert_eq!(drops.load(Ordering::Relaxed), 10, "stack drop releases the remainder");
+    }
+
+    #[test]
+    fn concurrent_multiset_conservation() {
+        let s = Stack::new();
+        let producers = 4;
+        let consumers = 4;
+        let per = 2000usize;
+        let total = producers * per;
+        let seen: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        let taken = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for p in 0..producers {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..per {
+                        s.push(p * per + i);
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let s = &s;
+                let seen = &seen;
+                let taken = &taken;
+                scope.spawn(move || loop {
+                    if let Some(v) = s.pop() {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                        if taken.fetch_add(1, Ordering::Relaxed) + 1 == total {
+                            return;
+                        }
+                    } else if taken.load(Ordering::Relaxed) >= total {
+                        return;
+                    } else {
+                        thread::yield_now();
+                    }
+                });
+            }
+        });
+        for (v, count) in seen.iter().enumerate() {
+            assert_eq!(count.load(Ordering::Relaxed), 1, "value {v} popped exactly once");
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}
