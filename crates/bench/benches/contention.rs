@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use bench::contention::{bag_round, Bag, MutexQueue};
+use bench::contention::{bag_round, steal_churn_round, Bag, MutexQueue};
 use cpool::prelude::*;
 use cpool::segment::{AtomicCounter, LockedCounter, Segment};
 use cpool::transfer::FreeList;
@@ -94,5 +94,29 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(contention, bench_contention, bench_primitives);
+/// `steal_half` under churn: a thief runs the two-phase transfer against
+/// one segment while a producer churns add/remove traffic on the same
+/// segment — one row per element-segment representation (shared with the
+/// `contention` binary's `churn/*` rows through
+/// [`bench::contention::steal_churn_round`]).
+fn bench_steal_churn(c: &mut Criterion) {
+    const CHURN_OPS: u64 = 20_000;
+    let mut group = c.benchmark_group("contention/steal_half_under_churn");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("vec"), |b| {
+        b.iter(|| steal_churn_round::<VecSegment<u64>>(CHURN_OPS))
+    });
+    group.bench_function(BenchmarkId::from_parameter("block"), |b| {
+        b.iter(|| steal_churn_round::<BlockSegment<u64>>(CHURN_OPS))
+    });
+    group.bench_function(BenchmarkId::from_parameter("lf"), |b| {
+        b.iter(|| steal_churn_round::<LfSegment<u64>>(CHURN_OPS))
+    });
+    group.bench_function(BenchmarkId::from_parameter("lane4"), |b| {
+        b.iter(|| steal_churn_round::<LaneSegment<VecSegment<u64>, 4>>(CHURN_OPS))
+    });
+    group.finish();
+}
+
+criterion_group!(contention, bench_contention, bench_primitives, bench_steal_churn);
 criterion_main!(contention);

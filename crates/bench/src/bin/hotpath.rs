@@ -15,10 +15,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use bench::host;
 use bench::hotpath::{
     add_remove_op, batch_roundtrip_op, block_pool_with, filled_block_segment, filled_vec_segment,
-    per_element_roundtrip_op, pool_with, steal_op, steal_reserve_op, transfer_elements,
-    transfer_op, Handoff, BATCH_SIZES, RESERVE_SIZES, TRANSFER_BLOCK_SIZES, TRANSFER_OCCUPANCIES,
+    lane_pool_with, lf_pool_with, per_element_roundtrip_op, pool_with, steal_op, steal_reserve_op,
+    transfer_elements, transfer_op, Handoff, BATCH_SIZES, RESERVE_SIZES, TRANSFER_BLOCK_SIZES,
+    TRANSFER_OCCUPANCIES,
 };
 use cpool::{DynTiming, NullTiming, WaitStrategy};
 use harness::cli::Args;
@@ -44,6 +46,7 @@ fn measure(iters: u64, mut op: impl FnMut()) -> f64 {
 fn main() {
     let args = Args::from_env();
     let iters: u64 = args.parse_or("iters", if args.flag("quick") { 20_000 } else { 2_000_000 });
+    let (host_cpus, measured_parallel) = host::probe_and_warn();
 
     let generic_add = {
         let pool = pool_with(1, NullTiming::new());
@@ -70,6 +73,25 @@ fn main() {
         let pool = block_pool_with(2, NullTiming::new());
         measure(iters, steal_op(&pool))
     };
+    // The same two hot paths over the new segment internals: the fully
+    // lock-free segment (CAS-reserved occupancy over a lock-free queue)
+    // and the sharded-lane segment (4 affinity-routed mutex lanes).
+    let lf_add = {
+        let pool = lf_pool_with(1, NullTiming::new());
+        measure(iters, add_remove_op(&pool))
+    };
+    let lf_steal = {
+        let pool = lf_pool_with(2, NullTiming::new());
+        measure(iters, steal_op(&pool))
+    };
+    let lane_add = {
+        let pool = lane_pool_with(1, NullTiming::new());
+        measure(iters, add_remove_op(&pool))
+    };
+    let lane_steal = {
+        let pool = lane_pool_with(2, NullTiming::new());
+        measure(iters, steal_op(&pool))
+    };
 
     // Batched vs per-element element traffic (generic NullTiming pool, one
     // segment): both move `batch` elements per iteration; the number
@@ -80,6 +102,10 @@ fn main() {
         ("steal/generic".to_string(), generic_steal),
         ("steal/dyn".to_string(), dyn_steal),
         ("steal_block/generic".to_string(), block_steal),
+        ("add_remove_lf/generic".to_string(), lf_add),
+        ("steal_lf/generic".to_string(), lf_steal),
+        ("add_remove_lane4/generic".to_string(), lane_add),
+        ("steal_lane4/generic".to_string(), lane_steal),
     ];
     for batch in BATCH_SIZES {
         let per_iter = (iters / batch as u64).max(1);
@@ -159,6 +185,8 @@ fn main() {
     json.push_str("  \"bench\": \"hotpath\",\n");
     json.push_str("  \"unit\": \"ns_per_element\",\n");
     json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"measured_parallel\": {measured_parallel},\n"));
     json.push_str("  \"pool\": \"Pool<VecSegment<u64>, LinearSearch, T>\",\n");
     json.push_str("  \"results\": {\n");
     for (i, (name, ns)) in results.iter().enumerate() {

@@ -40,8 +40,8 @@ pub mod hotpath {
     use std::time::{Duration, Instant};
 
     use cpool::{
-        BlockSegment, Handle, LinearSearch, Pool, PoolBuilder, PoolOps, RemoveError, Segment,
-        Timing, VecSegment, WaitStrategy,
+        BlockSegment, Handle, LaneSegment, LfSegment, LinearSearch, Pool, PoolBuilder, PoolOps,
+        RemoveError, Segment, Timing, VecSegment, WaitStrategy,
     };
 
     /// The pool configuration both hot-path benchmarks measure.
@@ -68,6 +68,24 @@ pub mod hotpath {
 
     /// Builds the block-segment twin of [`pool_with`].
     pub fn block_pool_with<T: Timing>(segments: usize, timing: T) -> BlockHotPool<T> {
+        PoolBuilder::new(segments).seed(1).timing(timing).build()
+    }
+
+    /// Builds the fully lock-free twin of [`pool_with`]: same protocol,
+    /// segments answer from CAS-reserved occupancy over a lock-free queue.
+    pub fn lf_pool_with<T: Timing>(
+        segments: usize,
+        timing: T,
+    ) -> Pool<LfSegment<u64>, LinearSearch, T> {
+        PoolBuilder::new(segments).seed(1).timing(timing).build()
+    }
+
+    /// Builds the sharded-lane twin of [`pool_with`] (`K = 4` mutex lanes
+    /// per segment, affinity-routed).
+    pub fn lane_pool_with<T: Timing>(
+        segments: usize,
+        timing: T,
+    ) -> Pool<LaneSegment<VecSegment<u64>, 4>, LinearSearch, T> {
         PoolBuilder::new(segments).seed(1).timing(timing).build()
     }
 
@@ -313,7 +331,10 @@ pub mod contention {
     use std::time::Instant;
 
     use cpool::transfer::FreeList;
-    use cpool::{BlockSegment, LinearSearch, Pool, PoolBuilder, Segment, VecSegment};
+    use cpool::{
+        BlockSegment, LaneSegment, LfSegment, LinearSearch, Pool, PoolBuilder, Segment,
+        TransferBatch, VecSegment,
+    };
     use crossbeam_queue::{ArrayQueue, SegQueue, Stack};
     use parking_lot::Mutex;
     use rand::rngs::SmallRng;
@@ -518,10 +539,204 @@ pub mod contention {
         pool_round::<BlockSegment<u64>>(threads, segments, add_fraction, ops)
     }
 
+    /// The pool matrix's fully lock-free segment cell.
+    pub fn pool_round_lf(threads: usize, segments: usize, add_fraction: f64, ops: u64) -> f64 {
+        pool_round::<LfSegment<u64>>(threads, segments, add_fraction, ops)
+    }
+
+    /// The pool matrix's sharded-lane cell at the default lane count
+    /// (`K = 4` mutex lanes over vec deques).
+    pub fn pool_round_lane(threads: usize, segments: usize, add_fraction: f64, ops: u64) -> f64 {
+        pool_round::<LaneSegment<VecSegment<u64>, 4>>(threads, segments, add_fraction, ops)
+    }
+
+    /// Lane counts the `LaneSegment` sweep measures (`K = 1` is the
+    /// degenerate single-lane case — pure adapter overhead over the inner
+    /// mutex segment).
+    pub const LANE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+    /// The lane sweep's cell: [`pool_round`] over
+    /// `LaneSegment<VecSegment<u64>, K>` for a runtime-chosen `K`. Lane
+    /// counts are const generics, so the sweep dispatches to one
+    /// monomorphization per entry in [`LANE_COUNTS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in [`LANE_COUNTS`].
+    pub fn pool_round_lane_k(
+        k: usize,
+        threads: usize,
+        segments: usize,
+        add_fraction: f64,
+        ops: u64,
+    ) -> f64 {
+        match k {
+            1 => {
+                pool_round::<LaneSegment<VecSegment<u64>, 1>>(threads, segments, add_fraction, ops)
+            }
+            2 => {
+                pool_round::<LaneSegment<VecSegment<u64>, 2>>(threads, segments, add_fraction, ops)
+            }
+            4 => {
+                pool_round::<LaneSegment<VecSegment<u64>, 4>>(threads, segments, add_fraction, ops)
+            }
+            8 => {
+                pool_round::<LaneSegment<VecSegment<u64>, 8>>(threads, segments, add_fraction, ops)
+            }
+            _ => panic!("lane sweep covers K in {LANE_COUNTS:?}, not {k}"),
+        }
+    }
+
+    /// Elements resident in the victim segment when the churn kernel
+    /// starts; the producer's balanced mix keeps occupancy hovering here.
+    pub const CHURN_PREFILL: usize = 256;
+
+    /// `steal_half` under churn: a thief repeatedly runs the two-phase
+    /// transfer (`steal_half` → `add_bulk` straight back) against **one**
+    /// segment while a producer churns balanced `add`/`try_remove` traffic
+    /// on the same segment — the direct owner-vs-thief collision every
+    /// segment representation resolves differently (the mutex deque
+    /// serializes, the lock-free queue interleaves CAS reservations, the
+    /// lanes route the two parties to different shards).
+    ///
+    /// Returns the thief's wall-clock nanoseconds per steal cycle (empty
+    /// probes yield and still count: under churn an empty probe is part of
+    /// the thief's real cost). The producer's ops budget bounds the run.
+    pub fn steal_churn_round<S: Segment<Item = u64>>(churn_ops: u64) -> f64 {
+        let family = S::new_family(1);
+        let seg = &family[0];
+        for i in 0..CHURN_PREFILL as u64 {
+            seg.add(i);
+        }
+        let start = Barrier::new(2);
+        let done = AtomicU64::new(0);
+        let thief_ns_per_cycle = std::thread::scope(|s| {
+            let (done_ref, start_ref) = (&done, &start);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(11);
+                start_ref.wait();
+                for i in 0..churn_ops {
+                    if rng.gen_bool(0.5) {
+                        seg.add(i);
+                    } else {
+                        let _ = seg.try_remove();
+                    }
+                }
+                done_ref.store(1, Ordering::Release);
+            });
+            let thief = s.spawn(move || {
+                start_ref.wait();
+                let t0 = Instant::now();
+                let mut cycles = 0u64;
+                loop {
+                    let batch = seg.steal_half();
+                    if batch.is_empty() {
+                        std::thread::yield_now();
+                    } else {
+                        seg.add_bulk(batch);
+                    }
+                    cycles += 1;
+                    if done_ref.load(Ordering::Acquire) == 1 {
+                        break;
+                    }
+                }
+                t0.elapsed().as_nanos() as f64 / cycles as f64
+            });
+            thief.join().expect("thief thread panicked")
+        });
+        // Leave the family balanced for drop; residue is irrelevant to the
+        // measurement but draining exercises no extra timed code.
+        while seg.try_remove().is_some() {}
+        thief_ns_per_cycle
+    }
+
     /// Minimum of `runs` repetitions (wall-clock floors filter scheduler
     /// noise exactly as `hotpath::measure` does for single-threaded loops).
     pub fn best_of(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
         (0..runs.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Host-parallelism probe shared by the JSON-emitting bench binaries.
+///
+/// Every committed `BENCH_*.json` records the host it was measured on:
+/// `host_cpus` (what the OS advertises) and `measured_parallel` (whether
+/// two spinning threads actually overlapped when we tried it). On a
+/// single-CPU or heavily oversubscribed host the multi-threaded cells
+/// measure time-sliced interleaving, not true parallelism — the numbers
+/// are still internally comparable (same-run, same host), but absolute
+/// scaling claims need the flag to be `true`.
+pub mod host {
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    /// Spin iterations per probe thread: long enough (~1 ms) that two
+    /// genuinely parallel threads visibly overlap, short enough to run at
+    /// every bench startup.
+    const PROBE_SPINS: u64 = 2_000_000;
+
+    /// A fixed CPU-bound workload the probe times solo and in duo.
+    fn spin() {
+        let mut acc = 0u64;
+        for i in 0..PROBE_SPINS {
+            // An LCG step per iteration: cheap, serial, unoptimizable away.
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// Logical CPUs the OS advertises (0 if it will not say).
+    pub fn available_cpus() -> usize {
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    }
+
+    /// Measures whether two threads actually run in parallel: times the
+    /// spin workload solo, then two copies concurrently. On a parallel
+    /// host the duo's wall clock stays near the solo time; on a
+    /// time-sliced host it doubles. Best-of-3 on both sides filters
+    /// scheduler noise; the 1.6× threshold sits between the ideal ratios
+    /// of 1.0 (parallel) and 2.0 (serial).
+    pub fn measured_parallel() -> bool {
+        let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+        let solo = best(&|| {
+            let t0 = Instant::now();
+            spin();
+            t0.elapsed().as_secs_f64()
+        });
+        let duo = best(&|| {
+            let start = Barrier::new(2);
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let start = &start;
+                    s.spawn(move || {
+                        start.wait();
+                        spin();
+                    });
+                }
+            });
+            t0.elapsed().as_secs_f64()
+        });
+        duo < solo * 1.6
+    }
+
+    /// Probes the host once and prints a stderr banner if the
+    /// multi-threaded cells will be time-sliced rather than parallel.
+    /// Returns `(available_cpus, measured_parallel)` for the JSON header.
+    pub fn probe_and_warn() -> (usize, bool) {
+        let cpus = available_cpus();
+        let parallel = measured_parallel();
+        if cpus <= 1 || !parallel {
+            eprintln!(
+                "WARNING: this host runs threads time-sliced, not in parallel \
+                 (available_parallelism = {cpus}, measured_parallel = {parallel})."
+            );
+            eprintln!(
+                "         Multi-threaded cells measure contention under interleaving; \
+                 same-run comparisons hold, absolute scaling does not."
+            );
+        }
+        (cpus, parallel)
     }
 }
 

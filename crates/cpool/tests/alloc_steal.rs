@@ -19,7 +19,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use cpool::{BlockSegment, KeyedPool, LinearSearch, Pool, PoolBuilder, Segment, VecSegment};
+use cpool::{
+    BlockSegment, KeyedPool, LaneSegment, LfSegment, LinearSearch, Pool, PoolBuilder, Segment,
+    VecSegment,
+};
 
 /// Counts allocator hits (alloc + realloc) from the armed thread.
 struct CountingAlloc;
@@ -158,6 +161,42 @@ fn treiber_free_list_steady_state_allocates_nothing() {
     );
 }
 
+/// The lock-free segment's backing storage in isolation: past the warmup
+/// high-water mark, add/remove churn deep enough to overflow the bounded
+/// ring fast path (256 slots) and cross several overflow-queue block
+/// boundaries draws every block from the queue's internal spare list —
+/// the `SegQueue` analogue of the Treiber-stack guarantee below, with the
+/// pre-allocated ring in front.
+#[test]
+fn lf_segment_steady_state_churn_allocates_nothing() {
+    const DEPTH: u64 = PER_ROUND * 8; // 512: past the ring, into overflow
+    let seg = LfSegment::<u64>::new();
+    // Warm past several overflow block boundaries (blocks hold 31
+    // elements; ~256 elements spill per round).
+    for round in 0..WARMUP_ROUNDS {
+        for i in 0..DEPTH {
+            seg.add(round as u64 + i);
+        }
+        for _ in 0..DEPTH {
+            seg.try_remove().expect("added this round");
+        }
+    }
+    let hits = count_allocs(|| {
+        for round in 0..MEASURED_ROUNDS {
+            for i in 0..DEPTH {
+                seg.add(round as u64 + i);
+            }
+            for _ in 0..DEPTH {
+                seg.try_remove().expect("added this round");
+            }
+        }
+    });
+    assert_eq!(
+        hits, 0,
+        "LfSegment churn past the high-water mark must recycle overflow blocks, not allocate"
+    );
+}
+
 fn keyed_round(thief: &mut cpool::KeyedHandle<u8, u64>, victim: &mut cpool::KeyedHandle<u8, u64>) {
     const KEY: u8 = 7;
     for i in 0..PER_ROUND {
@@ -181,6 +220,18 @@ fn steady_state_steal_paths_allocate_nothing() {
     // Frontend 1b: the plain pool over vec segments — the transfer vector
     // itself is a recycled shell from the family's cache.
     check_pool_frontend::<VecSegment<u64>>("Pool<VecSegment>");
+
+    // Frontend 1c: the fully lock-free segment — the backing queue
+    // recirculates its spent blocks through an internal spare list and the
+    // steal shells come from the same family cache as 1b, so going
+    // lock-free keeps the zero-allocation guarantee.
+    check_pool_frontend::<LfSegment<u64>>("Pool<LfSegment>");
+
+    // Frontend 1d: the sharded segment — the lane sweep fills one recycled
+    // shell via `remove_up_to_into` (a per-lane batch would shed the
+    // shell's capacity on every hop), and deposits land as whole batches
+    // in a single lane.
+    check_pool_frontend::<LaneSegment<VecSegment<u64>, 4>>("Pool<LaneSegment<VecSegment>>");
 
     // Lone-element steals on the block pool: with a single element stolen
     // the two-phase probe's refill leg is a pure container return, and the
