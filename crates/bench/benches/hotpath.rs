@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use bench::hotpath::{
     add_remove_op, batch_roundtrip_op, block_pool_with, per_element_roundtrip_op, pool_with,
-    steal_op, Handoff, BATCH_SIZES, HANDOFF_SETTLE,
+    steal_op, AsyncHandoff, Handoff, BATCH_SIZES, HANDOFF_SETTLE,
 };
 use cpool::{DynTiming, NullTiming, WaitStrategy};
 
@@ -56,6 +56,12 @@ fn benches(c: &mut Criterion) {
             b.iter(|| handoff.round(HANDOFF_SETTLE))
         });
     }
+
+    // The waker-based consumer on the same rig: vs `handoff/block`, this
+    // prices the waker round trip (same notifier, same steal).
+    let mut handoff = AsyncHandoff::new();
+    c.bench_function("hotpath/handoff/async", |b| b.iter(|| handoff.round(HANDOFF_SETTLE)));
+    drop(handoff);
 
     // Batched vs per-element element traffic; each iteration moves `batch`
     // elements, so compare per-size pairs (the bin twin normalizes to

@@ -17,10 +17,11 @@ use std::time::Instant;
 
 use bench::host;
 use bench::hotpath::{
-    add_remove_op, batch_roundtrip_op, block_pool_with, filled_block_segment, filled_vec_segment,
-    lane_pool_with, lf_pool_with, per_element_roundtrip_op, pool_with, steal_op, steal_reserve_op,
-    transfer_elements, transfer_op, Handoff, BATCH_SIZES, RESERVE_SIZES, TRANSFER_BLOCK_SIZES,
-    TRANSFER_OCCUPANCIES,
+    add_remove_op, async_drive_median_ns, batch_roundtrip_op, block_pool_with,
+    filled_block_segment, filled_vec_segment, lane_pool_with, lf_pool_with,
+    per_element_roundtrip_op, pool_with, steal_op, steal_reserve_op, transfer_elements,
+    transfer_op, AsyncHandoff, Handoff, ASYNC_DRIVE_SIZES, BATCH_SIZES, RESERVE_SIZES,
+    TRANSFER_BLOCK_SIZES, TRANSFER_OCCUPANCIES,
 };
 use cpool::{DynTiming, NullTiming, WaitStrategy};
 use harness::cli::Args;
@@ -168,8 +169,20 @@ fn main() {
     let handoff_rounds = if args.flag("quick") { 50 } else { 400 };
     let handoff_park = Handoff::new(WaitStrategy::Park).median_ns(handoff_rounds);
     let handoff_block = Handoff::new(WaitStrategy::Block).median_ns(handoff_rounds);
+    // The waker-based consumer on the same rig: the add edge wakes a
+    // registered waker instead of unparking a `Block`ed thread, so this
+    // row vs `handoff/block` prices the waker round trip itself.
+    let handoff_async = AsyncHandoff::new().median_ns(handoff_rounds);
     results.push(("handoff/park".to_string(), handoff_park));
     results.push(("handoff/block".to_string(), handoff_block));
+    results.push(("handoff/async".to_string(), handoff_async));
+
+    // One thread drives N concurrently pending futures to completion:
+    // ns per element through the async dispatch loop as the fleet grows.
+    let drive_rounds = if args.flag("quick") { 5 } else { 25 };
+    for n in ASYNC_DRIVE_SIZES {
+        results.push((format!("async_drive/{n}"), async_drive_median_ns(n, drive_rounds)));
+    }
 
     for (name, ns) in &results {
         eprintln!("{name:>32}: {ns:8.1} ns/elem");

@@ -39,6 +39,7 @@ pub mod hotpath {
     use std::thread::JoinHandle;
     use std::time::{Duration, Instant};
 
+    use cpool::future::exec::{block_on, Fleet};
     use cpool::{
         BlockSegment, Handle, LaneSegment, LfSegment, LinearSearch, Pool, PoolBuilder, PoolOps,
         RemoveError, Segment, Timing, VecSegment, WaitStrategy,
@@ -305,6 +306,113 @@ pub mod hotpath {
                 let _ = consumer.join();
             }
         }
+    }
+
+    /// The async twin of [`Handoff`]: the consumer thread awaits
+    /// `remove_async` futures (`block_on` parks it between polls), so the
+    /// measured latency is add edge → waker delivery → re-poll → steal,
+    /// against `Block`'s add edge → unpark → retry. The delta between the
+    /// `handoff/block` and `handoff/async` rows is therefore the price of
+    /// the waker round trip itself — same notifier, same steal.
+    pub struct AsyncHandoff {
+        pool: HotPool<cpool::NullTiming>,
+        producer: Handle<VecSegment<u64>, LinearSearch>,
+        received: Arc<AtomicU64>,
+        sent: u64,
+        consumer: Option<JoinHandle<()>>,
+    }
+
+    impl AsyncHandoff {
+        /// Spawns the awaiting consumer.
+        pub fn new() -> Self {
+            let pool = pool_with(2, cpool::NullTiming::new());
+            let producer = pool.register();
+            let consumer_handle = pool.register();
+            let received = Arc::new(AtomicU64::new(0));
+            let received_consumer = Arc::clone(&received);
+            let consumer = std::thread::spawn(move || loop {
+                match block_on(consumer_handle.remove_async()) {
+                    Ok(v) => {
+                        std::hint::black_box(v);
+                        received_consumer.fetch_add(1, Ordering::Release);
+                    }
+                    Err(RemoveError::Closed) => break,
+                    Err(_) => {}
+                }
+            });
+            AsyncHandoff { pool, producer, received, sent: 0, consumer: Some(consumer) }
+        }
+
+        /// One measured handoff; see [`Handoff::round`].
+        pub fn round(&mut self, settle: Duration) -> Duration {
+            std::thread::sleep(settle);
+            self.sent += 1;
+            let t0 = Instant::now();
+            self.producer.add(self.sent);
+            while self.received.load(Ordering::Acquire) < self.sent {
+                std::hint::spin_loop();
+            }
+            t0.elapsed()
+        }
+
+        /// Median handoff latency in nanoseconds; see [`Handoff::median_ns`].
+        pub fn median_ns(&mut self, rounds: usize) -> f64 {
+            let mut samples: Vec<u64> =
+                (0..rounds).map(|_| self.round(HANDOFF_SETTLE).as_nanos() as u64).collect();
+            samples.sort_unstable();
+            samples[samples.len() / 2] as f64
+        }
+    }
+
+    impl Default for AsyncHandoff {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Drop for AsyncHandoff {
+        fn drop(&mut self) {
+            self.pool.close();
+            if let Some(consumer) = self.consumer.take() {
+                let _ = consumer.join();
+            }
+        }
+    }
+
+    /// Fleet sizes the one-thread-drives-N throughput sweep measures.
+    pub const ASYNC_DRIVE_SIZES: [usize; 3] = [64, 1024, 4096];
+
+    /// One-thread-drives-N throughput: spawn `n` `remove_async` futures,
+    /// pend them all on the empty pool, feed exactly `n` elements, and
+    /// drive the fleet dry from the one driver thread. Returns the median
+    /// ns per element over `rounds` — the number that shows how the
+    /// single-threaded dispatch loop (wake dedup, ready-queue swap,
+    /// re-poll, steal) scales with the count of concurrently pending
+    /// futures.
+    pub fn async_drive_median_ns(n: usize, rounds: usize) -> f64 {
+        let pool = pool_with(2, cpool::NullTiming::new());
+        let mut producer = pool.register();
+        let frontend = pool.register();
+        let mut samples: Vec<u64> = (0..rounds)
+            .map(|_| {
+                let mut fleet = Fleet::new();
+                for _ in 0..n {
+                    fleet.spawn(frontend.remove_async());
+                }
+                let ready = fleet.poll_ready(|_, _| {});
+                assert_eq!(ready, 0, "pool is empty: every future pends");
+                let t0 = Instant::now();
+                for v in 0..n as u64 {
+                    producer.add(v);
+                }
+                fleet.drive(|_, result| {
+                    std::hint::black_box(result.expect("fed exactly n elements"));
+                });
+                (t0.elapsed().as_nanos() / n as u128) as u64
+            })
+            .collect();
+        samples.sort_unstable();
+        samples[samples.len() / 2] as f64
     }
 }
 

@@ -34,6 +34,7 @@
 //! exactly one hot path to change.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::task::{Poll, Waker};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -228,8 +229,11 @@ impl<'a, T: Timing> OpTimer<'a, T> {
 /// One search for elements to steal: probe counting, the full-lap abort
 /// rule, and the two-phase steal-half transfer.
 ///
-/// Holding a session marks the process as searching on the [`SearchGate`]
-/// (dropped on every exit path, panic included, via the embedded guard).
+/// Holding a session normally marks the process as searching on the
+/// [`SearchGate`] (dropped on every exit path, panic included, via the
+/// embedded guard); a *detached* session
+/// ([`begin_detached`](Self::begin_detached)) observes the gate without
+/// participating in it.
 pub(crate) struct SearchSession<'a, T: Timing> {
     timing: &'a T,
     gate: &'a SearchGate,
@@ -242,7 +246,7 @@ pub(crate) struct SearchSession<'a, T: Timing> {
     examined: u64,
     nodes_visited: u64,
     started_ns: u64,
-    _guard: SearchGuard<'a>,
+    _guard: Option<SearchGuard<'a>>,
 }
 
 impl<'a, T: Timing> SearchSession<'a, T> {
@@ -259,7 +263,44 @@ impl<'a, T: Timing> SearchSession<'a, T> {
             examined: 0,
             nodes_visited: 0,
             started_ns,
-            _guard: gate.begin_search(),
+            _guard: Some(gate.begin_search()),
+        }
+    }
+
+    /// Begins a search that observes the gate but does **not** register as
+    /// a searcher on it.
+    ///
+    /// This is the async-future search mode. A future is not a registered
+    /// process — its poll borrows the thread of whatever executor runs it —
+    /// and the gate's §3.2 condition is `searching >= registered`, counted
+    /// over *registered* processes. If a future took a [`SearchGuard`], its
+    /// `searching` increment without a matching registration would satisfy
+    /// the condition while a registered producer sits idle between adds,
+    /// aborting parked consumers on a pool that is about to refill. Staying
+    /// detached is also sound in the other direction: the §3.2 argument
+    /// ("every process searching ⇒ no add in flight") quantifies over
+    /// processes that can add, and a pending future never adds. A detached
+    /// searcher still *reads* the gate (`gate_abort_now`/`should_abort`)
+    /// so it stops searching when the registered fleet has proven the pool
+    /// unreachable-empty.
+    pub fn begin_detached(
+        timing: &'a T,
+        gate: &'a SearchGate,
+        me: ProcId,
+        home: SegIdx,
+        lap: u64,
+    ) -> Self {
+        let started_ns = timing.now(me);
+        SearchSession {
+            timing,
+            gate,
+            me,
+            home,
+            lap,
+            examined: 0,
+            nodes_visited: 0,
+            started_ns,
+            _guard: None,
         }
     }
 
@@ -441,6 +482,23 @@ pub(crate) struct WaitCtl<'a> {
     /// done, or a wakeup reported work) rather than because of the gate or
     /// close. Consumed by [`take_boundary_abort`](Self::take_boundary_abort).
     boundary_abort: bool,
+    /// Poll mode ([`new_poll`](Self::new_poll)): instead of parking at a
+    /// lap boundary, register this waker on the notifier and end the pass
+    /// with `pending` set.
+    poll: Option<PollWait<'a>>,
+    /// Set when a poll-mode pass ended by registering its waker; the
+    /// owning future maps it to `Poll::Pending`. Consumed by
+    /// [`take_pending`](Self::take_pending).
+    pending: bool,
+}
+
+/// The waker half of a poll-mode [`WaitCtl`]: the task waker to register
+/// at a fruitless lap boundary and the caller's slot that remembers the
+/// resulting ticket across polls (for cancellation on completion, waker
+/// replacement, or drop).
+struct PollWait<'a> {
+    waker: &'a Waker,
+    slot: &'a mut Option<u64>,
 }
 
 impl<'a> WaitCtl<'a> {
@@ -461,7 +519,39 @@ impl<'a> WaitCtl<'a> {
             timed_out: false,
             budget_spent: false,
             boundary_abort: false,
+            poll: None,
+            pending: false,
         }
+    }
+
+    /// Creates a poll-mode controller for one `Future::poll` invocation.
+    ///
+    /// Poll mode is [`WaitStrategy::Block`]'s register→re-check protocol
+    /// with the park replaced by a waker registration: at a fruitless lap
+    /// boundary the controller registers `waker` on the notifier, re-checks
+    /// every wake condition, and — if none fired — leaves the registration
+    /// armed and reports pending. The lap budget is unbounded (a future's
+    /// backpressure is its executor, not an attempt count); `deadline`
+    /// still maps to [`RemoveError::Timeout`](crate::RemoveError::Timeout).
+    /// A fresh controller per poll is correct because no state needs to
+    /// survive between polls except the registration ticket, which lives
+    /// in the caller's `slot`.
+    pub fn new_poll(
+        notifier: &'a Notifier,
+        deadline: Option<Instant>,
+        waker: &'a Waker,
+        slot: &'a mut Option<u64>,
+    ) -> Self {
+        let mut ctl = WaitCtl::new(notifier, WaitStrategy::Block, usize::MAX, deadline);
+        ctl.poll = Some(PollWait { waker, slot });
+        ctl
+    }
+
+    /// Whether the last pass ended by arming a waker registration
+    /// (poll mode only). Consuming read, like
+    /// [`take_boundary_abort`](Self::take_boundary_abort).
+    pub fn take_pending(&mut self) -> bool {
+        std::mem::take(&mut self.pending)
     }
 
     /// Resets the per-search lap counter before a retry search (the budget,
@@ -548,6 +638,38 @@ impl<'a> WaitCtl<'a> {
                 self.timed_out = true;
                 return true;
             }
+        }
+        if let Some(poll) = self.poll.as_mut() {
+            // Poll mode: the Block arm's register→re-check protocol with
+            // the park replaced by a waker registration. Register first,
+            // then re-check every wake condition — any condition made true
+            // after the registration signals the notifier, which either
+            // drains our waker (waking the task to poll again) or lost the
+            // race to this re-check (see `Notifier::register_waker` for
+            // the three-case ordering argument).
+            let ticket = self.notifier.register_waker(poll.waker);
+            *poll.slot = Some(ticket);
+            let withdraw = |notifier: &Notifier, slot: &mut Option<u64>| {
+                notifier.cancel_waker(ticket);
+                *slot = None;
+            };
+            if self.notifier.is_closed() || session.gate_abort_now() || woken() {
+                // Terminal for this pass: let the owning remove map it
+                // (close / §3.2 / frontend delivery).
+                withdraw(self.notifier, poll.slot);
+                return true;
+            }
+            if has_work() {
+                // Fresh work somewhere: resolve this poll with another
+                // local-first pass instead of going pending.
+                withdraw(self.notifier, poll.slot);
+                self.boundary_abort = true;
+                return true;
+            }
+            // Nothing to do: stay registered and report pending. The next
+            // signal (add edge, close, gate transition) wakes the task.
+            self.pending = true;
+            return true;
         }
         match self.strategy {
             WaitStrategy::Block => {
@@ -646,6 +768,50 @@ pub(crate) fn drive_blocking_remove<T>(
                 // pass, so `attempts` bounds this path too.
                 if ctl.on_transient_abort() {
                     return Err(RemoveError::Aborted);
+                }
+            }
+        }
+    }
+}
+
+/// The poll-mode twin of [`drive_blocking_remove`], driving one
+/// `Future::poll` invocation: identical terminal mapping, plus the one
+/// outcome a blocking remove cannot have — the pass ended by arming a
+/// waker registration, which surfaces as `Poll::Pending`.
+///
+/// `ctl` must be a [`WaitCtl::new_poll`] controller. Ready results are
+/// terminal in the future sense: `Ok`, `Closed`, `Timeout`, and the §3.2
+/// `Aborted` all end the future; only `Pending` keeps it alive (with its
+/// waker armed on the notifier, so the resolving signal is never lost).
+pub(crate) fn drive_poll_remove<T>(
+    ctl: &mut WaitCtl<'_>,
+    mut try_once: impl FnMut(&mut WaitCtl<'_>) -> Result<T, RemoveError>,
+    drained: impl Fn() -> bool,
+    closed: impl Fn() -> bool,
+) -> Poll<Result<T, RemoveError>> {
+    loop {
+        match try_once(ctl) {
+            Ok(item) => return Poll::Ready(Ok(item)),
+            Err(RemoveError::Closed) => return Poll::Ready(Err(RemoveError::Closed)),
+            Err(_) => {
+                if ctl.take_pending() {
+                    return Poll::Pending;
+                }
+                if ctl.timed_out {
+                    return Poll::Ready(Err(RemoveError::Timeout));
+                }
+                if ctl.budget_spent {
+                    return Poll::Ready(Err(RemoveError::Aborted));
+                }
+                if ctl.take_boundary_abort() {
+                    continue;
+                }
+                if drained() {
+                    let err = if closed() { RemoveError::Closed } else { RemoveError::Aborted };
+                    return Poll::Ready(Err(err));
+                }
+                if ctl.on_transient_abort() {
+                    return Poll::Ready(Err(RemoveError::Aborted));
                 }
             }
         }

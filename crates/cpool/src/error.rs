@@ -33,6 +33,11 @@ pub enum RemoveError {
     /// The pool was [closed](crate::PoolOps::close) and no remaining
     /// element is reachable: this remover's work is over.
     ///
+    /// Pending [futures](crate::future) resolve with `Closed` terminally:
+    /// a close wakes every registered waker, and each woken future drains
+    /// its share of the residue before observing `Closed` — no future is
+    /// left pending forever on a closed pool.
+    ///
     /// Closing is the explicit lifecycle signal — removers observe `Closed`
     /// only once no segment holds an element, so everything added before
     /// the close is delivered first (see the [`notify`](crate::notify)
@@ -46,7 +51,11 @@ pub enum RemoveError {
     /// before that thief observes `Closed`.
     Closed,
     /// The deadline passed before an element arrived
-    /// ([`PoolOps::remove_timeout`](crate::PoolOps::remove_timeout)).
+    /// ([`PoolOps::remove_timeout`](crate::PoolOps::remove_timeout), or a
+    /// `_timeout_async` future past its
+    /// [`deadline`](crate::RemoveFuture::deadline) — also terminal: the
+    /// future withdraws its waker registration and must not be polled
+    /// again).
     ///
     /// The pool may still be live: a timeout says nothing about other
     /// processes, only that this wait expired.

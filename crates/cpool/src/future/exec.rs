@@ -1,0 +1,346 @@
+//! A minimal std-only executor: [`block_on`] for one future, [`Fleet`]
+//! for driving N pool futures on a single thread.
+//!
+//! This is deliberately not a general-purpose runtime — no I/O reactor,
+//! no timer wheel, no work stealing. It exists so the crate's async
+//! operations can be exercised (tests, benches, examples) and embedded
+//! (a worker thread of a server frontend) without any external runtime
+//! dependency. Both drivers are **timer-less**: a `_timeout` future's
+//! deadline is checked inside its own `poll`, so while tasks are pending
+//! the drivers park with a coarse tick ([`TICK`]) and re-poll on expiry,
+//! trading at most one tick of deadline latency for not maintaining a
+//! timer queue. Runtimes with real timers would instead race their own
+//! sleep primitive against the untimed future.
+//!
+//! [`Fleet`] is the one-thread-many-waiters shape the async layer exists
+//! for: each spawned future gets a fixed task slot and a reusable waker;
+//! a wake pushes the slot index onto a ready queue (deduplicated by an
+//! atomic flag, so notify storms cost one queue entry per task), and the
+//! driver polls exactly the woken tasks. Steady-state wake/re-poll cycles
+//! allocate nothing; see `tests/alloc_async.rs`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// How long the drivers park between re-polls while tasks are pending
+/// and no wake has arrived: the deadline-check granularity for
+/// `_timeout` futures (see the module docs).
+pub const TICK: Duration = Duration::from_millis(1);
+
+/// Wakes [`block_on`]'s thread: a flag (so a wake that lands between the
+/// poll and the park is not lost) plus an unpark.
+struct ThreadWaker {
+    thread: Thread,
+    woken: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Runs a future to completion on the calling thread.
+///
+/// Parks between polls, waking on the future's waker or after [`TICK`]
+/// (so in-poll deadline checks fire — see the module docs). The future
+/// need not be `Unpin`; it is boxed once per call.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = Box::pin(fut);
+    let state =
+        Arc::new(ThreadWaker { thread: std::thread::current(), woken: AtomicBool::new(false) });
+    let waker = Waker::from(Arc::clone(&state));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(out) = fut.as_mut().poll(&mut cx) {
+            return out;
+        }
+        // Sleep only if no wake raced in since the poll started; the
+        // `park` token absorbs an unpark that lands after this check.
+        if !state.woken.swap(false, Ordering::SeqCst) {
+            std::thread::park_timeout(TICK);
+        }
+    }
+}
+
+/// The ready queue shared by a [`Fleet`] and its task wakers: indices of
+/// tasks whose wakers fired, plus the driver thread to unpark.
+struct ReadyQueue {
+    ready: Mutex<Vec<usize>>,
+    driver: Thread,
+}
+
+impl ReadyQueue {
+    fn push(&self, index: usize) {
+        self.ready.lock().push(index);
+        self.driver.unpark();
+    }
+}
+
+/// One task's waker state: pushing the slot index on wake, deduplicated
+/// so a notify storm enqueues each task at most once per poll round.
+struct TaskWaker {
+    queue: Arc<ReadyQueue>,
+    index: usize,
+    /// Set while the task sits in the ready queue (or is being polled);
+    /// wakes while set are collapsed into the pending poll.
+    queued: AtomicBool,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::SeqCst) {
+            self.queue.push(self.index);
+        }
+    }
+}
+
+/// A spawned task: the future (until it resolves) and its reusable waker.
+struct TaskSlot<F> {
+    fut: Option<F>,
+    state: Arc<TaskWaker>,
+    waker: Waker,
+}
+
+/// Drives N futures on the constructing thread — the one-thread,
+/// thousands-of-pending-removes driver.
+///
+/// Spawn futures with [`spawn`](Self::spawn) (each gets a stable task id),
+/// then either [`drive`](Self::drive) to completion or interleave
+/// [`poll_ready`](Self::poll_ready) rounds with other work (a producer
+/// step, a bench measurement). All polling happens on the thread that
+/// calls in; wakes may arrive from any thread.
+///
+/// Completed tasks report through the `on_complete` callback with their
+/// task id. Task slots are not recycled (ids stay stable for the fleet's
+/// lifetime), so a fleet is meant per batch of work, not as a long-lived
+/// reactor.
+pub struct Fleet<F: Future + Unpin> {
+    tasks: Vec<TaskSlot<F>>,
+    queue: Arc<ReadyQueue>,
+    /// Scratch buffer the ready queue is swapped into each round (reused,
+    /// so draining allocates nothing in steady state).
+    scratch: Vec<usize>,
+    pending: usize,
+}
+
+impl<F: Future + Unpin> std::fmt::Debug for Fleet<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("tasks", &self.tasks.len())
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: Future + Unpin> Default for Fleet<F> {
+    fn default() -> Self {
+        Fleet::new()
+    }
+}
+
+impl<F: Future + Unpin> Fleet<F> {
+    /// Creates an empty fleet driven by the calling thread.
+    pub fn new() -> Self {
+        Fleet {
+            tasks: Vec::new(),
+            queue: Arc::new(ReadyQueue {
+                ready: Mutex::new(Vec::new()),
+                driver: std::thread::current(),
+            }),
+            scratch: Vec::new(),
+            pending: 0,
+        }
+    }
+
+    /// Adds a future to the fleet and returns its task id. The task is
+    /// queued for its initial poll by the next drive round; nothing runs
+    /// until the driver is called.
+    pub fn spawn(&mut self, fut: F) -> usize {
+        let index = self.tasks.len();
+        let state = Arc::new(TaskWaker {
+            queue: Arc::clone(&self.queue),
+            index,
+            // Born queued: the initial poll is enqueued below, and wakes
+            // before it runs fold into it.
+            queued: AtomicBool::new(true),
+        });
+        let waker = Waker::from(Arc::clone(&state));
+        self.tasks.push(TaskSlot { fut: Some(fut), state, waker });
+        self.queue.ready.lock().push(index);
+        self.pending += 1;
+        index
+    }
+
+    /// Number of spawned tasks that have not yet resolved.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Total tasks ever spawned (resolved or not).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the fleet has no tasks at all.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Polls every task whose waker fired since the last round (one
+    /// non-blocking dispatch round). Completed tasks invoke `on_complete`
+    /// with their task id and output. Returns how many tasks completed.
+    pub fn poll_ready(&mut self, mut on_complete: impl FnMut(usize, F::Output)) -> usize {
+        debug_assert!(self.scratch.is_empty());
+        std::mem::swap(&mut *self.queue.ready.lock(), &mut self.scratch);
+        let mut completed = 0;
+        for i in 0..self.scratch.len() {
+            let index = self.scratch[i];
+            completed += self.poll_task(index, &mut on_complete) as usize;
+        }
+        self.scratch.clear();
+        completed
+    }
+
+    /// Polls every still-pending task unconditionally — the tick-expiry
+    /// sweep that lets in-poll deadline checks fire without a timer queue.
+    fn poll_all(&mut self, on_complete: &mut impl FnMut(usize, F::Output)) {
+        for index in 0..self.tasks.len() {
+            if self.tasks[index].fut.is_some() {
+                // Mark queued so a wake racing with this sweep folds into
+                // it instead of double-polling.
+                self.tasks[index].state.queued.store(true, Ordering::SeqCst);
+                self.poll_task(index, on_complete);
+            }
+        }
+        // The sweep visited everything the queue could name.
+        self.queue.ready.lock().clear();
+    }
+
+    fn poll_task(&mut self, index: usize, on_complete: &mut impl FnMut(usize, F::Output)) -> bool {
+        let slot = &mut self.tasks[index];
+        let Some(fut) = slot.fut.as_mut() else {
+            // A wake raced the task's completion: nothing to poll.
+            slot.state.queued.store(false, Ordering::SeqCst);
+            return false;
+        };
+        // Clear the dedup flag *before* polling: a wake that lands during
+        // the poll (a signal from another thread) must re-enqueue, or the
+        // task could go pending having just missed its wake.
+        slot.state.queued.store(false, Ordering::SeqCst);
+        let mut cx = Context::from_waker(&slot.waker);
+        match Pin::new(fut).poll(&mut cx) {
+            Poll::Ready(out) => {
+                slot.fut = None;
+                self.pending -= 1;
+                on_complete(index, out);
+                true
+            }
+            Poll::Pending => false,
+        }
+    }
+
+    /// Drives the fleet until every task has resolved, parking between
+    /// rounds (woken by task wakers, or after [`TICK`] for the deadline
+    /// sweep). Completed tasks invoke `on_complete` with their task id.
+    pub fn drive(&mut self, mut on_complete: impl FnMut(usize, F::Output)) {
+        while self.pending > 0 {
+            if self.poll_ready(&mut on_complete) > 0 {
+                continue;
+            }
+            if self.pending == 0 {
+                break;
+            }
+            if self.queue.ready.lock().is_empty() {
+                std::thread::park_timeout(TICK);
+            }
+            if self.queue.ready.lock().is_empty() {
+                // Tick expired with no wake: sweep so deadlines resolve.
+                self.poll_all(&mut on_complete);
+            }
+        }
+    }
+
+    /// [`drive`](Self::drive), collecting `(task_id, output)` pairs in
+    /// completion order.
+    pub fn drive_collect(&mut self) -> Vec<(usize, F::Output)> {
+        let mut out = Vec::with_capacity(self.pending);
+        self.drive(|id, result| out.push((id, result)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A future that goes pending `n` times (waking itself immediately)
+    /// before resolving.
+    struct Hiccup {
+        remaining: u32,
+        value: u32,
+    }
+
+    impl Future for Hiccup {
+        type Output = u32;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+            if self.remaining == 0 {
+                Poll::Ready(self.value)
+            } else {
+                self.remaining -= 1;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn block_on_drives_self_waking_future() {
+        assert_eq!(block_on(Hiccup { remaining: 3, value: 7 }), 7);
+    }
+
+    #[test]
+    fn fleet_drives_all_tasks_and_reports_ids() {
+        let mut fleet = Fleet::new();
+        for i in 0..32u32 {
+            fleet.spawn(Hiccup { remaining: i % 4, value: i });
+        }
+        assert_eq!(fleet.pending(), 32);
+        let mut out = fleet.drive_collect();
+        assert_eq!(fleet.pending(), 0);
+        out.sort_unstable();
+        let expect: Vec<(usize, u32)> = (0..32u32).map(|i| (i as usize, i)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fleet_poll_ready_is_incremental() {
+        let mut fleet = Fleet::new();
+        fleet.spawn(Hiccup { remaining: 1, value: 1 });
+        let mut done = Vec::new();
+        // First round: the task re-queues itself via its own waker.
+        assert_eq!(fleet.poll_ready(|id, v| done.push((id, v))), 0);
+        assert_eq!(fleet.pending(), 1);
+        // Second round: resolves.
+        assert_eq!(fleet.poll_ready(|id, v| done.push((id, v))), 1);
+        assert_eq!(done, vec![(0, 1)]);
+        assert_eq!(fleet.pending(), 0);
+    }
+}

@@ -327,13 +327,206 @@ impl<K: Key, V: Send + 'static> KeyedSegment<K, V> {
 /// concurrent search).
 const CACHED_SHELLS_PER_SEGMENT: usize = 2;
 
-struct KeyedShared<K, V, T> {
+pub(crate) struct KeyedShared<K, V, T> {
     segments: Box<[KeyedSegment<K, V>]>,
     /// Pool-wide cache of spare transfer vectors: steals fill a recycled
     /// shell, refills return it (see [`transfer`](crate::transfer)).
     shells: FreeList<Vec<V>>,
     registry: Registry,
     timing: T,
+}
+
+impl<K: Key, V: Send + 'static, T: Timing> KeyedShared<K, V, T> {
+    /// The pool's notifier (the wait/wake and close subsystem).
+    pub(crate) fn notifier(&self) -> &Notifier {
+        self.registry.notifier()
+    }
+
+    /// Whether every segment is empty — the any-key drained snapshot the
+    /// blocking and polling drivers use to finalize `Closed`.
+    pub(crate) fn drained(&self) -> bool {
+        self.segments.iter().all(|s| s.len() == 0)
+    }
+
+    /// Whether no segment holds an element of `key` — the key-scoped
+    /// drained snapshot (other keys' residue does not keep a keyed remove
+    /// alive).
+    pub(crate) fn drained_key(&self, key: &K) -> bool {
+        self.segments.iter().all(|s| s.key_len(key) == 0)
+    }
+
+    /// Maps a search abort to its caller-facing error, with the drained
+    /// check scoped by `drained`: on a closed pool whose relevant elements
+    /// are gone the abort is final ([`RemoveError::Closed`]); otherwise
+    /// the §3.2 [`RemoveError::Aborted`] semantics apply.
+    fn abort_error(&self, drained: impl Fn() -> bool) -> RemoveError {
+        if self.registry.notifier().is_closed() && drained() {
+            RemoveError::Closed
+        } else {
+            RemoveError::Aborted
+        }
+    }
+
+    /// One any-key remove pass — local fast path, then the largest-bucket
+    /// ring steal — shared by [`KeyedHandle::try_remove_any`] (attached,
+    /// `detached = false`) and [`KeyedRemoveFuture`](crate::KeyedRemoveFuture)
+    /// (`detached = true`: the search observes the §3.2 gate without
+    /// registering on it — see
+    /// [`SearchSession::begin_detached`]).
+    ///
+    /// `cursor` is the linear `LastFound` state: the pass resumes from it
+    /// and persists its progress back through it, so retries (and
+    /// successive polls of one future) keep walking the ring instead of
+    /// re-probing the same prefix.
+    pub(crate) fn remove_any_pass(
+        &self,
+        me: ProcId,
+        home: SegIdx,
+        cursor: &mut SegIdx,
+        stats: &mut ProcStats,
+        detached: bool,
+        mut wait: Option<&mut WaitCtl<'_>>,
+    ) -> Result<(K, V), RemoveError> {
+        let timer = OpTimer::start(&self.timing, me, 0);
+        self.timing.charge(me, Resource::Segment(home));
+        if let Some(found) = self.segments[home.index()].remove_any() {
+            timer.finish_local_remove(stats);
+            return Ok(found);
+        }
+        if let Some(ctl) = wait.as_deref_mut() {
+            ctl.begin_pass();
+        }
+
+        let mut session = begin_keyed_search(self, me, home, detached);
+        let segments = &self.segments;
+        // The engine's probe moves an anonymous batch; the victim's bucket
+        // key travels beside it in this slot (set by the drain closure, read
+        // by the refill closure and the success path) so elements need not
+        // carry per-element key clones.
+        let stolen_key: std::cell::RefCell<Option<K>> = std::cell::RefCell::new(None);
+        let result = ring_search(
+            &mut session,
+            segments.len(),
+            *cursor,
+            |session, victim| {
+                session.probe(
+                    victim,
+                    || {
+                        // Segment-level empty skip: the atomic occupancy
+                        // mirror rules out any non-empty bucket without
+                        // taking the victim's lock.
+                        if segments[victim.index()].len() == 0 {
+                            return Vec::new();
+                        }
+                        match segments[victim.index()].steal_half_largest(&self.shells) {
+                            Some((key, values)) => {
+                                *stolen_key.borrow_mut() = Some(key);
+                                values
+                            }
+                            None => Vec::new(),
+                        }
+                    },
+                    |rest| {
+                        let key = stolen_key.borrow();
+                        let key = key.as_ref().expect("refill follows a successful drain");
+                        segments[home.index()].add_bulk(key, rest, &self.shells);
+                    },
+                )
+            },
+            |c| *cursor = c,
+            RingCtx {
+                notifier: self.registry.notifier(),
+                has_work: &|| segments.iter().any(|s| s.len() > 0),
+                wait,
+            },
+        );
+        stats.segments_examined += session.examined();
+        drop(session);
+        match result {
+            Some((value, stolen, victim)) => {
+                *cursor = victim;
+                let key = stolen_key.into_inner().expect("steal recorded its key");
+                let search_t0 = timer.t0();
+                timer.finish_steal_remove(stats, stolen, search_t0);
+                Ok((key, value))
+            }
+            None => {
+                timer.finish_aborted(stats);
+                Err(self.abort_error(|| self.drained()))
+            }
+        }
+    }
+
+    /// One key-scoped remove pass — the per-key analogue of
+    /// [`remove_any_pass`](Self::remove_any_pass), stealing half of a
+    /// remote `key` bucket; the wake filter and drained snapshot are
+    /// scoped to `key`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn remove_key_pass(
+        &self,
+        me: ProcId,
+        home: SegIdx,
+        key: &K,
+        cursor: &mut SegIdx,
+        stats: &mut ProcStats,
+        detached: bool,
+        mut wait: Option<&mut WaitCtl<'_>>,
+    ) -> Result<V, RemoveError> {
+        let timer = OpTimer::start(&self.timing, me, 0);
+        self.timing.charge(me, Resource::Segment(home));
+        if let Some(value) = self.segments[home.index()].remove_key(key) {
+            timer.finish_local_remove(stats);
+            return Ok(value);
+        }
+        if let Some(ctl) = wait.as_deref_mut() {
+            ctl.begin_pass();
+        }
+
+        let mut session = begin_keyed_search(self, me, home, detached);
+        let segments = &self.segments;
+        let result = ring_search(
+            &mut session,
+            segments.len(),
+            *cursor,
+            |session, victim| {
+                session.probe(
+                    victim,
+                    || {
+                        // Same lock-free empty skip as the anonymous steal:
+                        // a segment with no elements at all certainly has no
+                        // `key` bucket worth locking for.
+                        if segments[victim.index()].len() == 0 {
+                            return Vec::new();
+                        }
+                        segments[victim.index()].steal_half_key(key, &self.shells)
+                    },
+                    |rest| segments[home.index()].add_bulk(key, rest, &self.shells),
+                )
+            },
+            |c| *cursor = c,
+            RingCtx {
+                notifier: self.registry.notifier(),
+                // A keyed wait only resumes probing for elements it can
+                // actually take: other keys' traffic re-parks it.
+                has_work: &|| segments.iter().any(|s| s.key_len(key) > 0),
+                wait,
+            },
+        );
+        stats.segments_examined += session.examined();
+        drop(session);
+        match result {
+            Some((value, stolen, victim)) => {
+                *cursor = victim;
+                let search_t0 = timer.t0();
+                timer.finish_steal_remove(stats, stolen, search_t0);
+                Ok(value)
+            }
+            None => {
+                timer.finish_aborted(stats);
+                Err(self.abort_error(|| self.drained_key(key)))
+            }
+        }
+    }
 }
 
 /// Configures and builds a [`KeyedPool`] — the keyed counterpart of
@@ -511,6 +704,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
             last_found_any: seg,
             last_found_key: BTreeMap::new(),
             stats: ProcStats::default(),
+            poll_slot: None,
         }
     }
 
@@ -533,6 +727,9 @@ pub struct KeyedHandle<K, V, T: Timing = NullTiming> {
     /// Where each key was last found.
     last_found_key: BTreeMap<K, SegIdx>,
     stats: ProcStats,
+    /// Armed waker-registration ticket from [`poll_remove`](Self::poll_remove),
+    /// carried between polls so the next poll (or drop) can withdraw it.
+    poll_slot: Option<u64>,
 }
 
 impl<K, V, T: Timing> std::fmt::Debug for KeyedHandle<K, V, T> {
@@ -583,19 +780,6 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
         timer.finish_add(&mut self.stats, false);
     }
 
-    /// Maps a search abort to its caller-facing error, with the drained
-    /// check scoped by `drained`: on a [closed](Self::close) pool whose
-    /// relevant elements are gone the abort is final
-    /// ([`RemoveError::Closed`]); otherwise the §3.2
-    /// [`RemoveError::Aborted`] semantics apply.
-    fn abort_error(&self, drained: impl Fn() -> bool) -> RemoveError {
-        if self.shared.registry.notifier().is_closed() && drained() {
-            RemoveError::Closed
-        } else {
-            RemoveError::Aborted
-        }
-    }
-
     /// Removes an arbitrary element, stealing half of a remote bucket when
     /// the local segment is empty.
     ///
@@ -611,82 +795,19 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
 
     fn try_remove_any_inner(
         &mut self,
-        mut wait: Option<&mut WaitCtl<'_>>,
+        wait: Option<&mut WaitCtl<'_>>,
     ) -> Result<(K, V), RemoveError> {
-        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
-        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-        if let Some(found) = self.shared.segments[self.seg.index()].remove_any() {
-            timer.finish_local_remove(&mut self.stats);
-            return Ok(found);
-        }
-        if let Some(ctl) = wait.as_deref_mut() {
-            ctl.begin_pass();
-        }
-
-        // Linear search from where we last found anything. The session must
-        // borrow a local clone of the shared state so `self` stays free for
-        // the stats plumbing below.
-        let shared = Arc::clone(&self.shared);
-        let mut session = begin_keyed_search(&shared, self.me, self.seg);
-        let segments = &shared.segments;
-        let home = self.seg;
-        let last_found_any = &mut self.last_found_any;
-        // The engine's probe moves an anonymous batch; the victim's bucket
-        // key travels beside it in this slot (set by the drain closure, read
-        // by the refill closure and the success path) so elements need not
-        // carry per-element key clones.
-        let stolen_key: std::cell::RefCell<Option<K>> = std::cell::RefCell::new(None);
-        let result = ring_search(
-            &mut session,
-            segments.len(),
-            *last_found_any,
-            |session, victim| {
-                session.probe(
-                    victim,
-                    || {
-                        // Segment-level empty skip: the atomic occupancy
-                        // mirror rules out any non-empty bucket without
-                        // taking the victim's lock.
-                        if segments[victim.index()].len() == 0 {
-                            return Vec::new();
-                        }
-                        match segments[victim.index()].steal_half_largest(&shared.shells) {
-                            Some((key, values)) => {
-                                *stolen_key.borrow_mut() = Some(key);
-                                values
-                            }
-                            None => Vec::new(),
-                        }
-                    },
-                    |rest| {
-                        let key = stolen_key.borrow();
-                        let key = key.as_ref().expect("refill follows a successful drain");
-                        segments[home.index()].add_bulk(key, rest, &shared.shells);
-                    },
-                )
-            },
-            |cursor| *last_found_any = cursor,
-            RingCtx {
-                notifier: shared.registry.notifier(),
-                has_work: &|| segments.iter().any(|s| s.len() > 0),
-                wait,
-            },
-        );
-        self.stats.segments_examined += session.examined();
-        drop(session);
-        match result {
-            Some((value, stolen, victim)) => {
-                self.last_found_any = victim;
-                let key = stolen_key.into_inner().expect("steal recorded its key");
-                let search_t0 = timer.t0();
-                timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
-                Ok((key, value))
-            }
-            None => {
-                timer.finish_aborted(&mut self.stats);
-                Err(self.abort_error(|| self.shared.segments.iter().all(|s| s.len() == 0)))
-            }
-        }
+        // The pass engine lives on the shared state (the futures in
+        // [`crate::future`] run the same pass); the handle supplies its
+        // identity, cursor, and stats.
+        self.shared.remove_any_pass(
+            self.me,
+            self.seg,
+            &mut self.last_found_any,
+            &mut self.stats,
+            false,
+            wait,
+        )
     }
 
     /// Removes an element with the given key, stealing half of a remote
@@ -705,68 +826,24 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
     fn try_remove_key_inner(
         &mut self,
         key: &K,
-        mut wait: Option<&mut WaitCtl<'_>>,
+        wait: Option<&mut WaitCtl<'_>>,
     ) -> Result<V, RemoveError> {
-        let timer = OpTimer::start(&self.shared.timing, self.me, 0);
-        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-        if let Some(value) = self.shared.segments[self.seg.index()].remove_key(key) {
-            timer.finish_local_remove(&mut self.stats);
-            return Ok(value);
-        }
-        if let Some(ctl) = wait.as_deref_mut() {
-            ctl.begin_pass();
-        }
-
-        let shared = Arc::clone(&self.shared);
-        let mut session = begin_keyed_search(&shared, self.me, self.seg);
-        let segments = &shared.segments;
-        let home = self.seg;
-        let last_found_key = &mut self.last_found_key;
-        let start = last_found_key.get(key).copied().unwrap_or(self.seg);
-        let result = ring_search(
-            &mut session,
-            segments.len(),
-            start,
-            |session, victim| {
-                session.probe(
-                    victim,
-                    || {
-                        // Same lock-free empty skip as the anonymous steal:
-                        // a segment with no elements at all certainly has no
-                        // `key` bucket worth locking for.
-                        if segments[victim.index()].len() == 0 {
-                            return Vec::new();
-                        }
-                        segments[victim.index()].steal_half_key(key, &shared.shells)
-                    },
-                    |rest| segments[home.index()].add_bulk(key, rest, &shared.shells),
-                )
-            },
-            |cursor| {
-                last_found_key.insert(key.clone(), cursor);
-            },
-            RingCtx {
-                notifier: shared.registry.notifier(),
-                // A keyed wait only resumes probing for elements it can
-                // actually take: other keys' traffic re-parks it.
-                has_work: &|| segments.iter().any(|s| s.key_len(key) > 0),
-                wait,
-            },
+        // The per-key cursor map wraps the pass's flat `&mut SegIdx`
+        // cursor: read this key's resume point out, persist the pass's
+        // progress back in afterwards (also on aborts — a retrying caller
+        // must resume at the next segment).
+        let mut cursor = self.last_found_key.get(key).copied().unwrap_or(self.seg);
+        let out = self.shared.remove_key_pass(
+            self.me,
+            self.seg,
+            key,
+            &mut cursor,
+            &mut self.stats,
+            false,
+            wait,
         );
-        self.stats.segments_examined += session.examined();
-        drop(session);
-        match result {
-            Some((value, stolen, victim)) => {
-                self.last_found_key.insert(key.clone(), victim);
-                let search_t0 = timer.t0();
-                timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
-                Ok(value)
-            }
-            None => {
-                timer.finish_aborted(&mut self.stats);
-                Err(self.abort_error(|| self.shared.segments.iter().all(|s| s.key_len(key) == 0)))
-            }
-        }
+        self.last_found_key.insert(key.clone(), cursor);
+        out
     }
 
     /// Removes an element with the given key, waiting under `wait` — the
@@ -827,6 +904,84 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
             || shared.registry.notifier().is_closed(),
         )
     }
+
+    /// Returns a future resolving to an arbitrary `(key, value)` pair —
+    /// the async counterpart of [`remove`](PoolOps::remove) with
+    /// [`Block`](WaitStrategy::Block). See [`future`](crate::future) for
+    /// the protocol; the future searches from this handle's home segment
+    /// but holds no borrow of the handle, so one handle can have many
+    /// futures pending at once.
+    pub fn remove_async(&self) -> crate::future::KeyedRemoveFuture<K, V, T> {
+        crate::future::KeyedRemoveFuture::new(Arc::clone(&self.shared), self.me, self.seg, None)
+    }
+
+    /// [`remove_async`](Self::remove_async) with a deadline: past
+    /// `timeout` the future resolves with [`RemoveError::Timeout`].
+    pub fn remove_timeout_async(
+        &self,
+        timeout: Duration,
+    ) -> crate::future::KeyedRemoveFuture<K, V, T> {
+        crate::future::KeyedRemoveFuture::new(
+            Arc::clone(&self.shared),
+            self.me,
+            self.seg,
+            Some(Instant::now() + timeout),
+        )
+    }
+
+    /// Returns a future resolving to a value under `key` — the async
+    /// counterpart of [`remove_key`](Self::remove_key) with
+    /// [`Block`](WaitStrategy::Block): while no element of `key` is
+    /// reachable the future is pending, and other keys' traffic wakes it
+    /// only to re-check and re-register.
+    pub fn remove_key_async(&self, key: K) -> crate::future::RemoveKeyFuture<K, V, T> {
+        crate::future::RemoveKeyFuture::new(Arc::clone(&self.shared), self.me, self.seg, key, None)
+    }
+
+    /// [`remove_key_async`](Self::remove_key_async) with a deadline: past
+    /// `timeout` the future resolves with [`RemoveError::Timeout`].
+    pub fn remove_key_timeout_async(
+        &self,
+        key: K,
+        timeout: Duration,
+    ) -> crate::future::RemoveKeyFuture<K, V, T> {
+        crate::future::RemoveKeyFuture::new(
+            Arc::clone(&self.shared),
+            self.me,
+            self.seg,
+            key,
+            Some(Instant::now() + timeout),
+        )
+    }
+
+    /// Polls one any-key remove attempt against `cx`'s waker — the
+    /// low-level poll primitive behind [`remove_async`](Self::remove_async),
+    /// exposed for callers writing their own futures. Unlike the futures
+    /// this runs *attached* (the handle is a registered process, so its
+    /// search counts on the §3.2 gate) and accumulates into the handle's
+    /// statistics. At most one registration is armed per handle; each call
+    /// re-arms it with the current waker.
+    pub fn poll_remove(
+        &mut self,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Result<(K, V), RemoveError>> {
+        let shared = Arc::clone(&self.shared);
+        let mut slot = self.poll_slot.take();
+        if let Some(ticket) = slot.take() {
+            // Re-polls may carry a different waker: retire the stale
+            // registration so the armed waker is always the current one.
+            shared.notifier().cancel_waker(ticket);
+        }
+        let mut ctl = WaitCtl::new_poll(shared.notifier(), None, cx.waker(), &mut slot);
+        let out = crate::core::drive_poll_remove(
+            &mut ctl,
+            |ctl| self.try_remove_any_inner(Some(ctl)),
+            || shared.drained(),
+            || shared.notifier().is_closed(),
+        );
+        self.poll_slot = slot;
+        out
+    }
 }
 
 /// The unified operation vocabulary over `(key, value)` pairs — see
@@ -841,9 +996,18 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
 impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
     type Item = (K, V);
     type Batch = Vec<(K, V)>;
+    type RemoveFuture = crate::future::KeyedRemoveFuture<K, V, T>;
 
     fn add(&mut self, (key, value): (K, V)) {
         KeyedHandle::add(self, key, value);
+    }
+
+    fn remove_async(&self) -> crate::future::KeyedRemoveFuture<K, V, T> {
+        KeyedHandle::remove_async(self)
+    }
+
+    fn remove_timeout_async(&self, timeout: Duration) -> crate::future::KeyedRemoveFuture<K, V, T> {
+        KeyedHandle::remove_timeout_async(self, timeout)
     }
 
     fn try_remove(&mut self) -> Result<(K, V), RemoveError> {
@@ -937,14 +1101,21 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
 
 /// Opens a [`SearchSession`] for a keyed ring walk: the walk skips the home
 /// segment, so one full lap — the point after which the engine's §3.2 abort
-/// rule may fire — is `segments - 1` probes.
+/// rule may fire — is `segments - 1` probes. A `detached` session (a
+/// future's poll) observes the gate without registering as a searcher on
+/// it — see [`SearchSession::begin_detached`].
 fn begin_keyed_search<'a, K: Key, V: Send + 'static, T: Timing>(
     shared: &'a KeyedShared<K, V, T>,
     me: ProcId,
     home: SegIdx,
+    detached: bool,
 ) -> SearchSession<'a, T> {
     let lap = shared.segments.len().saturating_sub(1) as u64;
-    SearchSession::begin(&shared.timing, shared.registry.gate(), me, home, lap)
+    if detached {
+        SearchSession::begin_detached(&shared.timing, shared.registry.gate(), me, home, lap)
+    } else {
+        SearchSession::begin(&shared.timing, shared.registry.gate(), me, home, lap)
+    }
 }
 
 /// Walks the ring from `cursor`, skipping the searcher's home segment and
@@ -1004,6 +1175,11 @@ struct RingCtx<'a, 'n> {
 
 impl<K, V, T: Timing> Drop for KeyedHandle<K, V, T> {
     fn drop(&mut self) {
+        // A dropped handle withdraws any waker registration left armed by
+        // a pending `poll_remove` before it stops being a waiter.
+        if let Some(ticket) = self.poll_slot.take() {
+            self.shared.registry.notifier().cancel_waker(ticket);
+        }
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
 }

@@ -81,6 +81,14 @@
 //! [`drain`](ops::PoolOps::drain) — is the [`ops::PoolOps`] trait,
 //! implemented by both [`Handle`] and [`KeyedHandle`].
 //!
+//! Async-native operations live in [`future`]:
+//! [`remove_async`](Handle::remove_async) /
+//! [`remove_key_async`](KeyedHandle::remove_key_async) (plus `_timeout`
+//! variants and the low-level [`poll_remove`](Handle::poll_remove)) return
+//! std-only futures whose wakers register on the [`notify`] subsystem —
+//! no runtime dependency — so a single thread can drive thousands of
+//! pending removes at once ([`future::exec::Fleet`]).
+//!
 //! [`add`]: Handle::add
 //! [`remove`]: Handle::try_remove
 
@@ -90,6 +98,7 @@
 mod core;
 
 pub mod error;
+pub mod future;
 pub mod gate;
 pub mod hints;
 pub mod ids;
@@ -105,6 +114,7 @@ pub mod trace;
 pub mod transfer;
 
 pub use error::RemoveError;
+pub use future::{KeyedRemoveFuture, RemoveFuture, RemoveKeyFuture};
 pub use gate::SearchGate;
 pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
 pub use ids::{ProcId, SegIdx};
@@ -128,6 +138,8 @@ pub use transfer::{CountBatch, FreeList, TransferBatch};
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::error::RemoveError;
+    pub use crate::future::exec::{block_on, Fleet};
+    pub use crate::future::{KeyedRemoveFuture, RemoveFuture, RemoveKeyFuture};
     pub use crate::ids::{ProcId, SegIdx};
     pub use crate::keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
     pub use crate::notify::Notifier;

@@ -13,7 +13,12 @@
 //!   (the classic lost-wakeup window between "I checked the condition" and
 //!   "I went to sleep");
 //! * a **registered-parker list** of [`std::thread::Thread`] handles that
-//!   `notify_all` drains and unparks.
+//!   `notify_all` drains and unparks;
+//! * a **registered-waker list** of [`std::task::Waker`]s — the async
+//!   counterpart of the parker list, drained and woken by the same signal
+//!   in the same atomic step, so one OS thread can hold thousands of
+//!   pending [`RemoveFuture`](crate::future::RemoveFuture)s where the
+//!   parker list would need a thread per blocked consumer.
 //!
 //! The waiting protocol is the standard epoch/parking-lot shape:
 //!
@@ -26,13 +31,25 @@
 //!
 //! A signaller makes its condition true first (e.g. releases the segment
 //! lock with the element inside), then calls `notify_all`, which bumps the
-//! epoch and drains the parker list **as one atomic step** under the list
-//! lock before unparking. Whichever side loses the race, the waiter either
-//! observes the changed epoch and skips the park, or is present in the
-//! parker list when the signaller drains it — there is no interleaving in
-//! which the wakeup is lost (see `notify_all` for the fence argument that
-//! covers the producer's fast path, and `bump_and_drain` for why the bump
-//! and the drain must not be separated).
+//! epoch and drains **both** registration lists **as one atomic step**
+//! under the list lock before unparking/waking. Whichever side loses the
+//! race, the waiter either observes the changed epoch (threads) or the
+//! re-checked condition (wakers) and skips the sleep, or is present in a
+//! list when the signaller drains it — there is no interleaving in which
+//! the wakeup is lost (see `notify_all` for the fence argument that covers
+//! the producer's fast path, `bump_and_drain` for why the bump and the
+//! drain must not be separated, and
+//! [`register_waker`](Notifier::register_waker) for the waker-path variant
+//! of the argument).
+//!
+//! Waker registration follows the same **register → re-check** discipline
+//! as parking, minus the park: a future's `poll` registers its waker
+//! ([`Notifier::register_waker`]), re-checks its wake condition, and only
+//! then returns `Pending`; a completed or cancelled future withdraws with
+//! [`Notifier::cancel_waker`]. Drained waker lists recycle through a
+//! bounded free list, so the steady-state register/wake/re-register cycle
+//! performs **zero heap allocations** (asserted by the counting-allocator
+//! suite in `tests/alloc_async.rs`).
 //!
 //! The notifier also owns the pool's **lifecycle bit**: [`close`](Notifier::close)
 //! flips a sticky flag and wakes everyone, so blocked removers can drain
@@ -59,29 +76,75 @@
 //! ```
 
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::task::Waker;
 use std::thread::Thread;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-/// A per-pool wakeup channel: signal epoch, registered parkers, and the
-/// pool's closed bit. See the [module docs](self) for the protocol.
+use crate::transfer::FreeList;
+
+/// Recycled waker-list shells kept per notifier: enough for a signaller to
+/// be mid-delivery on every shell while new signals keep arriving, without
+/// the drain path ever allocating in steady state.
+const WAKER_SHELLS: usize = 8;
+
+/// Both registration lists, behind one lock so an epoch bump drains them
+/// as a single atomic step (see `bump_and_drain`).
 #[derive(Debug, Default)]
+struct WaitList {
+    /// Parked threads, keyed by a per-wait ticket so a waiter can withdraw
+    /// its own registration without touching anyone else's.
+    parked: Vec<(u64, Thread)>,
+    /// Registered task wakers, keyed the same way so a future can cancel
+    /// its own registration (completion, drop, or waker replacement).
+    wakers: Vec<(u64, Waker)>,
+}
+
+/// What `bump_and_drain` hands back for delivery outside the lock.
+struct Drained {
+    parked: Vec<(u64, Thread)>,
+    /// `None` when no wakers were registered; otherwise a recycled shell
+    /// the caller must return via `recycle_waker_shell` after waking.
+    wakers: Option<Vec<(u64, Waker)>>,
+}
+
+/// A per-pool wakeup channel: signal epoch, registered parkers and task
+/// wakers, and the pool's closed bit. See the [module docs](self) for the
+/// protocol.
+#[derive(Debug)]
 pub struct Notifier {
     /// Signal epoch: bumped by every `notify_all`. A waiter parks only if
     /// the epoch is unchanged since it last looked.
     epoch: AtomicU64,
-    /// Number of threads currently inside the prepare→park window
-    /// (holding a [`Waiter`]). Lets the add fast path skip the epoch bump
-    /// entirely when nobody can possibly be waiting.
+    /// Number of waiters currently registered or inside the prepare→park
+    /// window: threads holding a [`Waiter`] *plus* wakers registered via
+    /// [`register_waker`](Self::register_waker). Lets the add fast path
+    /// skip the epoch bump entirely when nobody can possibly be waiting.
     waiters: AtomicUsize,
     /// Sticky lifecycle bit set by [`close`](Self::close).
     closed: AtomicBool,
-    /// Parked threads, keyed by a per-wait ticket so a waiter can withdraw
-    /// its own registration without touching anyone else's.
-    parked: Mutex<Vec<(u64, Thread)>>,
-    /// Ticket mint for the parked list.
+    /// Both registration lists under one lock.
+    waitlist: Mutex<WaitList>,
+    /// Ticket mint for both registration lists.
     next_ticket: AtomicU64,
+    /// Recycled waker-vector shells: a drain swaps the registered list out
+    /// into a shell from here and returns it after waking, so signalling
+    /// N pending futures allocates nothing once warmed.
+    waker_shells: FreeList<Vec<(u64, Waker)>>,
+}
+
+impl Default for Notifier {
+    fn default() -> Self {
+        Notifier {
+            epoch: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            waitlist: Mutex::new(WaitList::default()),
+            next_ticket: AtomicU64::new(0),
+            waker_shells: FreeList::new(WAKER_SHELLS),
+        }
+    }
 }
 
 /// What ended a [`Waiter::wait`].
@@ -136,7 +199,92 @@ impl Notifier {
     /// Number of threads currently registered in the parked list
     /// (diagnostic; racy by nature).
     pub fn parked(&self) -> usize {
-        self.parked.lock().len()
+        self.waitlist.lock().parked.len()
+    }
+
+    /// Number of task wakers currently registered (diagnostic; racy by
+    /// nature).
+    pub fn registered_wakers(&self) -> usize {
+        self.waitlist.lock().wakers.len()
+    }
+
+    /// Registers a task waker to be woken by the next signal and returns
+    /// the ticket that identifies the registration.
+    ///
+    /// This is the async half of the parking protocol — **register, then
+    /// re-check**: after this call returns, the caller must re-check its
+    /// wake condition (elements present, pool closed, gate tripped) and
+    /// only return `Pending` if it still holds. The registration is
+    /// *level-triggered*: it stays armed until a signal drains it (waking
+    /// the task) or the owner withdraws it with
+    /// [`cancel_waker`](Self::cancel_waker) — completed and dropped
+    /// futures **must** cancel, both to keep the waiter count honest and
+    /// to avoid spurious wakes of a recycled task slot.
+    ///
+    /// # Memory ordering
+    ///
+    /// The increment-then-fence mirrors [`waiter`](Self::waiter) and pairs
+    /// with the fence-then-load in [`notify_all`](Self::notify_all)
+    /// (symmetric SeqCst fences, the same Dekker shape documented on
+    /// `SearchGate::register`). Three interleavings cover every race with
+    /// a signaller, and unlike the parking path none of them needs an
+    /// epoch snapshot — the post-registration re-check carries the whole
+    /// argument:
+    ///
+    /// 1. **Signaller takes the fast path** (reads `waiters == 0`): its
+    ///    load preceded this increment in the SC order, so its fence
+    ///    precedes ours, so the condition store sequenced before its fence
+    ///    is visible to our post-registration re-check — the caller
+    ///    observes the condition and never goes pending.
+    /// 2. **Signaller drained before our push**: the drain holds the list
+    ///    lock, the push acquires it afterwards, and the condition store
+    ///    happened-before the signaller took the lock — the lock's
+    ///    release/acquire edge publishes the condition to our re-check.
+    /// 3. **Our push landed before the drain**: we are in the drained set
+    ///    and the signaller wakes us after delivering the condition.
+    ///
+    /// Which accessors may stay `Relaxed`: only `next_ticket` (below) —
+    /// it mints unique ids and publishes nothing — and the diagnostic
+    /// counters' readers. `waiters`, `epoch`, and `closed` stay SeqCst on
+    /// every path: `waiters` anchors the fence pairing above, `epoch`
+    /// orders the bump inside the drain's critical section, and `closed`
+    /// is re-checked *after* registration, so a relaxed load could float
+    /// above the registration fence and reopen the lost-wakeup window
+    /// that case 1 closes.
+    pub fn register_waker(&self, waker: &Waker) -> u64 {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        // Relaxed is fine for the mint: tickets only need to be unique,
+        // and the registration itself is published by the list lock.
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.waitlist.lock().wakers.push((ticket, waker.clone()));
+        ticket
+    }
+
+    /// Withdraws a waker registration made by
+    /// [`register_waker`](Self::register_waker).
+    ///
+    /// Returns `true` if the registration was still armed (and is now
+    /// removed), `false` if a signal already drained it — in which case
+    /// the wake was (or is about to be) delivered and the drain already
+    /// settled the waiter count. Safe to call from a future's `Drop`
+    /// concurrently with signallers: removal happens under the list lock,
+    /// so exactly one side retires any given ticket.
+    pub fn cancel_waker(&self, ticket: u64) -> bool {
+        let found = {
+            let mut list = self.waitlist.lock();
+            match list.wakers.iter().position(|(t, _)| *t == ticket) {
+                Some(i) => {
+                    list.wakers.swap_remove(i);
+                    true
+                }
+                None => false,
+            }
+        };
+        if found {
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+        found
     }
 
     /// Wakes every current and in-flight waiter.
@@ -157,28 +305,58 @@ impl Notifier {
         if self.waiters.load(Ordering::SeqCst) == 0 {
             return;
         }
-        let parked = self.bump_and_drain();
-        for (_, thread) in parked {
-            thread.unpark();
-        }
+        self.deliver(self.bump_and_drain());
     }
 
-    /// Advances the epoch and empties the parked list as one atomic step
-    /// (with respect to waiter registration, which takes the same lock).
+    /// Advances the epoch and empties both registration lists as one
+    /// atomic step (with respect to waiter registration, which takes the
+    /// same lock).
     ///
-    /// The two must not be separated: if the bump could land long before
-    /// the drain (a descheduled notifier), the drain would steal
-    /// registrations made *after* the bump by waiters whose epoch snapshot
-    /// already includes it — they absorb the resulting unpark as spurious
-    /// (their epoch looks unchanged), re-park unregistered, and no later
-    /// signal can ever reach them. Under the lock, a registration either
-    /// completes before the bump (and is drained and meaningfully
-    /// unparked) or starts after it (and its pre-push epoch re-check turns
-    /// the wait into an immediate `Signalled`).
-    fn bump_and_drain(&self) -> Vec<(u64, Thread)> {
-        let mut parked = self.parked.lock();
+    /// The bump and the drain must not be separated: if the bump could
+    /// land long before the drain (a descheduled notifier), the drain
+    /// would steal registrations made *after* the bump by waiters whose
+    /// epoch snapshot already includes it — they absorb the resulting
+    /// unpark as spurious (their epoch looks unchanged), re-park
+    /// unregistered, and no later signal can ever reach them. Under the
+    /// lock, a registration either completes before the bump (and is
+    /// drained and meaningfully delivered) or starts after it (and its
+    /// post-registration re-check — the pre-push epoch read for threads,
+    /// the condition re-check for wakers — turns the wait into an
+    /// immediate wake-up).
+    ///
+    /// Drained wakers leave in a recycled shell from `waker_shells`, and
+    /// their share of the waiter count is settled here: a waker
+    /// registration is consumed by the drain (one wake per registration),
+    /// unlike a [`Waiter`] whose count persists until the guard drops.
+    fn bump_and_drain(&self) -> Drained {
+        let mut list = self.waitlist.lock();
         self.epoch.fetch_add(1, Ordering::SeqCst);
-        std::mem::take(&mut *parked)
+        let parked = std::mem::take(&mut list.parked);
+        let wakers = if list.wakers.is_empty() {
+            None
+        } else {
+            let mut shell = self.waker_shells.take().unwrap_or_default();
+            debug_assert!(shell.is_empty());
+            std::mem::swap(&mut list.wakers, &mut shell);
+            self.waiters.fetch_sub(shell.len(), Ordering::SeqCst);
+            Some(shell)
+        };
+        drop(list);
+        Drained { parked, wakers }
+    }
+
+    /// Unparks and wakes everything a drain handed back, then returns the
+    /// waker shell to the free list (cleared, capacity retained).
+    fn deliver(&self, drained: Drained) {
+        for (_, thread) in drained.parked {
+            thread.unpark();
+        }
+        if let Some(mut wakers) = drained.wakers {
+            for (_, waker) in wakers.drain(..) {
+                waker.wake();
+            }
+            self.waker_shells.put(wakers);
+        }
     }
 
     /// Closes the pool: a sticky, idempotent lifecycle transition.
@@ -194,10 +372,7 @@ impl Notifier {
         // Always signal, even with the waiter fast path: close is a cold,
         // once-per-pool event and the unconditional epoch bump makes the
         // sticky transition visible to the next `waiter()` snapshot too.
-        let parked = self.bump_and_drain();
-        for (_, thread) in parked {
-            thread.unpark();
-        }
+        self.deliver(self.bump_and_drain());
     }
 
     /// Whether [`close`](Self::close) has been called.
@@ -232,7 +407,7 @@ impl Waiter<'_> {
         let notifier = self.notifier;
         let ticket = notifier.next_ticket.fetch_add(1, Ordering::Relaxed);
         {
-            let mut parked = notifier.parked.lock();
+            let mut list = notifier.waitlist.lock();
             // Re-read the epoch while registered: a signal between our last
             // look and this registration already drained the list, so
             // parking now would sleep through it.
@@ -241,7 +416,7 @@ impl Waiter<'_> {
                 self.seen = now;
                 return WaitOutcome::Signalled;
             }
-            parked.push((ticket, std::thread::current()));
+            list.parked.push((ticket, std::thread::current()));
         }
         let outcome = loop {
             let now = notifier.epoch.load(Ordering::SeqCst);
@@ -261,7 +436,7 @@ impl Waiter<'_> {
         };
         // Withdraw our registration if a notifier did not already drain it
         // (timeout, or a signal observed via the epoch before the unpark).
-        notifier.parked.lock().retain(|(t, _)| *t != ticket);
+        notifier.waitlist.lock().parked.retain(|(t, _)| *t != ticket);
         if outcome == WaitOutcome::TimedOut {
             self.seen = notifier.epoch.load(Ordering::SeqCst);
         }
@@ -309,7 +484,7 @@ mod tests {
         let mut w = n.waiter();
         let deadline = Instant::now() + Duration::from_millis(10);
         assert_eq!(w.wait(Some(deadline)), WaitOutcome::TimedOut);
-        assert!(n.parked.lock().is_empty(), "timed-out waiter withdrew its registration");
+        assert_eq!(n.parked(), 0, "timed-out waiter withdrew its registration");
     }
 
     #[test]
@@ -351,6 +526,101 @@ mod tests {
             n.close();
         });
         assert!(n.is_closed());
+    }
+
+    /// A test waker that counts its wakes.
+    struct CountingWake(AtomicUsize);
+
+    impl std::task::Wake for CountingWake {
+        fn wake(self: std::sync::Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting_waker() -> (std::sync::Arc<CountingWake>, std::task::Waker) {
+        let state = std::sync::Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(std::sync::Arc::clone(&state));
+        (state, waker)
+    }
+
+    #[test]
+    fn registered_waker_is_woken_exactly_once_per_registration() {
+        let n = Notifier::new();
+        let (state, waker) = counting_waker();
+        n.register_waker(&waker);
+        assert_eq!(n.registered_wakers(), 1);
+        assert_eq!(n.waiters(), 1, "waker registrations hold the waiter count up");
+        n.notify_all();
+        assert_eq!(state.0.load(Ordering::SeqCst), 1);
+        assert_eq!(n.registered_wakers(), 0, "signal consumed the registration");
+        assert_eq!(n.waiters(), 0, "drain settled the waker's waiter count");
+        n.notify_all();
+        assert_eq!(state.0.load(Ordering::SeqCst), 1, "no registration, no wake");
+    }
+
+    #[test]
+    fn cancelled_waker_is_never_woken() {
+        let n = Notifier::new();
+        let (state, waker) = counting_waker();
+        let ticket = n.register_waker(&waker);
+        assert!(n.cancel_waker(ticket), "still armed");
+        assert!(!n.cancel_waker(ticket), "second cancel is a no-op");
+        assert_eq!(n.waiters(), 0);
+        n.notify_all();
+        assert_eq!(state.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancel_after_drain_reports_delivery() {
+        let n = Notifier::new();
+        let (state, waker) = counting_waker();
+        let ticket = n.register_waker(&waker);
+        n.notify_all();
+        assert!(!n.cancel_waker(ticket), "the signal already consumed the ticket");
+        assert_eq!(state.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn close_wakes_registered_wakers() {
+        let n = Notifier::new();
+        let (state, waker) = counting_waker();
+        n.register_waker(&waker);
+        n.close();
+        assert_eq!(state.0.load(Ordering::SeqCst), 1, "close drains the waker list too");
+        assert_eq!(n.waiters(), 0);
+    }
+
+    #[test]
+    fn mixed_parkers_and_wakers_drain_together() {
+        let n = Notifier::new();
+        let (state, waker) = counting_waker();
+        n.register_waker(&waker);
+        let woken = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let (n, woken) = (&n, &woken);
+            s.spawn(move || {
+                let mut w = n.waiter();
+                while w.wait(None) != WaitOutcome::Signalled {}
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+            while n.parked() < 1 {
+                std::thread::yield_now();
+            }
+            n.notify_all();
+        });
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+        assert_eq!(state.0.load(Ordering::SeqCst), 1, "one signal reached both lists");
+    }
+
+    #[test]
+    fn waker_shells_recycle_across_signal_rounds() {
+        let n = Notifier::new();
+        let (_state, waker) = counting_waker();
+        for _ in 0..4 {
+            n.register_waker(&waker);
+            n.notify_all();
+        }
+        assert!(n.waker_shells.cached() >= 1, "drained shells return to the free list");
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //!   consumer parks on the pool's [`notify`](crate::notify) subsystem and
 //!   is woken by the add that satisfies it. [`remove_timeout`](PoolOps::remove_timeout)
 //!   bounds the wait by a deadline.
+//! * **Async remove** — [`remove_async`](PoolOps::remove_async) and
+//!   [`remove_timeout_async`](PoolOps::remove_timeout_async) return
+//!   std-only futures that wait on the same notifier *without a thread*:
+//!   a pending future registers its task's waker instead of parking. See
+//!   [`future`](crate::future) for the protocol and bundled executor.
 //! * **Lifecycle** — [`close`](PoolOps::close) flips the pool-wide shutdown
 //!   state: blocked and future removers drain the remaining elements and
 //!   then observe [`RemoveError::Closed`], replacing attempt-budget
@@ -256,6 +261,14 @@ pub trait PoolOps {
     /// [`KeyedHandle`](crate::KeyedHandle).
     type Batch: TransferBatch<Item = Self::Item>;
 
+    /// The future [`remove_async`](Self::remove_async) returns:
+    /// [`RemoveFuture`](crate::RemoveFuture) for [`Handle`](crate::Handle),
+    /// [`KeyedRemoveFuture`](crate::KeyedRemoveFuture) for
+    /// [`KeyedHandle`](crate::KeyedHandle). Always `Unpin` (pool futures
+    /// are plain owned state), so generic drivers can poll without pin
+    /// projection — e.g. through [`future::exec::Fleet`](crate::future::exec::Fleet).
+    type RemoveFuture: std::future::Future<Output = Result<Self::Item, RemoveError>> + Unpin;
+
     /// Adds one element (to the local segment, or wherever the frontend's
     /// placement rules send it), waking consumers parked in
     /// [`WaitStrategy::Block`] removes.
@@ -350,6 +363,23 @@ pub trait PoolOps {
     fn remove_timeout(&mut self, timeout: Duration) -> Result<Self::Item, RemoveError> {
         self.remove_bounded(WaitStrategy::Block, usize::MAX, Some(Instant::now() + timeout))
     }
+
+    /// Returns a future resolving to an element — the async counterpart of
+    /// [`remove`](Self::remove) with [`WaitStrategy::Block`]: instead of
+    /// parking a thread, a pending future registers its task's waker on
+    /// the pool's notifier and is woken by the add edge. The future holds
+    /// no borrow of the handle, so one handle can have many futures
+    /// pending at once (see [`future`](crate::future) for the protocol
+    /// and the bundled executor).
+    ///
+    /// The future resolves terminally with [`RemoveError::Closed`] once
+    /// the pool is [closed](Self::close) and drained, and with
+    /// [`RemoveError::Aborted`] on the §3.2 starvation signal.
+    fn remove_async(&self) -> Self::RemoveFuture;
+
+    /// [`remove_async`](Self::remove_async) with a deadline: past
+    /// `timeout` the future resolves with [`RemoveError::Timeout`].
+    fn remove_timeout_async(&self, timeout: Duration) -> Self::RemoveFuture;
 
     /// The blocking-remove primitive the convenience methods above lower
     /// to: wait under `wait` for at most `attempts` fruitless laps, bounded

@@ -33,10 +33,12 @@
 //! (a [`Segment`] per processor) and the pluggable [`SearchPolicy`] driver.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
 
 use crate::core::{OpTimer, Registry, SearchSession, WaitCtl};
 use crate::error::RemoveError;
+use crate::future::RemoveFuture;
 use crate::gate::SearchGate;
 use crate::hints::{HintBoard, HINT_BOARD_RESOURCE};
 use crate::ids::{ProcId, SegIdx};
@@ -305,7 +307,7 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
     }
 }
 
-struct Shared<S: Segment, P, T> {
+pub(crate) struct Shared<S: Segment, P, T> {
     segments: Box<[S]>,
     policy: P,
     registry: Registry,
@@ -315,6 +317,147 @@ struct Shared<S: Segment, P, T> {
     hints: Option<HintBoard<S::Item>>,
     add_overhead_ns: u64,
     remove_overhead_ns: u64,
+}
+
+impl<S: Segment, P: SearchPolicy, T: Timing> Shared<S, P, T> {
+    /// The pool's wakeup channel.
+    pub(crate) fn notifier(&self) -> &crate::notify::Notifier {
+        self.registry.notifier()
+    }
+
+    /// Whether every segment is empty right now (the drained snapshot the
+    /// remove drivers use for their terminal mapping).
+    pub(crate) fn drained(&self) -> bool {
+        self.segments.iter().all(Segment::is_empty)
+    }
+
+    /// Fresh per-searcher policy state anchored at `home` (what
+    /// [`Pool::register`] builds for a handle; futures build their own).
+    pub(crate) fn init_state(&self, home: SegIdx) -> P::State {
+        self.policy.init_state(home, self.segments.len(), self.seed)
+    }
+
+    /// One remove pass: local try, then — if the local segment is empty —
+    /// a full policy search with the steal protocol. This is the engine
+    /// both `Handle::try_remove` and the async futures drive; the handle
+    /// passes `detached: false` (gate-registered search, hint-board
+    /// participation), a future `detached: true` (observe the gate without
+    /// counting as a searcher — see [`SearchSession::begin_detached`] —
+    /// and stay off the hint board, whose mailboxes are per-[`ProcId`] and
+    /// would be shared with the handle that created the future).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn remove_pass(
+        &self,
+        me: ProcId,
+        home: SegIdx,
+        state: &mut P::State,
+        stats: &mut ProcStats,
+        detached: bool,
+        overhead_ns: u64,
+        mut wait: Option<&mut WaitCtl<'_>>,
+    ) -> Result<S::Item, RemoveError> {
+        let timer = OpTimer::start(&self.timing, me, overhead_ns);
+        self.timing.charge(me, Resource::Segment(home));
+        if let Some(item) = self.segments[home.index()].try_remove() {
+            timer.finish_local_remove(stats);
+            self.record_trace(me, home, TraceKind::Remove);
+            return Ok(item);
+        }
+
+        // Local segment empty: search remote segments, guarded by the gate.
+        // With hints enabled the searcher posts on the board *after one
+        // full fruitless lap* (see `PoolSearchEnv::should_abort`): batch
+        // steals remain the first-line mechanism — they balance reserves in
+        // a way single-element deliveries cannot — and donations target
+        // exactly the long-tail searches that batches cannot satisfy.
+        if let Some(ctl) = wait.as_deref_mut() {
+            ctl.begin_pass();
+        }
+        let lap = self.segments.len() as u64;
+        let session = if detached {
+            SearchSession::begin_detached(&self.timing, self.registry.gate(), me, home, lap)
+        } else {
+            SearchSession::begin(&self.timing, self.registry.gate(), me, home, lap)
+        };
+        let hints = if detached { None } else { self.hints.as_ref() };
+        let mut env = PoolSearchEnv {
+            shared: self,
+            session,
+            hints,
+            stolen: 0,
+            taken: None,
+            victim: None,
+            wait,
+        };
+        let outcome = self.policy.search(state, &mut env);
+        let PoolSearchEnv { session, stolen, mut taken, victim, hints, .. } = env;
+        let search_t0 = session.started_ns();
+        stats.segments_examined += session.examined();
+        stats.tree_nodes_visited += session.nodes_visited();
+        // End the search (releasing the gate) before touching the board so
+        // a donor's glance cannot deliver into a finished search; then
+        // withdraw whatever happened — a donation that raced with the end
+        // of the search is recovered here, never lost.
+        drop(session);
+        let delivery = hints.and_then(|b| b.cancel(me));
+        match outcome {
+            SearchOutcome::Found => {
+                let item = taken.take().expect("search reported Found without an element");
+                let victim = victim.expect("search reported Found without a victim");
+                if let Some(extra) = delivery {
+                    // Both a steal and a donation: keep the stolen element
+                    // for the caller and bank the donation locally (and
+                    // wake parked waiters — the banked element is fresh
+                    // availability they were never signalled about).
+                    self.timing.charge(me, Resource::Segment(home));
+                    self.segments[home.index()].add(extra);
+                    self.registry.notifier().notify_all();
+                }
+                timer.finish_steal_remove(stats, stolen, search_t0);
+                self.record_trace(me, victim, TraceKind::StealFrom);
+                self.record_trace(me, home, TraceKind::StealInto);
+                Ok(item)
+            }
+            SearchOutcome::Aborted if delivery.is_some() => {
+                // The search saw the delivery (or the gate fired just as a
+                // donor came through): the donated element satisfies the
+                // remove without any steal.
+                let item = delivery.expect("guard checked");
+                timer.finish_hinted_remove(stats);
+                Ok(item)
+            }
+            SearchOutcome::Aborted => {
+                debug_assert!(taken.is_none());
+                timer.finish_aborted(stats);
+                Err(self.abort_error())
+            }
+        }
+    }
+
+    /// Maps a search abort to its caller-facing error: an abort on a
+    /// closed *and drained* pool is the end of the pool's life
+    /// ([`RemoveError::Closed`]); anything else keeps the §3.2
+    /// [`RemoveError::Aborted`] semantics (a closed pool that still holds
+    /// elements must drain them first).
+    fn abort_error(&self) -> RemoveError {
+        if self.registry.notifier().is_closed() && self.drained() {
+            RemoveError::Closed
+        } else {
+            RemoveError::Aborted
+        }
+    }
+
+    fn record_trace(&self, me: ProcId, seg: SegIdx, kind: TraceKind) {
+        if let Some(trace) = &self.trace {
+            trace.record(TraceEvent {
+                t_ns: self.timing.now(me),
+                proc: me,
+                seg,
+                len: self.segments[seg.index()].len() as u32,
+                kind,
+            });
+        }
+    }
 }
 
 /// A concurrent pool: a distributed, unordered collection of items.
@@ -446,7 +589,14 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T> {
     pub fn register(&self) -> Handle<S, P, T> {
         let (me, seg) = self.shared.registry.register(self.segments());
         let state = self.shared.policy.init_state(seg, self.segments(), self.shared.seed);
-        Handle { shared: Arc::clone(&self.shared), me, seg, state, stats: ProcStats::default() }
+        Handle {
+            shared: Arc::clone(&self.shared),
+            me,
+            seg,
+            state,
+            stats: ProcStats::default(),
+            poll_slot: None,
+        }
     }
 
     /// Statistics gathered from handles that have been dropped so far,
@@ -477,6 +627,11 @@ pub struct Handle<S: Segment, P: SearchPolicy, T: Timing = NullTiming> {
     seg: SegIdx,
     state: P::State,
     stats: ProcStats,
+    /// Armed waker-registration ticket from [`poll_remove`](Self::poll_remove)
+    /// (the handle-level poll API; [`RemoveFuture`] keeps its own slot).
+    /// Cancelled on drop so a retired handle cannot leave a dangling
+    /// registration holding the notifier's waiter count up.
+    poll_slot: Option<u64>,
 }
 
 impl<S: Segment, P: SearchPolicy, T: Timing> std::fmt::Debug for Handle<S, P, T> {
@@ -585,109 +740,88 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
     fn try_remove_inner(
         &mut self,
         overhead_ns: u64,
-        mut wait: Option<&mut WaitCtl<'_>>,
+        wait: Option<&mut WaitCtl<'_>>,
     ) -> Result<S::Item, RemoveError> {
-        let timer = OpTimer::start(&self.shared.timing, self.me, overhead_ns);
-        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-        if let Some(item) = self.shared.segments[self.seg.index()].try_remove() {
-            timer.finish_local_remove(&mut self.stats);
-            self.record_trace(self.seg, TraceKind::Remove);
-            return Ok(item);
-        }
-
-        // Local segment empty: search remote segments, guarded by the gate.
-        // With hints enabled the searcher posts on the board *after one
-        // full fruitless lap* (see `PoolSearchEnv::should_abort`): batch
-        // steals remain the first-line mechanism — they balance reserves in
-        // a way single-element deliveries cannot — and donations target
-        // exactly the long-tail searches that batches cannot satisfy.
-        if let Some(ctl) = wait.as_deref_mut() {
-            ctl.begin_pass();
-        }
-        let mut env = PoolSearchEnv {
-            shared: &self.shared,
-            session: SearchSession::begin(
-                &self.shared.timing,
-                self.shared.registry.gate(),
-                self.me,
-                self.seg,
-                self.shared.segments.len() as u64,
-            ),
-            stolen: 0,
-            taken: None,
-            victim: None,
+        self.shared.remove_pass(
+            self.me,
+            self.seg,
+            &mut self.state,
+            &mut self.stats,
+            false,
+            overhead_ns,
             wait,
-        };
-        let outcome = self.shared.policy.search(&mut self.state, &mut env);
-        let PoolSearchEnv { session, stolen, mut taken, victim, .. } = env;
-        let search_t0 = session.started_ns();
-        self.stats.segments_examined += session.examined();
-        self.stats.tree_nodes_visited += session.nodes_visited();
-        // End the search (releasing the gate) before touching the board so
-        // a donor's glance cannot deliver into a finished search; then
-        // withdraw whatever happened — a donation that raced with the end
-        // of the search is recovered here, never lost.
-        drop(session);
-        let delivery = self.shared.hints.as_ref().and_then(|b| b.cancel(self.me));
-        match outcome {
-            SearchOutcome::Found => {
-                let item = taken.take().expect("search reported Found without an element");
-                let victim = victim.expect("search reported Found without a victim");
-                if let Some(extra) = delivery {
-                    // Both a steal and a donation: keep the stolen element
-                    // for the caller and bank the donation locally (and
-                    // wake parked waiters — the banked element is fresh
-                    // availability they were never signalled about).
-                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
-                    self.shared.segments[self.seg.index()].add(extra);
-                    self.shared.registry.notifier().notify_all();
-                }
-                timer.finish_steal_remove(&mut self.stats, stolen, search_t0);
-                self.record_trace(victim, TraceKind::StealFrom);
-                self.record_trace(self.seg, TraceKind::StealInto);
-                Ok(item)
-            }
-            SearchOutcome::Aborted if delivery.is_some() => {
-                // The search saw the delivery (or the gate fired just as a
-                // donor came through): the donated element satisfies the
-                // remove without any steal.
-                let item = delivery.expect("guard checked");
-                timer.finish_hinted_remove(&mut self.stats);
-                Ok(item)
-            }
-            SearchOutcome::Aborted => {
-                debug_assert!(taken.is_none());
-                timer.finish_aborted(&mut self.stats);
-                Err(self.abort_error())
-            }
-        }
-    }
-
-    /// Maps a search abort to its caller-facing error: an abort on a
-    /// [closed](Self::close) *and drained* pool is the end of the pool's
-    /// life ([`RemoveError::Closed`]); anything else keeps the §3.2
-    /// [`RemoveError::Aborted`] semantics (a closed pool that still holds
-    /// elements must drain them first).
-    fn abort_error(&self) -> RemoveError {
-        if self.shared.registry.notifier().is_closed()
-            && self.shared.segments.iter().all(Segment::is_empty)
-        {
-            RemoveError::Closed
-        } else {
-            RemoveError::Aborted
-        }
+        )
     }
 
     fn record_trace(&self, seg: SegIdx, kind: TraceKind) {
-        if let Some(trace) = &self.shared.trace {
-            trace.record(TraceEvent {
-                t_ns: self.shared.timing.now(self.me),
-                proc: self.me,
-                seg,
-                len: self.shared.segments[seg.index()].len() as u32,
-                kind,
-            });
+        self.shared.record_trace(self.me, seg, kind);
+    }
+
+    /// Returns a future that resolves to a removed element, driving the
+    /// same local-first search passes as [`remove`](PoolOps::remove) with
+    /// [`WaitStrategy::Block`] — but pending instead of parked between
+    /// passes, its waker registered on the pool's notifier. See
+    /// [`future`](crate::future) for the protocol and executor helpers.
+    ///
+    /// The future searches from this handle's home segment but runs
+    /// *detached*: it does not count as a searching process on the
+    /// livelock gate (it cannot add, so §3.2's reasoning does not need
+    /// it), and its per-search statistics stay private to the future. It
+    /// resolves terminally with [`RemoveError::Closed`] once the pool is
+    /// closed and drained, and with [`RemoveError::Aborted`] when the
+    /// registered fleet proves the pool unreachable-empty (§3.2).
+    pub fn remove_async(&self) -> RemoveFuture<S, P, T> {
+        RemoveFuture::new(Arc::clone(&self.shared), self.me, self.seg, None)
+    }
+
+    /// [`remove_async`](Self::remove_async) with a deadline: the future
+    /// resolves with [`RemoveError::Timeout`] if no element arrives within
+    /// `timeout`.
+    ///
+    /// The deadline is checked inside `poll`, so an executor must re-poll
+    /// for it to fire; the bundled [`exec`](crate::future::exec) drivers
+    /// wake on a coarse tick while tasks are pending exactly for this
+    /// (timer-wheel runtimes would instead race their own sleep against
+    /// the plain [`remove_async`](Self::remove_async) future).
+    pub fn remove_timeout_async(&self, timeout: Duration) -> RemoveFuture<S, P, T> {
+        RemoveFuture::new(
+            Arc::clone(&self.shared),
+            self.me,
+            self.seg,
+            Some(Instant::now() + timeout),
+        )
+    }
+
+    /// Polls for a removed element without constructing a future: the
+    /// low-level form of [`remove_async`](Self::remove_async) for callers
+    /// that embed the pool in a hand-written `Future::poll` (a server
+    /// connection state machine, a custom executor). Runs search passes
+    /// until an element or a terminal outcome arrives; on `Poll::Pending`
+    /// a registration for `cx`'s waker stays armed on the pool's notifier
+    /// and fires on the next add edge, close, or gate transition.
+    ///
+    /// Unlike the detached future, this polls *as* the registered process:
+    /// passes count as searching on the livelock gate, participate in the
+    /// hint board, and record into this handle's [`stats`](Self::stats),
+    /// exactly like [`try_remove`](Self::try_remove).
+    pub fn poll_remove(&mut self, cx: &mut Context<'_>) -> Poll<Result<S::Item, RemoveError>> {
+        let shared = Arc::clone(&self.shared);
+        let mut slot = self.poll_slot.take();
+        if let Some(ticket) = slot.take() {
+            // A re-poll may carry a different waker: retire the previous
+            // registration so the current task is the one that wakes.
+            shared.notifier().cancel_waker(ticket);
         }
+        let mut overhead = shared.remove_overhead_ns;
+        let mut ctl = WaitCtl::new_poll(shared.notifier(), None, cx.waker(), &mut slot);
+        let out = crate::core::drive_poll_remove(
+            &mut ctl,
+            |ctl| self.try_remove_inner(std::mem::take(&mut overhead), Some(ctl)),
+            || shared.drained(),
+            || shared.notifier().is_closed(),
+        );
+        self.poll_slot = slot;
+        out
     }
 }
 
@@ -702,9 +836,18 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
 impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
     type Item = S::Item;
     type Batch = S::Batch;
+    type RemoveFuture = RemoveFuture<S, P, T>;
 
     fn add(&mut self, item: S::Item) {
         Handle::add(self, item);
+    }
+
+    fn remove_async(&self) -> RemoveFuture<S, P, T> {
+        Handle::remove_async(self)
+    }
+
+    fn remove_timeout_async(&self, timeout: Duration) -> RemoveFuture<S, P, T> {
+        Handle::remove_timeout_async(self, timeout)
     }
 
     fn try_remove(&mut self) -> Result<S::Item, RemoveError> {
@@ -839,6 +982,9 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
 
 impl<S: Segment, P: SearchPolicy, T: Timing> Drop for Handle<S, P, T> {
     fn drop(&mut self) {
+        if let Some(ticket) = self.poll_slot.take() {
+            self.shared.notifier().cancel_waker(ticket);
+        }
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
 }
@@ -851,6 +997,10 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Drop for Handle<S, P, T> {
 struct PoolSearchEnv<'a, 'w, 'n, S: Segment, P, T: Timing> {
     shared: &'a Shared<S, P, T>,
     session: SearchSession<'a, T>,
+    /// The hint board when this search participates in it (`None` for
+    /// detached future searches, whose [`ProcId`] aliases the creating
+    /// handle's mailbox — see [`Shared::remove_pass`]).
+    hints: Option<&'a HintBoard<S::Item>>,
     stolen: usize,
     taken: Option<S::Item>,
     victim: Option<SegIdx>,
@@ -912,7 +1062,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, '_,
         // siphon adds away from segments one element at a time and starve
         // the batch-steal mechanism the pool's load balancing relies on
         // (measurably worse: more probes, not fewer).
-        if let Some(board) = &self.shared.hints {
+        if let Some(board) = self.hints {
             if board.delivered(self.session.proc()) {
                 return true;
             }
@@ -936,7 +1086,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, '_,
         // Blocking removes wait at lap boundaries instead of polling on.
         if let Some(ctl) = self.wait.as_deref_mut() {
             let segments = &self.shared.segments;
-            let hints = self.shared.hints.as_ref();
+            let hints = self.hints;
             let proc = self.session.proc();
             return ctl.on_probe(
                 &self.session,

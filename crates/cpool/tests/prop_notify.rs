@@ -5,6 +5,11 @@
 //! by the close — on both pool frontends. A single lost wakeup deadlocks
 //! the scope (the test hangs) or loses an element (the multiset assertion
 //! fails).
+//!
+//! The same guarantee covers the notifier's *waker* waiters: properties
+//! below mix parked threads with fleets of `remove_async` futures driven
+//! by a single thread on the same pool, so both waiter kinds race for the
+//! same add edges and must still conserve the multiset and all terminate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
@@ -138,6 +143,140 @@ proptest! {
         for (v, slot) in seen.iter().enumerate() {
             prop_assert_eq!(slot.load(Ordering::Relaxed), 1, "pair {} delivered once", v);
         }
+    }
+
+    /// Mixed waiter kinds on one pool: parked `Block` consumers on their
+    /// own threads *and* a fleet of `remove_async` futures driven by one
+    /// more thread. Both register on the same notifier (parker list and
+    /// waker list drain as one atomic step), so every element must still
+    /// be delivered exactly once across both kinds, and the close must
+    /// release every thread and resolve every future.
+    #[test]
+    fn mixed_parked_and_future_waiters_conserve_elements(
+        consumers in 1usize..3,
+        futures in 1usize..24,
+        producer_script in script(),
+        segs in 1usize..4,
+    ) {
+        let total: usize = producer_script.iter().sum();
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(segs).seed(11).build();
+        let received = AtomicU64::new(0);
+        let seen: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+
+        thread::scope(|s| {
+            // Producer registered before any consumer runs: a consumer
+            // alone on the gate would read its solitude as terminal.
+            let mut p = pool.register();
+            for _ in 0..consumers {
+                let mut h = pool.register();
+                let (received, seen) = (&received, &seen);
+                s.spawn(move || {
+                    let err = loop {
+                        match h.remove(WaitStrategy::Block) {
+                            Ok(v) => {
+                                seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                                received.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => break err,
+                        }
+                    };
+                    assert_eq!(err, RemoveError::Closed, "close released this consumer");
+                });
+            }
+            // The async side: one thread drives a fleet of pending
+            // removes, respawning a replacement for every satisfied one so
+            // the futures keep competing with the parked threads until the
+            // close resolves them all.
+            let h = pool.register();
+            let (received, seen) = (&received, &seen);
+            s.spawn(move || {
+                let mut fleet = Fleet::new();
+                for _ in 0..futures {
+                    fleet.spawn(h.remove_async());
+                }
+                loop {
+                    let mut respawn = 0usize;
+                    for (_, result) in fleet.drive_collect() {
+                        match result {
+                            Ok(v) => {
+                                seen[v as usize].fetch_add(1, Ordering::Relaxed);
+                                received.fetch_add(1, Ordering::Relaxed);
+                                respawn += 1;
+                            }
+                            Err(err) => {
+                                assert_eq!(err, RemoveError::Closed, "futures end via close");
+                            }
+                        }
+                    }
+                    if respawn == 0 {
+                        break;
+                    }
+                    for _ in 0..respawn {
+                        fleet.spawn(h.remove_async());
+                    }
+                }
+            });
+            let script = producer_script.clone();
+            s.spawn(move || {
+                let mut next = 0u64;
+                for action in script {
+                    if action == 1 {
+                        p.add(next);
+                        next += 1;
+                    } else {
+                        p.add_batch(next..next + action as u64);
+                        next += action as u64;
+                    }
+                    thread::yield_now();
+                }
+                p.close();
+            });
+        });
+
+        prop_assert_eq!(received.load(Ordering::Relaxed), total as u64);
+        prop_assert_eq!(pool.total_len(), 0);
+        for (v, slot) in seen.iter().enumerate() {
+            prop_assert_eq!(slot.load(Ordering::Relaxed), 1, "value {} delivered once", v);
+        }
+    }
+
+    /// Key-scoped futures only resolve with their own key's elements: one
+    /// fleet holds per-key `remove_key_async` futures for two keys while a
+    /// producer interleaves both keys' adds. Every future is satisfied by
+    /// exactly one element of its key — wrong-key traffic wakes a future
+    /// only to re-check and re-register, never to resolve it.
+    #[test]
+    fn future_waiters_scoped_to_a_key_only_take_their_key(
+        per_key in 1usize..10,
+        segs in 1usize..4,
+    ) {
+        let pool: KeyedPool<u8, u64> = KeyedPool::new(segs);
+        thread::scope(|s| {
+            let mut p = pool.register(); // before consumers: see above
+            let h = pool.register();
+            s.spawn(move || {
+                let mut fleet = Fleet::new();
+                for i in 0..2 * per_key {
+                    fleet.spawn(h.remove_key_async((i % 2) as u8));
+                }
+                let mut got = [0usize; 2];
+                for (id, result) in fleet.drive_collect() {
+                    let v = result.expect("every keyed future is satisfied");
+                    assert_eq!((v % 2) as u8, (id % 2) as u8, "wrong key delivered");
+                    got[id % 2] += 1;
+                }
+                assert_eq!(got, [per_key, per_key]);
+            });
+            s.spawn(move || {
+                for v in 0..2 * per_key as u64 {
+                    p.add((v % 2) as u8, v);
+                    thread::yield_now();
+                }
+                // No close: every future is satisfied by exactly one
+                // element of its key, so the fleet drains on its own.
+            });
+        });
+        prop_assert_eq!(pool.total_len(), 0);
     }
 
     /// Keyed blocking removes scoped to a single key: wrong-key traffic

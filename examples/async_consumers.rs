@@ -1,0 +1,99 @@
+//! One thread, many waiting consumers: the waker-based futures layer.
+//!
+//! A thread-per-blocked-consumer frontend stops scaling long before the
+//! pool does; the async layer replaces parked threads with registered
+//! wakers, so a single driver thread holds any number of pending
+//! `remove_async` futures. This example walks the three ways such a
+//! future resolves — satisfied by an add edge, expired by its own
+//! deadline, and released terminally by a graceful `close()` — all from
+//! one driver thread. Run with:
+//!
+//! ```sh
+//! cargo run --release --example async_consumers
+//! ```
+
+use std::thread;
+use std::time::Duration;
+
+use concurrent_pools::prelude::*;
+
+/// Drives `fleet` to completion and returns `(ok, timeout, closed)` counts.
+fn tally(mut fleet: Fleet<RemoveFuture<VecSegment<u64>, LinearSearch>>) -> (u32, u32, u32) {
+    let (mut ok, mut timeout, mut closed) = (0, 0, 0);
+    fleet.drive(|_, result| match result {
+        Ok(_) => ok += 1,
+        Err(RemoveError::Timeout) => timeout += 1,
+        Err(RemoveError::Closed) => closed += 1,
+        Err(err) => panic!("async removes resolve terminally, got {err}"),
+    });
+    (ok, timeout, closed)
+}
+
+fn main() {
+    // ── Phase 1: a burst of work satisfies every waiting future. ──────
+    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(4).build();
+    let mut producer = pool.register();
+    let frontend = pool.register();
+
+    // One future is just an ordinary value until polled; `block_on` is the
+    // smallest driver there is.
+    producer.add(0);
+    let first = block_on(frontend.remove_async()).expect("element is waiting");
+    println!("block_on served element {first}");
+
+    let served = thread::scope(|s| {
+        let mut fleet = Fleet::new();
+        for _ in 0..32 {
+            fleet.spawn(frontend.remove_async());
+        }
+        // The producer feeds the pool while all 32 futures pend on the
+        // driver thread; every add edge wakes the registered wakers.
+        s.spawn(move || {
+            for v in 1..=32 {
+                producer.add(v);
+                thread::yield_now();
+            }
+        });
+        tally(fleet)
+    });
+    assert_eq!(served, (32, 0, 0));
+    println!("burst:    32 futures on one thread -> {} served", served.0);
+
+    // ── Phase 2: deadlines resolve futures on a quiet pool. ───────────
+    // Nobody is producing, so every `_timeout` future expires; the fleet's
+    // tick sweep drives the in-poll deadline checks (no timer wheel).
+    let mut fleet = Fleet::new();
+    for _ in 0..16 {
+        fleet.spawn(frontend.remove_timeout_async(Duration::from_millis(25)));
+    }
+    let expired = tally(fleet);
+    assert_eq!(expired, (0, 16, 0));
+    println!("deadline: 16 futures with 25ms budget -> {} timed out", expired.1);
+
+    // ── Phase 3: a graceful close releases the rest. ──────────────────
+    // Migration note (from `WaitStrategy::Block`): close semantics carry
+    // over unchanged — everything added before the close is still
+    // delivered first, then every remaining future resolves `Closed`
+    // instead of a parked thread returning it.
+    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(4).build();
+    let mut producer = pool.register();
+    let frontend = pool.register();
+    let drained = thread::scope(|s| {
+        let mut fleet = Fleet::new();
+        for _ in 0..32 {
+            fleet.spawn(frontend.remove_async());
+        }
+        s.spawn(move || {
+            for v in 0..12 {
+                producer.add(v);
+            }
+            producer.close();
+        });
+        tally(fleet)
+    });
+    assert_eq!(drained, (12, 0, 20));
+    println!(
+        "close:    12 adds then close -> {} served, {} released with Closed",
+        drained.0, drained.2
+    );
+}

@@ -1,0 +1,237 @@
+//! Async-layer stress: close/poll races, thousand-future fleets, and
+//! timeout resolution — the waker-based twin of `tests/lifecycle.rs`.
+//!
+//! The property these tests defend is *termination with conservation*: a
+//! lost wakeup between a future registering its waker and going pending
+//! (or between `close()` flipping the flag and draining the waker list)
+//! leaves a future pending forever, and the watchdog trips. CI runs this
+//! file under `--release` with a hard outer `timeout` (optimized codegen
+//! shrinks the race windows the dev profile masks).
+
+use std::collections::BTreeSet;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use concurrent_pools::prelude::*;
+use cpool::KeyedPool;
+
+/// Runs `scenario` on its own thread and panics if it does not finish
+/// within `deadline` — the lost-wakeup detector.
+fn with_deadline(deadline: Duration, scenario: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let runner = thread::spawn(move || {
+        scenario();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(()) => runner.join().expect("scenario panicked"),
+        Err(_) => {
+            panic!("async scenario exceeded its {deadline:?} deadline: lost wakeup")
+        }
+    }
+}
+
+/// The acceptance-shaped fleet: one thread holds 1024 concurrently
+/// *pending* `remove_async` futures, a producer then feeds exactly that
+/// many elements, and every future resolves with a distinct element — no
+/// wakeup lost, nothing delivered twice.
+#[test]
+fn one_thread_drives_1024_pending_removes() {
+    with_deadline(Duration::from_secs(60), || {
+        const TASKS: usize = 1024;
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(4).seed(3).build();
+        thread::scope(|s| {
+            let mut p = pool.register();
+            let h = pool.register();
+            let (pend_tx, pend_rx) = mpsc::channel();
+            s.spawn(move || {
+                let mut fleet = Fleet::new();
+                for _ in 0..TASKS {
+                    fleet.spawn(h.remove_async());
+                }
+                // First dispatch round on the empty pool: every task must
+                // go pending (waker armed on the notifier), none resolve.
+                let completed = fleet.poll_ready(|_, _| {});
+                assert_eq!(completed, 0, "nothing to remove yet");
+                assert_eq!(fleet.pending(), TASKS, "all futures concurrently pending");
+                pend_tx.send(()).expect("producer is waiting");
+                let results = fleet.drive_collect();
+                let values: BTreeSet<u64> = results
+                    .into_iter()
+                    .map(|(_, r)| r.expect("every pending future is satisfied"))
+                    .collect();
+                assert_eq!(values.len(), TASKS, "distinct element per future");
+            });
+            // Feed only once every future is pending, in small batches so
+            // the add-edge wakeups interleave with the fleet's re-polls.
+            pend_rx.recv().expect("fleet reported pending");
+            for chunk in 0..(TASKS as u64 / 64) {
+                p.add_batch(chunk * 64..(chunk + 1) * 64);
+                thread::yield_now();
+            }
+        });
+        assert_eq!(pool.total_len(), 0);
+    });
+}
+
+/// `close()` racing a fleet of pending futures: every future must resolve
+/// terminally (`Ok` or `Closed`, never a hang), and every element is
+/// either delivered to exactly one future or still countable in the pool
+/// (a thief that resolved `Ok` mid-steal banks its surplus — see the
+/// `RemoveError::Closed` docs).
+#[test]
+fn close_races_pending_futures_to_terminal_states() {
+    let rounds = if cfg!(debug_assertions) { 40 } else { 120 };
+    with_deadline(Duration::from_secs(120), move || {
+        const FUTURES: usize = 64;
+        const ELEMENTS: u64 = 32;
+        for round in 0..rounds {
+            let pool: Pool<VecSegment<u64>, LinearSearch> =
+                PoolBuilder::new(2).seed(round as u64).build();
+            thread::scope(|s| {
+                let mut p = pool.register();
+                let h = pool.register();
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut fleet = Fleet::new();
+                    for _ in 0..FUTURES {
+                        fleet.spawn(h.remove_async());
+                    }
+                    let mut got = 0usize;
+                    let mut closed = 0usize;
+                    for (_, result) in fleet.drive_collect() {
+                        match result {
+                            Ok(_) => got += 1,
+                            Err(RemoveError::Closed) => closed += 1,
+                            Err(err) => panic!("unexpected terminal state: {err}"),
+                        }
+                    }
+                    assert_eq!(got + closed, FUTURES, "every future resolved terminally");
+                    assert_eq!(
+                        got as u64 + pool.total_len() as u64,
+                        ELEMENTS,
+                        "round {round}: delivered + residue conserves the adds"
+                    );
+                });
+                // The race: the adds and the close land while the fleet is
+                // mid-drive, in whatever interleaving this round produces.
+                p.add_batch(0..ELEMENTS);
+                pool.close();
+            });
+        }
+    });
+}
+
+/// The keyed close/poll race with per-key futures: key-scoped wakeups and
+/// the key-scoped drained check must still resolve every future, and keys
+/// never cross.
+#[test]
+fn keyed_close_races_key_scoped_futures() {
+    let rounds = if cfg!(debug_assertions) { 30 } else { 90 };
+    with_deadline(Duration::from_secs(120), move || {
+        const PER_KEY: usize = 16;
+        const ADDS_PER_KEY: u64 = 8;
+        for round in 0..rounds {
+            let pool: KeyedPool<u8, u64> = KeyedPool::new(2);
+            thread::scope(|s| {
+                let mut p = pool.register();
+                let h = pool.register();
+                let pool = &pool;
+                s.spawn(move || {
+                    let mut fleet = Fleet::new();
+                    for i in 0..2 * PER_KEY {
+                        fleet.spawn(h.remove_key_async((i % 2) as u8));
+                    }
+                    let mut got = [0u64; 2];
+                    let mut closed = 0usize;
+                    for (id, result) in fleet.drive_collect() {
+                        match result {
+                            Ok(v) => {
+                                assert_eq!((v % 2) as u8, (id % 2) as u8, "keys never cross");
+                                got[id % 2] += 1;
+                            }
+                            Err(RemoveError::Closed) => closed += 1,
+                            Err(err) => panic!("unexpected terminal state: {err}"),
+                        }
+                    }
+                    assert_eq!(
+                        got[0] + got[1] + closed as u64,
+                        2 * PER_KEY as u64,
+                        "round {round}: every future resolved terminally"
+                    );
+                    for key in 0u8..2 {
+                        assert_eq!(
+                            got[key as usize] + pool.key_len(&key) as u64,
+                            ADDS_PER_KEY,
+                            "round {round}: key {key} conserved"
+                        );
+                    }
+                });
+                for v in 0..2 * ADDS_PER_KEY {
+                    p.add((v % 2) as u8, v);
+                }
+                pool.close();
+            });
+        }
+    });
+}
+
+/// `_timeout` futures resolve terminally on a quiet pool: with fewer
+/// elements than futures, the element-holders resolve `Ok` and every
+/// remaining future times out (the fleet's tick sweep drives the in-poll
+/// deadline checks — no timer wheel anywhere).
+#[test]
+fn timeouts_resolve_every_pending_future() {
+    with_deadline(Duration::from_secs(60), || {
+        const FUTURES: usize = 32;
+        const ELEMENTS: u64 = 16;
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut p = pool.register();
+        let h = pool.register();
+        p.add_batch(0..ELEMENTS);
+        let mut fleet = Fleet::new();
+        for _ in 0..FUTURES {
+            fleet.spawn(h.remove_timeout_async(Duration::from_millis(50)));
+        }
+        let results = fleet.drive_collect();
+        let ok = results.iter().filter(|(_, r)| r.is_ok()).count();
+        let timed_out = results.iter().filter(|(_, r)| *r == Err(RemoveError::Timeout)).count();
+        assert_eq!(ok as u64, ELEMENTS, "every element satisfied one future");
+        assert_eq!(timed_out, FUTURES - ELEMENTS as usize, "the rest timed out");
+        assert_eq!(pool.total_len(), 0);
+    });
+}
+
+/// Dropping pending futures withdraws their waker registrations: the pool
+/// stays fully usable afterwards (no stale waker is ever invoked, no
+/// waiter count leaks to confuse `notify_all`'s fast path).
+#[test]
+fn dropped_pending_futures_leave_the_pool_live() {
+    with_deadline(Duration::from_secs(60), || {
+        let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(2).build();
+        let mut p = pool.register();
+        let h = pool.register();
+        {
+            let mut fleet = Fleet::new();
+            for _ in 0..256 {
+                fleet.spawn(h.remove_async());
+            }
+            assert_eq!(fleet.poll_ready(|_, _| {}), 0, "all pending on the empty pool");
+            // The fleet (and all 256 registered wakers) drops here.
+        }
+        // A fresh blocking consumer and a fresh future must both still
+        // see the add edge.
+        p.add(1);
+        assert_eq!(block_on(h.remove_async()), Ok(1));
+        thread::scope(|s| {
+            let mut c = pool.register();
+            s.spawn(move || {
+                assert_eq!(c.remove(WaitStrategy::Block), Ok(2));
+            });
+            p.add(2);
+        });
+        pool.close();
+        assert_eq!(block_on(h.remove_async()), Err(RemoveError::Closed));
+    });
+}
