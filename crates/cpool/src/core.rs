@@ -105,7 +105,10 @@ impl Registry {
         // the whole collected vec just to sort the copy.
         let mut collected = self.collected.lock();
         collected.sort_by_key(|(proc, _)| *proc);
-        PoolStats { per_proc: collected.iter().map(|(_, s)| s.clone()).collect() }
+        PoolStats {
+            per_proc: collected.iter().map(|(_, s)| s.clone()).collect(),
+            pool: crate::stats::PoolCounters::default(),
+        }
     }
 }
 

@@ -101,6 +101,7 @@ pub mod error;
 pub mod future;
 pub mod gate;
 pub mod hints;
+pub mod hotkey;
 pub mod ids;
 pub mod keyed;
 pub mod notify;
@@ -117,6 +118,7 @@ pub use error::RemoveError;
 pub use future::{KeyedRemoveFuture, RemoveFuture, RemoveKeyFuture};
 pub use gate::SearchGate;
 pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
+pub use hotkey::HotKeyConfig;
 pub use ids::{ProcId, SegIdx};
 pub use keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
 pub use notify::{Notifier, WaitOutcome};
@@ -130,7 +132,7 @@ pub use segment::{
     AtomicCounter, BlockBatch, BlockSegment, LaneSegment, LfSegment, LockedCounter, Segment,
     VecSegment,
 };
-pub use stats::{Histogram, PoolStats, ProcStats};
+pub use stats::{Histogram, PoolCounters, PoolStats, ProcStats};
 pub use timing::{DynTiming, NullTiming, Resource, Timing};
 pub use trace::{TraceEvent, TraceKind, TraceRecorder};
 pub use transfer::{CountBatch, FreeList, TransferBatch};
@@ -140,6 +142,7 @@ pub mod prelude {
     pub use crate::error::RemoveError;
     pub use crate::future::exec::{block_on, Fleet};
     pub use crate::future::{KeyedRemoveFuture, RemoveFuture, RemoveKeyFuture};
+    pub use crate::hotkey::HotKeyConfig;
     pub use crate::ids::{ProcId, SegIdx};
     pub use crate::keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
     pub use crate::notify::Notifier;

@@ -243,12 +243,32 @@ impl ProcStats {
     }
 }
 
+/// Pool-wide event counters that belong to no single process — the keyed
+/// frontend's bucket-residency and hot-key accounting. Zero for plain
+/// pools; filled in by [`KeyedPool::stats`](crate::KeyedPool::stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Empty buckets evicted past the resident-buckets bound (see
+    /// [`KeyedPoolBuilder::resident_buckets_max`](crate::KeyedPoolBuilder::resident_buckets_max)).
+    pub bucket_evictions: u64,
+    /// Buckets split into sub-shards by hot-key detection (or manual
+    /// promotion), cumulative.
+    pub hotkey_promotions: u64,
+    /// Split buckets merged back to plain, cumulative.
+    pub hotkey_demotions: u64,
+    /// Currently split buckets across all segments (a gauge, not a
+    /// counter).
+    pub hot_buckets: u64,
+}
+
 /// Statistics for a whole pool run: one entry per (dropped) process handle,
-/// in registration order, plus their merge.
+/// in registration order, plus their merge and the pool-wide counters.
 #[derive(Clone, Debug, Default)]
 pub struct PoolStats {
     /// Per-process statistics, indexed by process id.
     pub per_proc: Vec<ProcStats>,
+    /// Pool-wide counters (keyed-frontend residency and hot-key events).
+    pub pool: PoolCounters,
 }
 
 impl PoolStats {
@@ -377,7 +397,10 @@ mod tests {
 
     #[test]
     fn pool_stats_merged() {
-        let pool = PoolStats { per_proc: vec![sample_stats(), sample_stats(), sample_stats()] };
+        let pool = PoolStats {
+            per_proc: vec![sample_stats(), sample_stats(), sample_stats()],
+            pool: PoolCounters::default(),
+        };
         let merged = pool.merged();
         assert_eq!(merged.ops(), 330);
         assert_eq!(merged.steals, 24);

@@ -26,12 +26,14 @@ pub mod budget;
 pub mod mix;
 pub mod phased;
 pub mod stream;
+pub mod zipf;
 
 pub use arrangement::{Arrangement, Role};
 pub use budget::OpBudget;
-pub use mix::JobMix;
-pub use phased::PhasedStream;
+pub use mix::{JobMix, KeyedMix, KeyedMixStream};
+pub use phased::{hot_set_migration, PhasedKeyStream, PhasedStream};
 pub use stream::{Op, OpStream, RandomMixStream, RoleStream};
+pub use zipf::{KeyDist, KeyStream, Keys, UniformKeys, ZipfKeys};
 
 use std::fmt;
 
