@@ -14,8 +14,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
 use bench::hotpath::{
-    add_remove_op, batch_roundtrip_op, block_pool_with, per_element_roundtrip_op, pool_with,
-    steal_op, AsyncHandoff, Handoff, BATCH_SIZES, HANDOFF_SETTLE,
+    add_remove_op, batch_roundtrip_op, block_pool_with, bursty_op, magazine_pool_with,
+    per_element_roundtrip_op, pool_with, steal_op, AsyncHandoff, Handoff, BATCH_SIZES,
+    HANDOFF_SETTLE, MAGAZINE_DEPTHS,
 };
 use cpool::{DynTiming, NullTiming, WaitStrategy};
 
@@ -62,6 +63,24 @@ fn benches(c: &mut Criterion) {
     let mut handoff = AsyncHandoff::new();
     c.bench_function("hotpath/handoff/async", |b| b.iter(|| handoff.round(HANDOFF_SETTLE)));
     drop(handoff);
+
+    // Handle-local magazine caches: the `add_remove/generic` pair served
+    // entirely from the handle's two-magazine cache (zero shared RMWs in
+    // the steady state), swept over magazine depths.
+    for depth in MAGAZINE_DEPTHS {
+        let pool = magazine_pool_with(1, depth, NullTiming::new());
+        let mut op = add_remove_op(&pool);
+        c.bench_function(format!("hotpath/magazine_add_remove/{depth}"), |b| b.iter(&mut op));
+    }
+
+    // Bursty churn: alternating add-heavy/remove-heavy bursts force the
+    // depot exchange path; the plain-pool twin is the baseline.
+    let pool = pool_with(1, NullTiming::new());
+    let mut op = bursty_op(&pool);
+    c.bench_function("hotpath/bursty/plain", |b| b.iter(&mut op));
+    let pool = magazine_pool_with(1, 32, NullTiming::new());
+    let mut op = bursty_op(&pool);
+    c.bench_function("hotpath/bursty/magazine32", |b| b.iter(&mut op));
 
     // Batched vs per-element element traffic; each iteration moves `batch`
     // elements, so compare per-size pairs (the bin twin normalizes to

@@ -17,11 +17,11 @@ use std::time::Instant;
 
 use bench::host;
 use bench::hotpath::{
-    add_remove_op, async_drive_median_ns, batch_roundtrip_op, block_pool_with,
-    filled_block_segment, filled_vec_segment, lane_pool_with, lf_pool_with,
+    add_remove_op, async_drive_median_ns, batch_roundtrip_op, block_pool_with, bursty_op,
+    filled_block_segment, filled_vec_segment, lane_pool_with, lf_pool_with, magazine_pool_with,
     per_element_roundtrip_op, pool_with, steal_op, steal_reserve_op, transfer_elements,
-    transfer_op, AsyncHandoff, Handoff, ASYNC_DRIVE_SIZES, BATCH_SIZES, RESERVE_SIZES,
-    TRANSFER_BLOCK_SIZES, TRANSFER_OCCUPANCIES,
+    transfer_op, AsyncHandoff, Handoff, ASYNC_DRIVE_SIZES, BATCH_SIZES, MAGAZINE_DEPTHS,
+    RESERVE_SIZES, TRANSFER_BLOCK_SIZES, TRANSFER_OCCUPANCIES,
 };
 use cpool::{DynTiming, NullTiming, WaitStrategy};
 use harness::cli::Args;
@@ -108,6 +108,32 @@ fn main() {
         ("add_remove_lane4/generic".to_string(), lane_add),
         ("steal_lane4/generic".to_string(), lane_steal),
     ];
+    // Handle-local magazine caches: the same uncontended add→remove pair
+    // as `add_remove/generic`, but the pool gives each handle a
+    // two-magazine cache — the steady state is loaded-push/loaded-pop with
+    // zero shared-memory RMWs. Depth sweeps the magazine capacity (the
+    // pure-hit pair cost is depth-independent; the sweep pins that down).
+    for depth in MAGAZINE_DEPTHS {
+        let ns = {
+            let pool = magazine_pool_with(1, depth, NullTiming::new());
+            measure(iters, add_remove_op(&pool))
+        };
+        results.push((format!("magazine_add_remove/{depth}"), ns));
+    }
+    // Bursty churn (alternating 90%/10%-add bursts): the pattern that
+    // forces magazines through the depot exchange instead of the pure-hit
+    // steady state, against the identical plain-pool baseline.
+    let bursty_plain = {
+        let pool = pool_with(1, NullTiming::new());
+        measure(iters, bursty_op(&pool))
+    };
+    let bursty_magazine = {
+        let pool = magazine_pool_with(1, 32, NullTiming::new());
+        measure(iters, bursty_op(&pool))
+    };
+    results.push(("bursty/plain".to_string(), bursty_plain));
+    results.push(("bursty/magazine32".to_string(), bursty_magazine));
+
     for batch in BATCH_SIZES {
         let per_iter = (iters / batch as u64).max(1);
         let batched = {

@@ -90,6 +90,45 @@ pub mod hotpath {
         PoolBuilder::new(segments).seed(1).timing(timing).build()
     }
 
+    /// Magazine depths the handle-cache sweep measures (elements per
+    /// magazine; each handle holds two).
+    pub const MAGAZINE_DEPTHS: [usize; 3] = [8, 32, 128];
+
+    /// Builds the magazine-enabled twin of [`pool_with`]: identical pool,
+    /// but every handle carries a two-magazine cache of `depth` elements
+    /// per magazine, so the steady-state add→remove pair never touches the
+    /// shared segment (see `cpool::magazine`).
+    pub fn magazine_pool_with<T: Timing>(segments: usize, depth: usize, timing: T) -> HotPool<T> {
+        PoolBuilder::new(segments).seed(1).handle_cache(depth).timing(timing).build()
+    }
+
+    /// Operations per burst in the bursty churn kernel.
+    pub const BURSTY_BURST_OPS: u64 = 256;
+
+    /// Alternating add-heavy/remove-heavy bursts from one handle — the
+    /// magazine-churn pattern: an add burst fills magazines and pushes
+    /// full ones to the depot, the following remove burst drains and raids
+    /// them back, so the measured cost includes the exchange machinery,
+    /// not just the pure-hit steady state. Runs identically on a plain
+    /// pool (the baseline) and a magazine pool. ns per operation; removes
+    /// that find the pool empty count (their abort cost is part of the
+    /// pattern's real price).
+    pub fn bursty_op<S, T>(pool: &Pool<S, LinearSearch, T>) -> impl FnMut() + '_
+    where
+        S: Segment<Item = u64>,
+        T: Timing,
+    {
+        use workload::{BurstyStream, Op, OpStream};
+        let mut handle = pool.register();
+        let mut stream = BurstyStream::nine_to_one(BURSTY_BURST_OPS, 0x1CD5);
+        move || match stream.next_op() {
+            Op::Add => handle.add(7),
+            Op::Remove => {
+                std::hint::black_box(handle.try_remove().ok());
+            }
+        }
+    }
+
     /// One uncontended local add immediately removed: the fast path.
     /// Build the pool with 1 segment.
     pub fn add_remove_op<S, T>(pool: &Pool<S, LinearSearch, T>) -> impl FnMut() + '_

@@ -227,6 +227,20 @@ impl<'a, T: Timing> OpTimer<'a, T> {
         stats.remove_ns += dt;
         stats.remove_hist.record(dt);
     }
+
+    // Magazine-cache hits are recorded clock-free through
+    // `ProcStats::record_cached_add`/`record_cached_remove` — no OpTimer:
+    // reading the clock would cost more than the cached op it prices.
+
+    /// Completes a remove served by raiding a full magazine out of the
+    /// shared depot — a pool-visible source, so it is *not* a magazine
+    /// hit; the frontend counts the raid in `depot_exchanges`.
+    pub fn finish_depot_remove(self, stats: &mut ProcStats) {
+        let dt = self.elapsed();
+        stats.removes += 1;
+        stats.remove_ns += dt;
+        stats.remove_hist.record(dt);
+    }
 }
 
 /// One search for elements to steal: probe counting, the full-lap abort

@@ -89,6 +89,7 @@ use crate::core::{OpTimer, Registry, SearchSession, WaitCtl};
 use crate::error::RemoveError;
 use crate::hotkey::{HotKeyConfig, HotKeyDetector};
 use crate::ids::{ProcId, SegIdx};
+use crate::magazine::{CacheOutcome, Depot, MagazineCache, PopOutcome};
 use crate::notify::Notifier;
 use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
 use crate::segment::steal_count;
@@ -959,6 +960,12 @@ pub(crate) struct KeyedShared<K, V, T> {
     /// The hot-key knobs, kept even when detection is off so manual
     /// [`KeyedPool::promote_key`] calls know the sub-shard count.
     hot_cfg: HotKeyConfig,
+    /// The magazine exchange point, present when built with a non-zero
+    /// [`KeyedPoolBuilder::handle_cache`] depth. Keyed magazines carry
+    /// whole `(key, value)` pairs — a magazine is *not* key-homogeneous.
+    depot: Option<Depot<(K, V)>>,
+    /// The configured magazine depth (elements per magazine; zero = off).
+    handle_cache: usize,
     registry: Registry,
     timing: T,
 }
@@ -975,17 +982,25 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedShared<K, V, T> {
         self.registry.notifier()
     }
 
-    /// Whether every segment is empty — the any-key drained snapshot the
-    /// blocking and polling drivers use to finalize `Closed`.
+    /// Whether every pool-visible store is empty — all segments plus the
+    /// magazine depot's stashed gauge — the any-key drained snapshot the
+    /// blocking and polling drivers use to finalize `Closed`. Elements
+    /// cached in handles' magazines are deliberately not counted (see
+    /// [`magazine`](crate::magazine)).
     pub(crate) fn drained(&self) -> bool {
         self.segments.iter().all(|s| s.len() == 0)
+            && self.depot.as_ref().is_none_or(|d| d.stashed() == 0)
     }
 
     /// Whether no segment holds an element of `key` — the key-scoped
     /// drained snapshot (other keys' residue does not keep a keyed remove
-    /// alive).
+    /// alive). Depot magazines are mixed-key, so a non-empty depot keeps
+    /// every key alive *conservatively*: each retry's raid banks one
+    /// magazine into segments (where `key_len` can see its contents), so
+    /// the snapshot converges in at most ring-capacity retries.
     pub(crate) fn drained_key(&self, key: &K) -> bool {
         self.segments.iter().all(|s| s.key_len(key) == 0)
+            && self.depot.as_ref().is_none_or(|d| d.stashed() == 0)
     }
 
     /// Maps a search abort to its caller-facing error, with the drained
@@ -1025,6 +1040,25 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedShared<K, V, T> {
         if let Some(found) = self.segments[home.index()].remove_any() {
             timer.finish_local_remove(stats);
             return Ok(found);
+        }
+        // Depot raid: before paying for a ring search, try to claim a full
+        // magazine other handles flushed. One pair satisfies this remove;
+        // the remainder is banked into the home segment (and consumers
+        // woken) *before* the gauge drops, so a concurrent drained snapshot
+        // never under-counts.
+        if let Some(depot) = &self.depot {
+            if let Some((pair, rest)) = depot.raid() {
+                if let Some(rest) = rest {
+                    let n = rest.len();
+                    self.timing.charge(me, Resource::Segment(home));
+                    self.segments[home.index()].add_bulk_mixed(rest);
+                    self.registry.notifier().notify_all();
+                    depot.unstash(n);
+                }
+                stats.depot_exchanges += 1;
+                timer.finish_depot_remove(stats);
+                return Ok(pair);
+            }
         }
         if let Some(ctl) = wait.as_deref_mut() {
             ctl.begin_pass();
@@ -1071,7 +1105,10 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedShared<K, V, T> {
             |c| *cursor = c,
             RingCtx {
                 notifier: self.registry.notifier(),
-                has_work: &|| segments.iter().any(|s| s.len() > 0),
+                has_work: &|| {
+                    segments.iter().any(|s| s.len() > 0)
+                        || self.depot.as_ref().is_some_and(|d| d.stashed() > 0)
+                },
                 wait,
             },
         );
@@ -1113,6 +1150,30 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedShared<K, V, T> {
             timer.finish_local_remove(stats);
             return Ok(value);
         }
+        // Depot raid, keyed flavour: claim one full magazine and scan it for
+        // `key`. Match or not, the rest is banked into the home segment (so
+        // `key_len` can see any copies it held and the conservative
+        // [`drained_key`](Self::drained_key) snapshot makes progress) before
+        // the gauge drops.
+        if let Some(depot) = &self.depot {
+            if let Some(mut mag) = depot.take_full() {
+                let n = mag.len();
+                let hit = mag.iter().rposition(|(k, _)| k == key).map(|at| mag.swap_remove(at).1);
+                if !mag.is_empty() {
+                    self.timing.charge(me, Resource::Segment(home));
+                    self.segments[home.index()].add_bulk_mixed(mag);
+                    self.registry.notifier().notify_all();
+                } else {
+                    depot.put_shell(mag);
+                }
+                depot.unstash(n);
+                stats.depot_exchanges += 1;
+                if let Some(value) = hit {
+                    timer.finish_depot_remove(stats);
+                    return Ok(value);
+                }
+            }
+        }
         if let Some(ctl) = wait.as_deref_mut() {
             ctl.begin_pass();
         }
@@ -1142,8 +1203,13 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedShared<K, V, T> {
             RingCtx {
                 notifier: self.registry.notifier(),
                 // A keyed wait only resumes probing for elements it can
-                // actually take: other keys' traffic re-parks it.
-                has_work: &|| segments.iter().any(|s| s.key_len(key) > 0),
+                // actually take: other keys' traffic re-parks it. Depot
+                // magazines are mixed-key, so a non-empty depot counts as
+                // possible work (the retry's raid resolves the question).
+                has_work: &|| {
+                    segments.iter().any(|s| s.key_len(key) > 0)
+                        || self.depot.as_ref().is_some_and(|d| d.stashed() > 0)
+                },
                 wait,
             },
         );
@@ -1186,6 +1252,7 @@ pub struct KeyedPoolBuilder<T: Timing = NullTiming> {
     segments: usize,
     resident_buckets_max: usize,
     hotkey: Option<HotKeyConfig>,
+    handle_cache: usize,
     timing: T,
 }
 
@@ -1195,6 +1262,7 @@ impl<T: Timing> std::fmt::Debug for KeyedPoolBuilder<T> {
             .field("segments", &self.segments)
             .field("resident_buckets_max", &self.resident_buckets_max)
             .field("hotkey", &self.hotkey)
+            .field("handle_cache", &self.handle_cache)
             .finish_non_exhaustive()
     }
 }
@@ -1213,6 +1281,7 @@ impl KeyedPoolBuilder {
             segments,
             resident_buckets_max: RESIDENT_BUCKETS_MAX,
             hotkey: Some(HotKeyConfig::default()),
+            handle_cache: 0,
             timing: NullTiming::new(),
         }
     }
@@ -1227,6 +1296,7 @@ impl<T: Timing> KeyedPoolBuilder<T> {
             segments: self.segments,
             resident_buckets_max: self.resident_buckets_max,
             hotkey: self.hotkey,
+            handle_cache: self.handle_cache,
             timing,
         }
     }
@@ -1263,6 +1333,20 @@ impl<T: Timing> KeyedPoolBuilder<T> {
         self
     }
 
+    /// Gives every [`KeyedHandle`] a two-magazine element cache of `depth`
+    /// `(key, value)` pairs per magazine (default 0 = off), exchanged
+    /// through a shared per-pool depot — the keyed counterpart of
+    /// [`PoolBuilder::handle_cache`](crate::PoolBuilder::handle_cache).
+    ///
+    /// Keyed magazines are *mixed-key*: a cached pair is invisible to
+    /// `key_len` and to `try_remove_key` on other handles until it is
+    /// flushed, and cached adds skip hot-key sampling. See the README's
+    /// "Handle-local caching" section for when not to enable this.
+    pub fn handle_cache(mut self, depth: usize) -> Self {
+        self.handle_cache = depth;
+        self
+    }
+
     /// Builds the keyed pool.
     #[must_use]
     pub fn build<K: Key, V: Send + 'static>(self) -> KeyedPool<K, V, T> {
@@ -1275,6 +1359,9 @@ impl<T: Timing> KeyedPoolBuilder<T> {
                 shells: FreeList::new(CACHED_SHELLS_PER_SEGMENT * self.segments + 2),
                 detector: self.hotkey.map(HotKeyDetector::new),
                 hot_cfg,
+                depot: (self.handle_cache > 0)
+                    .then(|| Depot::new(self.handle_cache, 2 * self.segments + 2)),
+                handle_cache: self.handle_cache,
                 registry: Registry::new(),
                 timing: self.timing,
             }),
@@ -1359,6 +1446,15 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
         self.shared.segments[seg.index()].len()
     }
 
+    /// Pairs currently held in the magazine depot (snapshot; 0 when
+    /// [`KeyedPoolBuilder::handle_cache`] is off). These are pool-visible —
+    /// any remover can raid them — but not yet in any segment, so they are
+    /// excluded from [`total_len`](Self::total_len) and
+    /// [`key_len`](Self::key_len).
+    pub fn depot_len(&self) -> usize {
+        self.shared.depot.as_ref().map_or(0, Depot::stashed)
+    }
+
     /// Closes the pool — see [`PoolOps::close`] (sticky, idempotent;
     /// blocked and future removers drain the residue and then observe
     /// [`RemoveError::Closed`]).
@@ -1386,6 +1482,8 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
     /// `i mod segments`.
     pub fn register(&self) -> KeyedHandle<K, V, T> {
         let (me, seg) = self.shared.registry.register(self.segments());
+        let magazine = (self.shared.handle_cache > 0)
+            .then(|| std::cell::RefCell::new(MagazineCache::new(self.shared.handle_cache)));
         KeyedHandle {
             shared: Arc::clone(&self.shared),
             me,
@@ -1396,6 +1494,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
             hot_range: None,
             sample_tick: 0,
             sweep_tick: 0,
+            magazine,
             stats: ProcStats::default(),
             poll_slot: None,
         }
@@ -1440,7 +1539,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedPool<K, V, T> {
 ///
 /// Like [`Handle`](crate::Handle): `Send` but not `Sync`; dropping it
 /// deregisters from the livelock gate and deposits statistics.
-pub struct KeyedHandle<K, V, T: Timing = NullTiming> {
+pub struct KeyedHandle<K: Key, V: Send + 'static, T: Timing = NullTiming> {
     shared: Arc<KeyedShared<K, V, T>>,
     me: ProcId,
     seg: SegIdx,
@@ -1469,13 +1568,17 @@ pub struct KeyedHandle<K, V, T: Timing = NullTiming> {
     /// runs on one sample in [`SWEEP_EVERY_SAMPLES`] — decay only needs
     /// to be eventual, not immediate.
     sweep_tick: u32,
+    /// The two-magazine `(key, value)` cache, present when the pool was
+    /// built with [`KeyedPoolBuilder::handle_cache`]. `RefCell` because
+    /// [`close`](Self::close) flushes through `&self`.
+    magazine: Option<std::cell::RefCell<MagazineCache<(K, V)>>>,
     stats: ProcStats,
     /// Armed waker-registration ticket from [`poll_remove`](Self::poll_remove),
     /// carried between polls so the next poll (or drop) can withdraw it.
     poll_slot: Option<u64>,
 }
 
-impl<K, V, T: Timing> std::fmt::Debug for KeyedHandle<K, V, T> {
+impl<K: Key, V: Send + 'static, T: Timing> std::fmt::Debug for KeyedHandle<K, V, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KeyedHandle")
             .field("proc", &self.me)
@@ -1502,13 +1605,42 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
 
     /// Closes the pool — see [`PoolOps::close`]. Any handle (or the
     /// [`KeyedPool`] itself) may close; the transition is pool-wide.
+    ///
+    /// Flushes this handle's magazines into its home segment first, so
+    /// blocked and future removers can drain the cached residue before
+    /// observing [`RemoveError::Closed`]. Other handles' magazines flush
+    /// at their own next flush point (see [`magazine`](crate::magazine)).
     pub fn close(&self) {
+        self.flush_magazine();
         self.shared.registry.notifier().close();
     }
 
     /// Whether the pool has been [closed](Self::close).
     pub fn is_closed(&self) -> bool {
         self.shared.registry.notifier().is_closed()
+    }
+
+    /// Pairs currently cached in this handle's magazines (0 when
+    /// [`KeyedPoolBuilder::handle_cache`] is off). These are invisible to
+    /// [`KeyedPool::total_len`]/[`KeyedPool::key_len`] and to every other
+    /// handle until flushed.
+    pub fn cached_len(&self) -> usize {
+        self.magazine.as_ref().map_or(0, |m| m.borrow().len())
+    }
+
+    /// Banks both magazines into the home segment and wakes consumers —
+    /// the close/drop/drain flush point.
+    fn flush_magazine(&self) {
+        let Some(mag) = &self.magazine else { return };
+        let mut mag = mag.borrow_mut();
+        if mag.is_empty() {
+            return;
+        }
+        let items = mag.take_all();
+        drop(mag);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        self.shared.segments[self.seg.index()].add_bulk_mixed(items);
+        self.shared.registry.notifier().notify_all();
     }
 
     /// Feeds one in [`HotKeyConfig::sample_every`] operations on `key`
@@ -1613,11 +1745,52 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
     /// takes the value under one sub-shard lock.
     pub fn add(&mut self, key: K, value: V) {
         let shared = Arc::clone(&self.shared);
+        let mut key = key;
+        let mut value = value;
+        // Magazine fast path, clock-free and before the timer starts: cache
+        // the pair handle-locally (zero shared RMWs) unless consumers are
+        // parked — then flush instead, so no element is stranded invisible
+        // while a remover sleeps. Cached adds skip hot-key sampling (a
+        // magazined pair never lands in a bucket, so it carries no heat
+        // signal) and skip the segment charge (the point of the cache is to
+        // not touch the segment).
+        if let (Some(depot), Some(mag)) = (&shared.depot, &self.magazine) {
+            if shared.registry.notifier().waiters() > 0 {
+                let mut mag = mag.borrow_mut();
+                if !mag.is_empty() {
+                    let items = mag.take_all();
+                    drop(mag);
+                    shared.timing.charge(self.me, Resource::Segment(self.seg));
+                    shared.segments[self.seg.index()].add_bulk_mixed(items);
+                    self.stats.flush_on_wait += 1;
+                }
+                // Fall through: this add goes in pool-visibly, and the
+                // ordinary path's notify wakes the waiters.
+            } else {
+                match mag.borrow_mut().cache((key, value), depot) {
+                    CacheOutcome::Cached => {
+                        self.stats.record_cached_add();
+                        return;
+                    }
+                    CacheOutcome::Exchanged => {
+                        self.stats.depot_exchanges += 1;
+                        // A full magazine just became raidable; wake a
+                        // parked remover in case one raced past the
+                        // waiter check above.
+                        shared.registry.notifier().notify_all();
+                        self.stats.record_cached_add();
+                        return;
+                    }
+                    CacheOutcome::Full(back) => {
+                        (key, value) = back;
+                    }
+                }
+            }
+        }
         let timer = OpTimer::start(&shared.timing, self.me, 0);
         shared.timing.charge(self.me, Resource::Segment(self.seg));
         self.maybe_sample(&key);
         let segment = &shared.segments[self.seg.index()];
-        let mut value = value;
         if let Some(hot) = self.cached_hot(&key) {
             // The process slot as sub-shard affinity: concurrent handles
             // spread across distinct shards, and this handle's pops probe
@@ -1658,6 +1831,24 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
         &mut self,
         wait: Option<&mut WaitCtl<'_>>,
     ) -> Result<(K, V), RemoveError> {
+        // Magazine fast path: pop handle-locally (refilling from the depot
+        // on a dry cache) before touching any segment.
+        if let (Some(depot), Some(mag)) = (&self.shared.depot, &self.magazine) {
+            match mag.borrow_mut().pop(depot) {
+                // Clock-free, like the cached add: a wall-clock read would
+                // cost more than the thread-local pop it prices.
+                PopOutcome::Hit(pair) => {
+                    self.stats.record_cached_remove();
+                    return Ok(pair);
+                }
+                PopOutcome::Refilled(pair) => {
+                    self.stats.depot_exchanges += 1;
+                    self.stats.record_cached_remove();
+                    return Ok(pair);
+                }
+                PopOutcome::Miss => {}
+            }
+        }
         // The pass engine lives on the shared state (the futures in
         // [`crate::future`] run the same pass); the handle supplies its
         // identity, cursor, and stats.
@@ -1696,6 +1887,15 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
         // No sampling here: detection is producer-side (see `add`) — an
         // element must be added before it can be removed, so add traffic
         // is a faithful heat proxy and removes keep the baseline cost.
+        // Magazine scan first: this handle's own cached pairs are invisible
+        // to every pool-side path, so they must be served (or they would
+        // deadlock a remove of a key that only this handle holds).
+        if let Some(mag) = &self.magazine {
+            if let Some((_, value)) = mag.borrow_mut().take_matching(|(k, _)| k == key) {
+                self.stats.record_cached_remove();
+                return Ok(value);
+            }
+        }
         // Hot-key fast path: a cached split bucket serves the remove under
         // one sub-shard lock, never touching the segment lock. An empty or
         // sealed result falls through to the full pass (which can steal
@@ -1786,7 +1986,7 @@ impl<K: Key, V: Send + 'static, T: Timing> KeyedHandle<K, V, T> {
         crate::core::drive_blocking_remove(
             &mut ctl,
             |ctl| self.try_remove_key_inner(key, Some(ctl)),
-            || shared.segments.iter().all(|s| s.key_len(key) == 0),
+            || shared.drained_key(key),
             || shared.registry.notifier().is_closed(),
         )
     }
@@ -1901,7 +2101,9 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
     }
 
     fn is_drained(&self) -> bool {
-        self.shared.segments.iter().all(|s| s.len() == 0)
+        // This handle's own cache counts (its pairs are reachable through
+        // its own removes); other handles' caches are invisible by design.
+        self.shared.drained() && self.cached_len() == 0
     }
 
     fn close(&self) {
@@ -1924,7 +2126,7 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
         crate::core::drive_blocking_remove(
             &mut ctl,
             |ctl| self.try_remove_any_inner(Some(ctl)),
-            || shared.segments.iter().all(|s| s.len() == 0),
+            || shared.drained(),
             || shared.registry.notifier().is_closed(),
         )
     }
@@ -1976,6 +2178,20 @@ impl<K: Key, V: Send + 'static, T: Timing> PoolOps for KeyedHandle<K, V, T> {
     fn drain(&mut self) -> SmallDrain<Vec<(K, V)>> {
         let timer = OpTimer::start(&self.shared.timing, self.me, 0);
         let mut all = Vec::new();
+        // Own magazines first, then the depot (banking the gauge down only
+        // after the pairs are in `all`), then the segments. Other handles'
+        // magazines stay theirs — see [`magazine`](crate::magazine).
+        if let Some(mag) = &self.magazine {
+            all.extend(mag.borrow_mut().take_all());
+        }
+        if let Some(depot) = &self.shared.depot {
+            while let Some(mut mag) = depot.take_full() {
+                let n = mag.len();
+                all.append(&mut mag);
+                depot.put_shell(mag);
+                depot.unstash(n);
+            }
+        }
         for (i, seg) in self.shared.segments.iter().enumerate() {
             self.shared.timing.charge(self.me, Resource::Segment(SegIdx::new(i)));
             all.extend(seg.drain_all());
@@ -2059,13 +2275,15 @@ struct RingCtx<'a, 'n> {
     wait: Option<&'a mut WaitCtl<'n>>,
 }
 
-impl<K, V, T: Timing> Drop for KeyedHandle<K, V, T> {
+impl<K: Key, V: Send + 'static, T: Timing> Drop for KeyedHandle<K, V, T> {
     fn drop(&mut self) {
         // A dropped handle withdraws any waker registration left armed by
-        // a pending `poll_remove` before it stops being a waiter.
+        // a pending `poll_remove` before it stops being a waiter, and
+        // banks its magazines so no cached pair is lost with the handle.
         if let Some(ticket) = self.poll_slot.take() {
             self.shared.registry.notifier().cancel_waker(ticket);
         }
+        self.flush_magazine();
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
 }

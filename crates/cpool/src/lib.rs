@@ -104,6 +104,7 @@ pub mod hints;
 pub mod hotkey;
 pub mod ids;
 pub mod keyed;
+pub mod magazine;
 pub mod notify;
 pub mod ops;
 pub mod pool;
@@ -121,6 +122,7 @@ pub use hints::{HintBoard, HINT_BOARD_RESOURCE};
 pub use hotkey::HotKeyConfig;
 pub use ids::{ProcId, SegIdx};
 pub use keyed::{KeyedHandle, KeyedPool, KeyedPoolBuilder};
+pub use magazine::{CacheOutcome, Depot, MagazineCache, PopOutcome};
 pub use notify::{Notifier, WaitOutcome};
 pub use ops::{PoolOps, SmallDrain, WaitStrategy};
 pub use pool::{Handle, Pool, PoolBuilder, PoolReport};

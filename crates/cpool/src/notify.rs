@@ -185,8 +185,14 @@ impl Notifier {
         Waiter { notifier: self, seen }
     }
 
-    /// Number of threads currently in the prepare→park window (diagnostic;
-    /// racy by nature).
+    /// Number of consumers currently waiting: threads in the prepare→park
+    /// window plus armed async waker registrations. Racy by nature — it is
+    /// a diagnostic and a *heuristic*: the magazine layer's add path (see
+    /// [`magazine`](crate::magazine)) reads it (one shared load, no RMW)
+    /// to decide between caching an element handle-locally and flushing it
+    /// pool-visibly so a parked remover can find it. A waiter that parks
+    /// just after the check is caught by the producer's next operation or
+    /// lifecycle flush, so the race widens latency, never loses a wakeup.
     pub fn waiters(&self) -> usize {
         self.waiters.load(Ordering::SeqCst)
     }

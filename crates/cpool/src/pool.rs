@@ -42,6 +42,7 @@ use crate::future::RemoveFuture;
 use crate::gate::SearchGate;
 use crate::hints::{HintBoard, HINT_BOARD_RESOURCE};
 use crate::ids::{ProcId, SegIdx};
+use crate::magazine::{CacheOutcome, Depot, MagazineCache, PopOutcome};
 use crate::ops::{PoolOps, SmallDrain, WaitStrategy};
 use crate::search::{
     DynPolicy, LinearSearch, NodeStoreKind, PolicyKind, ProbeOutcome, SearchEnv, SearchOutcome,
@@ -106,6 +107,7 @@ pub struct PoolBuilder<S, T: Timing = NullTiming> {
     hint_procs: Option<usize>,
     add_overhead_ns: u64,
     remove_overhead_ns: u64,
+    handle_cache: usize,
     _marker: std::marker::PhantomData<fn() -> S>,
 }
 
@@ -139,6 +141,7 @@ impl<S: Segment> PoolBuilder<S> {
             hint_procs: None,
             add_overhead_ns: 0,
             remove_overhead_ns: 0,
+            handle_cache: 0,
             _marker: std::marker::PhantomData,
         }
     }
@@ -169,6 +172,7 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
             hint_procs: self.hint_procs,
             add_overhead_ns: self.add_overhead_ns,
             remove_overhead_ns: self.remove_overhead_ns,
+            handle_cache: self.handle_cache,
             _marker: std::marker::PhantomData,
         }
     }
@@ -224,6 +228,22 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
     pub fn op_overhead(mut self, add_ns: u64, remove_ns: u64) -> Self {
         self.add_overhead_ns = add_ns;
         self.remove_overhead_ns = remove_ns;
+        self
+    }
+
+    /// Gives every registered handle a private two-magazine element cache
+    /// of `depth` elements per magazine, exchanged with a shared per-pool
+    /// depot (see [`magazine`](crate::magazine)). Zero — the default —
+    /// disables the layer entirely.
+    ///
+    /// Cached elements are invisible to [`total_len`](Pool::total_len),
+    /// to other handles, and to per-segment occupancy until they flush, so
+    /// enable this only for throughput-oriented flows that tolerate the
+    /// relaxed visibility — see the README's "Handle-local caching"
+    /// section for the semantics and the cases where the layer should stay
+    /// off.
+    pub fn handle_cache(mut self, depth: usize) -> Self {
+        self.handle_cache = depth;
         self
     }
 
@@ -291,6 +311,12 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
             .record_trace
             .then(|| TraceRecorder::new(self.trace_procs.unwrap_or(self.segments)));
         let hints = self.hints.then(|| HintBoard::new(self.hint_procs.unwrap_or(self.segments)));
+        // Depot rings sized so every segment's worth of handles can have a
+        // magazine in flight plus slack: overflowing the ring is handled
+        // (the exchange falls back to the shared path), it just costs the
+        // amortization.
+        let depot =
+            (self.handle_cache > 0).then(|| Depot::new(self.handle_cache, 2 * self.segments + 2));
         Pool {
             shared: Arc::new(Shared {
                 segments,
@@ -302,6 +328,8 @@ impl<S: Segment, T: Timing> PoolBuilder<S, T> {
                 hints,
                 add_overhead_ns: self.add_overhead_ns,
                 remove_overhead_ns: self.remove_overhead_ns,
+                depot,
+                handle_cache: self.handle_cache,
             }),
         }
     }
@@ -317,6 +345,11 @@ pub(crate) struct Shared<S: Segment, P, T> {
     hints: Option<HintBoard<S::Item>>,
     add_overhead_ns: u64,
     remove_overhead_ns: u64,
+    /// The magazine exchange point, present when the pool was built with a
+    /// non-zero [`PoolBuilder::handle_cache`] depth.
+    depot: Option<Depot<S::Item>>,
+    /// The configured magazine depth (elements per magazine; zero = off).
+    handle_cache: usize,
 }
 
 impl<S: Segment, P: SearchPolicy, T: Timing> Shared<S, P, T> {
@@ -325,10 +358,16 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Shared<S, P, T> {
         self.registry.notifier()
     }
 
-    /// Whether every segment is empty right now (the drained snapshot the
-    /// remove drivers use for their terminal mapping).
+    /// Whether every pool-visible element store is empty right now — all
+    /// segments plus the magazine depot's stashed gauge (overstate-only,
+    /// so an in-flight exchange can never make this falsely true). This is
+    /// the drained snapshot the remove drivers use for their terminal
+    /// mapping; elements cached in *handles'* magazines are deliberately
+    /// not counted (see [`magazine`](crate::magazine) for why that cannot
+    /// strand a waiter).
     pub(crate) fn drained(&self) -> bool {
         self.segments.iter().all(Segment::is_empty)
+            && self.depot.as_ref().is_none_or(|d| d.stashed() == 0)
     }
 
     /// Fresh per-searcher policy state anchored at `home` (what
@@ -364,7 +403,30 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Shared<S, P, T> {
             return Ok(item);
         }
 
-        // Local segment empty: search remote segments, guarded by the gate.
+        // Local segment empty: before searching, raid the magazine depot —
+        // a full magazine stashed there is closer than any victim segment,
+        // and draining it keeps producer-cached elements flowing to
+        // consumers that have no magazine of their own (futures, detached
+        // removers, plain handles on a cached pool).
+        if let Some(depot) = &self.depot {
+            if let Some((item, rest)) = depot.raid() {
+                if let Some(rest) = rest {
+                    // The ring refilled while the magazine was out: bank
+                    // the remainder in the home segment so the elements
+                    // stay pool-visible, then retire them from the gauge.
+                    let n = rest.len();
+                    self.timing.charge(me, Resource::Segment(home));
+                    self.segments[home.index()].add_bulk_vec(rest);
+                    self.registry.notifier().notify_all();
+                    depot.unstash(n);
+                }
+                stats.depot_exchanges += 1;
+                timer.finish_depot_remove(stats);
+                return Ok(item);
+            }
+        }
+
+        // Still nothing: search remote segments, guarded by the gate.
         // With hints enabled the searcher posts on the board *after one
         // full fruitless lap* (see `PoolSearchEnv::should_abort`): batch
         // steals remain the first-line mechanism — they balance reserves in
@@ -534,8 +596,21 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T> {
 
     /// Total number of elements across all segments (snapshot; exact only
     /// while no operations are in flight).
+    ///
+    /// Elements cached in handle magazines or stashed in the depot are
+    /// **not** counted — see [`depot_len`](Self::depot_len),
+    /// [`Handle::cached_len`], and [`magazine`](crate::magazine) for the
+    /// visibility semantics.
     pub fn total_len(&self) -> usize {
         self.shared.segments.iter().map(Segment::len).sum()
+    }
+
+    /// Elements currently stashed in the magazine depot's full magazines
+    /// (snapshot; zero when the pool was built without
+    /// [`handle_cache`](PoolBuilder::handle_cache), may briefly overstate
+    /// while an exchange is in flight).
+    pub fn depot_len(&self) -> usize {
+        self.shared.depot.as_ref().map_or(0, Depot::stashed)
     }
 
     /// Current segment sizes (snapshot).
@@ -589,6 +664,8 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T> {
     pub fn register(&self) -> Handle<S, P, T> {
         let (me, seg) = self.shared.registry.register(self.segments());
         let state = self.shared.policy.init_state(seg, self.segments(), self.shared.seed);
+        let magazine = (self.shared.handle_cache > 0)
+            .then(|| std::cell::RefCell::new(MagazineCache::new(self.shared.handle_cache)));
         Handle {
             shared: Arc::clone(&self.shared),
             me,
@@ -596,6 +673,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Pool<S, P, T> {
             state,
             stats: ProcStats::default(),
             poll_slot: None,
+            magazine,
         }
     }
 
@@ -632,6 +710,11 @@ pub struct Handle<S: Segment, P: SearchPolicy, T: Timing = NullTiming> {
     /// Cancelled on drop so a retired handle cannot leave a dangling
     /// registration holding the notifier's waiter count up.
     poll_slot: Option<u64>,
+    /// The handle's private two-magazine cache, present when the pool was
+    /// built with a non-zero `handle_cache` depth. In a `RefCell` because
+    /// [`close`](Handle::close) takes `&self` but must flush the cache
+    /// back through the pool.
+    magazine: Option<std::cell::RefCell<MagazineCache<S::Item>>>,
 }
 
 impl<S: Segment, P: SearchPolicy, T: Timing> std::fmt::Debug for Handle<S, P, T> {
@@ -670,10 +753,40 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
         self.shared.timing.charge_work(self.me, ns);
     }
 
+    /// Elements currently cached in this handle's private magazines
+    /// (zero when the pool was built without
+    /// [`handle_cache`](PoolBuilder::handle_cache)).
+    pub fn cached_len(&self) -> usize {
+        self.magazine.as_ref().map_or(0, |m| m.borrow().len())
+    }
+
     /// Closes the pool — see [`PoolOps::close`]. Any handle (or the
     /// [`Pool`] itself) may close; the transition is pool-wide.
+    ///
+    /// This handle's magazine cache is flushed back through the pool
+    /// first, so blocked and async removers drain the cached residue
+    /// before observing [`RemoveError::Closed`]. Other handles flush their
+    /// own caches on their next operation or on drop.
     pub fn close(&self) {
+        self.flush_magazine();
         self.shared.registry.notifier().close();
+    }
+
+    /// Publishes every element cached in this handle's magazines into the
+    /// home segment and wakes parked waiters. No-op when the cache is
+    /// absent or empty.
+    fn flush_magazine(&self) {
+        let Some(mag) = &self.magazine else { return };
+        let mut mag = mag.borrow_mut();
+        if mag.is_empty() {
+            return;
+        }
+        let items = mag.take_all();
+        drop(mag);
+        self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+        self.shared.segments[self.seg.index()].add_bulk_vec(items);
+        self.shared.registry.notifier().notify_all();
+        self.record_trace(self.seg, TraceKind::Add);
     }
 
     /// Whether the pool has been [closed](Self::close).
@@ -683,7 +796,10 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
 
     /// Adds an element: to the local segment, or — when the hint extension
     /// is enabled and some process is searching — directly to that searcher
-    /// (see [`hints`](crate::hints)).
+    /// (see [`hints`](crate::hints)), or — when the pool was built with
+    /// [`handle_cache`](PoolBuilder::handle_cache) and nobody is waiting —
+    /// into this handle's private magazine cache (see
+    /// [`magazine`](crate::magazine)).
     ///
     /// After the element is published (segment lock released, or mailbox
     /// delivery done), the pool's notifier is signalled so consumers parked
@@ -691,8 +807,57 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
     /// edge instead of waiting out a backoff. The signal is one fence plus
     /// one load when nobody is parked.
     pub fn add(&mut self, item: S::Item) {
-        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.add_overhead_ns);
         let mut item = item;
+        // Magazine fast path, before the timer even starts: a cached add is
+        // a handful of thread-local instructions, and the timer's two clock
+        // reads would dominate it (see `ProcStats::record_cached_add`).
+        // Hint donation is skipped for cached adds — hint waiters are
+        // *searching* (not parked) processes, and a fruitless search aborts
+        // rather than blocks; parked/async waiters are what the check below
+        // protects.
+        if let (Some(depot), Some(mag)) = (&self.shared.depot, &self.magazine) {
+            if self.shared.registry.notifier().waiters() > 0 {
+                // Parked or async removers are waiting: a cached element
+                // would be invisible to them, so publish the whole cache
+                // and let this add take the ordinary visible path below.
+                let mut mag = mag.borrow_mut();
+                if !mag.is_empty() {
+                    let items = mag.take_all();
+                    drop(mag);
+                    self.shared.timing.charge(self.me, Resource::Segment(self.seg));
+                    self.shared.segments[self.seg.index()].add_bulk_vec(items);
+                    self.stats.flush_on_wait += 1;
+                }
+            } else {
+                match mag.borrow_mut().cache(item, depot) {
+                    CacheOutcome::Cached => {
+                        // The fast path: a thread-local push, no shared
+                        // memory touched (the waiter check above is one
+                        // load). Simulated cost models still see the
+                        // configured per-op computation.
+                        if self.shared.add_overhead_ns > 0 {
+                            self.shared.timing.charge_work(self.me, self.shared.add_overhead_ns);
+                        }
+                        self.stats.record_cached_add();
+                        return;
+                    }
+                    CacheOutcome::Exchanged => {
+                        // A full magazine became pool-visible in the depot:
+                        // signal it like any other publication.
+                        if self.shared.add_overhead_ns > 0 {
+                            self.shared.timing.charge_work(self.me, self.shared.add_overhead_ns);
+                        }
+                        self.stats.depot_exchanges += 1;
+                        self.shared.registry.notifier().notify_all();
+                        self.stats.record_cached_add();
+                        return;
+                    }
+                    // Depot saturated: fall through to the shared path.
+                    CacheOutcome::Full(back) => item = back,
+                }
+            }
+        }
+        let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.add_overhead_ns);
         if let Some(board) = &self.shared.hints {
             if board.has_waiters() {
                 // The board is a shared structure: charge the donation
@@ -742,6 +907,33 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Handle<S, P, T> {
         overhead_ns: u64,
         wait: Option<&mut WaitCtl<'_>>,
     ) -> Result<S::Item, RemoveError> {
+        // Serve from the private magazines first: a hit is a thread-local
+        // pop, a refill claims one full magazine from the depot for this
+        // and the next `cap - 1` removes.
+        if let (Some(depot), Some(mag)) = (&self.shared.depot, &self.magazine) {
+            let outcome = mag.borrow_mut().pop(depot);
+            match outcome {
+                // Clock-free like the cached add: the configured per-op
+                // computation is still charged to simulated cost models,
+                // but no wall-clock reads price the thread-local pop.
+                PopOutcome::Hit(item) => {
+                    if overhead_ns > 0 {
+                        self.shared.timing.charge_work(self.me, overhead_ns);
+                    }
+                    self.stats.record_cached_remove();
+                    return Ok(item);
+                }
+                PopOutcome::Refilled(item) => {
+                    if overhead_ns > 0 {
+                        self.shared.timing.charge_work(self.me, overhead_ns);
+                    }
+                    self.stats.depot_exchanges += 1;
+                    self.stats.record_cached_remove();
+                    return Ok(item);
+                }
+                PopOutcome::Miss => {}
+            }
+        }
         self.shared.remove_pass(
             self.me,
             self.seg,
@@ -855,7 +1047,9 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
     }
 
     fn is_drained(&self) -> bool {
-        self.shared.segments.iter().all(Segment::is_empty)
+        // Pool-visible stores plus this handle's own cache; other handles'
+        // magazines are invisible by design (see `cpool::magazine`).
+        self.shared.drained() && self.cached_len() == 0
     }
 
     fn close(&self) {
@@ -884,7 +1078,7 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
         crate::core::drive_blocking_remove(
             &mut ctl,
             |ctl| self.try_remove_inner(std::mem::take(&mut overhead), Some(ctl)),
-            || shared.segments.iter().all(Segment::is_empty),
+            || shared.drained(),
             || shared.registry.notifier().is_closed(),
         )
     }
@@ -971,6 +1165,25 @@ impl<S: Segment, P: SearchPolicy, T: Timing> PoolOps for Handle<S, P, T> {
     fn drain(&mut self) -> SmallDrain<S::Batch> {
         let timer = OpTimer::start(&self.shared.timing, self.me, self.shared.remove_overhead_ns);
         let mut all = S::Batch::empty();
+        // Sweep this handle's own magazines and every depot magazine along
+        // with the segments: drain is the "give me everything" lifecycle
+        // op, so the cached layers are part of "everything". Other
+        // handles' caches remain theirs.
+        if let Some(mag) = &mut self.magazine {
+            for item in mag.get_mut().take_all() {
+                all.put_one(item);
+            }
+        }
+        if let Some(depot) = &self.shared.depot {
+            while let Some(mut mag) = depot.take_full() {
+                let n = mag.len();
+                for item in mag.drain(..) {
+                    all.put_one(item);
+                }
+                depot.put_shell(mag);
+                depot.unstash(n);
+            }
+        }
         for (i, seg) in self.shared.segments.iter().enumerate() {
             self.shared.timing.charge(self.me, Resource::Segment(SegIdx::new(i)));
             all.append(seg.drain_all());
@@ -985,6 +1198,9 @@ impl<S: Segment, P: SearchPolicy, T: Timing> Drop for Handle<S, P, T> {
         if let Some(ticket) = self.poll_slot.take() {
             self.shared.notifier().cancel_waker(ticket);
         }
+        // A retiring handle returns its cached elements to the pool — the
+        // magazine layer must never leak elements with the handle.
+        self.flush_magazine();
         self.shared.registry.retire(self.me, std::mem::take(&mut self.stats));
     }
 }
@@ -1085,12 +1301,14 @@ impl<S: Segment, P: SearchPolicy, T: Timing> SearchEnv for PoolSearchEnv<'_, '_,
         }
         // Blocking removes wait at lap boundaries instead of polling on.
         if let Some(ctl) = self.wait.as_deref_mut() {
-            let segments = &self.shared.segments;
+            let shared = self.shared;
             let hints = self.hints;
             let proc = self.session.proc();
             return ctl.on_probe(
                 &self.session,
-                || segments.iter().any(|s| !s.is_empty()),
+                // Work = any non-empty segment or a stashed depot magazine
+                // (the next pass's raid will claim it).
+                || !shared.drained(),
                 || hints.is_some_and(|b| b.delivered(proc)),
             );
         }

@@ -145,6 +145,17 @@ pub struct ProcStats {
     pub elements_stolen: u64,
     /// Superimposed-tree node visits (zero for linear/random search).
     pub tree_nodes_visited: u64,
+    /// Operations absorbed by the handle-local magazine cache — adds
+    /// cached and removes served without touching pool-shared state (see
+    /// `cpool::magazine`).
+    pub magazine_hits: u64,
+    /// Full-magazine round trips with the shared depot: producer-side
+    /// stashes, consumer-side claims, and search-side raids.
+    pub depot_exchanges: u64,
+    /// Magazine flushes forced by the waiter-present check — a producer
+    /// saw parked or async removers and published its cached elements
+    /// instead of growing its magazines.
+    pub flush_on_wait: u64,
     /// Total time spent in add operations.
     pub add_ns: u64,
     /// Total time spent in successful remove operations (including their
@@ -196,6 +207,38 @@ impl ProcStats {
         (self.steals > 0).then(|| self.elements_stolen as f64 / self.steals as f64)
     }
 
+    /// Fraction of completed adds and removes absorbed by the handle-local
+    /// magazine cache (zero unless the pool was built with
+    /// `handle_cache(depth)`).
+    pub fn magazine_hit_fraction(&self) -> Option<f64> {
+        let ops = self.adds + self.removes;
+        (ops > 0).then(|| self.magazine_hits as f64 / ops as f64)
+    }
+
+    /// Records an add absorbed by the handle-local magazine cache.
+    ///
+    /// Cached operations are deliberately *not* clocked: the op is a
+    /// handful of thread-local instructions, and reading the wall clock to
+    /// price it costs more than the op itself (two `Timing::now` calls
+    /// dominated the fast path before this). They count in `adds` and
+    /// `magazine_hits`, and enter the latency histogram as 0 ns — so
+    /// `avg_add_ns` honestly reflects that cached ops are ~free while the
+    /// histogram's upper buckets still price the shared-path ops.
+    pub(crate) fn record_cached_add(&mut self) {
+        self.adds += 1;
+        self.magazine_hits += 1;
+        self.add_hist.record(0);
+    }
+
+    /// Records a remove served from the handle-local magazine cache;
+    /// see [`record_cached_add`](Self::record_cached_add) for why it is
+    /// unclocked.
+    pub(crate) fn record_cached_remove(&mut self) {
+        self.removes += 1;
+        self.magazine_hits += 1;
+        self.remove_hist.record(0);
+    }
+
     /// Fraction of adds that were donated to searchers (hint extension).
     pub fn donation_fraction(&self) -> Option<f64> {
         (self.adds > 0).then(|| self.donated_adds as f64 / self.adds as f64)
@@ -234,6 +277,9 @@ impl ProcStats {
         self.segments_examined += other.segments_examined;
         self.elements_stolen += other.elements_stolen;
         self.tree_nodes_visited += other.tree_nodes_visited;
+        self.magazine_hits += other.magazine_hits;
+        self.depot_exchanges += other.depot_exchanges;
+        self.flush_on_wait += other.flush_on_wait;
         self.add_ns += other.add_ns;
         self.remove_ns += other.remove_ns;
         self.steal_ns += other.steal_ns;

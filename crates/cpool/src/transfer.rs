@@ -271,6 +271,23 @@ impl<T> FreeList<T> {
         let _ = self.items.push(item);
     }
 
+    /// Returns a container to the list, handing it back instead of
+    /// dropping it when the ring is full.
+    ///
+    /// [`put`](Self::put) is the right call for *capacity* recycling,
+    /// where a dropped shell costs only a future allocation. Callers whose
+    /// containers carry *elements* — the magazine depot stashes full
+    /// magazines here ([`magazine`](crate::magazine)) — must get the
+    /// container back on overflow so the elements can be routed somewhere
+    /// visible instead of destroyed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when the ring is at capacity.
+    pub fn try_put(&self, item: T) -> Result<(), T> {
+        self.items.push(item)
+    }
+
     /// Number of containers currently cached (diagnostic snapshot).
     pub fn cached(&self) -> usize {
         self.items.len()

@@ -1,0 +1,192 @@
+//! The magazine layer's steady-state guarantee: **once warmed, the
+//! magazine hit/flush/refill cycle performs zero heap allocations**.
+//!
+//! Magazines are bounded `Vec`s recycled between the handle and the
+//! depot's shell ring; the depot itself rides the same lock-free free
+//! lists as the transfer layer (see `tests/alloc_steal.rs` for the steal
+//! path's identical guarantee). This file installs a counting
+//! `#[global_allocator]` and pins the claim for the pure-hit steady state
+//! and for churn deep enough to cycle full magazines through the depot.
+//!
+//! Like its siblings, the test lives in its own integration-test binary
+//! (a global allocator is process-wide) and counting is scoped to the
+//! measuring thread via an armed thread-local.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cpool::{KeyedPoolBuilder, LinearSearch, Pool, PoolBuilder, VecSegment};
+
+/// Counts allocator hits (alloc + realloc) from the armed thread.
+struct CountingAlloc;
+
+static HITS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    // `const` init: reading this inside the allocator performs no lazy
+    // initialization and therefore cannot itself allocate or recurse.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn armed() -> bool {
+    ARMED.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `op` with this thread's counter armed and returns the number of
+/// allocator hits it caused.
+fn count_allocs(op: impl FnOnce()) -> usize {
+    HITS.store(0, Ordering::SeqCst);
+    ARMED.with(|armed| armed.set(true));
+    op();
+    ARMED.with(|armed| armed.set(false));
+    HITS.load(Ordering::SeqCst)
+}
+
+const WARMUP_ROUNDS: usize = 50;
+const MEASURED_ROUNDS: usize = 50;
+/// Adds (and removes) per round — balanced, so rounds leave the pool as
+/// they found it.
+const PER_ROUND: u64 = 16;
+
+/// The pure-hit steady state: with the magazine deeper than the burst,
+/// every add is a thread-local push and every remove a thread-local pop —
+/// no depot traffic, no segment traffic, and no allocator traffic.
+#[test]
+fn magazine_hit_steady_state_allocates_nothing() {
+    let pool: Pool<VecSegment<u64>, LinearSearch> =
+        PoolBuilder::new(1).handle_cache(2 * PER_ROUND as usize).build();
+    let mut h = pool.register();
+    for _ in 0..WARMUP_ROUNDS {
+        for i in 0..PER_ROUND {
+            h.add(i);
+        }
+        for _ in 0..PER_ROUND {
+            h.try_remove().expect("added this round");
+        }
+    }
+    let hits_before = h.stats().magazine_hits;
+    let allocs = count_allocs(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            for i in 0..PER_ROUND {
+                h.add(i);
+            }
+            for _ in 0..PER_ROUND {
+                h.try_remove().expect("added this round");
+            }
+        }
+    });
+    let measured_ops = 2 * PER_ROUND * MEASURED_ROUNDS as u64;
+    assert_eq!(
+        h.stats().magazine_hits - hits_before,
+        measured_ops,
+        "every measured op must be a magazine hit"
+    );
+    assert_eq!(
+        allocs, 0,
+        "pure-hit rounds ({MEASURED_ROUNDS} x {PER_ROUND} add/remove pairs) must not allocate"
+    );
+}
+
+/// The depot-cycle steady state: a magazine far shallower than the burst
+/// forces full magazines through the depot (exchange on add, refill on
+/// remove) and the overflow into the segments — and the whole cycle still
+/// recycles shells and segment capacity instead of allocating.
+#[test]
+fn magazine_depot_cycle_steady_state_allocates_nothing() {
+    let pool: Pool<VecSegment<u64>, LinearSearch> = PoolBuilder::new(1).handle_cache(2).build();
+    let mut h = pool.register();
+    for _ in 0..WARMUP_ROUNDS {
+        for i in 0..PER_ROUND {
+            h.add(i);
+        }
+        for _ in 0..PER_ROUND {
+            h.try_remove().expect("added this round");
+        }
+    }
+    assert!(h.stats().depot_exchanges > 0, "depth 2 under a 16-burst must cycle the depot");
+    let exchanges_before = h.stats().depot_exchanges;
+    let allocs = count_allocs(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            for i in 0..PER_ROUND {
+                h.add(i);
+            }
+            for _ in 0..PER_ROUND {
+                h.try_remove().expect("added this round");
+            }
+        }
+    });
+    assert!(
+        h.stats().depot_exchanges > exchanges_before,
+        "the measured rounds kept cycling magazines through the depot"
+    );
+    assert_eq!(
+        allocs, 0,
+        "depot exchange/refill rounds ({MEASURED_ROUNDS} x {PER_ROUND} pairs) must not allocate"
+    );
+}
+
+/// The keyed twin of the pure-hit guarantee: mixed-key magazines cache
+/// `(key, value)` pairs with the same recycled containers.
+#[test]
+fn keyed_magazine_hit_steady_state_allocates_nothing() {
+    let pool: cpool::KeyedPool<u8, u64> =
+        KeyedPoolBuilder::new(1).handle_cache(2 * PER_ROUND as usize).build();
+    let mut h = pool.register();
+    for _ in 0..WARMUP_ROUNDS {
+        for i in 0..PER_ROUND {
+            h.add((i % 3) as u8, i);
+        }
+        for _ in 0..PER_ROUND {
+            h.try_remove_any().expect("added this round");
+        }
+    }
+    let hits_before = h.stats().magazine_hits;
+    let allocs = count_allocs(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            for i in 0..PER_ROUND {
+                h.add((i % 3) as u8, i);
+            }
+            for _ in 0..PER_ROUND {
+                h.try_remove_any().expect("added this round");
+            }
+        }
+    });
+    let measured_ops = 2 * PER_ROUND * MEASURED_ROUNDS as u64;
+    assert_eq!(
+        h.stats().magazine_hits - hits_before,
+        measured_ops,
+        "every measured keyed op must be a magazine hit"
+    );
+    assert_eq!(allocs, 0, "keyed pure-hit rounds must not allocate");
+}

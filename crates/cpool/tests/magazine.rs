@@ -1,0 +1,274 @@
+//! Lifecycle tests for the handle-local magazine layer
+//! ([`cpool::magazine`]): cached elements must never be stranded. Blocked
+//! and async removers see cached residue (not [`RemoveError::Closed`])
+//! after `close()`, producers flush when consumers wait, drop and drain
+//! return cached elements to the pool, and the depot exchange cycle moves
+//! whole magazines between handles.
+
+use std::thread;
+use std::time::Duration;
+
+use cpool::future::exec::block_on;
+use cpool::prelude::*;
+
+type MagPool = Pool<VecSegment<u64>, LinearSearch>;
+
+fn magazine_pool(segments: usize, depth: usize) -> MagPool {
+    PoolBuilder::new(segments).seed(3).handle_cache(depth).build()
+}
+
+/// `close()` on a handle flushes its magazines pool-visibly first, so a
+/// consumer parked in a `Block` remove drains the cached residue and only
+/// then observes `Closed` — never a lost element.
+#[test]
+fn close_delivers_cached_residue_to_parked_remover() {
+    let pool = magazine_pool(1, 8);
+    let mut producer = pool.register();
+    for v in [10, 11, 12] {
+        producer.add(v);
+    }
+    assert_eq!(pool.total_len(), 0, "all three adds were cached");
+    assert_eq!(producer.cached_len(), 3);
+
+    thread::scope(|s| {
+        let consumer = s.spawn(|| {
+            let mut h = pool.register();
+            let mut got = Vec::new();
+            loop {
+                match h.remove(WaitStrategy::Block) {
+                    Ok(v) => got.push(v),
+                    Err(RemoveError::Closed) => return got,
+                    Err(err) => panic!("unexpected error: {err:?}"),
+                }
+            }
+        });
+        // Let the consumer park on the (visibly empty) pool, then close:
+        // the close-side flush publishes the residue and wakes it.
+        thread::sleep(Duration::from_millis(50));
+        producer.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 11, 12], "residue drained before Closed");
+    });
+}
+
+/// The async twin: a pending `remove_async` future resolves with the
+/// cached residue once `close()` flushes it, not with `Closed`.
+#[test]
+fn close_delivers_cached_residue_to_async_remover() {
+    let pool = magazine_pool(1, 8);
+    let mut producer = pool.register();
+    producer.add(77);
+    assert_eq!(pool.total_len(), 0, "the add was cached");
+
+    let fut = producer.remove_async();
+    thread::scope(|s| {
+        let waiter = s.spawn(move || block_on(fut));
+        thread::sleep(Duration::from_millis(50));
+        producer.close();
+        assert_eq!(waiter.join().unwrap(), Ok(77), "residue before Closed");
+        assert_eq!(block_on(producer.remove_async()), Err(RemoveError::Closed));
+    });
+}
+
+/// A producer whose magazine holds elements flushes them the moment it
+/// observes a waiting consumer — the waiter-present check on the notifier
+/// — and counts the event in `flush_on_wait`.
+#[test]
+fn producer_flushes_when_a_remover_waits() {
+    let pool = magazine_pool(1, 8);
+    let mut producer = pool.register();
+    for v in 0..4 {
+        producer.add(v);
+    }
+    assert_eq!(producer.cached_len(), 4);
+    assert_eq!(pool.total_len(), 0);
+
+    thread::scope(|s| {
+        let consumer = s.spawn(|| {
+            let mut h = pool.register();
+            (0..5).map(|_| h.remove(WaitStrategy::Block).unwrap()).collect::<Vec<_>>()
+        });
+        // Give the consumer time to park, then add: the producer sees the
+        // waiter, publishes its whole cache, and the add goes in visibly.
+        thread::sleep(Duration::from_millis(100));
+        producer.add(99);
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 99]);
+    });
+    assert_eq!(producer.stats().flush_on_wait, 1, "one flush served the waiter");
+    assert_eq!(producer.cached_len(), 0);
+}
+
+/// Dropping a handle returns its cached elements to the pool: the
+/// magazine layer must never leak elements with a retiring handle.
+#[test]
+fn drop_flushes_the_magazine() {
+    let pool = magazine_pool(2, 8);
+    let mut h = pool.register();
+    for v in [1, 2, 3] {
+        h.add(v);
+    }
+    assert_eq!(pool.total_len(), 0, "cached, invisible");
+    drop(h);
+    assert_eq!(pool.total_len(), 3, "drop flushed the cache");
+    let mut h2 = pool.register();
+    let mut got: Vec<u64> = (0..3).map(|_| h2.try_remove().unwrap()).collect();
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2, 3]);
+}
+
+/// `drain()` sweeps all three tiers: this handle's own magazines, every
+/// full magazine in the shared depot, and the segments.
+#[test]
+fn drain_sweeps_own_magazine_and_depot() {
+    let pool = magazine_pool(2, 2);
+    let mut h = pool.register();
+    // Depth 2 fills both magazines after 4 adds; the rest cycle through
+    // the depot, so elements land in every tier.
+    for v in 0..10 {
+        h.add(v);
+    }
+    assert!(h.stats().depot_exchanges >= 1, "depth 2 must overflow to the depot");
+    assert!(pool.depot_len() > 0, "full magazines parked in the depot");
+    let mut got: Vec<u64> = h.drain().collect();
+    got.sort_unstable();
+    assert_eq!(got, (0..10).collect::<Vec<_>>(), "no tier escaped the drain");
+    assert_eq!(pool.depot_len(), 0);
+    assert_eq!(h.cached_len(), 0);
+    assert!(h.is_drained());
+}
+
+/// The depot exchange cycle between handles: one handle's overflow parks
+/// full magazines in the depot; another handle's first remove installs one
+/// as its loaded magazine (a refill) and then serves pure hits from it.
+#[test]
+fn depot_exchange_refills_another_handle() {
+    let pool = magazine_pool(1, 2);
+    let mut producer = pool.register();
+    for v in 0..10 {
+        producer.add(v);
+    }
+    assert!(pool.depot_len() > 0);
+
+    let mut consumer = pool.register();
+    let first = consumer.try_remove().expect("depot magazine must be reachable");
+    assert!(first < 10);
+    assert_eq!(consumer.stats().depot_exchanges, 1, "the first pop refilled");
+    let second = consumer.try_remove().expect("now a pure magazine hit");
+    assert!(second < 10);
+    assert_eq!(consumer.stats().magazine_hits, 2, "refill and hit both count");
+}
+
+/// `is_drained` counts this handle's own cache: a pool whose only element
+/// lives in the caller's magazine is *not* drained from its perspective.
+#[test]
+fn is_drained_sees_own_cache() {
+    let pool = magazine_pool(1, 4);
+    let mut h = pool.register();
+    h.add(5);
+    assert_eq!(pool.total_len(), 0);
+    assert!(!h.is_drained(), "own cached element keeps the pool non-drained");
+    assert_eq!(h.try_remove(), Ok(5));
+    assert!(h.is_drained());
+}
+
+/// Retired handles deposit their magazine counters in the registry: the
+/// pool-wide merged statistics see hits, exchanges, and flushes.
+#[test]
+fn registry_merges_magazine_counters() {
+    let pool = magazine_pool(1, 2);
+    let mut producer = pool.register();
+    for v in 0..10 {
+        producer.add(v);
+    }
+    let mut consumer = pool.register();
+    for _ in 0..4 {
+        consumer.try_remove().unwrap();
+    }
+    drop(producer);
+    drop(consumer);
+    let merged = pool.stats().merged();
+    assert!(merged.magazine_hits > 0, "cached ops must be accounted");
+    assert!(merged.depot_exchanges > 0, "depot traffic must be accounted");
+}
+
+// ---------------------------------------------------------------------------
+// Keyed twins: the same lifecycle guarantees over mixed-key magazines.
+// ---------------------------------------------------------------------------
+
+/// Keyed `close()` flushes the closing handle's mixed-key magazines so a
+/// parked any-key remover drains the residue before `Closed`.
+#[test]
+fn keyed_close_delivers_cached_residue() {
+    let pool: KeyedPool<u8, u64> = KeyedPoolBuilder::new(1).handle_cache(8).build();
+    let mut producer = pool.register();
+    producer.add(1, 10);
+    producer.add(2, 20);
+    assert_eq!(pool.total_len(), 0, "both pairs cached");
+
+    thread::scope(|s| {
+        let consumer = s.spawn(|| {
+            let mut h = pool.register();
+            let mut got = Vec::new();
+            loop {
+                match h.remove(WaitStrategy::Block) {
+                    Ok(pair) => got.push(pair),
+                    Err(RemoveError::Closed) => return got,
+                    Err(err) => panic!("unexpected error: {err:?}"),
+                }
+            }
+        });
+        thread::sleep(Duration::from_millis(50));
+        producer.close();
+        let mut got = consumer.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 10), (2, 20)], "residue drained before Closed");
+    });
+}
+
+/// A keyed remove finds a pair that lives only in the caller's own
+/// magazine (the `take_matching` scan): without it, removing a key that
+/// only this handle cached would hang forever.
+#[test]
+fn keyed_remove_serves_own_cached_key() {
+    let pool: KeyedPool<u8, u64> = KeyedPoolBuilder::new(1).handle_cache(4).build();
+    let mut h = pool.register();
+    h.add(3, 30);
+    assert_eq!(pool.total_len(), 0, "the pair is cached");
+    assert_eq!(h.try_remove_key(&3), Ok(30), "served from the magazine scan");
+    assert_eq!(h.stats().magazine_hits, 2, "cached add + cached keyed remove");
+}
+
+/// Keyed `drain()` sweeps own magazines, the mixed-key depot, and the
+/// segments — the keyed twin of `drain_sweeps_own_magazine_and_depot`.
+#[test]
+fn keyed_drain_sweeps_own_magazine_and_depot() {
+    let pool: KeyedPool<u8, u64> = KeyedPoolBuilder::new(2).handle_cache(2).build();
+    let mut h = pool.register();
+    for v in 0..10u64 {
+        h.add((v % 3) as u8, v);
+    }
+    assert!(pool.depot_len() > 0, "depth 2 must overflow to the depot");
+    let mut got: Vec<u64> = h.drain().map(|(_, v)| v).collect();
+    got.sort_unstable();
+    assert_eq!(got, (0..10).collect::<Vec<_>>(), "no tier escaped the drain");
+    assert_eq!(pool.depot_len(), 0);
+    assert!(h.is_drained());
+}
+
+/// Dropping a keyed handle flushes its mixed-key cache back to the pool.
+#[test]
+fn keyed_drop_flushes_the_magazine() {
+    let pool: KeyedPool<u8, u64> = KeyedPoolBuilder::new(1).handle_cache(8).build();
+    let mut h = pool.register();
+    h.add(1, 100);
+    h.add(2, 200);
+    assert_eq!(pool.total_len(), 0);
+    drop(h);
+    assert_eq!(pool.total_len(), 2, "drop flushed the pairs");
+    let mut h2 = pool.register();
+    assert_eq!(h2.try_remove_key(&1), Ok(100));
+    assert_eq!(h2.try_remove_key(&2), Ok(200));
+}

@@ -112,6 +112,9 @@ pub fn csv_rows(cmp: &Compare) -> (Vec<&'static str>, Vec<Vec<String>>) {
         "elements_per_steal",
         "aborted",
         "tree_nodes",
+        "magazine_hits",
+        "depot_exchanges",
+        "flush_on_wait",
     ];
     let rows = cmp
         .cells
@@ -129,6 +132,9 @@ pub fn csv_rows(cmp: &Compare) -> (Vec<&'static str>, Vec<Vec<String>>) {
                 format!("{:.3}", s.elements_per_steal.mean),
                 format!("{:.1}", s.aborted.mean),
                 format!("{:.1}", s.tree_nodes.mean),
+                format!("{:.1}", s.magazine_hits.mean),
+                format!("{:.1}", s.depot_exchanges.mean),
+                format!("{:.1}", s.flush_on_wait.mean),
             ]
         })
         .collect();

@@ -87,6 +87,13 @@ pub struct Summary {
     pub aborted: Stat,
     /// Tree nodes visited per trial (0 for linear/random).
     pub tree_nodes: Stat,
+    /// Operations served from a handle-local magazine per trial (0 unless
+    /// the pool was built with `handle_cache`).
+    pub magazine_hits: Stat,
+    /// Full-magazine exchanges with the depot per trial.
+    pub depot_exchanges: Stat,
+    /// Waiter-triggered magazine flushes per trial.
+    pub flush_on_wait: Stat,
     /// Trial completion time, ms.
     pub makespan_ms: Stat,
 }
@@ -106,6 +113,9 @@ impl Summary {
             steals: m(&|t| Some(t.merged.steals as f64)),
             aborted: m(&|t| Some(t.merged.aborted_removes as f64)),
             tree_nodes: m(&|t| Some(t.merged.tree_nodes_visited as f64)),
+            magazine_hits: m(&|t| Some(t.merged.magazine_hits as f64)),
+            depot_exchanges: m(&|t| Some(t.merged.depot_exchanges as f64)),
+            flush_on_wait: m(&|t| Some(t.merged.flush_on_wait as f64)),
             makespan_ms: m(&|t| Some(t.makespan_ns as f64 / 1e6)),
         }
     }

@@ -1,0 +1,156 @@
+//! Bursty producer/consumer phases: alternating add-heavy and
+//! remove-heavy bursts.
+//!
+//! The paper's models hold each process's behaviour fixed (§3.3) or walk
+//! through phases once (§3.5, [`PhasedStream`](crate::PhasedStream)). Real
+//! applications also *oscillate* — a batch of work arrives, drains, and
+//! arrives again. [`BurstyStream`] cycles between an add-heavy and a
+//! remove-heavy job mix forever, switching every `burst_ops` operations.
+//!
+//! This is the stress pattern for handle-local magazine caches
+//! (`cpool::magazine`): an add burst fills magazines and pushes full ones
+//! to the depot, the following remove burst drains and raids them back, so
+//! every burst boundary exercises the exchange machinery rather than the
+//! pure-hit steady state.
+
+use crate::mix::JobMix;
+use crate::stream::{Op, OpStream, RandomMixStream};
+
+/// An endless stream alternating add-heavy and remove-heavy bursts.
+///
+/// Starts in the add-heavy burst (filling first), switches mixes every
+/// `burst_ops` operations, and never terminates — like every
+/// [`OpStream`], the trial's [`OpBudget`](crate::OpBudget) decides when to
+/// stop.
+#[derive(Clone, Debug)]
+pub struct BurstyStream {
+    add_burst: RandomMixStream,
+    remove_burst: RandomMixStream,
+    burst_ops: u64,
+    issued_in_burst: u64,
+    in_add_burst: bool,
+}
+
+impl BurstyStream {
+    /// Creates a stream alternating `burst_ops`-operation bursts of
+    /// `add_heavy` and `remove_heavy` draws (both sub-streams derive their
+    /// randomness from `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_ops` is zero.
+    pub fn new(burst_ops: u64, add_heavy: JobMix, remove_heavy: JobMix, seed: u64) -> Self {
+        assert!(burst_ops > 0, "a burst must issue at least one operation");
+        BurstyStream {
+            add_burst: RandomMixStream::new(add_heavy, seed),
+            remove_burst: RandomMixStream::new(remove_heavy, seed.wrapping_add(1)),
+            burst_ops,
+            issued_in_burst: 0,
+            in_add_burst: true,
+        }
+    }
+
+    /// The conventional magazine-churn configuration: 90%-add bursts
+    /// alternating with 10%-add bursts.
+    pub fn nine_to_one(burst_ops: u64, seed: u64) -> Self {
+        BurstyStream::new(burst_ops, JobMix::from_percent(90), JobMix::from_percent(10), seed)
+    }
+
+    /// Whether the stream is currently in an add-heavy burst.
+    pub fn in_add_burst(&self) -> bool {
+        self.in_add_burst
+    }
+
+    /// Operations per burst.
+    pub fn burst_ops(&self) -> u64 {
+        self.burst_ops
+    }
+}
+
+impl OpStream for BurstyStream {
+    fn next_op(&mut self) -> Op {
+        if self.issued_in_burst >= self.burst_ops {
+            self.issued_in_burst = 0;
+            self.in_add_burst = !self.in_add_burst;
+        }
+        self.issued_in_burst += 1;
+        if self.in_add_burst {
+            self.add_burst.next_op()
+        } else {
+            self.remove_burst.next_op()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_alternate_on_the_boundary() {
+        // Degenerate mixes make the phase directly observable.
+        let mut s = BurstyStream::new(3, JobMix::from_percent(100), JobMix::from_percent(0), 7);
+        let ops: Vec<Op> = (0..12).map(|_| s.next_op()).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Add,
+                Op::Add,
+                Op::Add,
+                Op::Remove,
+                Op::Remove,
+                Op::Remove,
+                Op::Add,
+                Op::Add,
+                Op::Add,
+                Op::Remove,
+                Op::Remove,
+                Op::Remove,
+            ]
+        );
+    }
+
+    #[test]
+    fn bursts_track_their_own_mixes() {
+        let burst = 10_000;
+        let mut s = BurstyStream::nine_to_one(burst, 42);
+        let adds = |s: &mut BurstyStream| {
+            (0..burst).filter(|_| s.next_op() == Op::Add).count() as f64 / burst as f64
+        };
+        let add_phase = adds(&mut s);
+        let remove_phase = adds(&mut s);
+        assert!((add_phase - 0.9).abs() < 0.02, "add burst measured {add_phase}");
+        assert!((remove_phase - 0.1).abs() < 0.02, "remove burst measured {remove_phase}");
+    }
+
+    #[test]
+    fn bursty_is_deterministic() {
+        let collect = |seed| {
+            let mut s = BurstyStream::nine_to_one(16, seed);
+            (0..128).map(|_| s.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(5), collect(5));
+        assert_ne!(collect(5), collect(6));
+    }
+
+    #[test]
+    fn cycles_forever() {
+        let mut s = BurstyStream::new(2, JobMix::from_percent(100), JobMix::from_percent(0), 0);
+        let mut flips = 0;
+        let mut last = s.in_add_burst();
+        for _ in 0..100 {
+            let _ = s.next_op();
+            if s.in_add_burst() != last {
+                flips += 1;
+                last = s.in_add_burst();
+            }
+        }
+        assert!(flips >= 48, "expected ~50 phase flips, saw {flips}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operation")]
+    fn zero_burst_panics() {
+        let _ = BurstyStream::nine_to_one(0, 1);
+    }
+}

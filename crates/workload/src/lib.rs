@@ -23,6 +23,7 @@
 
 pub mod arrangement;
 pub mod budget;
+pub mod bursty;
 pub mod mix;
 pub mod phased;
 pub mod stream;
@@ -30,6 +31,7 @@ pub mod zipf;
 
 pub use arrangement::{Arrangement, Role};
 pub use budget::OpBudget;
+pub use bursty::BurstyStream;
 pub use mix::{JobMix, KeyedMix, KeyedMixStream};
 pub use phased::{hot_set_migration, PhasedKeyStream, PhasedStream};
 pub use stream::{Op, OpStream, RandomMixStream, RoleStream};
